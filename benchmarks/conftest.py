@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark harnesses.
+
+Every paper table/figure has a ``test_*`` benchmark here that runs a
+reduced-scale version of the corresponding experiment (the full-scale
+versions are `python -m repro.harness <experiment> --scale small`).
+Results are cached under a benchmark-local cache dir so repeated
+benchmark runs measure harness+simulator work, not disk luck.
+"""
+
+import os
+
+import pytest
+
+from repro.harness import Runner
+
+#: Benchmarks kept fast by running a representative subset at tiny scale.
+SUBSET = ("SGEMM", "LBM", "Triad", "LUD", "BS", "Histogram")
+
+
+@pytest.fixture(scope="session")
+def runner(tmp_path_factory):
+    cache = os.environ.get("REPRO_BENCH_CACHE",
+                           str(tmp_path_factory.mktemp("bench_cache")))
+    return Runner(cache_dir=cache, workers=1)

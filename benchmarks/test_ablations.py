@@ -1,0 +1,16 @@
+"""Benchmark for the design-choice ablation study (DESIGN.md)."""
+
+from repro.harness.ablations import run_ablation
+
+
+def test_ablation_matrix(benchmark):
+    rows = benchmark.pedantic(
+        run_ablation,
+        kwargs=dict(benchmarks=("LBM", "SGEMM", "CS"), scale="tiny"),
+        iterations=1, rounds=1)
+    by_key = {(r.benchmark, r.variant): r for r in rows}
+    # Provenance must pay off on streaming kernels.
+    assert by_key[("LBM", "no_provenance")].boundaries > \
+        by_key[("LBM", "full")].boundaries
+    benchmark.extra_info["normalized"] = {
+        f"{r.benchmark}/{r.variant}": round(r.normalized, 3) for r in rows}

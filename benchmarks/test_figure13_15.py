@@ -1,0 +1,33 @@
+"""Benchmark for Figures 13/14/15: per-benchmark and geomean normalized
+execution time across the competing schemes (reduced configuration)."""
+
+from conftest import SUBSET
+
+from repro.harness import figure13_14
+
+SCHEMES = ("flame", "renaming", "checkpointing", "duplication_renaming",
+           "hybrid_renaming")
+
+
+def test_figure13_14_overheads(benchmark, runner):
+    study = benchmark.pedantic(
+        figure13_14,
+        kwargs=dict(scale="tiny", schemes=SCHEMES, benchmarks=SUBSET,
+                    runner=runner),
+        iterations=1, rounds=1)
+    geomeans = study.geomeans()
+    # Paper shape: Flame beats duplication; renaming is ~free.
+    assert geomeans["flame"] < geomeans["duplication_renaming"]
+    assert geomeans["renaming"] < 1.1
+    benchmark.extra_info["geomeans"] = {k: round(v, 4)
+                                        for k, v in geomeans.items()}
+
+
+def test_figure15_geomean(benchmark, runner):
+    def geomeans():
+        return figure13_14("tiny", schemes=("flame",), benchmarks=SUBSET,
+                           runner=runner).geomeans()
+
+    result = benchmark.pedantic(geomeans, iterations=1, rounds=1)
+    assert 0.9 < result["flame"] < 1.4
+    benchmark.extra_info["flame_geomean"] = round(result["flame"], 4)

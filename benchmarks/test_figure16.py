@@ -1,0 +1,24 @@
+"""Benchmark for Figure 16: region-extension optimization impact."""
+
+from repro.harness import figure16, optimization_eligible_benchmarks
+
+
+def test_figure16_region_optimization(benchmark, runner):
+    result = benchmark.pedantic(
+        figure16, kwargs=dict(scale="tiny", runner=runner),
+        iterations=1, rounds=1)
+    assert result
+    improved = sum(1 for v in result.values()
+                   if v["with_opt"] <= v["without_opt"] + 1e-9)
+    # The optimization must help (or at least not hurt) most of the
+    # eligible benchmarks.
+    assert improved >= len(result) // 2
+    benchmark.extra_info["eligible"] = sorted(result)
+    benchmark.extra_info["ratios"] = {
+        k: (round(v["without_opt"], 3), round(v["with_opt"], 3))
+        for k, v in result.items()}
+
+
+def test_eligibility_analysis(benchmark):
+    eligible = benchmark(optimization_eligible_benchmarks)
+    assert 5 <= len(eligible) <= 12  # the paper found 7

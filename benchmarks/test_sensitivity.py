@@ -1,0 +1,41 @@
+"""Benchmarks for the sensitivity studies: Figure 17 (WCDL), Figure 18
+(warp schedulers), and Figure 19 (GPU architectures)."""
+
+from conftest import SUBSET
+
+from repro.harness import figure17, figure18, figure19
+
+FAST = SUBSET[:3]
+
+
+def test_figure17_wcdl_sweep(benchmark, runner):
+    result = benchmark.pedantic(
+        figure17, kwargs=dict(scale="tiny", wcdls=(10, 20, 30, 40, 50),
+                              benchmarks=FAST, runner=runner),
+        iterations=1, rounds=1)
+    values = [result[w] for w in (10, 20, 30, 40, 50)]
+    # Paper shape: overhead grows with WCDL.
+    assert values[0] <= values[-1]
+    benchmark.extra_info["overheads"] = {w: round(v, 4)
+                                         for w, v in result.items()}
+
+
+def test_figure18_scheduler_sweep(benchmark, runner):
+    result = benchmark.pedantic(
+        figure18, kwargs=dict(scale="tiny", benchmarks=FAST, runner=runner),
+        iterations=1, rounds=1)
+    assert set(result) == {"GTO", "OLD", "LRR", "2LV"}
+    # Paper shape: near-uniform low overhead across schedulers.
+    assert max(result.values()) - min(result.values()) < 0.25
+    benchmark.extra_info["overheads"] = {k: round(v, 4)
+                                         for k, v in result.items()}
+
+
+def test_figure19_architecture_sweep(benchmark, runner):
+    result = benchmark.pedantic(
+        figure19, kwargs=dict(scale="tiny", benchmarks=FAST, runner=runner),
+        iterations=1, rounds=1)
+    assert len(result) == 4
+    assert all(0.9 < v < 1.6 for v in result.values())
+    benchmark.extra_info["overheads"] = {k: round(v, 4)
+                                         for k, v in result.items()}

@@ -1,0 +1,42 @@
+"""Microbenchmarks of the infrastructure itself: simulator throughput
+and compiler pass latency (useful to track regressions in the repo)."""
+
+import numpy as np
+
+from repro.compiler import (allocate_registers, compile_kernel,
+                            form_regions)
+from repro.sim import LaunchConfig, run_kernel
+from repro.workloads import WORKLOADS
+
+
+def test_simulator_throughput(benchmark):
+    """Warp-instructions simulated per second on a streaming kernel."""
+    instance = WORKLOADS["LBM"].instance("tiny")
+
+    def run():
+        mem = instance.fresh_memory()
+        return run_kernel(instance.kernel, instance.launch, mem)
+
+    result = benchmark(run)
+    benchmark.extra_info["instructions"] = result.stats.instructions
+
+
+def test_compile_flame_pipeline(benchmark):
+    """Full Flame compilation (regalloc + regions + renaming + compaction)
+    of a barrier-heavy kernel."""
+    kernel = WORKLOADS["SGEMM"].instance("tiny").kernel
+    compiled = benchmark(compile_kernel, kernel, "flame")
+    assert compiled.regions.boundaries > 0
+
+
+def test_register_allocation(benchmark):
+    kernel = WORKLOADS["BS"].instance("tiny").kernel
+    result = benchmark(allocate_registers, kernel)
+    assert result.num_regs > 0
+
+
+def test_region_formation(benchmark):
+    kernel = allocate_registers(
+        WORKLOADS["LUD"].instance("tiny").kernel).kernel
+    formed = benchmark(form_regions, kernel)
+    assert formed.boundaries > 0

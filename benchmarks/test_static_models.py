@@ -1,0 +1,37 @@
+"""Benchmarks for the analytic models: Table I, Figure 12, Table II,
+Section IV, and Section VI-A2 (hardware cost)."""
+
+from repro.arch import FaultRates, section4_report
+from repro.harness import figure12, hwcost, table1, table2
+
+
+def test_table1_roster(benchmark):
+    rows = benchmark(table1)
+    assert len(rows) == 34
+
+
+def test_figure12_wcdl_curves(benchmark):
+    counts = tuple(range(50, 301, 25))
+    curves = benchmark(figure12, counts)
+    assert curves["GTX480"][6] == 20  # 200 sensors -> 20 cycles
+    benchmark.extra_info["gtx480_curve"] = curves["GTX480"]
+
+
+def test_table2_sensor_requirements(benchmark):
+    rows = benchmark(table2)
+    by_gpu = {r["gpu"]: r["sensors_per_sm"] for r in rows}
+    assert by_gpu["GTX480"] == 200
+    benchmark.extra_info["sensors"] = by_gpu
+
+
+def test_section4_fault_arithmetic(benchmark):
+    report = benchmark(section4_report, FaultRates(), 50.23)
+    assert round(report["raw_strikes_per_day"], 2) == 1.37
+    benchmark.extra_info["report"] = {k: round(v, 4)
+                                      for k, v in report.items()}
+
+
+def test_hwcost_accounting(benchmark):
+    rows = benchmark(hwcost)
+    gtx = next(r for r in rows if r["gpu"] == "GTX480")
+    assert gtx["rbq_bits"] == 120 and gtx["rpt_bits"] == 1024

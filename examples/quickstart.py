@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Quickstart: write a kernel, protect it with Flame, run it.
+
+This walks the whole public API surface in ~60 lines:
+
+1. author a GPU kernel with the KernelBuilder eDSL;
+2. compile it under the baseline and under Flame (idempotent regions +
+   anti-dependent register renaming);
+3. simulate both on the GTX480 model — Flame with the acoustic-sensor
+   runtime (RBQ verification conveyor + RPT + WCDL-aware scheduling);
+4. compare cycles, verify outputs.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.arch import GTX480
+from repro.compiler import compile_kernel
+from repro.core import FlameRuntime
+from repro.isa import CmpOp, KernelBuilder
+from repro.sim import Gpu, LaunchConfig
+
+N = 4096
+
+# -- 1. Write a saxpy-with-update kernel: y[i] = a*x[i] + y[i] ----------
+b = KernelBuilder("saxpy", num_params=4)
+n, a, x_ptr, y_ptr = b.params(4)
+i = b.global_index()
+in_range = b.setp(CmpOp.LT, i, n)
+with b.if_(in_range):
+    x = b.ld_global(b.add(x_ptr, i))
+    y = b.ld_global(b.add(y_ptr, i))            # y is read...
+    b.st_global(b.add(y_ptr, i), b.mad(a, x, y))  # ...and overwritten: WAR!
+kernel = b.build()
+
+
+def fresh_memory():
+    mem = np.zeros(2 * N)
+    mem[:N] = np.arange(N) / 7.0
+    mem[N:] = 1.0
+    return mem
+
+
+def run(scheme_name):
+    compiled = compile_kernel(kernel, scheme_name)
+    runtime = (FlameRuntime(wcdl=20)
+               if compiled.scheme.uses_sensor_runtime else None)
+    gpu = Gpu(GTX480, resilience=runtime) if runtime else Gpu(GTX480)
+    mem = fresh_memory()
+    launch = LaunchConfig(grid=(N // 128, 1), block=(128, 1),
+                          params=(N, 2.0, 0, N))
+    result = gpu.launch(compiled.kernel, launch, mem,
+                        regs_per_thread=compiled.regs_per_thread)
+    return compiled, result, mem
+
+
+def main():
+    expected = 2.0 * (np.arange(N) / 7.0) + 1.0
+
+    base_compiled, base, base_mem = run("baseline")
+    flame_compiled, flame, flame_mem = run("flame")
+
+    assert np.allclose(base_mem[N:], expected)
+    assert np.allclose(flame_mem[N:], expected)
+
+    print("kernel: y[i] = a*x[i] + y[i]   (in-place update: a memory WAR)")
+    print(f"  baseline : {base.cycles:6d} cycles, "
+          f"{base.stats.instructions} instructions")
+    print(f"  flame    : {flame.cycles:6d} cycles, "
+          f"{flame.stats.instructions} instructions, "
+          f"{flame_compiled.regions.boundaries} region boundaries, "
+          f"avg region {flame.stats.avg_region_size:.1f} insts")
+    overhead = 100.0 * (flame.cycles / base.cycles - 1.0)
+    print(f"  overhead : {overhead:+.2f}%  "
+          "(WCDL-aware scheduling hides the 20-cycle verification delay)")
+    print("  both runs produce the exact expected output.")
+
+
+if __name__ == "__main__":
+    main()

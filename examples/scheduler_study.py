@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Sensitivity study: Flame's overhead vs WCDL and warp scheduler.
+
+Reproduces the shape of the paper's Figures 17 and 18 on a three-
+benchmark subset: the overhead grows with the sensors' worst-case
+detection latency, and stays low for all four warp schedulers because
+each one hides verification behind other ready warps.
+
+Run:  python examples/scheduler_study.py
+"""
+
+from repro.harness import Runner, RunSpec, geomean, normalized_time
+
+BENCHES = ("SGEMM", "LBM", "Triad")
+SCALE = "tiny"
+
+
+def main():
+    runner = Runner(workers=1)
+
+    print("Flame overhead vs WCDL (Figure 17 shape)")
+    print(f"{'WCDL':>6} {'normalized time':>16}")
+    for wcdl in (10, 20, 30, 40, 50):
+        ratios = [normalized_time(runner,
+                                  RunSpec(workload=bench, scheme="flame",
+                                          scale=SCALE, wcdl=wcdl))
+                  for bench in BENCHES]
+        gm = geomean(ratios)
+        print(f"{wcdl:>6} {gm:>16.4f}   ({100 * (gm - 1):+.2f}%)")
+
+    print("\nFlame overhead per warp scheduler (Figure 18 shape)")
+    print(f"{'sched':>6} {'normalized time':>16}")
+    for scheduler in ("GTO", "OLD", "LRR", "2LV"):
+        ratios = [normalized_time(runner,
+                                  RunSpec(workload=bench, scheme="flame",
+                                          scale=SCALE, scheduler=scheduler))
+                  for bench in BENCHES]
+        gm = geomean(ratios)
+        print(f"{scheduler:>6} {gm:>16.4f}   ({100 * (gm - 1):+.2f}%)")
+
+    print("\n(each scheme normalized to a no-resilience baseline using "
+          "the same scheduler)")
+
+
+if __name__ == "__main__":
+    main()

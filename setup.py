@@ -1,0 +1,5 @@
+"""Legacy setup shim: lets `pip install -e .` work without the `wheel`
+package in offline environments (PEP 660 editable builds need bdist_wheel)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,41 @@
+"""Flame reproduction: featherweight soft error resilience for GPUs.
+
+A full Python reproduction of *"Featherweight Soft Error Resilience for
+GPUs"* (MICRO 2022): a cycle-level SIMT GPU simulator, the Flame
+compiler (idempotent region formation, anti-dependent register renaming,
+live-out checkpointing, SwapCodes duplication, tail-DMR), the Flame
+hardware model (acoustic sensor meshes, RBQ verification conveyor, RPT,
+WCDL-aware warp scheduling, all-warp rollback recovery), the 34 Table-I
+benchmarks, fault injection, and a harness regenerating every table and
+figure of the paper's evaluation.
+
+Quick start::
+
+    from repro import quick_run
+    outcome = quick_run("SGEMM", scheme="flame")
+    print(outcome.cycles)
+"""
+
+from . import arch, compiler, core, harness, isa, sim, workloads
+from .errors import (AsmError, CompileError, ConfigError, IsaError,
+                     LaunchError, ReproError, SimError)
+from .harness import RunOutcome, Runner, RunSpec
+
+__version__ = "1.0.0"
+
+
+def quick_run(workload: str, scheme: str = "flame", scale: str = "tiny",
+              gpu: str = "GTX480", scheduler: str = "GTO",
+              wcdl: int = 20) -> RunOutcome:
+    """Compile and simulate one benchmark under one resilience scheme."""
+    from .harness.runner import execute
+
+    return execute(RunSpec(workload=workload, scheme=scheme, scale=scale,
+                           gpu=gpu, scheduler=scheduler, wcdl=wcdl))
+
+
+__all__ = [
+    "AsmError", "CompileError", "ConfigError", "IsaError", "LaunchError",
+    "ReproError", "RunOutcome", "Runner", "RunSpec", "SimError", "arch",
+    "compiler", "core", "harness", "isa", "quick_run", "sim", "workloads",
+]

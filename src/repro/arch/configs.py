@@ -1,0 +1,144 @@
+"""GPU architecture configurations.
+
+The four architectures evaluated in the paper (GTX480 default, plus
+TITAN X, GV100, RTX2060 for the Figure 19 sensitivity study).  Latency
+and sizing values follow GPGPU-Sim v4.0's Fermi model, scaled per
+architecture; ``sm_logic_area_mm2`` is the pipeline-logic area covered
+by the acoustic sensor mesh (GTX480's 17.5 mm^2 is from the paper
+Section VI-A1, the others are derived from Table II — see
+`repro.arch.sensors`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """A set-associative cache with 128-byte (32-word) lines."""
+
+    num_sets: int
+    assoc: int
+    line_words: int = 32
+
+    @property
+    def size_words(self) -> int:
+        return self.num_sets * self.assoc * self.line_words
+
+
+@dataclass(frozen=True)
+class GpuConfig:
+    """Everything the simulator and sensor model need about one GPU."""
+
+    name: str
+    core_freq_mhz: float
+    num_sms: int
+    sm_logic_area_mm2: float
+    max_warps_per_sm: int = 48
+    max_blocks_per_sm: int = 8
+    warp_size: int = 32
+    num_schedulers: int = 2
+    regfile_words_per_sm: int = 32768
+    shared_words_per_sm: int = 12288
+    # Instruction latencies (cycles until the result is usable).
+    alu_latency: int = 4
+    mul_latency: int = 6
+    sfu_latency: int = 16
+    shared_latency: int = 24
+    l1_latency: int = 30
+    l2_latency: int = 160
+    dram_latency: int = 380
+    atomic_latency: int = 60
+    l1 : CacheConfig = field(default_factory=lambda: CacheConfig(32, 4))
+    l2 : CacheConfig = field(default_factory=lambda: CacheConfig(768, 8))
+    # Number of SMs actually instantiated by the simulator.  Relative
+    # overheads are per-SM phenomena, so simulating a subset is enough;
+    # block dispatch spreads the grid over the simulated SMs.
+    sim_sms: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_warps_per_sm % self.num_schedulers:
+            raise ConfigError("warps must split evenly across schedulers")
+        if self.sim_sms < 1:
+            raise ConfigError("must simulate at least one SM")
+
+    @property
+    def warps_per_scheduler(self) -> int:
+        return self.max_warps_per_sm // self.num_schedulers
+
+    def scaled(self, **changes) -> "GpuConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+GTX480 = GpuConfig(
+    name="GTX480",
+    core_freq_mhz=700.0,
+    num_sms=16,
+    sm_logic_area_mm2=17.5,
+    # The paper's Section VI-A2 model: 64 active warps per SM, two warp
+    # schedulers of 32 warps each (hence 5+1-bit RBQ entries and a
+    # 32x32-bit RPT per scheduler).
+    max_warps_per_sm=64,
+    num_schedulers=2,
+    regfile_words_per_sm=32768,
+)
+
+TITAN_X = GpuConfig(
+    name="TITAN X",
+    core_freq_mhz=1000.0,
+    num_sms=24,
+    sm_logic_area_mm2=13.67,
+    max_warps_per_sm=64,
+    num_schedulers=4,
+    regfile_words_per_sm=65536,
+    alu_latency=4,
+    l2_latency=190,
+    dram_latency=350,
+)
+
+GV100 = GpuConfig(
+    name="GV100",
+    core_freq_mhz=1136.0,
+    num_sms=80,
+    sm_logic_area_mm2=5.61,
+    max_warps_per_sm=64,
+    num_schedulers=4,
+    regfile_words_per_sm=65536,
+    alu_latency=4,
+    sfu_latency=14,
+    l2_latency=200,
+    dram_latency=330,
+)
+
+RTX2060 = GpuConfig(
+    name="RTX2060",
+    core_freq_mhz=1365.0,
+    num_sms=30,
+    sm_logic_area_mm2=8.36,
+    max_warps_per_sm=32,
+    num_schedulers=4,
+    regfile_words_per_sm=65536,
+    alu_latency=4,
+    sfu_latency=14,
+    l2_latency=210,
+    dram_latency=315,
+)
+
+#: All architectures of the Figure 19 / Table II studies, paper order.
+ALL_GPUS: dict[str, GpuConfig] = {
+    cfg.name: cfg for cfg in (GTX480, RTX2060, GV100, TITAN_X)
+}
+
+
+def gpu_by_name(name: str) -> GpuConfig:
+    """Look up one of the four evaluated architectures by name."""
+    try:
+        return ALL_GPUS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown GPU {name!r}; choose from {sorted(ALL_GPUS)}"
+        ) from None

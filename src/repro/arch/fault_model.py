@@ -1,0 +1,101 @@
+"""Radiation fault model and the Section IV resilience arithmetic.
+
+The paper's field-study numbers (Tiwari et al.): a supercomputer GPU
+fails 0.5 times/day *after* bit-masking; typical GPU applications mask
+63.5% of raw strikes (Li & Pattabiraman).  Raw strike rate is therefore
+0.5 / (1 - masking) ~= 1.37/day, of which masked strikes reported by a
+weak-strike-sensitive sensor are false positives.
+
+Note: the paper's own prose uses 0.685 in the two derived expressions
+(getting 1.37 and 0.93) while quoting the masking rate as 63.5%; we use
+the stated 63.5% consistently, which reproduces 1.37 raw errors/day and
+yields 0.87 false positives/day (the paper's 0.93 follows its internal
+0.685 figure).  Both support the same conclusion: ~1 spurious recovery
+per day, each costing one re-executed region.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from .configs import GpuConfig
+
+SECONDS_PER_DAY = 86400.0
+
+
+@dataclass(frozen=True)
+class FaultRates:
+    """Failure-rate parameters of the Section IV analysis."""
+
+    post_masking_errors_per_day: float = 0.5
+    masking_rate: float = 0.635
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.masking_rate < 1.0:
+            raise ConfigError("masking rate must be in [0, 1)")
+        if self.post_masking_errors_per_day < 0:
+            raise ConfigError("error rate cannot be negative")
+
+    @property
+    def raw_strikes_per_day(self) -> float:
+        """Particle strikes causing bit flips, before masking (~1.37/day)."""
+        return self.post_masking_errors_per_day / (1.0 - self.masking_rate)
+
+    @property
+    def false_positives_per_day(self) -> float:
+        """Sensor detections of strikes that would have been masked."""
+        return self.raw_strikes_per_day * self.masking_rate
+
+    def strikes_per_cycle(self, gpu: GpuConfig) -> float:
+        """Poisson rate of raw strikes per GPU core cycle."""
+        cycles_per_day = gpu.core_freq_mhz * 1e6 * SECONDS_PER_DAY
+        return self.raw_strikes_per_day / cycles_per_day
+
+    def recovery_overhead_fraction(self, gpu: GpuConfig,
+                                   avg_region_instructions: float,
+                                   cpi: float = 1.0) -> float:
+        """Fraction of machine time spent re-executing regions after
+        detections (true errors plus false positives).
+
+        Every detection rolls all warps of one SM back by at most one
+        region; the cost is bounded by one region re-execution.
+        """
+        detections_per_day = self.raw_strikes_per_day
+        cycles_lost = detections_per_day * avg_region_instructions * cpi
+        cycles_per_day = gpu.core_freq_mhz * 1e6 * SECONDS_PER_DAY
+        return cycles_lost / cycles_per_day
+
+
+def sample_strike_cycles(rate_per_cycle: float, horizon_cycles: int,
+                         rng: np.random.Generator) -> list[int]:
+    """Sample Poisson strike arrival cycles over a simulation horizon."""
+    if rate_per_cycle < 0:
+        raise ConfigError("strike rate cannot be negative")
+    if rate_per_cycle == 0 or horizon_cycles <= 0:
+        return []
+    arrivals: list[int] = []
+    t = 0.0
+    while True:
+        t += rng.exponential(1.0 / rate_per_cycle)
+        if t >= horizon_cycles:
+            return arrivals
+        arrivals.append(int(math.floor(t)))
+
+
+def section4_report(rates: FaultRates | None = None,
+                    avg_region_instructions: float = 50.23) -> dict[str, float]:
+    """The Section IV arithmetic as a dict (used by the harness)."""
+    rates = rates or FaultRates()
+    return {
+        "post_masking_errors_per_day": rates.post_masking_errors_per_day,
+        "masking_rate": rates.masking_rate,
+        "raw_strikes_per_day": rates.raw_strikes_per_day,
+        "false_positives_per_day": rates.false_positives_per_day,
+        "avg_region_instructions": avg_region_instructions,
+        "instructions_reexecuted_per_day":
+            rates.raw_strikes_per_day * avg_region_instructions,
+    }

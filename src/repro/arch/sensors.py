@@ -1,0 +1,97 @@
+"""Acoustic sensor mesh model: WCDL as a function of sensor deployment.
+
+A particle strike emits a sound wave travelling ~10 km/s (= 10 mm/us) in
+silicon; a mesh of n sensors over the SM's logic area A detects any
+strike within the time the wave needs to reach the nearest sensor, plus
+mesh arbitration.  The paper quotes three operating points for GTX480
+(50 sensors -> ~50 cycles, 200 -> 20, 300 -> 15, Section VI-A1) which
+fit a power law
+
+    WCDL_cycles = C * (A / n)^alpha * f_core
+
+with alpha = 0.7 (between the sqrt law of an ideal 2-D mesh and the
+linear law of a chain topology) and C calibrated so that GTX480 with
+200 sensors/SM gives exactly the paper's default 20-cycle WCDL.  The
+per-architecture logic areas in `repro.arch.configs` are chosen so the
+inverse of this law reproduces Table II's sensors-per-SM column.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from .configs import GpuConfig
+
+#: Sound-wave propagation speed in silicon, mm per microsecond (paper II-A).
+SOUND_SPEED_MM_PER_US = 10.0
+
+#: Power-law exponent fitted to the paper's quoted (sensors, WCDL) points.
+MESH_EXPONENT = 0.7
+
+#: Mesh-topology constant calibrated on GTX480 @ 200 sensors -> 20 cycles.
+MESH_CONSTANT = 20.0 / (700.0 * (17.5 / 200.0) ** MESH_EXPONENT)
+
+#: Area of a single cantilever-beam sensor, mm^2 (one square micron).
+SENSOR_AREA_MM2 = 1e-6
+
+#: Interconnect mesh multiplier: a 200-sensor mesh occupies well under
+#: 0.01 mm^2 including routing (Section VI-A1).
+MESH_WIRING_FACTOR = 30.0
+
+
+@dataclass(frozen=True)
+class SensorMesh:
+    """A deployed acoustic sensor mesh on one SM."""
+
+    gpu: GpuConfig
+    sensors_per_sm: int
+
+    def __post_init__(self) -> None:
+        if self.sensors_per_sm < 1:
+            raise ConfigError("a sensor mesh needs at least one sensor")
+
+    @property
+    def wcdl_cycles(self) -> int:
+        """Worst-case detection latency in core cycles."""
+        return wcdl_for_sensors(self.gpu, self.sensors_per_sm)
+
+    @property
+    def area_mm2(self) -> float:
+        """Total silicon area of sensors plus interconnect."""
+        return self.sensors_per_sm * SENSOR_AREA_MM2 * MESH_WIRING_FACTOR
+
+    @property
+    def area_overhead(self) -> float:
+        """Mesh area as a fraction of the covered SM logic area."""
+        return self.area_mm2 / self.gpu.sm_logic_area_mm2
+
+
+def wcdl_for_sensors(gpu: GpuConfig, sensors_per_sm: int) -> int:
+    """WCDL (cycles) for a given sensor count on one SM of ``gpu``."""
+    if sensors_per_sm < 1:
+        raise ConfigError("sensor count must be positive")
+    per_sensor_area = gpu.sm_logic_area_mm2 / sensors_per_sm
+    cycles = MESH_CONSTANT * per_sensor_area ** MESH_EXPONENT * gpu.core_freq_mhz
+    return max(1, math.ceil(cycles - 1e-9))
+
+
+def sensors_for_wcdl(gpu: GpuConfig, wcdl_cycles: int) -> int:
+    """Minimum sensors per SM achieving at most ``wcdl_cycles`` WCDL."""
+    if wcdl_cycles < 1:
+        raise ConfigError("WCDL must be at least one cycle")
+    per_sensor_area = (
+        wcdl_cycles / (MESH_CONSTANT * gpu.core_freq_mhz)
+    ) ** (1.0 / MESH_EXPONENT)
+    count = math.ceil(gpu.sm_logic_area_mm2 / per_sensor_area)
+    # Ceil twice (area then count) can overshoot by one; take the smallest
+    # count whose WCDL still meets the target.
+    while count > 1 and wcdl_for_sensors(gpu, count - 1) <= wcdl_cycles:
+        count -= 1
+    return max(1, count)
+
+
+def wcdl_curve(gpu: GpuConfig, sensor_counts: list[int]) -> list[int]:
+    """The Figure 12 series: WCDL for each sensor count."""
+    return [wcdl_for_sensors(gpu, n) for n in sensor_counts]

@@ -1,0 +1,211 @@
+"""Anti-dependence (WAR) analysis over idempotent-region candidates.
+
+One scan pass walks the kernel in reverse post-order, carrying a region
+state (memory reads/writes since the last boundary, register versions,
+registers read/written) across single-predecessor block edges.  It
+reports:
+
+* memory WAR violations — stores that may alias a location read earlier
+  in the same region without an earlier covering write (the WARAW
+  exception, Section II-C) -> these become region boundary cuts;
+* register/predicate WAR violations -> these are fixed by renaming
+  (Figure 3a) or circumvented by checkpointing (Figure 3b).
+
+Aliasing uses (a) pointer provenance — addresses derived from different
+kernel pointer parameters reference disjoint allocations — and (b)
+base+offset reasoning: same base register version with different
+constant offsets cannot alias.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa import Cfg, Instruction, Kernel, Op, Pred, Reg, Space
+from .dataflow import BOTTOM, ParamOrigin, Provenance
+
+#: Cap on tracked locations per region; beyond it the analysis cuts,
+#: which is always sound (hardware RBQ pressure grows, correctness kept).
+MAX_TRACKED_LOCS = 256
+
+
+@dataclass(frozen=True)
+class MemLoc:
+    """An abstract memory location: space + provenance + base reg version
+    + constant offset."""
+
+    space: Space
+    prov: ParamOrigin | None
+    base: Reg
+    version: int
+    offset: int
+
+    def may_alias(self, other: "MemLoc") -> bool:
+        if self.space is not other.space:
+            return False
+        if (self.prov is not None and other.prov is not None
+                and self.prov != other.prov):
+            return False
+        if self.base == other.base and self.version == other.version:
+            return self.offset == other.offset
+        return True
+
+    def same_location(self, other: "MemLoc") -> bool:
+        """Provably the exact same address (for WARAW covering)."""
+        return (self.space is other.space and self.base == other.base
+                and self.version == other.version
+                and self.offset == other.offset)
+
+
+@dataclass
+class RegionState:
+    """Accumulated reads/writes since the current region's start."""
+
+    mem_reads: list[MemLoc] = field(default_factory=list)
+    mem_writes: list[MemLoc] = field(default_factory=list)
+    reg_reads: set = field(default_factory=set)
+    reg_writes: set = field(default_factory=set)
+    versions: dict[Reg, int] = field(default_factory=dict)
+
+    def reset(self) -> None:
+        self.mem_reads.clear()
+        self.mem_writes.clear()
+        self.reg_reads.clear()
+        self.reg_writes.clear()
+
+    def copy(self) -> "RegionState":
+        state = RegionState()
+        state.mem_reads = list(self.mem_reads)
+        state.mem_writes = list(self.mem_writes)
+        state.reg_reads = set(self.reg_reads)
+        state.reg_writes = set(self.reg_writes)
+        state.versions = dict(self.versions)
+        return state
+
+
+@dataclass
+class ScanResult:
+    """Violations found by one analysis pass."""
+
+    mem_cuts: list[int] = field(default_factory=list)
+    reg_wars: list[tuple[int, object]] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.mem_cuts and not self.reg_wars
+
+
+def structural_boundaries(cfg: Cfg) -> set[int]:
+    """Instruction indices needing a boundary for structural reasons:
+    control-flow merge points and loop headers (so no dynamic region
+    wraps around a back edge or joins differing histories)."""
+    points = set()
+    for b in cfg.merge_blocks() | cfg.loop_headers():
+        points.add(cfg.blocks[b].start)
+    return points
+
+
+def scan_kernel(kernel: Kernel, cfg: Cfg | None = None,
+                prov: Provenance | None = None,
+                use_provenance: bool = True) -> ScanResult:
+    """One WAR-analysis pass.  RB instructions already present in the
+    kernel act as region resets; the result lists the *additional*
+    cuts/renames needed.
+
+    ``use_provenance=False`` disables pointer-provenance disambiguation
+    (every cross-base access pair may alias) — the ablation knob that
+    quantifies how much the provenance analysis buys.
+    """
+    cfg = cfg or Cfg(kernel)
+    prov = prov or Provenance(cfg)
+    result = ScanResult()
+    block_exit_state: dict[int, RegionState] = {}
+    prov_state_cache: dict[int, dict] = {}
+
+    for b in cfg.rpo():
+        block = cfg.blocks[b]
+        preds = block.preds
+        inherit = (len(preds) == 1 and preds[0] in block_exit_state
+                   and b != 0)
+        state = block_exit_state[preds[0]].copy() if inherit else RegionState()
+        prov_state = dict(prov.block_in[b]) if use_provenance else {}
+        prov_state_cache[b] = prov_state
+        for i in range(block.start, block.end):
+            inst = kernel.instructions[i]
+            _scan_instruction(kernel, inst, i, state, prov_state, result,
+                              use_provenance)
+        block_exit_state[b] = state
+    return result
+
+
+def _loc_for(inst: Instruction, state: RegionState,
+             prov_state: dict) -> MemLoc | None:
+    base = inst.srcs[0]
+    if not isinstance(base, Reg):
+        return None
+    origin = prov_state.get(base, BOTTOM)
+    prov_origin = origin if isinstance(origin, ParamOrigin) else None
+    return MemLoc(space=inst.space, prov=prov_origin, base=base,
+                  version=state.versions.get(base, 0), offset=inst.offset)
+
+
+def _scan_instruction(kernel: Kernel, inst: Instruction, index: int,
+                      state: RegionState, prov_state: dict,
+                      result: ScanResult, use_provenance: bool = True) -> None:
+    op = inst.op
+    if op is Op.RB:
+        state.reset()
+        return
+    if op in (Op.BRA, Op.EXIT):
+        return
+    if op is Op.BAR:
+        # An un-cut barrier (extension optimization): execution continues
+        # in the same region; nothing to track.
+        if use_provenance:
+            Provenance.transfer_inst(inst, prov_state)
+        return
+
+    info = inst.info
+    if info.is_load and inst.space is not Space.PARAM:
+        loc = _loc_for(inst, state, prov_state)
+        if loc is not None and len(state.mem_reads) < MAX_TRACKED_LOCS:
+            state.mem_reads.append(loc)
+    elif info.is_store or info.is_atomic:
+        loc = _loc_for(inst, state, prov_state)
+        covered = loc is not None and inst.guard is None and any(
+            loc.same_location(w) for w in state.mem_writes)
+        if not covered:
+            hazard = loc is None or any(
+                loc.may_alias(r) for r in state.mem_reads)
+            if hazard and index not in result.mem_cuts:
+                result.mem_cuts.append(index)
+                state.reset()
+        # Only an unguarded store fully covers its location for the
+        # WARAW exception; a predicated store may not execute.
+        if (loc is not None and inst.guard is None
+                and len(state.mem_writes) < MAX_TRACKED_LOCS):
+            state.mem_writes.append(loc)
+        if info.is_atomic:
+            # The atomic also reads its location.
+            if loc is not None and len(state.mem_reads) < MAX_TRACKED_LOCS:
+                state.mem_reads.append(loc)
+
+    # Register/predicate WARs.  A guarded write is a partial definition:
+    # it destroys the region input in true lanes (so it is a WAR if the
+    # register was read) but also *keeps reading* the old value in false
+    # lanes, so it never covers later writes.
+    reads = list(inst.read_regs()) + list(inst.read_preds())
+    dst = inst.dst
+    for var in reads:
+        state.reg_reads.add(var)
+    if dst is not None:
+        if dst in state.reg_reads and dst not in state.reg_writes:
+            result.reg_wars.append((index, dst))
+        if inst.guard is None:
+            state.reg_writes.add(dst)
+        else:
+            state.reg_reads.add(dst)
+        if isinstance(dst, Reg):
+            state.versions[dst] = state.versions.get(dst, 0) + 1
+    if use_provenance:
+        Provenance.transfer_inst(inst, prov_state)

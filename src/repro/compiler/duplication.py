@@ -1,0 +1,103 @@
+"""SwapCodes-style instruction duplication (Section V-B1).
+
+Every duplicable value-producing instruction (ALU/MUL/SFU/compare/select)
+gets a replica writing a *shadow* register; replicas read shadow copies
+of their sources where those exist, forming an independent redundant
+dataflow.  SwapCodes checks originals against replicas through the
+register file's ECC logic, so no explicit compare instructions are
+emitted — the overhead is purely the replicated issue slots and the
+shadow register pressure, which is exactly what we model.
+
+Loads and stores are not duplicated (memory is ECC-protected); control
+instructions are not duplicated (the SIMT front end is covered by the
+replicated predicate computations feeding it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..isa import Instruction, Kernel, Pred, Reg
+
+
+@dataclass
+class DuplicationResult:
+    """Outcome of a duplication pass."""
+
+    kernel: Kernel
+    duplicated: int = 0
+    shadow_regs: int = 0
+    shadow_preds: int = 0
+
+
+def duplicate_instructions(
+    kernel: Kernel,
+    should_duplicate: Callable[[int, Instruction], bool] | None = None,
+) -> DuplicationResult:
+    """Insert a shadow replica after each selected instruction.
+
+    ``should_duplicate(index, inst)`` filters which (duplicable)
+    instructions are replicated; the default replicates all of them
+    (full SwapCodes).  Tail-DMR passes a region-tail filter.
+    """
+    reg_base = kernel.num_regs
+    pred_base = kernel.num_preds
+    shadowed_regs: set[Reg] = set()
+    shadowed_preds: set[Pred] = set()
+    selected: list[int] = []
+    for i, inst in enumerate(kernel.instructions):
+        if not inst.info.duplicable or inst.shadow or inst.ckpt:
+            continue
+        if should_duplicate is not None and not should_duplicate(i, inst):
+            continue
+        selected.append(i)
+        if isinstance(inst.dst, Reg):
+            shadowed_regs.add(inst.dst)
+        elif isinstance(inst.dst, Pred):
+            shadowed_preds.add(inst.dst)
+
+    if not selected:
+        return DuplicationResult(kernel=kernel.clone())
+
+    def shadow(operand):
+        if isinstance(operand, Reg) and operand in shadowed_regs:
+            return Reg(operand.index + reg_base)
+        if isinstance(operand, Pred) and operand in shadowed_preds:
+            return Pred(operand.index + pred_base)
+        return operand
+
+    selected_set = set(selected)
+    new_instructions: list[Instruction] = []
+    offsets: list[int] = []
+    inserted = 0
+    for i, inst in enumerate(kernel.instructions):
+        offsets.append(inserted)
+        new_instructions.append(inst)
+        if i in selected_set:
+            replica = inst.with_(
+                dst=shadow(inst.dst),
+                srcs=tuple(shadow(s) for s in inst.srcs),
+                guard=shadow(inst.guard) if inst.guard is not None else None,
+                shadow=True,
+            )
+            new_instructions.append(replica)
+            inserted += 1
+    offsets.append(inserted)
+
+    new_labels = {name: index + offsets[min(index, len(offsets) - 1)]
+                  for name, index in kernel.labels.items()}
+    duplicated = Kernel(
+        name=kernel.name,
+        instructions=new_instructions,
+        labels=new_labels,
+        num_params=kernel.num_params,
+        shared_words=kernel.shared_words,
+    )
+    duplicated.validate()
+    return DuplicationResult(
+        kernel=duplicated,
+        duplicated=len(selected),
+        shadow_regs=len(shadowed_regs),
+        shadow_preds=len(shadowed_preds),
+    )

@@ -1,0 +1,89 @@
+"""Kernel editing utilities: inserting instructions with label remapping."""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from ..isa import Instruction, Kernel
+
+
+def insert_instructions(kernel: Kernel,
+                        insertions: dict[int, list[Instruction]],
+                        capture_labels: bool = True) -> Kernel:
+    """Return a new kernel with instruction lists inserted *before* the
+    given indices.
+
+    With ``capture_labels=True`` (default), labels pointing at an
+    insertion index move to the first inserted instruction, so branches
+    targeting that point (e.g. loop back edges) execute the inserted
+    code — what region boundaries and checkpoint stores need.  With
+    ``capture_labels=False`` labels keep pointing at the original
+    instruction, so branch targets skip the insertion — what fix-up code
+    tied to the *preceding* instruction needs.
+    """
+    if not insertions:
+        return kernel.clone()
+    points = sorted(insertions)
+    shift_at: list[int] = []
+    total = 0
+    shifts: list[int] = []
+    for point in points:
+        shift_at.append(point)
+        shifts.append(total)
+        total += len(insertions[point])
+
+    def remap(index: int) -> int:
+        pos = bisect_right(shift_at, index)
+        if pos == 0:
+            return index
+        if shift_at[pos - 1] == index and capture_labels:
+            # Label at the insertion point moves with the insertion start.
+            return index + shifts[pos - 1]
+        base = shifts[pos - 1] + len(insertions[shift_at[pos - 1]])
+        return index + base
+
+    new_instructions: list[Instruction] = []
+    for i, inst in enumerate(kernel.instructions):
+        for extra in insertions.get(i, ()):
+            new_instructions.append(extra)
+        new_instructions.append(inst)
+    for extra in insertions.get(len(kernel.instructions), ()):
+        new_instructions.append(extra)
+    new_labels = {name: remap(index) for name, index in kernel.labels.items()}
+    return Kernel(
+        name=kernel.name,
+        instructions=new_instructions,
+        labels=new_labels,
+        num_params=kernel.num_params,
+        shared_words=kernel.shared_words,
+    )
+
+
+def remove_instructions(kernel: Kernel, indices: set[int]) -> Kernel:
+    """Return a new kernel with the given instruction indices removed.
+
+    Labels pointing at a removed instruction move to the next surviving
+    one.  Only side-effect-free instructions (e.g. redundant RB markers)
+    should be removed.
+    """
+    if not indices:
+        return kernel.clone()
+    ordered = sorted(indices)
+    new_instructions = [inst for i, inst in enumerate(kernel.instructions)
+                        if i not in indices]
+
+    def remap(index: int) -> int:
+        removed_before = bisect_right(ordered, index - 1)
+        while index in indices:
+            index += 1  # label slides to the next surviving instruction
+            removed_before += 1
+        return index - removed_before
+
+    new_labels = {name: remap(i) for name, i in kernel.labels.items()}
+    return Kernel(
+        name=kernel.name,
+        instructions=new_instructions,
+        labels=new_labels,
+        num_params=kernel.num_params,
+        shared_words=kernel.shared_words,
+    )

@@ -1,0 +1,109 @@
+"""Register allocation on the virtual ISA.
+
+The paper's toolchain performs register allocation at the PTX level as a
+proxy for the machine binary (Section V-A); we do the same.  The
+KernelBuilder hands out a fresh virtual register per expression, so this
+pass maps them onto a compact physical set via interference-graph
+coloring.  It runs *before* region formation: the register
+anti-dependences Flame must fix (Figure 2b) are precisely the WARs this
+reuse introduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from ..errors import CompileError
+from ..isa import Cfg, Instruction, Kernel, Pred, Reg
+from .dataflow import Liveness
+
+
+@dataclass
+class AllocationResult:
+    """Outcome of register allocation."""
+
+    kernel: Kernel
+    num_regs: int
+    num_preds: int
+    reg_map: dict[Reg, Reg]
+    pred_map: dict[Pred, Pred]
+
+
+def _interference(cfg: Cfg, liveness: Liveness, kind) -> nx.Graph:
+    graph = nx.Graph()
+    kernel = cfg.kernel
+    for block in cfg.blocks:
+        live = {v for v in liveness.live_out[block.index]
+                if isinstance(v, kind)}
+        graph.add_nodes_from(live)
+        for i in range(block.end - 1, block.start - 1, -1):
+            inst = kernel.instructions[i]
+            dst = inst.dst if isinstance(inst.dst, kind) else None
+            if dst is not None:
+                graph.add_node(dst)
+                for other in live:
+                    if other != dst:
+                        graph.add_edge(dst, other)
+                if inst.guard is None:
+                    live.discard(dst)
+                else:
+                    live.add(dst)  # partial def: old value still needed
+            for var in list(inst.read_regs()) + list(inst.read_preds()):
+                if isinstance(var, kind):
+                    graph.add_node(var)
+                    live.add(var)
+    return graph
+
+
+def allocate_registers(kernel: Kernel) -> AllocationResult:
+    """Color the virtual registers and rewrite the kernel.
+
+    Returns a kernel whose register indices are compact physical numbers;
+    the count feeds the occupancy model.
+    """
+    cfg = Cfg(kernel)
+    liveness = Liveness(cfg)
+    reg_graph = _interference(cfg, liveness, Reg)
+    pred_graph = _interference(cfg, liveness, Pred)
+    reg_colors = nx.coloring.greedy_color(reg_graph, strategy="largest_first")
+    pred_colors = nx.coloring.greedy_color(pred_graph, strategy="largest_first")
+    reg_map = {reg: Reg(color) for reg, color in reg_colors.items()}
+    pred_map = {pred: Pred(color) for pred, color in pred_colors.items()}
+
+    def rewrite_operand(operand):
+        if isinstance(operand, Reg):
+            return reg_map.get(operand, operand)
+        if isinstance(operand, Pred):
+            return pred_map.get(operand, operand)
+        return operand
+
+    new_instructions: list[Instruction] = []
+    for inst in kernel.instructions:
+        changes = {}
+        if inst.dst is not None:
+            changes["dst"] = rewrite_operand(inst.dst)
+        if inst.srcs:
+            changes["srcs"] = tuple(rewrite_operand(s) for s in inst.srcs)
+        if inst.guard is not None:
+            changes["guard"] = rewrite_operand(inst.guard)
+        new_instructions.append(inst.with_(**changes) if changes else inst)
+    allocated = Kernel(
+        name=kernel.name,
+        instructions=new_instructions,
+        labels=dict(kernel.labels),
+        num_params=kernel.num_params,
+        shared_words=kernel.shared_words,
+    )
+    allocated.validate()
+    num_regs = max((r.index for r in reg_map.values()), default=-1) + 1
+    num_preds = max((p.index for p in pred_map.values()), default=-1) + 1
+    if num_regs > 255:
+        raise CompileError(
+            f"kernel {kernel.name!r} needs {num_regs} registers after "
+            "allocation — beyond any real per-thread budget"
+        )
+    return AllocationResult(kernel=allocated, num_regs=num_regs,
+                            num_preds=num_preds, reg_map=reg_map,
+                            pred_map=pred_map)

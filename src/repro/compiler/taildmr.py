@@ -1,0 +1,48 @@
+"""Tail-DMR hybrid detection (Section V-B2, Figure 11).
+
+Each idempotent region's *tail* — the last instructions whose duplicated
+execution time covers the sensors' WCDL — is protected by SwapCodes-style
+instruction duplication; the head relies on the acoustic sensors.  Any
+error is then guaranteed to be detected before the region ends, so no
+verification wait is needed between regions (the runtime is the plain
+scheduler), at the cost of duplicating roughly WCDL-worth of work per
+region.
+"""
+
+from __future__ import annotations
+
+from ..isa import Instruction, Kernel, Op
+from .duplication import DuplicationResult, duplicate_instructions
+
+
+def tail_indices(kernel: Kernel, wcdl: int) -> set[int]:
+    """Instruction indices in some region tail.
+
+    For every region end (an RB marker or an EXIT), the preceding
+    ``wcdl`` duplicable instructions of the same basic-block run are
+    marked — each replica adds about one issue cycle, so the duplicated
+    tail spans at least WCDL cycles of execution (or the whole region,
+    if shorter).
+    """
+    ends = [i for i, inst in enumerate(kernel.instructions)
+            if inst.op in (Op.RB, Op.EXIT)]
+    marked: set[int] = set()
+    for end in ends:
+        budget = wcdl
+        i = end - 1
+        while i >= 0 and budget > 0:
+            inst = kernel.instructions[i]
+            if inst.op in (Op.RB, Op.BAR) or inst.info.is_branch:
+                break  # stop at region/block seams
+            if inst.info.duplicable:
+                marked.add(i)
+                budget -= 1
+            i -= 1
+    return marked
+
+
+def apply_tail_dmr(kernel: Kernel, wcdl: int) -> DuplicationResult:
+    """Duplicate every region tail so in-region detection covers WCDL."""
+    marked = tail_indices(kernel, wcdl)
+    return duplicate_instructions(
+        kernel, should_duplicate=lambda i, inst: i in marked)

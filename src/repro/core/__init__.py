@@ -1,0 +1,15 @@
+"""Flame's contribution: RBQ/RPT hardware, WCDL-aware warp scheduling,
+the recovery protocol, fault injection, and hardware-cost accounting.
+"""
+
+from .hwcost import HardwareCost, flame_hardware_cost
+from .injection import FaultInjector, InjectionRecord
+from .rbq import RbqEntry, RegionBoundaryQueue
+from .rpt import RecoveryPcTable
+from .runtime import FlameRuntime, FlameSmRuntime
+
+__all__ = [
+    "FaultInjector", "FlameRuntime", "FlameSmRuntime", "HardwareCost",
+    "InjectionRecord", "RbqEntry", "RecoveryPcTable", "RegionBoundaryQueue",
+    "flame_hardware_cost",
+]

@@ -1,0 +1,54 @@
+"""Hardware cost accounting (Section VI-A2).
+
+The paper's arithmetic for the default configuration (GTX480, two warp
+schedulers of 32 warps each, 20-cycle WCDL):
+
+* one RBQ entry = 5 bits of warp id + 1 valid bit = 6 bits;
+* RBQ = WCDL x 6 = 120 bits per scheduler;
+* RPT = 32 warps x 32-bit PC = 1024 bits per scheduler.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..arch import GpuConfig, GTX480, SensorMesh, sensors_for_wcdl
+
+
+@dataclass(frozen=True)
+class HardwareCost:
+    """Flame's added state for one GPU configuration."""
+
+    gpu_name: str
+    wcdl: int
+    warps_per_scheduler: int
+    rbq_entry_bits: int
+    rbq_bits: int
+    rpt_bits: int
+    sensors_per_sm: int
+    sensor_area_overhead: float
+
+    @property
+    def total_bits_per_scheduler(self) -> int:
+        return self.rbq_bits + self.rpt_bits
+
+
+def flame_hardware_cost(gpu: GpuConfig = GTX480, wcdl: int = 20,
+                        pc_bits: int = 32) -> HardwareCost:
+    """Compute the Section VI-A2 numbers for any configuration."""
+    warps = gpu.warps_per_scheduler
+    warp_id_bits = max(1, math.ceil(math.log2(warps)))
+    entry_bits = warp_id_bits + 1
+    sensors = sensors_for_wcdl(gpu, wcdl)
+    mesh = SensorMesh(gpu, sensors)
+    return HardwareCost(
+        gpu_name=gpu.name,
+        wcdl=wcdl,
+        warps_per_scheduler=warps,
+        rbq_entry_bits=entry_bits,
+        rbq_bits=wcdl * entry_bits,
+        rpt_bits=warps * pc_bits,
+        sensors_per_sm=sensors,
+        sensor_area_overhead=mesh.area_overhead,
+    )

@@ -1,0 +1,187 @@
+"""Cycle-accurate fault injection (the paper's fault model, Section III-B).
+
+A particle strike corrupts the in-flight destination register of a warp
+executing on the struck SM (the register file itself is ECC-protected,
+so errors enter through pipeline logic — i.e. through values being
+produced).  The acoustic sensors report the strike within a uniformly
+distributed delay of at most WCDL cycles; on detection the SM's Flame
+runtime performs all-warp rollback.
+
+Running the injector against a non-Flame GPU models an unprotected
+machine: the corruption lands and nothing recovers it (the SDC case the
+negative tests assert).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..sim import Gpu, Sm, WarpState
+
+
+@dataclass
+class InjectionRecord:
+    """One injected strike and its outcome."""
+
+    strike_cycle: int
+    detect_cycle: int
+    sm_id: int
+    warp_id: int | None = None
+    corrupted_reg: int | None = None
+    landed: bool = False
+    recovered: bool = False
+
+
+@dataclass
+class FaultInjector:
+    """Injects strikes at given cycles and drives sensor detection.
+
+    Attach via ``gpu.fault_injector = injector`` before launching.
+    ``wcdl`` bounds the sensing delay; detection delay is sampled
+    uniformly from [1, wcdl].
+    """
+
+    strike_cycles: list[int]
+    wcdl: int = 20
+    seed: int = 0
+    records: list[InjectionRecord] = field(default_factory=list)
+    _pending_detect: list[tuple[int, int]] = field(default_factory=list)
+    _next_strike: int = 0
+
+    def __post_init__(self) -> None:
+        if self.wcdl < 1:
+            raise ConfigError("WCDL must be at least one cycle")
+        self.strike_cycles = sorted(self.strike_cycles)
+        self._rng = np.random.default_rng(self.seed)
+        self._addr_cache: dict[int, set[int]] = {}
+
+    # ------------------------------------------------------------------
+    def tick(self, gpu: Gpu, cycle: int) -> None:
+        while (self._next_strike < len(self.strike_cycles)
+               and self.strike_cycles[self._next_strike] <= cycle):
+            self._strike(gpu, cycle)
+            self._next_strike += 1
+        if self._pending_detect:
+            due = [(c, s) for (c, s) in self._pending_detect if c <= cycle]
+            self._pending_detect = [(c, s) for (c, s) in self._pending_detect
+                                    if c > cycle]
+            for _, sm_id in due:
+                self._detect(gpu, sm_id, cycle)
+
+    def next_event(self, cycle: int) -> int:
+        candidates = []
+        if self._next_strike < len(self.strike_cycles):
+            candidates.append(max(self.strike_cycles[self._next_strike],
+                                  cycle + 1))
+        candidates.extend(c for c, _ in self._pending_detect)
+        return min(candidates) if candidates else 1 << 62
+
+    # ------------------------------------------------------------------
+    def _strike(self, gpu: Gpu, cycle: int) -> None:
+        sm = gpu.sms[int(self._rng.integers(len(gpu.sms)))]
+        record = InjectionRecord(strike_cycle=cycle,
+                                 detect_cycle=cycle
+                                 + int(self._rng.integers(1, self.wcdl + 1)),
+                                 sm_id=sm.id)
+        self.records.append(record)
+        victim = self._pick_victim(sm)
+        if victim is not None:
+            warp, reg = victim
+            record.warp_id = warp.id
+            record.corrupted_reg = reg
+            record.landed = True
+            lanes = warp.ctx.regs[reg]
+            garbage = self._rng.uniform(-1e9, 1e9, size=lanes.shape)
+            mask = warp.last_write_mask
+            if mask is None:
+                mask = np.ones(lanes.shape, dtype=bool)
+            np.copyto(lanes, garbage, where=mask)
+        # The sensor hears the strike regardless of whether it flipped
+        # architecturally relevant bits (false positives included).
+        self._pending_detect.append((record.detect_cycle, sm.id))
+
+    def _address_defs(self, kernel) -> set[int]:
+        """Definition sites whose values (transitively) become memory
+        addresses.
+
+        The paper assumes hardened address-generation units and register
+        file controllers (Section IV, Discussion), so strikes never
+        produce misaddressed loads or stores; we honour that by keeping
+        every address-feeding definition out of the victim pool.  The
+        analysis is def-site precise (via reaching definitions), so
+        register reuse after allocation does not over-exclude values.
+        """
+        key = id(kernel)
+        cached = self._addr_cache.get(key)
+        if cached is None:
+            from ..compiler.dataflow import ReachingDefs
+            from ..isa import Cfg, Reg
+
+            rdefs = ReachingDefs(Cfg(kernel))
+            tainted: set[int] = set()
+            work = []
+
+            def seed(use_index, var):
+                for d in rdefs.defs_reaching_use(use_index, var):
+                    if d >= 0 and d not in tainted:
+                        tainted.add(d)
+                        work.append(d)
+
+            for u, inst in enumerate(kernel.instructions):
+                info = inst.info
+                is_mem = info.is_load or info.is_store or info.is_atomic
+                if is_mem and isinstance(inst.srcs[0], Reg):
+                    seed(u, inst.srcs[0])
+                # Predicates steering branches or predicating memory ops
+                # bound addresses (e.g. `if i < n` before a load); a
+                # corrupted guard would misaddress, which the hardened
+                # front end rules out.
+                if inst.guard is not None and (info.is_branch or is_mem
+                                               or info.is_exit):
+                    seed(u, inst.guard)
+            while work:
+                d = work.pop()
+                inst = kernel.instructions[d]
+                for src in inst.read_regs():
+                    for d2 in rdefs.defs_reaching_use(d, src):
+                        if d2 >= 0 and d2 not in tainted:
+                            tainted.add(d2)
+                            work.append(d2)
+            cached = tainted
+            self._addr_cache[key] = cached
+        return cached
+
+    def _pick_victim(self, sm: Sm):
+        """The most recently issued instruction's destination on this SM
+        (excluding AGU-protected address-feeding definitions)."""
+        candidates = []
+        for warp in sm.warps:
+            if warp.state not in (WarpState.ACTIVE, WarpState.IN_RBQ):
+                continue
+            last = getattr(warp, "last_write", None)
+            if last is None:
+                continue
+            if warp.last_write_pc in self._address_defs(warp.kernel):
+                continue
+            candidates.append(warp)
+        if not candidates:
+            return None
+        warp = candidates[int(self._rng.integers(len(candidates)))]
+        return warp, warp.last_write.index
+
+    def _detect(self, gpu: Gpu, sm_id: int, cycle: int) -> None:
+        sm = next(s for s in gpu.sms if s.id == sm_id)
+        runtime = sm.resilience
+        recover = getattr(runtime, "recover", None)
+        for record in self.records:
+            if record.sm_id == sm_id and not record.recovered:
+                record.recovered = recover is not None
+        if recover is not None:
+            recover(cycle)
+
+    @property
+    def undetected(self) -> int:
+        return sum(1 for r in self.records if r.landed and not r.recovered)

@@ -1,0 +1,82 @@
+"""Region Boundary Queue — the verification conveyor (Section III-D2).
+
+One RBQ per warp scheduler, WCDL entries long.  A warp hitting a region
+boundary is enqueued and descheduled; the conveyor advances one entry
+per cycle, so an entry pops — verified — exactly WCDL cycles after it
+was pushed, provided no error was detected in between.  On detection the
+whole queue is flushed (every in-flight verification is invalidated).
+
+Hardware cost: each entry is a warp id plus a valid bit (6 bits for 32
+warps per scheduler), i.e. WCDL x 6 bits per scheduler — Section VI-A2's
+120 bits for the default 20-cycle WCDL.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..errors import ConfigError
+
+if TYPE_CHECKING:
+    from ..sim import Warp, WarpSnapshot
+
+
+@dataclass
+class RbqEntry:
+    """One conveyor slot: the warp under verification and the recovery
+    context its RPT entry receives once the pop verifies the region."""
+
+    warp: "Warp"
+    snapshot: "WarpSnapshot"
+    enqueued_at: int
+    final: bool = False      # verification of the warp's last region
+
+
+@dataclass
+class RegionBoundaryQueue:
+    """The verification conveyor of one warp scheduler."""
+
+    wcdl: int
+    _entries: deque = field(default_factory=deque)
+    _last_enqueue_cycle: int = -1
+
+    def __post_init__(self) -> None:
+        if self.wcdl < 1:
+            raise ConfigError("WCDL must be at least one cycle")
+
+    def can_enqueue(self, cycle: int) -> bool:
+        """One enqueue per cycle (the conveyor moves one slot per cycle)."""
+        return cycle > self._last_enqueue_cycle
+
+    def enqueue(self, entry: RbqEntry, cycle: int) -> None:
+        assert self.can_enqueue(cycle), "RBQ accepts one entry per cycle"
+        self._last_enqueue_cycle = cycle
+        entry.enqueued_at = cycle
+        self._entries.append(entry)
+
+    def pop_verified(self, cycle: int) -> RbqEntry | None:
+        """Pop the head entry if it has ridden the conveyor for WCDL."""
+        if self._entries and cycle - self._entries[0].enqueued_at >= self.wcdl:
+            return self._entries.popleft()
+        return None
+
+    def flush(self) -> list[RbqEntry]:
+        """Discard all in-flight verifications (error detected)."""
+        flushed = list(self._entries)
+        self._entries.clear()
+        return flushed
+
+    def next_pop_cycle(self) -> int | None:
+        if not self._entries:
+            return None
+        return self._entries[0].enqueued_at + self.wcdl
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def storage_bits(self) -> int:
+        """Hardware cost: WCDL entries x (5-bit warp id + valid)."""
+        return self.wcdl * 6

@@ -1,0 +1,158 @@
+"""The Flame runtime: WCDL-aware warp scheduling over RBQ + RPT.
+
+This is the paper's hardware contribution (Sections III-C/III-D) plugged
+into the simulator's resilience hooks:
+
+* when a warp's PC reaches a region-boundary marker it is descheduled
+  and pushed into its scheduler's Region Boundary Queue — boundary
+  hitting behaves like a long-latency instruction, so the scheduler
+  naturally switches to another ready warp;
+* the RBQ conveyor advances one slot per cycle; a popped entry means the
+  region verified error-free, so the warp's Recovery PC Table entry
+  advances to the start of its next region and the warp becomes
+  schedulable again;
+* a warp's exit also rides the conveyor (the final region must verify
+  before the warp — and hence its block — may retire);
+* on error detection all in-flight verifications are flushed and every
+  warp of the SM resumes from its RPT entry (Figure 9, example B).
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from ..sim import (NEVER, ResilienceRuntime, Sm, Warp, WarpSnapshot,
+                   WarpState)
+from .rbq import RbqEntry, RegionBoundaryQueue
+from .rpt import RecoveryPcTable
+
+
+class FlameRuntime(ResilienceRuntime):
+    """Factory bound per-SM; construct with the sensor mesh's WCDL."""
+
+    needs_boundaries = True
+
+    def __init__(self, wcdl: int = 20) -> None:
+        if wcdl < 1:
+            raise ConfigError("WCDL must be at least one cycle")
+        self.wcdl = wcdl
+
+    def bind(self, sm: Sm) -> "FlameSmRuntime":
+        return FlameSmRuntime(self.wcdl, sm)
+
+
+class FlameSmRuntime(ResilienceRuntime):
+    """Per-SM RBQ/RPT state."""
+
+    needs_boundaries = True
+
+    def __init__(self, wcdl: int, sm: Sm) -> None:
+        self.wcdl = wcdl
+        self.sm = sm
+        self.rpt = RecoveryPcTable()
+        self._rbqs: dict[int, RegionBoundaryQueue] = {}
+        self._pending: list[RbqEntry] = []
+
+    def bind(self, sm: Sm) -> "FlameSmRuntime":
+        return self
+
+    def _rbq_for(self, warp: Warp) -> RegionBoundaryQueue:
+        key = id(warp.scheduler)
+        rbq = self._rbqs.get(key)
+        if rbq is None:
+            rbq = RegionBoundaryQueue(self.wcdl)
+            self._rbqs[key] = rbq
+        return rbq
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    def on_warp_attached(self, sm: Sm, warp: Warp) -> None:
+        self.rpt.register_warp(warp)
+
+    def on_warp_detached(self, sm: Sm, warp: Warp) -> None:
+        self.rpt.drop(warp)
+
+    def on_reach_boundary(self, sm: Sm, warp: Warp, cycle: int) -> None:
+        sm.note_region_end(warp)
+        warp.advance()
+        self._deschedule(sm, warp, cycle, final=False)
+
+    def on_warp_exit(self, sm: Sm, warp: Warp, cycle: int) -> bool:
+        # The warp's last region must verify before the warp retires.
+        sm.note_region_end(warp)
+        self._deschedule(sm, warp, cycle, final=True)
+        return False
+
+    def _deschedule(self, sm: Sm, warp: Warp, cycle: int, final: bool) -> None:
+        snapshot = WarpSnapshot.capture(warp)
+        entry = RbqEntry(warp=warp, snapshot=snapshot, enqueued_at=cycle,
+                         final=final)
+        warp.state = WarpState.IN_RBQ
+        rbq = self._rbq_for(warp)
+        if rbq.can_enqueue(cycle):
+            rbq.enqueue(entry, cycle)
+            sm.stats.rbq_enqueues += 1
+        else:
+            self._pending.append(entry)
+            sm.stats.rbq_full_stalls += 1
+
+    def tick(self, sm: Sm, cycle: int) -> None:
+        for rbq in self._rbqs.values():
+            entry = rbq.pop_verified(cycle)
+            if entry is not None:
+                self._verified(sm, entry, cycle)
+        if self._pending:
+            still_pending: list[RbqEntry] = []
+            for entry in self._pending:
+                rbq = self._rbq_for(entry.warp)
+                if rbq.can_enqueue(cycle):
+                    rbq.enqueue(entry, cycle)
+                    sm.stats.rbq_enqueues += 1
+                else:
+                    still_pending.append(entry)
+            self._pending = still_pending
+
+    def _verified(self, sm: Sm, entry: RbqEntry, cycle: int) -> None:
+        warp = entry.warp
+        if warp.state is not WarpState.IN_RBQ:
+            return  # stale entry (warp recovered meanwhile)
+        if entry.final:
+            warp.state = WarpState.DONE
+            self.sm._check_barrier_release(warp.block, cycle)
+            return
+        self.rpt.update(warp, entry.snapshot)
+        warp.state = WarpState.ACTIVE
+        warp.wakeup_cycle = cycle
+        sm.skip_markers(warp, cycle)
+
+    def next_event(self, sm: Sm) -> int:
+        best = NEVER
+        for rbq in self._rbqs.values():
+            pop = rbq.next_pop_cycle()
+            if pop is not None:
+                best = min(best, pop)
+        return best
+
+    # ------------------------------------------------------------------
+    # Error detection and recovery (Figure 9, example B)
+    # ------------------------------------------------------------------
+    def recover(self, cycle: int) -> None:
+        """Sensor fired: flush verifications, reset all warps to their
+        recovery PCs, and restart execution."""
+        sm = self.sm
+        for rbq in self._rbqs.values():
+            rbq.flush()
+        self._pending.clear()
+        for warp in sm.warps:
+            if warp.state is WarpState.DONE:
+                continue
+            self.rpt.recover(warp)
+            warp.state = WarpState.ACTIVE
+            warp.wakeup_cycle = cycle + 1
+            warp.pending.clear()
+            warp.insts_since_boundary = 0
+            # A recovery PC may sit on a boundary marker (kernel entry of
+            # a loop-header-led kernel); re-deliver it rather than issue it.
+            sm.skip_markers(warp, cycle + 1)
+        sm.stats.recoveries += 1
+        sm.stats.detected_errors += 1

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class AsmError(ReproError):
+    """Raised when textual assembly cannot be parsed."""
+
+
+class IsaError(ReproError):
+    """Raised when an instruction or kernel is malformed."""
+
+
+class CompileError(ReproError):
+    """Raised when a compiler pass cannot transform a kernel."""
+
+
+class SimError(ReproError):
+    """Raised when the simulator reaches an inconsistent state."""
+
+
+class LaunchError(ReproError):
+    """Raised when a kernel launch configuration is invalid."""
+
+
+class ConfigError(ReproError):
+    """Raised when an architecture or scheme configuration is invalid."""

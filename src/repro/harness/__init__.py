@@ -1,0 +1,18 @@
+"""Experiment harness: regenerates every table and figure of the paper."""
+
+from . import ablations, experiments, reporting
+from .experiments import (ALL_BENCHMARKS, FIG13_SCHEMES, OverheadStudy,
+                          figure12, figure13_14, figure15, figure16,
+                          figure17, figure18, figure19, geomean, hwcost,
+                          optimization_eligible_benchmarks, section4, table1,
+                          table2)
+from .runner import RunOutcome, Runner, RunSpec, execute, normalized_time
+
+__all__ = [
+    "ALL_BENCHMARKS", "FIG13_SCHEMES", "OverheadStudy", "RunOutcome",
+    "Runner", "RunSpec", "execute", "experiments", "figure12",
+    "figure13_14", "figure15", "figure16", "figure17", "figure18",
+    "ablations", "figure19", "geomean", "hwcost", "normalized_time",
+    "optimization_eligible_benchmarks", "reporting", "section4", "table1",
+    "table2",
+]

@@ -1,0 +1,97 @@
+"""Command-line interface: regenerate any paper table or figure.
+
+Examples::
+
+    flame-repro table1
+    flame-repro figure15 --scale small
+    flame-repro figure17 --scale tiny --benchmarks SGEMM,LUD,Triad
+    python -m repro.harness all --scale small
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import experiments as exp
+from . import reporting as rep
+from .runner import Runner
+
+EXPERIMENTS = ("table1", "figure12", "table2", "figure13", "figure15",
+               "figure16", "figure17", "figure18", "figure19", "section4",
+               "hwcost", "ablation", "all")
+
+
+def _benchmarks(args) -> tuple[str, ...]:
+    if args.benchmarks:
+        return tuple(args.benchmarks.split(","))
+    return exp.ALL_BENCHMARKS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="flame-repro",
+        description="Regenerate the Flame paper's tables and figures.")
+    parser.add_argument("experiment", choices=EXPERIMENTS)
+    parser.add_argument("--scale", default="small",
+                        choices=("tiny", "small", "medium"))
+    parser.add_argument("--benchmarks", default="",
+                        help="comma-separated subset (default: all 34)")
+    parser.add_argument("--fresh", action="store_true",
+                        help="ignore cached results")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="parallel simulation processes")
+    args = parser.parse_args(argv)
+
+    runner = Runner(fresh=args.fresh, workers=args.workers)
+    benches = _benchmarks(args)
+    name = args.experiment
+    out: list[str] = []
+
+    if name in ("table1", "all"):
+        out.append(rep.render_table1(exp.table1()))
+    if name in ("figure12", "all"):
+        counts = (50, 75, 100, 125, 150, 175, 200, 225, 250, 275, 300)
+        out.append(rep.render_figure12(exp.figure12(counts), counts))
+    if name in ("table2", "all"):
+        out.append(rep.render_table2(exp.table2()))
+    if name in ("figure13", "all"):
+        study = exp.figure13_14(args.scale, benchmarks=benches,
+                                runner=runner, progress=True)
+        out.append(rep.render_figure13_14(study))
+        out.append(rep.render_figure15(study.geomeans()))
+    elif name == "figure15":
+        study = exp.figure13_14(args.scale, benchmarks=benches,
+                                runner=runner, progress=True)
+        out.append(rep.render_figure15(study.geomeans()))
+    if name in ("figure16", "all"):
+        out.append(rep.render_figure16(
+            exp.figure16(args.scale, runner=runner, progress=True)))
+    if name in ("figure17", "all"):
+        out.append(rep.render_figure17(
+            exp.figure17(args.scale, benchmarks=benches, runner=runner,
+                         progress=True)))
+    if name in ("figure18", "all"):
+        out.append(rep.render_figure18(
+            exp.figure18(args.scale, benchmarks=benches, runner=runner,
+                         progress=True)))
+    if name in ("figure19", "all"):
+        out.append(rep.render_figure19(
+            exp.figure19(args.scale, benchmarks=benches, runner=runner,
+                         progress=True)))
+    if name in ("section4", "all"):
+        out.append(rep.render_section4(
+            exp.section4(args.scale, benchmarks=benches, runner=runner)))
+    if name in ("hwcost", "all"):
+        out.append(rep.render_hwcost(exp.hwcost()))
+    if name == "ablation":
+        from .ablations import render_ablation, run_ablation
+
+        out.append(render_ablation(run_ablation(scale=args.scale)))
+
+    print("\n\n".join(out))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

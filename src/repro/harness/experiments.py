@@ -1,0 +1,281 @@
+"""One entry point per paper table/figure (see DESIGN.md's index).
+
+Every function returns plain data structures; ``repro.harness.reporting``
+renders them as text tables matching the paper's rows/series.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..arch import (ALL_GPUS, FaultRates, GTX480, SensorMesh, gpu_by_name,
+                    section4_report, sensors_for_wcdl, wcdl_curve)
+from ..compiler import compile_kernel, eligible_extension_barriers
+from ..core import flame_hardware_cost
+from ..workloads import WORKLOADS, table1_rows, workload_by_name
+from .runner import Runner, RunSpec, normalized_time
+
+#: The Figure 13/14 scheme columns, paper order.  "flame" is
+#: Sensor+Renaming with the region-extension optimization (the paper's
+#: headline configuration).
+FIG13_SCHEMES = (
+    "flame",
+    "sensor_checkpointing",
+    "renaming",
+    "checkpointing",
+    "duplication_renaming",
+    "duplication_checkpointing",
+    "hybrid_renaming",
+    "hybrid_checkpointing",
+)
+
+ALL_BENCHMARKS = tuple(WORKLOADS)
+
+
+def geomean(values: list[float]) -> float:
+    if not values:
+        return float("nan")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+# ----------------------------------------------------------------------
+# Table I — benchmark roster
+# ----------------------------------------------------------------------
+def table1() -> list[tuple[str, str, str]]:
+    return table1_rows()
+
+
+# ----------------------------------------------------------------------
+# Figure 12 — WCDL vs sensors per SM for four architectures
+# ----------------------------------------------------------------------
+def figure12(sensor_counts: tuple[int, ...] = (50, 75, 100, 125, 150, 175,
+                                               200, 225, 250, 275, 300)
+             ) -> dict[str, list[int]]:
+    return {name: wcdl_curve(gpu, list(sensor_counts))
+            for name, gpu in ALL_GPUS.items()}
+
+
+# ----------------------------------------------------------------------
+# Table II — sensors for 20-cycle WCDL per architecture
+# ----------------------------------------------------------------------
+def table2(wcdl: int = 20) -> list[dict]:
+    rows = []
+    for gpu in ALL_GPUS.values():
+        sensors = sensors_for_wcdl(gpu, wcdl)
+        mesh = SensorMesh(gpu, sensors)
+        rows.append({
+            "gpu": gpu.name,
+            "core_frequency_mhz": gpu.core_freq_mhz,
+            "sm_count": gpu.num_sms,
+            "sensors_per_sm": sensors,
+            "area_overhead": mesh.area_overhead,
+        })
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figures 13/14/15 — per-benchmark and geomean normalized time
+# ----------------------------------------------------------------------
+@dataclass
+class OverheadStudy:
+    """Normalized execution times per benchmark per scheme."""
+
+    scale: str
+    schemes: tuple[str, ...]
+    benchmarks: tuple[str, ...]
+    normalized: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def geomeans(self) -> dict[str, float]:
+        return {
+            scheme: geomean([self.normalized[bench][scheme]
+                             for bench in self.benchmarks])
+            for scheme in self.schemes
+        }
+
+
+def _warm(runner: Runner, specs: list[RunSpec], progress: bool) -> None:
+    runner.run_many(specs, progress=progress)
+
+
+def figure13_14(scale: str = "small",
+                schemes: tuple[str, ...] = FIG13_SCHEMES,
+                benchmarks: tuple[str, ...] = ALL_BENCHMARKS,
+                runner: Runner | None = None,
+                progress: bool = False) -> OverheadStudy:
+    runner = runner or Runner()
+    specs = [RunSpec(workload=bench, scheme="baseline", scale=scale)
+             for bench in benchmarks]
+    specs += [RunSpec(workload=bench, scheme=scheme, scale=scale)
+              for bench in benchmarks for scheme in schemes]
+    _warm(runner, specs, progress)
+    study = OverheadStudy(scale=scale, schemes=schemes,
+                          benchmarks=benchmarks)
+    for bench in benchmarks:
+        study.normalized[bench] = {
+            scheme: normalized_time(
+                runner, RunSpec(workload=bench, scheme=scheme, scale=scale))
+            for scheme in schemes
+        }
+    return study
+
+
+def figure15(scale: str = "small", runner: Runner | None = None,
+             progress: bool = False) -> dict[str, float]:
+    return figure13_14(scale, runner=runner, progress=progress).geomeans()
+
+
+# ----------------------------------------------------------------------
+# Figure 16 — impact of the region-extension optimization
+# ----------------------------------------------------------------------
+def optimization_eligible_benchmarks() -> list[str]:
+    """Benchmarks where the Section III-E analysis finds at least one
+    removable barrier boundary (the paper found 7)."""
+    eligible = []
+    for name, workload in WORKLOADS.items():
+        if not workload.uses_barriers:
+            continue
+        instance = workload.instance("tiny")
+        compiled = compile_kernel(instance.kernel, "baseline")
+        if eligible_extension_barriers(compiled.kernel):
+            eligible.append(name)
+    return eligible
+
+
+def figure16(scale: str = "small", runner: Runner | None = None,
+             progress: bool = False) -> dict[str, dict[str, float]]:
+    """Normalized time without (sensor_renaming) and with (flame) the
+    region-extension optimization, for the eligible benchmarks."""
+    runner = runner or Runner()
+    benches = optimization_eligible_benchmarks()
+    specs = []
+    for bench in benches:
+        specs.append(RunSpec(workload=bench, scheme="baseline", scale=scale))
+        specs.append(RunSpec(workload=bench, scheme="sensor_renaming",
+                             scale=scale))
+        specs.append(RunSpec(workload=bench, scheme="flame", scale=scale))
+    _warm(runner, specs, progress)
+    result = {}
+    for bench in benches:
+        result[bench] = {
+            "without_opt": normalized_time(
+                runner, RunSpec(workload=bench, scheme="sensor_renaming",
+                                scale=scale)),
+            "with_opt": normalized_time(
+                runner, RunSpec(workload=bench, scheme="flame", scale=scale)),
+        }
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 17 — WCDL sensitivity
+# ----------------------------------------------------------------------
+def figure17(scale: str = "small",
+             wcdls: tuple[int, ...] = (10, 20, 30, 40, 50),
+             benchmarks: tuple[str, ...] = ALL_BENCHMARKS,
+             runner: Runner | None = None,
+             progress: bool = False) -> dict[int, float]:
+    runner = runner or Runner()
+    specs = [RunSpec(workload=bench, scheme="baseline", scale=scale)
+             for bench in benchmarks]
+    specs += [RunSpec(workload=bench, scheme="flame", scale=scale, wcdl=w)
+              for bench in benchmarks for w in wcdls]
+    _warm(runner, specs, progress)
+    result = {}
+    for w in wcdls:
+        ratios = [normalized_time(
+            runner, RunSpec(workload=bench, scheme="flame", scale=scale,
+                            wcdl=w)) for bench in benchmarks]
+        result[w] = geomean(ratios)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 18 — scheduler sensitivity
+# ----------------------------------------------------------------------
+def figure18(scale: str = "small",
+             schedulers: tuple[str, ...] = ("GTO", "OLD", "LRR", "2LV"),
+             benchmarks: tuple[str, ...] = ALL_BENCHMARKS,
+             runner: Runner | None = None,
+             progress: bool = False) -> dict[str, float]:
+    runner = runner or Runner()
+    specs = []
+    for sched in schedulers:
+        for bench in benchmarks:
+            specs.append(RunSpec(workload=bench, scheme="baseline",
+                                 scale=scale, scheduler=sched))
+            specs.append(RunSpec(workload=bench, scheme="flame",
+                                 scale=scale, scheduler=sched))
+    _warm(runner, specs, progress)
+    result = {}
+    for sched in schedulers:
+        ratios = [normalized_time(
+            runner, RunSpec(workload=bench, scheme="flame", scale=scale,
+                            scheduler=sched)) for bench in benchmarks]
+        result[sched] = geomean(ratios)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 19 — architecture sensitivity
+# ----------------------------------------------------------------------
+def figure19(scale: str = "small",
+             gpus: tuple[str, ...] = ("GTX480", "TITAN X", "GV100",
+                                      "RTX2060"),
+             benchmarks: tuple[str, ...] = ALL_BENCHMARKS,
+             runner: Runner | None = None,
+             progress: bool = False) -> dict[str, float]:
+    runner = runner or Runner()
+    specs = []
+    for gpu in gpus:
+        for bench in benchmarks:
+            specs.append(RunSpec(workload=bench, scheme="baseline",
+                                 scale=scale, gpu=gpu))
+            specs.append(RunSpec(workload=bench, scheme="flame",
+                                 scale=scale, gpu=gpu))
+    _warm(runner, specs, progress)
+    result = {}
+    for gpu in gpus:
+        ratios = [normalized_time(
+            runner, RunSpec(workload=bench, scheme="flame", scale=scale,
+                            gpu=gpu)) for bench in benchmarks]
+        result[gpu] = geomean(ratios)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Section IV arithmetic + measured region sizes
+# ----------------------------------------------------------------------
+def section4(scale: str = "small",
+             benchmarks: tuple[str, ...] = ALL_BENCHMARKS,
+             runner: Runner | None = None) -> dict:
+    runner = runner or Runner()
+    sizes = []
+    for bench in benchmarks:
+        outcome = runner.run(RunSpec(workload=bench, scheme="flame",
+                                     scale=scale))
+        if outcome.avg_region_size > 0:
+            sizes.append(outcome.avg_region_size)
+    measured = sum(sizes) / len(sizes) if sizes else 0.0
+    report = section4_report(FaultRates(),
+                             avg_region_instructions=measured)
+    report["paper_avg_region_instructions"] = 50.23
+    return report
+
+
+# ----------------------------------------------------------------------
+# Section VI-A2 hardware cost
+# ----------------------------------------------------------------------
+def hwcost(wcdl: int = 20) -> list[dict]:
+    rows = []
+    for gpu in ALL_GPUS.values():
+        cost = flame_hardware_cost(gpu, wcdl)
+        rows.append({
+            "gpu": cost.gpu_name,
+            "wcdl": cost.wcdl,
+            "rbq_bits": cost.rbq_bits,
+            "rpt_bits": cost.rpt_bits,
+            "sensors_per_sm": cost.sensors_per_sm,
+            "sensor_area_overhead": cost.sensor_area_overhead,
+        })
+    return rows

@@ -1,0 +1,115 @@
+"""Plain-text rendering of the experiment results."""
+
+from __future__ import annotations
+
+from .experiments import OverheadStudy
+
+
+def render_table(headers: list[str], rows: list[list], title: str = "") -> str:
+    """Simple fixed-width table renderer."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+              for i, h in enumerate(headers)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def pct(ratio: float) -> str:
+    """Normalized time -> signed overhead percentage."""
+    return f"{100.0 * (ratio - 1.0):+.2f}%"
+
+
+def render_table1(rows: list[tuple[str, str, str]]) -> str:
+    return render_table(["Suite", "Application", "Abbr."],
+                        [list(r) for r in rows],
+                        title="Table I: benchmarks used for simulation")
+
+
+def render_figure12(curves: dict[str, list[int]],
+                    sensor_counts: tuple[int, ...]) -> str:
+    headers = ["Sensors/SM"] + list(curves)
+    rows = []
+    for i, n in enumerate(sensor_counts):
+        rows.append([n] + [curves[gpu][i] for gpu in curves])
+    return render_table(headers, rows,
+                        title="Figure 12: WCDL (cycles) vs sensors per SM")
+
+
+def render_table2(rows: list[dict]) -> str:
+    body = [[r["gpu"], int(r["core_frequency_mhz"]), r["sm_count"],
+             r["sensors_per_sm"], f"{r['area_overhead']:.4%}"]
+            for r in rows]
+    return render_table(
+        ["GPU", "Core MHz", "SMs", "Sensors/SM", "Area overhead"], body,
+        title="Table II: sensors required for 20-cycle WCDL")
+
+
+def render_figure13_14(study: OverheadStudy) -> str:
+    headers = ["Benchmark"] + [s for s in study.schemes]
+    rows = []
+    for bench in study.benchmarks:
+        rows.append([bench] + [f"{study.normalized[bench][s]:.3f}"
+                               for s in study.schemes])
+    gm = study.geomeans()
+    rows.append(["GEOMEAN"] + [f"{gm[s]:.3f}" for s in study.schemes])
+    return render_table(
+        headers, rows,
+        title=("Figures 13/14: normalized execution time per scheme "
+               f"(scale={study.scale}, WCDL=20, GTO, GTX480)"))
+
+
+def render_figure15(geomeans: dict[str, float]) -> str:
+    rows = [[scheme, f"{ratio:.4f}", pct(ratio)]
+            for scheme, ratio in geomeans.items()]
+    return render_table(["Scheme", "Normalized time", "Overhead"], rows,
+                        title="Figure 15: geomean normalized execution time")
+
+
+def render_figure16(result: dict[str, dict[str, float]]) -> str:
+    rows = [[bench, f"{v['without_opt']:.3f}", f"{v['with_opt']:.3f}",
+             pct(v["without_opt"]), pct(v["with_opt"])]
+            for bench, v in result.items()]
+    return render_table(
+        ["Benchmark", "No-opt", "With-opt", "No-opt ovh", "With-opt ovh"],
+        rows,
+        title="Figure 16: impact of the idempotent-region optimization")
+
+
+def render_figure17(result: dict[int, float]) -> str:
+    rows = [[w, f"{r:.4f}", pct(r)] for w, r in result.items()]
+    return render_table(["WCDL", "Normalized time", "Overhead"], rows,
+                        title="Figure 17: Flame overhead vs WCDL")
+
+
+def render_figure18(result: dict[str, float]) -> str:
+    rows = [[s, f"{r:.4f}", pct(r)] for s, r in result.items()]
+    return render_table(["Scheduler", "Normalized time", "Overhead"], rows,
+                        title="Figure 18: Flame overhead per warp scheduler")
+
+
+def render_figure19(result: dict[str, float]) -> str:
+    rows = [[g, f"{r:.4f}", pct(r)] for g, r in result.items()]
+    return render_table(["GPU", "Normalized time", "Overhead"], rows,
+                        title="Figure 19: Flame overhead per architecture")
+
+
+def render_section4(report: dict) -> str:
+    rows = [[k, f"{v:.4f}" if isinstance(v, float) else v]
+            for k, v in report.items()]
+    return render_table(["Quantity", "Value"], rows,
+                        title="Section IV: fault-rate arithmetic")
+
+
+def render_hwcost(rows: list[dict]) -> str:
+    body = [[r["gpu"], r["wcdl"], r["rbq_bits"], r["rpt_bits"],
+             r["sensors_per_sm"], f"{r['sensor_area_overhead']:.4%}"]
+            for r in rows]
+    return render_table(
+        ["GPU", "WCDL", "RBQ bits", "RPT bits", "Sensors/SM", "Area ovh"],
+        body, title="Section VI-A2: Flame hardware cost")

@@ -1,0 +1,214 @@
+"""Experiment runner: compile + launch + verify one configuration.
+
+Results are cached on disk (keyed by the full run specification) so the
+figure harnesses can share baselines and re-render cheaply; pass
+``fresh=True`` to bypass the cache.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass
+
+from ..arch import gpu_by_name
+from ..compiler import compile_kernel, prepare_launch, scheme_by_name
+from ..core import FlameRuntime
+from ..errors import ReproError
+from ..sim import Gpu, LaunchConfig, NULL_RESILIENCE
+from ..workloads import workload_by_name
+
+#: Bump to invalidate cached results after behaviour-changing edits.
+CACHE_VERSION = 5
+
+_DEFAULT_CACHE_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))), ".repro_cache")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Everything identifying one simulation run."""
+
+    workload: str
+    scheme: str = "baseline"
+    scale: str = "small"
+    gpu: str = "GTX480"
+    scheduler: str = "GTO"
+    wcdl: int = 20
+
+    def cache_key(self) -> str:
+        return (f"v{CACHE_VERSION}_{self.workload}_{self.scheme}_"
+                f"{self.scale}_{self.gpu.replace(' ', '')}_"
+                f"{self.scheduler}_w{self.wcdl}")
+
+
+@dataclass
+class RunOutcome:
+    """Result of one run: timing plus the stats the figures need."""
+
+    spec: RunSpec
+    cycles: int
+    instructions: int
+    verified: bool
+    avg_region_size: float
+    boundaries: int
+    static_regions: int
+    renames: int
+    shadow_instructions: int
+    ckpt_instructions: int
+    rbq_enqueues: int
+    l1_miss_rate: float
+    shared_bank_conflicts: int
+    occupancy_warps: int
+    regs_per_thread: int
+
+    def as_dict(self) -> dict:
+        data = asdict(self)
+        data["spec"] = asdict(self.spec)
+        return data
+
+    @staticmethod
+    def from_dict(data: dict) -> "RunOutcome":
+        spec = RunSpec(**data.pop("spec"))
+        return RunOutcome(spec=spec, **data)
+
+
+def execute(spec: RunSpec) -> RunOutcome:
+    """Compile and simulate one configuration (no caching)."""
+    workload = workload_by_name(spec.workload)
+    instance = workload.instance(spec.scale)
+    scheme = scheme_by_name(spec.scheme)
+    compiled = compile_kernel(instance.kernel, scheme, wcdl=spec.wcdl)
+    config = gpu_by_name(spec.gpu)
+    runtime = (FlameRuntime(spec.wcdl) if scheme.uses_sensor_runtime
+               else NULL_RESILIENCE)
+    gpu = Gpu(config, resilience=runtime, scheduler=spec.scheduler)
+    mem = instance.fresh_memory()
+    params, mem = prepare_launch(
+        compiled, instance.launch.params, mem,
+        instance.launch.num_blocks, instance.launch.threads_per_block,
+        warp_size=config.warp_size)
+    launch = LaunchConfig(grid=instance.launch.grid,
+                          block=instance.launch.block, params=params)
+    result = gpu.launch(compiled.kernel, launch, mem,
+                        regs_per_thread=compiled.regs_per_thread)
+    verified = instance.verify(mem)
+    if not verified:
+        raise ReproError(
+            f"{spec.workload} produced wrong output under {spec.scheme}")
+    regions = compiled.regions
+    return RunOutcome(
+        spec=spec,
+        cycles=result.cycles,
+        instructions=result.stats.instructions,
+        verified=verified,
+        avg_region_size=result.stats.avg_region_size,
+        boundaries=regions.boundaries if regions else 0,
+        static_regions=compiled.static_region_count,
+        renames=regions.renames if regions else 0,
+        shadow_instructions=result.stats.shadow_instructions,
+        ckpt_instructions=result.stats.ckpt_instructions,
+        rbq_enqueues=result.stats.rbq_enqueues,
+        l1_miss_rate=result.stats.l1_miss_rate,
+        shared_bank_conflicts=result.stats.shared_bank_conflicts,
+        occupancy_warps=result.stats.occupancy_warps,
+        regs_per_thread=compiled.regs_per_thread,
+    )
+
+
+class Runner:
+    """Caching, optionally parallel, experiment runner."""
+
+    def __init__(self, cache_dir: str | None = None,
+                 workers: int | None = None, fresh: bool = False) -> None:
+        self.cache_dir = cache_dir or os.environ.get(
+            "REPRO_CACHE_DIR", _DEFAULT_CACHE_DIR)
+        self.workers = workers if workers is not None else \
+            max(1, (os.cpu_count() or 1))
+        self.fresh = fresh
+        self._memory: dict[str, RunOutcome] = {}
+
+    def _cache_path(self, spec: RunSpec) -> str:
+        return os.path.join(self.cache_dir, spec.cache_key() + ".json")
+
+    def _load(self, spec: RunSpec) -> RunOutcome | None:
+        if self.fresh:
+            return None
+        key = spec.cache_key()
+        if key in self._memory:
+            return self._memory[key]
+        path = self._cache_path(spec)
+        if os.path.exists(path):
+            try:
+                with open(path) as handle:
+                    outcome = RunOutcome.from_dict(json.load(handle))
+            except (json.JSONDecodeError, TypeError, KeyError):
+                return None
+            self._memory[key] = outcome
+            return outcome
+        return None
+
+    def _store(self, outcome: RunOutcome) -> None:
+        self._memory[outcome.spec.cache_key()] = outcome
+        os.makedirs(self.cache_dir, exist_ok=True)
+        with open(self._cache_path(outcome.spec), "w") as handle:
+            json.dump(outcome.as_dict(), handle)
+
+    def run(self, spec: RunSpec) -> RunOutcome:
+        cached = self._load(spec)
+        if cached is not None:
+            return cached
+        outcome = execute(spec)
+        self._store(outcome)
+        return outcome
+
+    def run_many(self, specs: list[RunSpec],
+                 progress: bool = False) -> list[RunOutcome]:
+        """Run a batch, using a process pool for uncached specs."""
+        outcomes: dict[str, RunOutcome] = {}
+        missing: list[RunSpec] = []
+        seen: set[str] = set()
+        for spec in specs:
+            key = spec.cache_key()
+            if key in seen:
+                continue
+            seen.add(key)
+            cached = self._load(spec)
+            if cached is not None:
+                outcomes[key] = cached
+            else:
+                missing.append(spec)
+        if missing:
+            if self.workers > 1 and len(missing) > 1:
+                from concurrent.futures import ProcessPoolExecutor
+
+                with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                    for i, outcome in enumerate(pool.map(execute, missing)):
+                        self._store(outcome)
+                        outcomes[outcome.spec.cache_key()] = outcome
+                        if progress:
+                            print(f"  [{i + 1}/{len(missing)}] "
+                                  f"{outcome.spec.workload}/"
+                                  f"{outcome.spec.scheme} done", flush=True)
+            else:
+                for i, spec in enumerate(missing):
+                    outcome = self.run(spec)
+                    outcomes[spec.cache_key()] = outcome
+                    if progress:
+                        print(f"  [{i + 1}/{len(missing)}] "
+                              f"{spec.workload}/{spec.scheme} done",
+                              flush=True)
+        return [outcomes[spec.cache_key()] for spec in specs]
+
+
+def normalized_time(runner: Runner, spec: RunSpec) -> float:
+    """Execution time of ``spec`` normalized to its no-resilience
+    baseline on the same GPU/scheduler/scale."""
+    # The baseline ignores WCDL; pin it so WCDL sweeps share one baseline.
+    baseline = RunSpec(workload=spec.workload, scheme="baseline",
+                       scale=spec.scale, gpu=spec.gpu,
+                       scheduler=spec.scheduler, wcdl=20)
+    base = runner.run(baseline)
+    run = runner.run(spec)
+    return run.cycles / base.cycles

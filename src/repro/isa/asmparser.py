@@ -1,0 +1,185 @@
+"""Textual assembler for the virtual ISA.
+
+The syntax is what :meth:`Kernel.to_asm` emits, so assembly round-trips::
+
+    .kernel saxpy
+    .params 4
+    LOOP_0:
+        @p0 add r1, r1, 4
+        ld.global r2, [r1+16]
+        st.shared [r3], r2
+        atom.global.add r4, [r5], 1
+        setp.lt p0, r1, r6
+        bra LOOP_0
+        exit
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import AsmError
+from .instruction import Instruction
+from .opcodes import AtomOp, CmpOp, Op, OP_INFO, Space
+from .operands import Imm, Operand, Pred, Reg, Special
+from .program import Kernel, Program
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][\w.$]*):$")
+_MEM_RE = re.compile(r"^\[([^\]]+)\]$")
+_SPECIALS = {f"%{s.value}": s for s in Special}
+
+
+def _parse_operand(text: str) -> Operand:
+    text = text.strip()
+    if re.fullmatch(r"r\d+", text):
+        return Reg(int(text[1:]))
+    if re.fullmatch(r"p\d+", text):
+        return Pred(int(text[1:]))
+    if text in _SPECIALS:
+        return _SPECIALS[text]
+    try:
+        return Imm(float(text))
+    except ValueError:
+        raise AsmError(f"cannot parse operand {text!r}") from None
+
+
+def _parse_mem(text: str) -> tuple[Operand, int]:
+    match = _MEM_RE.match(text.strip())
+    if not match:
+        raise AsmError(f"expected memory operand, got {text!r}")
+    inner = match.group(1).replace(" ", "")
+    offset = 0
+    body = inner
+    plus = re.match(r"^(.*?)([+-]\d+)$", inner)
+    if plus and not re.fullmatch(r"-?[\d.]+", inner):
+        body, offset = plus.group(1), int(plus.group(2))
+    if re.fullmatch(r"-?[\d.]+", body):
+        return Imm(float(body)), offset
+    return _parse_operand(body), offset
+
+
+def _split_operands(text: str) -> list[str]:
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def parse_instruction(line: str) -> Instruction:
+    """Parse one instruction line (without label or comment)."""
+    line = line.strip()
+    guard = None
+    guard_sense = True
+    if line.startswith("@"):
+        guard_text, _, line = line.partition(" ")
+        body = guard_text[1:]
+        if body.startswith("!"):
+            guard_sense = False
+            body = body[1:]
+        operand = _parse_operand(body)
+        if not isinstance(operand, Pred):
+            raise AsmError(f"guard must be a predicate, got {guard_text!r}")
+        guard = operand
+        line = line.strip()
+    mnemonic, _, rest = line.partition(" ")
+    parts = mnemonic.split(".")
+    try:
+        op = Op(parts[0])
+    except ValueError:
+        raise AsmError(f"unknown opcode {parts[0]!r}") from None
+    space = cmp = atom_op = None
+    for suffix in parts[1:]:
+        if suffix in Space._value2member_map_:
+            space = Space(suffix)
+        elif suffix in CmpOp._value2member_map_:
+            cmp = CmpOp(suffix)
+        elif suffix in AtomOp._value2member_map_:
+            atom_op = AtomOp(suffix)
+        else:
+            raise AsmError(f"unknown suffix {suffix!r} on {mnemonic!r}")
+    operands = _split_operands(rest)
+    info = OP_INFO[op]
+    dst: Reg | Pred | None = None
+    srcs: list[Operand] = []
+    offset = 0
+    target: str | None = None
+    if op is Op.BRA:
+        if len(operands) != 1:
+            raise AsmError("bra takes exactly one label")
+        target = operands[0]
+    elif op is Op.LD:
+        dst = _parse_operand(operands[0])
+        addr, offset = _parse_mem(operands[1])
+        srcs = [addr]
+    elif op is Op.ST:
+        addr, offset = _parse_mem(operands[0])
+        srcs = [addr, _parse_operand(operands[1])]
+    elif op is Op.ATOM:
+        dst = _parse_operand(operands[0])
+        addr, offset = _parse_mem(operands[1])
+        srcs = [addr, _parse_operand(operands[2])]
+    elif info.writes_reg or info.writes_pred:
+        dst = _parse_operand(operands[0])
+        srcs = [_parse_operand(text) for text in operands[1:]]
+    else:
+        srcs = [_parse_operand(text) for text in operands]
+    inst = Instruction(op=op, dst=dst, srcs=tuple(srcs), guard=guard,
+                       guard_sense=guard_sense, space=space, offset=offset,
+                       cmp=cmp, atom_op=atom_op, target=target)
+    inst.validate()
+    return inst
+
+
+def parse_kernel(text: str) -> Kernel:
+    """Parse a single ``.kernel`` definition from assembly text."""
+    kernels = parse_program(text).kernels
+    if len(kernels) != 1:
+        raise AsmError(f"expected exactly one kernel, found {len(kernels)}")
+    return next(iter(kernels.values()))
+
+
+def parse_program(text: str) -> Program:
+    """Parse one or more ``.kernel`` definitions."""
+    program = Program()
+    name: str | None = None
+    num_params = 0
+    shared_words = 0
+    instructions: list[Instruction] = []
+    labels: dict[str, int] = {}
+
+    def flush() -> None:
+        nonlocal name, num_params, shared_words, instructions, labels
+        if name is None:
+            return
+        kernel = Kernel(name=name, instructions=instructions, labels=labels,
+                        num_params=num_params, shared_words=shared_words)
+        kernel.validate()
+        program.add(kernel)
+        name, num_params, shared_words = None, 0, 0
+        instructions, labels = [], {}
+
+    for raw in text.splitlines():
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith(".kernel"):
+            flush()
+            name = line.split(None, 1)[1].strip()
+            continue
+        if name is None:
+            raise AsmError(f"directive outside kernel: {line!r}")
+        if line.startswith(".params"):
+            num_params = int(line.split(None, 1)[1])
+            continue
+        if line.startswith(".shared"):
+            shared_words = int(line.split(None, 1)[1])
+            continue
+        match = _LABEL_RE.match(line)
+        if match:
+            label = match.group(1)
+            if label in labels:
+                raise AsmError(f"duplicate label {label!r}")
+            labels[label] = len(instructions)
+            continue
+        instructions.append(parse_instruction(line))
+    flush()
+    if not program.kernels:
+        raise AsmError("no kernels found in assembly text")
+    return program

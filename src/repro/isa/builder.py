@@ -1,0 +1,352 @@
+"""KernelBuilder: an embedded DSL for writing virtual-ISA kernels.
+
+The builder is how the 34 Table-I workloads are authored.  It hands out
+fresh virtual registers, provides one emitter per opcode, and offers
+structured-control helpers (``loop``, ``if_``) that lower to labels and
+predicated branches, so kernels read like pseudo-CUDA::
+
+    b = KernelBuilder("saxpy", num_params=4)
+    n, alpha, x_ptr, y_ptr = b.params(4)
+    i = b.global_index()
+    with b.if_(b.setp(CmpOp.LT, i, n)):
+        x = b.ld_global(b.add(x_ptr, i))
+        y = b.ld_global(b.add(y_ptr, i))
+        b.st_global(b.add(y_ptr, i), b.mad(alpha, x, y))
+    kernel = b.build()
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from ..errors import IsaError
+from .instruction import Instruction
+from .opcodes import AtomOp, CmpOp, Op, Space
+from .operands import Imm, Operand, Pred, Reg, Special, as_operand
+from .program import Kernel
+
+#: Negated comparison, used to branch around structured-control bodies.
+_NEGATE = {
+    CmpOp.EQ: CmpOp.NE, CmpOp.NE: CmpOp.EQ,
+    CmpOp.LT: CmpOp.GE, CmpOp.GE: CmpOp.LT,
+    CmpOp.LE: CmpOp.GT, CmpOp.GT: CmpOp.LE,
+}
+
+
+class KernelBuilder:
+    """Incrementally builds a :class:`Kernel`."""
+
+    def __init__(self, name: str, num_params: int = 0,
+                 shared_words: int = 0) -> None:
+        self.name = name
+        self.num_params = num_params
+        self.shared_words = shared_words
+        self._instructions: list[Instruction] = []
+        self._labels: dict[str, int] = {}
+        self._next_reg = 0
+        self._next_pred = 0
+        self._next_label = 0
+
+    # ------------------------------------------------------------------
+    # Resources
+    # ------------------------------------------------------------------
+    def reg(self) -> Reg:
+        """A fresh general register."""
+        reg = Reg(self._next_reg)
+        self._next_reg += 1
+        return reg
+
+    def pred(self) -> Pred:
+        """A fresh predicate register."""
+        pred = Pred(self._next_pred)
+        self._next_pred += 1
+        return pred
+
+    def fresh_label(self, hint: str = "L") -> str:
+        label = f"{hint}_{self._next_label}"
+        self._next_label += 1
+        return label
+
+    def label(self, name: str) -> None:
+        """Attach ``name`` to the next emitted instruction."""
+        if name in self._labels:
+            raise IsaError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._instructions)
+
+    # ------------------------------------------------------------------
+    # Raw emission
+    # ------------------------------------------------------------------
+    def emit(self, inst: Instruction) -> Instruction:
+        self._instructions.append(inst)
+        return inst
+
+    def _emit_rr(self, op: Op, srcs, dst: Reg | None, guard: Pred | None,
+                 guard_sense: bool = True) -> Reg:
+        dst = dst or self.reg()
+        srcs = tuple(as_operand(s) for s in srcs)
+        self.emit(Instruction(op=op, dst=dst, srcs=srcs, guard=guard,
+                              guard_sense=guard_sense))
+        return dst
+
+    # ------------------------------------------------------------------
+    # Arithmetic emitters (value-returning; pass dst= to target a register)
+    # ------------------------------------------------------------------
+    def add(self, a, b, dst=None, guard=None):
+        return self._emit_rr(Op.ADD, (a, b), dst, guard)
+
+    def sub(self, a, b, dst=None, guard=None):
+        return self._emit_rr(Op.SUB, (a, b), dst, guard)
+
+    def mul(self, a, b, dst=None, guard=None):
+        return self._emit_rr(Op.MUL, (a, b), dst, guard)
+
+    def mad(self, a, b, c, dst=None, guard=None):
+        return self._emit_rr(Op.MAD, (a, b, c), dst, guard)
+
+    def div(self, a, b, dst=None, guard=None):
+        return self._emit_rr(Op.DIV, (a, b), dst, guard)
+
+    def rem(self, a, b, dst=None, guard=None):
+        return self._emit_rr(Op.REM, (a, b), dst, guard)
+
+    def min_(self, a, b, dst=None, guard=None):
+        return self._emit_rr(Op.MIN, (a, b), dst, guard)
+
+    def max_(self, a, b, dst=None, guard=None):
+        return self._emit_rr(Op.MAX, (a, b), dst, guard)
+
+    def abs_(self, a, dst=None, guard=None):
+        return self._emit_rr(Op.ABS, (a,), dst, guard)
+
+    def neg(self, a, dst=None, guard=None):
+        return self._emit_rr(Op.NEG, (a,), dst, guard)
+
+    def floor(self, a, dst=None, guard=None):
+        return self._emit_rr(Op.FLOOR, (a,), dst, guard)
+
+    def and_(self, a, b, dst=None, guard=None):
+        return self._emit_rr(Op.AND, (a, b), dst, guard)
+
+    def or_(self, a, b, dst=None, guard=None):
+        return self._emit_rr(Op.OR, (a, b), dst, guard)
+
+    def xor(self, a, b, dst=None, guard=None):
+        return self._emit_rr(Op.XOR, (a, b), dst, guard)
+
+    def not_(self, a, dst=None, guard=None):
+        return self._emit_rr(Op.NOT, (a,), dst, guard)
+
+    def shl(self, a, b, dst=None, guard=None):
+        return self._emit_rr(Op.SHL, (a, b), dst, guard)
+
+    def shr(self, a, b, dst=None, guard=None):
+        return self._emit_rr(Op.SHR, (a, b), dst, guard)
+
+    def mov(self, a, dst=None, guard=None, guard_sense=True):
+        return self._emit_rr(Op.MOV, (a,), dst, guard, guard_sense)
+
+    def selp(self, a, b, pred: Pred, dst=None, guard=None):
+        return self._emit_rr(Op.SELP, (a, b, pred), dst, guard)
+
+    def sqrt(self, a, dst=None, guard=None):
+        return self._emit_rr(Op.SQRT, (a,), dst, guard)
+
+    def rsqrt(self, a, dst=None, guard=None):
+        return self._emit_rr(Op.RSQRT, (a,), dst, guard)
+
+    def exp(self, a, dst=None, guard=None):
+        return self._emit_rr(Op.EXP, (a,), dst, guard)
+
+    def log(self, a, dst=None, guard=None):
+        return self._emit_rr(Op.LOG, (a,), dst, guard)
+
+    def sin(self, a, dst=None, guard=None):
+        return self._emit_rr(Op.SIN, (a,), dst, guard)
+
+    def cos(self, a, dst=None, guard=None):
+        return self._emit_rr(Op.COS, (a,), dst, guard)
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def setp(self, cmp: CmpOp, a, b, dst: Pred | None = None,
+             guard: Pred | None = None) -> Pred:
+        dst = dst or self.pred()
+        srcs = (as_operand(a), as_operand(b))
+        self.emit(Instruction(op=Op.SETP, dst=dst, srcs=srcs, cmp=cmp,
+                              guard=guard))
+        return dst
+
+    def pand(self, a: Pred, b: Pred, dst: Pred | None = None) -> Pred:
+        dst = dst or self.pred()
+        self.emit(Instruction(op=Op.PAND, dst=dst, srcs=(a, b)))
+        return dst
+
+    def por(self, a: Pred, b: Pred, dst: Pred | None = None) -> Pred:
+        dst = dst or self.pred()
+        self.emit(Instruction(op=Op.POR, dst=dst, srcs=(a, b)))
+        return dst
+
+    def pnot(self, a: Pred, dst: Pred | None = None) -> Pred:
+        dst = dst or self.pred()
+        self.emit(Instruction(op=Op.PNOT, dst=dst, srcs=(a,)))
+        return dst
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def ld_param(self, index: int, dst: Reg | None = None) -> Reg:
+        dst = dst or self.reg()
+        self.emit(Instruction(op=Op.LD, dst=dst, srcs=(Imm(float(index)),),
+                              space=Space.PARAM))
+        return dst
+
+    def params(self, count: int) -> list[Reg]:
+        """Load the first ``count`` kernel parameters into registers."""
+        if count > self.num_params:
+            raise IsaError(f"kernel declares only {self.num_params} params")
+        return [self.ld_param(i) for i in range(count)]
+
+    def ld_global(self, addr: Reg, offset: int = 0, dst=None, guard=None) -> Reg:
+        dst = dst or self.reg()
+        self.emit(Instruction(op=Op.LD, dst=dst, srcs=(addr,),
+                              space=Space.GLOBAL, offset=offset, guard=guard))
+        return dst
+
+    def st_global(self, addr: Reg, value, offset: int = 0, guard=None) -> None:
+        self.emit(Instruction(op=Op.ST, srcs=(addr, as_operand(value)),
+                              space=Space.GLOBAL, offset=offset, guard=guard))
+
+    def ld_shared(self, addr: Reg, offset: int = 0, dst=None, guard=None) -> Reg:
+        dst = dst or self.reg()
+        self.emit(Instruction(op=Op.LD, dst=dst, srcs=(addr,),
+                              space=Space.SHARED, offset=offset, guard=guard))
+        return dst
+
+    def st_shared(self, addr: Reg, value, offset: int = 0, guard=None) -> None:
+        self.emit(Instruction(op=Op.ST, srcs=(addr, as_operand(value)),
+                              space=Space.SHARED, offset=offset, guard=guard))
+
+    def atom_global(self, atom_op: AtomOp, addr: Reg, value, offset: int = 0,
+                    dst=None, guard=None) -> Reg:
+        dst = dst or self.reg()
+        self.emit(Instruction(op=Op.ATOM, dst=dst,
+                              srcs=(addr, as_operand(value)),
+                              space=Space.GLOBAL, offset=offset,
+                              atom_op=atom_op, guard=guard))
+        return dst
+
+    def atom_shared(self, atom_op: AtomOp, addr: Reg, value, offset: int = 0,
+                    dst=None, guard=None) -> Reg:
+        dst = dst or self.reg()
+        self.emit(Instruction(op=Op.ATOM, dst=dst,
+                              srcs=(addr, as_operand(value)),
+                              space=Space.SHARED, offset=offset,
+                              atom_op=atom_op, guard=guard))
+        return dst
+
+    # ------------------------------------------------------------------
+    # Control
+    # ------------------------------------------------------------------
+    def bra(self, target: str, guard: Pred | None = None,
+            guard_sense: bool = True) -> None:
+        self.emit(Instruction(op=Op.BRA, target=target, guard=guard,
+                              guard_sense=guard_sense))
+
+    def barrier(self) -> None:
+        self.emit(Instruction(op=Op.BAR))
+
+    def exit(self, guard: Pred | None = None, guard_sense: bool = True) -> None:
+        self.emit(Instruction(op=Op.EXIT, guard=guard,
+                              guard_sense=guard_sense))
+
+    # ------------------------------------------------------------------
+    # Special-register conveniences
+    # ------------------------------------------------------------------
+    def tid_x(self, dst=None) -> Reg:
+        return self.mov(Special.TID_X, dst=dst)
+
+    def ctaid_x(self, dst=None) -> Reg:
+        return self.mov(Special.CTAID_X, dst=dst)
+
+    def global_index(self, dst=None) -> Reg:
+        """``ctaid.x * ntid.x + tid.x`` — the canonical 1-D thread index."""
+        base = self.mul(Special.CTAID_X, Special.NTID_X)
+        return self.add(base, Special.TID_X, dst=dst)
+
+    def global_index_y(self, dst=None) -> Reg:
+        base = self.mul(Special.CTAID_Y, Special.NTID_Y)
+        return self.add(base, Special.TID_Y, dst=dst)
+
+    # ------------------------------------------------------------------
+    # Structured control flow
+    # ------------------------------------------------------------------
+    @contextmanager
+    def loop(self, start, stop, step: float = 1.0, counter: Reg | None = None):
+        """Counted loop: yields the counter register.
+
+        Lowered to a head test (so zero-trip loops work) and a back edge::
+
+            mov i, start
+          HEAD:
+            setp.ge p, i, stop     # (le for negative step)
+            @p bra END
+            <body>
+            add i, i, step
+            bra HEAD
+          END:
+        """
+        counter = counter if counter is not None else self.reg()
+        self.mov(start, dst=counter)
+        head = self.fresh_label("LOOP")
+        end = self.fresh_label("ENDLOOP")
+        self.label(head)
+        cmp = CmpOp.GE if step > 0 else CmpOp.LE
+        done = self.setp(cmp, counter, stop)
+        self.bra(end, guard=done)
+        yield counter
+        self.add(counter, step, dst=counter)
+        self.bra(head)
+        self.label(end)
+
+    @contextmanager
+    def while_(self, make_cond):
+        """While loop; ``make_cond`` emits code and returns the continue Pred."""
+        head = self.fresh_label("WHILE")
+        end = self.fresh_label("ENDWHILE")
+        self.label(head)
+        cond = make_cond()
+        self.bra(end, guard=cond, guard_sense=False)
+        yield
+        self.bra(head)
+        self.label(end)
+
+    @contextmanager
+    def if_(self, pred: Pred, sense: bool = True):
+        """Structured if: the body runs in lanes where ``pred == sense``."""
+        end = self.fresh_label("ENDIF")
+        self.bra(end, guard=pred, guard_sense=not sense)
+        yield
+        self.label(end)
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+    def build(self) -> Kernel:
+        """Finalize into a validated :class:`Kernel`."""
+        instructions = list(self._instructions)
+        labels = dict(self._labels)
+        # A trailing label (e.g. the END of a final if_) must get its own
+        # EXIT so branches to it do not land inside the skipped body.
+        dangling = any(index >= len(instructions) for index in labels.values())
+        if not instructions or instructions[-1].op is not Op.EXIT or dangling:
+            instructions.append(Instruction(op=Op.EXIT))
+        kernel = Kernel(
+            name=self.name,
+            instructions=instructions,
+            labels=labels,
+            num_params=self.num_params,
+            shared_words=self.shared_words,
+        )
+        kernel.validate()
+        return kernel

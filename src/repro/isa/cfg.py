@@ -1,0 +1,186 @@
+"""Control-flow graph construction and analyses for kernels.
+
+Provides basic blocks, dominator/post-dominator computation (via
+networkx), immediate-post-dominator reconvergence points for the SIMT
+stack, back-edge/loop-header detection, and merge-point detection used
+by the idempotent region formation pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from ..errors import IsaError
+from .opcodes import Op
+from .program import Kernel
+
+#: Virtual exit node used for post-dominator computation.
+EXIT_NODE = -1
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line instruction sequence ``[start, end)``."""
+
+    index: int
+    start: int
+    end: int
+    succs: list[int] = field(default_factory=list)
+    preds: list[int] = field(default_factory=list)
+
+    def __contains__(self, inst_index: int) -> bool:
+        return self.start <= inst_index < self.end
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+
+class Cfg:
+    """Control-flow graph of a kernel at instruction granularity."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self.blocks: list[BasicBlock] = []
+        self.block_of: list[int] = []
+        self._build()
+        self._reconv: dict[int, int] | None = None
+        self._back_edges: set[tuple[int, int]] | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _leader_set(self) -> set[int]:
+        kernel = self.kernel
+        n = len(kernel.instructions)
+        leaders = {0}
+        for i, inst in enumerate(kernel.instructions):
+            if inst.op is Op.BRA:
+                leaders.add(kernel.target_of(inst))
+                if i + 1 < n:
+                    leaders.add(i + 1)
+            elif inst.op is Op.EXIT and i + 1 < n:
+                leaders.add(i + 1)
+        return leaders
+
+    def _build(self) -> None:
+        kernel = self.kernel
+        n = len(kernel.instructions)
+        if n == 0:
+            raise IsaError("cannot build CFG of an empty kernel")
+        leaders = sorted(self._leader_set())
+        bounds = leaders + [n]
+        start_to_block: dict[int, int] = {}
+        for b, (start, end) in enumerate(zip(bounds, bounds[1:])):
+            self.blocks.append(BasicBlock(index=b, start=start, end=end))
+            start_to_block[start] = b
+        self.block_of = [0] * n
+        for block in self.blocks:
+            for i in range(block.start, block.end):
+                self.block_of[i] = block.index
+        for block in self.blocks:
+            last = kernel.instructions[block.end - 1]
+            succ_starts: list[int] = []
+            if last.op is Op.BRA:
+                succ_starts.append(kernel.target_of(last))
+                if last.guard is not None and block.end < n:
+                    succ_starts.append(block.end)
+            elif last.op is Op.EXIT:
+                # A guarded exit only retires some lanes; the rest fall
+                # through, so the next block is a real successor.
+                if last.guard is not None and block.end < n:
+                    succ_starts.append(block.end)
+            elif block.end < n:
+                succ_starts.append(block.end)
+            for start in succ_starts:
+                succ = start_to_block[start]
+                if succ not in block.succs:
+                    block.succs.append(succ)
+                    self.blocks[succ].preds.append(block.index)
+
+    # ------------------------------------------------------------------
+    # Graph views and analyses
+    # ------------------------------------------------------------------
+    def digraph(self) -> nx.DiGraph:
+        """The block-level CFG as a networkx digraph (with virtual exit)."""
+        graph = nx.DiGraph()
+        graph.add_nodes_from(b.index for b in self.blocks)
+        graph.add_node(EXIT_NODE)
+        for block in self.blocks:
+            for succ in block.succs:
+                graph.add_edge(block.index, succ)
+            last = self.kernel.instructions[block.end - 1]
+            if last.op is Op.EXIT or not block.succs:
+                graph.add_edge(block.index, EXIT_NODE)
+        return graph
+
+    def back_edges(self) -> set[tuple[int, int]]:
+        """Edges (u, v) where v dominates u — i.e. loop back edges."""
+        if self._back_edges is None:
+            graph = self.digraph()
+            graph.remove_node(EXIT_NODE)
+            idom = nx.immediate_dominators(graph, 0)
+            self._back_edges = set()
+            for block in self.blocks:
+                for succ in block.succs:
+                    if self._dominates(idom, succ, block.index):
+                        self._back_edges.add((block.index, succ))
+        return self._back_edges
+
+    @staticmethod
+    def _dominates(idom: dict[int, int], a: int, b: int) -> bool:
+        """True if block ``a`` dominates block ``b`` under the idom tree."""
+        node = b
+        while True:
+            if node == a:
+                return True
+            parent = idom.get(node)
+            if parent is None or parent == node:
+                return False
+            node = parent
+
+    def loop_headers(self) -> set[int]:
+        """Blocks that are targets of back edges."""
+        return {v for _, v in self.back_edges()}
+
+    def merge_blocks(self) -> set[int]:
+        """Blocks with more than one predecessor (control-flow joins)."""
+        return {b.index for b in self.blocks if len(b.preds) > 1}
+
+    def reconvergence_table(self) -> dict[int, int]:
+        """Map branch instruction index -> reconvergence instruction index.
+
+        The reconvergence point of a potentially-divergent branch is the
+        start of the immediate post-dominator block of the branch's block,
+        the standard SIMT-stack policy.  Branches whose block post-dominator
+        is the virtual exit reconverge "at exit" and are mapped to
+        ``len(kernel)`` (a PC no instruction occupies).
+        """
+        if self._reconv is not None:
+            return self._reconv
+        graph = self.digraph()
+        ipdom = nx.immediate_dominators(graph.reverse(copy=False), EXIT_NODE)
+        table: dict[int, int] = {}
+        for block in self.blocks:
+            last_index = block.end - 1
+            last = self.kernel.instructions[last_index]
+            if last.op is Op.BRA and last.guard is not None:
+                node = ipdom.get(block.index, EXIT_NODE)
+                if node == EXIT_NODE:
+                    table[last_index] = len(self.kernel.instructions)
+                else:
+                    table[last_index] = self.blocks[node].start
+        self._reconv = table
+        return table
+
+    def block_at(self, inst_index: int) -> BasicBlock:
+        return self.blocks[self.block_of[inst_index]]
+
+    def rpo(self) -> list[int]:
+        """Reverse post-order of reachable blocks (from the entry block)."""
+        graph = self.digraph()
+        graph.remove_node(EXIT_NODE)
+        order = list(nx.dfs_postorder_nodes(graph, source=0))
+        order.reverse()
+        return order

@@ -1,0 +1,149 @@
+"""Instruction representation for the virtual ISA."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..errors import IsaError
+from .opcodes import AtomOp, CmpOp, FuClass, Op, OP_INFO, OpInfo, Space
+from .operands import Imm, Operand, Pred, Reg, Special
+
+
+@dataclass
+class Instruction:
+    """A single virtual-ISA instruction.
+
+    Memory operands are expressed as ``[addr_reg + offset]`` where the
+    address is a *word* index into the state space (one word = one 32-bit
+    element, matching how the coalescer and bank-conflict models count).
+
+    ``guard``/``guard_sense`` implement PTX-style predication: the
+    instruction only takes effect in lanes where ``guard == guard_sense``.
+
+    ``shadow`` marks replicas created by the SwapCodes duplication pass;
+    ``ckpt`` marks checkpoint stores created by the checkpointing pass;
+    both execute normally but are tracked separately in statistics.
+    """
+
+    op: Op
+    dst: Reg | Pred | None = None
+    srcs: tuple[Operand, ...] = ()
+    guard: Pred | None = None
+    guard_sense: bool = True
+    space: Space | None = None
+    offset: int = 0
+    cmp: CmpOp | None = None
+    atom_op: AtomOp | None = None
+    target: str | None = None
+    shadow: bool = False
+    ckpt: bool = False
+    comment: str = field(default="", compare=False)
+
+    @property
+    def info(self) -> OpInfo:
+        return OP_INFO[self.op]
+
+    @property
+    def fu(self) -> FuClass:
+        return self.info.fu
+
+    def validate(self) -> None:
+        """Check structural well-formedness; raise :class:`IsaError` if bad."""
+        info = self.info
+        if len(self.srcs) != info.num_srcs:
+            raise IsaError(
+                f"{self.op} expects {info.num_srcs} sources, got {len(self.srcs)}"
+            )
+        if info.writes_reg and not isinstance(self.dst, Reg):
+            raise IsaError(f"{self.op} must write a general register")
+        if info.writes_pred and not isinstance(self.dst, Pred):
+            raise IsaError(f"{self.op} must write a predicate register")
+        if not info.writes_reg and not info.writes_pred and self.dst is not None:
+            raise IsaError(f"{self.op} takes no destination")
+        if info.is_load or info.is_store or info.is_atomic:
+            if self.space is None:
+                raise IsaError(f"{self.op} requires a state space")
+            if info.is_load and self.space is Space.PARAM:
+                if not isinstance(self.srcs[0], Imm):
+                    raise IsaError("param loads take an immediate index")
+            elif not isinstance(self.srcs[0], Reg):
+                raise IsaError(f"{self.op} address must be a register")
+        if self.op is Op.SETP and self.cmp is None:
+            raise IsaError("setp requires a comparison operator")
+        if info.is_atomic and self.atom_op is None:
+            raise IsaError("atom requires an atomic operator")
+        if info.is_branch and self.target is None:
+            raise IsaError("bra requires a target label")
+
+    def reads(self) -> tuple[Operand, ...]:
+        """All source operands, including the guard predicate and selects."""
+        srcs = self.srcs
+        if self.guard is not None:
+            srcs = srcs + (self.guard,)
+        return srcs
+
+    def read_regs(self) -> tuple[Reg, ...]:
+        """General registers read by this instruction."""
+        return tuple(s for s in self.srcs if isinstance(s, Reg))
+
+    def read_preds(self) -> tuple[Pred, ...]:
+        """Predicate registers read (sources and guard)."""
+        preds = [s for s in self.srcs if isinstance(s, Pred)]
+        if self.guard is not None:
+            preds.append(self.guard)
+        return tuple(preds)
+
+    def written_reg(self) -> Reg | None:
+        return self.dst if isinstance(self.dst, Reg) else None
+
+    def written_pred(self) -> Pred | None:
+        return self.dst if isinstance(self.dst, Pred) else None
+
+    def with_(self, **changes) -> "Instruction":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def __str__(self) -> str:
+        parts = []
+        if self.guard is not None:
+            sense = "" if self.guard_sense else "!"
+            parts.append(f"@{sense}{self.guard}")
+        name = self.op.value
+        if self.space is not None:
+            name += f".{self.space.value}"
+        if self.atom_op is not None:
+            name += f".{self.atom_op.value}"
+        if self.cmp is not None:
+            name += f".{self.cmp.value}"
+        parts.append(name)
+        operands = []
+        if self.dst is not None:
+            operands.append(repr(self.dst))
+        info = self.info
+        if info.is_load or info.is_store or info.is_atomic:
+            addr = repr(self.srcs[0])
+            if self.offset:
+                addr += f"+{self.offset}" if self.offset > 0 else f"{self.offset}"
+            mem = f"[{addr}]"
+            rest = [repr(s) for s in self.srcs[1:]]
+            if info.is_load:
+                operands.append(mem)
+            else:
+                operands = [mem] + rest if not info.is_atomic else [repr(self.dst), mem] + rest
+                if info.is_atomic:
+                    operands = operands[1:]
+                    operands.insert(0, repr(self.dst))
+        else:
+            operands.extend(repr(s) for s in self.srcs)
+        if self.target is not None:
+            operands.append(self.target)
+        text = " ".join(parts)
+        if operands:
+            text += " " + ", ".join(operands)
+        if self.shadow:
+            text += "  ; <dup>"
+        if self.ckpt:
+            text += "  ; <ckpt>"
+        elif self.comment:
+            text += f"  ; {self.comment}"
+        return text

@@ -1,0 +1,171 @@
+"""Opcode definitions and static metadata for the virtual ISA.
+
+Every opcode carries the metadata the simulator and compiler need:
+which functional-unit class executes it (for latency/issue modelling),
+whether it reads or writes memory, whether it is a control instruction,
+and whether the SwapCodes-style duplication pass may replicate it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class FuClass(enum.Enum):
+    """Functional-unit class; the architecture config maps each to a latency."""
+
+    ALU = "alu"          # int/fp add, logic, compare, select, mov
+    MUL = "mul"          # multiply, multiply-add
+    SFU = "sfu"          # special functions: div, sqrt, exp, log, sin, cos
+    MEM = "mem"          # loads, stores, atomics
+    CTRL = "ctrl"        # branches, barriers, exit
+    META = "meta"        # region boundaries and other zero-latency markers
+
+
+class Space(enum.Enum):
+    """Memory state spaces."""
+
+    GLOBAL = "global"
+    SHARED = "shared"
+    PARAM = "param"
+
+
+class CmpOp(enum.Enum):
+    """Comparison operators for SETP."""
+
+    EQ = "eq"
+    NE = "ne"
+    LT = "lt"
+    LE = "le"
+    GT = "gt"
+    GE = "ge"
+
+
+class AtomOp(enum.Enum):
+    """Atomic read-modify-write operators."""
+
+    ADD = "add"
+    MAX = "max"
+    MIN = "min"
+    EXCH = "exch"
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static properties of an opcode."""
+
+    fu: FuClass
+    num_srcs: int
+    writes_reg: bool = True
+    writes_pred: bool = False
+    is_load: bool = False
+    is_store: bool = False
+    is_atomic: bool = False
+    is_branch: bool = False
+    is_barrier: bool = False
+    is_exit: bool = False
+    is_boundary: bool = False
+    duplicable: bool = False
+
+
+class Op(enum.Enum):
+    """All opcodes of the virtual ISA."""
+
+    # Integer/float arithmetic (operates on 64-bit lane values).
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    MAD = "mad"          # d = s0 * s1 + s2
+    DIV = "div"
+    REM = "rem"
+    MIN = "min"
+    MAX = "max"
+    ABS = "abs"
+    NEG = "neg"
+    FLOOR = "floor"
+    # Bitwise/integer ops (sources truncated to int64).
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOT = "not"
+    SHL = "shl"
+    SHR = "shr"
+    # Moves and selects.
+    MOV = "mov"
+    SELP = "selp"        # d = p ? s0 : s1   (srcs: s0, s1, p)
+    # Special-function unit.
+    SQRT = "sqrt"
+    RSQRT = "rsqrt"
+    EXP = "exp"
+    LOG = "log"
+    SIN = "sin"
+    COS = "cos"
+    # Predicate handling.
+    SETP = "setp"        # p = s0 <cmp> s1
+    PAND = "pand"        # p = p0 & p1
+    POR = "por"          # p = p0 | p1
+    PNOT = "pnot"        # p = !p0
+    # Memory.
+    LD = "ld"            # d = [space][s0 + offset]
+    ST = "st"            # [space][s0 + offset] = s1
+    ATOM = "atom"        # d = old; [space][s0 + offset] op= s1
+    # Control.
+    BRA = "bra"
+    BAR = "bar"
+    EXIT = "exit"
+    # Compiler-inserted region boundary marker (Flame).
+    RB = "rb"
+
+    def __repr__(self) -> str:
+        return self.value
+
+    __str__ = __repr__
+
+
+_ALU = OpInfo(FuClass.ALU, 2, duplicable=True)
+_ALU1 = OpInfo(FuClass.ALU, 1, duplicable=True)
+_SFU1 = OpInfo(FuClass.SFU, 1, duplicable=True)
+
+OP_INFO: dict[Op, OpInfo] = {
+    Op.ADD: _ALU,
+    Op.SUB: _ALU,
+    Op.MUL: OpInfo(FuClass.MUL, 2, duplicable=True),
+    Op.MAD: OpInfo(FuClass.MUL, 3, duplicable=True),
+    Op.DIV: OpInfo(FuClass.SFU, 2, duplicable=True),
+    Op.REM: OpInfo(FuClass.SFU, 2, duplicable=True),
+    Op.MIN: _ALU,
+    Op.MAX: _ALU,
+    Op.ABS: _ALU1,
+    Op.NEG: _ALU1,
+    Op.FLOOR: _ALU1,
+    Op.AND: _ALU,
+    Op.OR: _ALU,
+    Op.XOR: _ALU,
+    Op.NOT: _ALU1,
+    Op.SHL: _ALU,
+    Op.SHR: _ALU,
+    Op.MOV: _ALU1,
+    Op.SELP: OpInfo(FuClass.ALU, 3, duplicable=True),
+    Op.SQRT: _SFU1,
+    Op.RSQRT: _SFU1,
+    Op.EXP: _SFU1,
+    Op.LOG: _SFU1,
+    Op.SIN: _SFU1,
+    Op.COS: _SFU1,
+    Op.SETP: OpInfo(FuClass.ALU, 2, writes_reg=False, writes_pred=True,
+                    duplicable=True),
+    Op.PAND: OpInfo(FuClass.ALU, 2, writes_reg=False, writes_pred=True,
+                    duplicable=True),
+    Op.POR: OpInfo(FuClass.ALU, 2, writes_reg=False, writes_pred=True,
+                   duplicable=True),
+    Op.PNOT: OpInfo(FuClass.ALU, 1, writes_reg=False, writes_pred=True,
+                    duplicable=True),
+    Op.LD: OpInfo(FuClass.MEM, 1, is_load=True),
+    Op.ST: OpInfo(FuClass.MEM, 2, writes_reg=False, is_store=True),
+    Op.ATOM: OpInfo(FuClass.MEM, 2, is_atomic=True),
+    Op.BRA: OpInfo(FuClass.CTRL, 0, writes_reg=False, is_branch=True),
+    Op.BAR: OpInfo(FuClass.CTRL, 0, writes_reg=False, is_barrier=True),
+    Op.EXIT: OpInfo(FuClass.CTRL, 0, writes_reg=False, is_exit=True),
+    Op.RB: OpInfo(FuClass.META, 0, writes_reg=False, is_boundary=True),
+}

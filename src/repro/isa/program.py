@@ -1,0 +1,161 @@
+"""Kernels and programs: containers for virtual-ISA code."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import IsaError
+from .instruction import Instruction
+from .opcodes import Op
+from .operands import Pred, Reg
+
+
+@dataclass
+class Kernel:
+    """A GPU kernel: a flat instruction list plus label and resource info.
+
+    ``labels`` maps a label name to the index of the instruction it
+    precedes.  ``shared_words`` is the per-block shared memory footprint in
+    words; ``num_params`` the number of scalar parameters passed at launch.
+    """
+
+    name: str
+    instructions: list[Instruction] = field(default_factory=list)
+    labels: dict[str, int] = field(default_factory=dict)
+    num_params: int = 0
+    shared_words: int = 0
+
+    def __post_init__(self) -> None:
+        self._validate_labels()
+
+    def _validate_labels(self) -> None:
+        n = len(self.instructions)
+        for label, index in self.labels.items():
+            if not 0 <= index <= n:
+                raise IsaError(f"label {label!r} points outside kernel ({index})")
+
+    def validate(self) -> None:
+        """Full structural validation of every instruction and branch."""
+        self._validate_labels()
+        if not self.instructions:
+            raise IsaError(f"kernel {self.name!r} is empty")
+        for i, inst in enumerate(self.instructions):
+            try:
+                inst.validate()
+            except IsaError as exc:
+                raise IsaError(f"{self.name}[{i}] {inst}: {exc}") from exc
+            if inst.op is Op.BRA and inst.target not in self.labels:
+                raise IsaError(
+                    f"{self.name}[{i}]: branch to unknown label {inst.target!r}"
+                )
+        if not any(inst.op is Op.EXIT for inst in self.instructions):
+            raise IsaError(f"kernel {self.name!r} has no exit instruction")
+
+    def target_of(self, inst: Instruction) -> int:
+        """Instruction index a branch jumps to."""
+        assert inst.target is not None
+        return self.labels[inst.target]
+
+    @property
+    def num_regs(self) -> int:
+        """Number of general registers used (max index + 1)."""
+        top = -1
+        for inst in self.instructions:
+            for reg in inst.read_regs():
+                top = max(top, reg.index)
+            written = inst.written_reg()
+            if written is not None:
+                top = max(top, written.index)
+        return top + 1
+
+    @property
+    def num_preds(self) -> int:
+        """Number of predicate registers used (max index + 1)."""
+        top = -1
+        for inst in self.instructions:
+            for pred in inst.read_preds():
+                top = max(top, pred.index)
+            written = inst.written_pred()
+            if written is not None:
+                top = max(top, written.index)
+        return top + 1
+
+    def fresh_reg_allocator(self) -> "RegAllocator":
+        """An allocator handing out registers above those already in use."""
+        return RegAllocator(self.num_regs)
+
+    def labels_at(self, index: int) -> list[str]:
+        """All labels attached to the instruction at ``index``."""
+        return [name for name, at in self.labels.items() if at == index]
+
+    def to_asm(self) -> str:
+        """Render the kernel as textual assembly (round-trips via the parser)."""
+        lines = [
+            f".kernel {self.name}",
+            f".params {self.num_params}",
+        ]
+        if self.shared_words:
+            lines.append(f".shared {self.shared_words}")
+        by_index: dict[int, list[str]] = {}
+        for name, at in self.labels.items():
+            by_index.setdefault(at, []).append(name)
+        for i, inst in enumerate(self.instructions):
+            for name in sorted(by_index.get(i, ())):
+                lines.append(f"{name}:")
+            lines.append(f"    {inst}")
+        for name in sorted(by_index.get(len(self.instructions), ())):
+            lines.append(f"{name}:")
+        return "\n".join(lines) + "\n"
+
+    def clone(self) -> "Kernel":
+        """Deep-enough copy: instructions are immutable in practice."""
+        return Kernel(
+            name=self.name,
+            instructions=list(self.instructions),
+            labels=dict(self.labels),
+            num_params=self.num_params,
+            shared_words=self.shared_words,
+        )
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+class RegAllocator:
+    """Hands out fresh virtual registers/predicates above a floor index."""
+
+    def __init__(self, next_reg: int = 0, next_pred: int = 0) -> None:
+        self._next_reg = next_reg
+        self._next_pred = next_pred
+
+    def reg(self) -> Reg:
+        reg = Reg(self._next_reg)
+        self._next_reg += 1
+        return reg
+
+    def pred(self) -> Pred:
+        pred = Pred(self._next_pred)
+        self._next_pred += 1
+        return pred
+
+    @property
+    def regs_allocated(self) -> int:
+        return self._next_reg
+
+
+@dataclass
+class Program:
+    """A collection of kernels, addressable by name."""
+
+    kernels: dict[str, Kernel] = field(default_factory=dict)
+
+    def add(self, kernel: Kernel) -> None:
+        if kernel.name in self.kernels:
+            raise IsaError(f"duplicate kernel {kernel.name!r}")
+        self.kernels[kernel.name] = kernel
+
+    def __getitem__(self, name: str) -> Kernel:
+        return self.kernels[name]
+
+    def __iter__(self):
+        return iter(self.kernels.values())

@@ -1,0 +1,30 @@
+"""Cycle-level GPU simulator (the GPGPU-Sim substitute).
+
+Public surface:
+
+* :class:`Gpu`, :func:`run_kernel`, :class:`LaunchConfig`, :class:`RunResult`
+* :class:`Sm`, :class:`ThreadBlock`, :class:`ResilienceRuntime`
+* :class:`Warp`, :class:`WarpState`, :class:`WarpSnapshot`
+* :data:`SCHEDULERS` (GTO / OLD / LRR / 2LV), :func:`make_scheduler`
+* :class:`SimStats`, :class:`Cache`
+"""
+
+from .caches import Cache
+from .functional import LaneContext, MemAccess, execute, guard_mask
+from .gpu import (Gpu, LaunchConfig, MAX_CYCLES, RunResult, occupancy_blocks,
+                  run_kernel)
+from .schedulers import (GtoScheduler, LrrScheduler, OldestScheduler,
+                         SCHEDULERS, TwoLevelScheduler, WarpScheduler,
+                         make_scheduler)
+from .sm import NEVER, NULL_RESILIENCE, ResilienceRuntime, Sm, ThreadBlock
+from .stats import SimStats
+from .warp import StackEntry, Warp, WarpSnapshot, WarpState
+
+__all__ = [
+    "Cache", "Gpu", "GtoScheduler", "LaneContext", "LaunchConfig",
+    "LrrScheduler", "MAX_CYCLES", "MemAccess", "NEVER", "NULL_RESILIENCE",
+    "OldestScheduler", "ResilienceRuntime", "RunResult", "SCHEDULERS",
+    "SimStats", "Sm", "StackEntry", "ThreadBlock", "TwoLevelScheduler",
+    "Warp", "WarpScheduler", "WarpSnapshot", "WarpState", "execute",
+    "guard_mask", "make_scheduler", "occupancy_blocks", "run_kernel",
+]

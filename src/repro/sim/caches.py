@@ -1,0 +1,54 @@
+"""Tag-only set-associative caches with LRU replacement.
+
+Timing-only: data lives in the functional memory arrays; the caches just
+decide hit/miss for latency.  L1 is per-SM (write-through, no
+write-allocate, as on Fermi for global stores); L2 is shared.
+"""
+
+from __future__ import annotations
+
+from ..arch import CacheConfig
+
+
+class Cache:
+    """A set-associative LRU cache over word addresses."""
+
+    def __init__(self, config: CacheConfig, name: str = "cache") -> None:
+        self.config = config
+        self.name = name
+        # Each set is a list of line tags, most-recently-used last.
+        self._sets: list[list[int]] = [[] for _ in range(config.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _locate(self, word_addr: int) -> tuple[list[int], int]:
+        line = word_addr // self.config.line_words
+        return self._sets[line % self.config.num_sets], line
+
+    def access(self, word_addr: int, is_store: bool = False) -> bool:
+        """Access one line; returns True on hit.  Loads allocate on miss,
+        stores are write-through no-allocate."""
+        ways, line = self._locate(word_addr)
+        if line in ways:
+            self.hits += 1
+            ways.remove(line)
+            ways.append(line)
+            return True
+        self.misses += 1
+        if not is_store:
+            if len(ways) >= self.config.assoc:
+                ways.pop(0)
+            ways.append(line)
+        return False
+
+    def invalidate(self) -> None:
+        for ways in self._sets:
+            ways.clear()
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0

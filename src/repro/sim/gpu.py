@@ -1,0 +1,237 @@
+"""GPU top level: kernel launch, occupancy, block dispatch, run loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..arch import GpuConfig, GTX480
+from ..errors import LaunchError, SimError
+from ..isa import Cfg, Kernel, Special
+from .caches import Cache
+from .sm import NEVER, ResilienceRuntime, NULL_RESILIENCE, Sm, ThreadBlock
+from .stats import SimStats
+from .warp import Warp, WarpState
+
+#: Hard safety valve against runaway/livelocked simulations.
+MAX_CYCLES = 500_000_000
+
+
+@dataclass
+class LaunchConfig:
+    """Grid/block geometry and scalar parameters of one kernel launch."""
+
+    grid: tuple[int, int] = (1, 1)
+    block: tuple[int, int] = (32, 1)
+    params: tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        gx, gy = self.grid
+        bx, by = self.block
+        if gx < 1 or gy < 1 or bx < 1 or by < 1:
+            raise LaunchError("grid and block dimensions must be positive")
+        if bx * by > 1024:
+            raise LaunchError("at most 1024 threads per block")
+
+    @property
+    def num_blocks(self) -> int:
+        return self.grid[0] * self.grid[1]
+
+    @property
+    def threads_per_block(self) -> int:
+        return self.block[0] * self.block[1]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated kernel launch."""
+
+    cycles: int
+    stats: SimStats
+    global_mem: np.ndarray
+    per_sm: list[SimStats] = field(default_factory=list)
+
+
+def occupancy_blocks(config: GpuConfig, kernel: Kernel,
+                     launch: LaunchConfig, regs_per_thread: int) -> int:
+    """Resident blocks per SM under warp/block/register/shared limits."""
+    threads = launch.threads_per_block
+    warps_per_block = -(-threads // config.warp_size)
+    limits = [
+        config.max_blocks_per_sm,
+        config.max_warps_per_sm // warps_per_block,
+    ]
+    if kernel.shared_words:
+        limits.append(config.shared_words_per_sm // kernel.shared_words)
+    if regs_per_thread:
+        regs_per_block = regs_per_thread * warps_per_block * config.warp_size
+        limits.append(config.regfile_words_per_sm // regs_per_block)
+    blocks = min(limits)
+    if blocks < 1:
+        raise LaunchError(
+            f"kernel {kernel.name!r} cannot fit one block on an SM "
+            f"(threads={threads}, regs/thread={regs_per_thread}, "
+            f"shared={kernel.shared_words})"
+        )
+    return blocks
+
+
+class Gpu:
+    """The simulated GPU: a set of SMs, a shared L2, and a block dispatcher."""
+
+    def __init__(self, config: GpuConfig = GTX480,
+                 resilience: ResilienceRuntime = NULL_RESILIENCE,
+                 scheduler: str = "GTO") -> None:
+        self.config = config
+        self.scheduler = scheduler
+        self.l2 = Cache(config.l2, name="l2")
+        self.sms = [Sm(i, config, self.l2, resilience)
+                    for i in range(config.sim_sms)]
+        self.fault_injector = None  # set by repro.core.injection
+
+    # ------------------------------------------------------------------
+    # Launch
+    # ------------------------------------------------------------------
+    def launch(self, kernel: Kernel, launch: LaunchConfig,
+               global_mem: np.ndarray,
+               regs_per_thread: int | None = None) -> RunResult:
+        """Run one kernel to completion and return timing + final memory."""
+        kernel.validate()
+        if len(launch.params) != kernel.num_params:
+            raise LaunchError(
+                f"kernel {kernel.name!r} takes {kernel.num_params} params, "
+                f"got {len(launch.params)}"
+            )
+        if global_mem.dtype != np.float64:
+            raise LaunchError("global memory must be a float64 array")
+        regs = regs_per_thread if regs_per_thread is not None else kernel.num_regs
+        blocks_per_sm = occupancy_blocks(self.config, kernel, launch, regs)
+        reconv = Cfg(kernel).reconvergence_table()
+        params = np.asarray(launch.params, dtype=np.float64)
+        for sm in self.sms:
+            sm.configure(kernel, global_mem, reconv, self.scheduler)
+        pending = list(self._make_blocks(kernel, launch, params))
+        pending.reverse()  # pop() dispatches in grid order
+        total_blocks = len(pending)
+
+        cycle = 0
+        age = 0
+        while True:
+            # Dispatch blocks into free slots.
+            for sm in self.sms:
+                while pending and sm.resident_blocks < blocks_per_sm:
+                    block = pending.pop()
+                    for warp in block.warps:
+                        warp.age = age
+                        age += 1
+                    sm.add_block(block, cycle)
+            # Detection must precede this cycle's conveyor pops: an error
+            # detected exactly WCDL cycles after a region end invalidates
+            # that region's verification (the tie goes to the detector).
+            if self.fault_injector is not None:
+                self.fault_injector.tick(self, cycle)
+            issued = 0
+            for sm in self.sms:
+                issued += sm.tick(cycle)
+            # Retire finished blocks.
+            for sm in self.sms:
+                for block in [b for b in sm.blocks if b.done]:
+                    sm.remove_block(block)
+            if not pending and all(not sm.busy for sm in self.sms):
+                break
+            if issued:
+                cycle += 1
+            else:
+                cycle = self._fast_forward(cycle)
+            if cycle > MAX_CYCLES:
+                raise SimError(f"kernel {kernel.name!r} exceeded "
+                               f"{MAX_CYCLES} cycles — likely livelocked")
+
+        stats = SimStats()
+        per_sm = []
+        for sm in self.sms:
+            sm.stats.l1_hits, sm.stats.l1_misses = sm.l1.hits, sm.l1.misses
+            stats.merge(sm.stats)
+            per_sm.append(sm.stats)
+        stats.l2_hits, stats.l2_misses = self.l2.hits, self.l2.misses
+        stats.cycles = cycle + 1
+        stats.regs_per_thread = regs
+        stats.occupancy_warps = blocks_per_sm * (
+            -(-launch.threads_per_block // self.config.warp_size))
+        stats.blocks_launched = total_blocks
+        return RunResult(cycles=cycle + 1, stats=stats,
+                         global_mem=global_mem, per_sm=per_sm)
+
+    def _fast_forward(self, cycle: int) -> int:
+        nxt = NEVER
+        for sm in self.sms:
+            nxt = min(nxt, sm.next_event(cycle))
+        if self.fault_injector is not None:
+            nxt = min(nxt, self.fault_injector.next_event(cycle))
+        if nxt >= NEVER:
+            self._raise_deadlock(cycle)
+        return max(cycle + 1, nxt)
+
+    def _raise_deadlock(self, cycle: int) -> None:
+        lines = [f"simulation deadlocked at cycle {cycle}:"]
+        for sm in self.sms:
+            for warp in sm.warps:
+                lines.append(
+                    f"  sm{sm.id} warp{warp.id} state={warp.state.value} "
+                    f"pc={warp.pc} wakeup={warp.wakeup_cycle}"
+                )
+        raise SimError("\n".join(lines))
+
+    def _make_blocks(self, kernel: Kernel, launch: LaunchConfig, params):
+        config = self.config
+        gx, _ = launch.grid
+        bx, by = launch.block
+        threads = launch.threads_per_block
+        warps_per_block = -(-threads // config.warp_size)
+        warp_counter = 0
+        for block_id in range(launch.num_blocks):
+            ctaid = (block_id % gx, block_id // gx)
+            block = ThreadBlock(block_id, ctaid, threads,
+                                first_warp_id=warp_counter,
+                                shared_words=kernel.shared_words)
+            for w in range(warps_per_block):
+                warp_id = warp_counter
+                warp_counter += 1
+                specials = self._specials(ctaid, launch, w)
+                warp = Warp(warp_id, block, kernel,
+                            num_regs=max(kernel.num_regs, 1),
+                            warp_size=config.warp_size,
+                            specials=specials, params=params, age=warp_id)
+                block.warps.append(warp)
+            yield block
+
+    def _specials(self, ctaid: tuple[int, int], launch: LaunchConfig,
+                  warp_in_block: int) -> dict[Special, np.ndarray]:
+        config = self.config
+        bx, by = launch.block
+        gx, gy = launch.grid
+        lanes = np.arange(config.warp_size, dtype=np.float64)
+        linear = warp_in_block * config.warp_size + lanes
+        full = np.full(config.warp_size, 0.0)
+        return {
+            Special.TID_X: np.mod(linear, bx),
+            Special.TID_Y: np.floor(linear / bx),
+            Special.NTID_X: full + bx,
+            Special.NTID_Y: full + by,
+            Special.CTAID_X: full + ctaid[0],
+            Special.CTAID_Y: full + ctaid[1],
+            Special.NCTAID_X: full + gx,
+            Special.NCTAID_Y: full + gy,
+            Special.LANEID: lanes.copy(),
+            Special.WARPID: full + warp_in_block,
+        }
+
+
+def run_kernel(kernel: Kernel, launch: LaunchConfig, global_mem: np.ndarray,
+               config: GpuConfig = GTX480, scheduler: str = "GTO",
+               resilience: ResilienceRuntime = NULL_RESILIENCE,
+               regs_per_thread: int | None = None) -> RunResult:
+    """Convenience one-shot: build a GPU, launch, return the result."""
+    gpu = Gpu(config, resilience, scheduler)
+    return gpu.launch(kernel, launch, global_mem, regs_per_thread)

@@ -1,0 +1,170 @@
+"""Warp schedulers: GTO, LRR, OLD, and Two-Level (Section VI-B3).
+
+A scheduler instance manages the warps of one issue slot of an SM.  Each
+cycle the SM asks it to pick one issuable warp from the candidates
+(warps that are ACTIVE with ready operands and no structural hazard);
+the policies only differ in the order candidates are considered.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from .warp import Warp
+
+
+class WarpScheduler:
+    """Base scheduler; subclasses define the candidate ordering."""
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self.warps: list[Warp] = []
+
+    def attach(self, warp: Warp) -> None:
+        self.warps.append(warp)
+
+    def detach(self, warp: Warp) -> None:
+        self.warps.remove(warp)
+
+    def pick(self, issuable, cycle: int) -> Warp | None:
+        """Choose a warp among this scheduler's warps.
+
+        ``issuable(warp)`` tells whether a warp can issue this cycle.
+        """
+        raise NotImplementedError
+
+    def notify_stall(self, warp: Warp) -> None:
+        """Called when the previously running warp could not issue."""
+
+
+class GtoScheduler(WarpScheduler):
+    """Greedy-Then-Oldest: stick with the current warp until it stalls,
+    then switch to the oldest ready warp (GPGPU-Sim's default)."""
+
+    name = "GTO"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._current: Warp | None = None
+
+    def detach(self, warp: Warp) -> None:
+        super().detach(warp)
+        if self._current is warp:
+            self._current = None
+
+    def pick(self, issuable, cycle: int) -> Warp | None:
+        current = self._current
+        if current is not None and current in self.warps and issuable(current):
+            return current
+        for warp in sorted(self.warps, key=lambda w: w.age):
+            if issuable(warp):
+                self._current = warp
+                return warp
+        self._current = None
+        return None
+
+
+class OldestScheduler(WarpScheduler):
+    """OLD: always pick the oldest ready warp."""
+
+    name = "OLD"
+
+    def pick(self, issuable, cycle: int) -> Warp | None:
+        for warp in sorted(self.warps, key=lambda w: w.age):
+            if issuable(warp):
+                return warp
+        return None
+
+
+class LrrScheduler(WarpScheduler):
+    """Loose Round-Robin: rotate through warps, skipping stalled ones."""
+
+    name = "LRR"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._next = 0
+
+    def pick(self, issuable, cycle: int) -> Warp | None:
+        n = len(self.warps)
+        if not n:
+            return None
+        for step in range(n):
+            warp = self.warps[(self._next + step) % n]
+            if issuable(warp):
+                self._next = (self._next + step + 1) % n
+                return warp
+        return None
+
+
+class TwoLevelScheduler(WarpScheduler):
+    """Two-Level: keep a small active set scheduled LRR; when an active
+    warp stalls long-term it swaps with a pending warp."""
+
+    name = "2LV"
+
+    def __init__(self, active_size: int = 8) -> None:
+        super().__init__()
+        if active_size < 1:
+            raise ConfigError("active set must hold at least one warp")
+        self.active_size = active_size
+        self._active: list[Warp] = []
+        self._next = 0
+
+    def detach(self, warp: Warp) -> None:
+        super().detach(warp)
+        if warp in self._active:
+            self._active.remove(warp)
+
+    def _refill(self, issuable) -> None:
+        if len(self._active) >= min(self.active_size, len(self.warps)):
+            return
+        pending = [w for w in self.warps if w not in self._active]
+        pending.sort(key=lambda w: w.age)
+        # Prefer ready pending warps; fall back to any to keep the set full.
+        for wanted_ready in (True, False):
+            for warp in pending:
+                if len(self._active) >= self.active_size:
+                    return
+                if warp in self._active:
+                    continue
+                if wanted_ready and not issuable(warp):
+                    continue
+                self._active.append(warp)
+
+    def pick(self, issuable, cycle: int) -> Warp | None:
+        self._refill(issuable)
+        n = len(self._active)
+        for step in range(n):
+            warp = self._active[(self._next + step) % n]
+            if issuable(warp):
+                self._next = (self._next + step + 1) % n
+                return warp
+        # Whole active set stalled: demote stalled warps so the next
+        # refill can promote pending ready ones.
+        stalled = [w for w in self._active if not issuable(w)]
+        pending_ready = [w for w in self.warps
+                         if w not in self._active and issuable(w)]
+        for warp, replacement in zip(stalled, pending_ready):
+            self._active.remove(warp)
+            self._active.append(replacement)
+        if pending_ready:
+            return self.pick(lambda w: issuable(w) and w in self._active, cycle)
+        return None
+
+
+SCHEDULERS: dict[str, type[WarpScheduler]] = {
+    "GTO": GtoScheduler,
+    "OLD": OldestScheduler,
+    "LRR": LrrScheduler,
+    "2LV": TwoLevelScheduler,
+}
+
+
+def make_scheduler(name: str) -> WarpScheduler:
+    try:
+        return SCHEDULERS[name]()
+    except KeyError:
+        raise ConfigError(
+            f"unknown scheduler {name!r}; choose from {sorted(SCHEDULERS)}"
+        ) from None

@@ -1,0 +1,361 @@
+"""Streaming multiprocessor timing model.
+
+Each SM holds resident thread blocks, per-scheduler warp pools, a shared
+LSU, and an L1 cache.  A pluggable :class:`ResilienceRuntime` observes
+region boundaries and controls verification descheduling — the null
+runtime (baseline and compile-only schemes) treats boundary markers as
+free, while Flame's runtime (``repro.core``) implements the RBQ/RPT
+protocol on these hooks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..arch import GpuConfig
+from ..errors import SimError
+from ..isa import FuClass, Instruction, Kernel, Op, Reg, Space
+from .caches import Cache
+from .functional import MemAccess, execute, guard_mask
+from .schedulers import WarpScheduler, make_scheduler
+from .stats import SimStats
+from .warp import Warp, WarpState
+
+#: Big sentinel for "no next event".
+NEVER = 1 << 62
+
+
+class ResilienceRuntime:
+    """Hook interface; the default implementation is the no-op baseline.
+
+    ``on_reach_boundary`` is called whenever a warp's PC lands on an RB
+    marker (after any issue or control transfer).  Returning without
+    changing the warp state means the marker was consumed for free.
+    """
+
+    needs_boundaries = False
+
+    def bind(self, sm: "Sm") -> "ResilienceRuntime":
+        """Create/attach the per-SM runtime state.  Returns the instance
+        serving this SM (the null runtime is stateless and shared)."""
+        return self
+
+    def on_warp_attached(self, sm: "Sm", warp: Warp) -> None:
+        """A warp became resident (block dispatch)."""
+
+    def on_warp_detached(self, sm: "Sm", warp: Warp) -> None:
+        """A warp's block retired."""
+
+    def on_reach_boundary(self, sm: "Sm", warp: Warp, cycle: int) -> None:
+        sm.note_region_end(warp)
+        warp.advance()
+        sm.skip_markers(warp, cycle)
+
+    def on_warp_exit(self, sm: "Sm", warp: Warp, cycle: int) -> bool:
+        """Return True if the warp is fully done (no deferred verification)."""
+        sm.note_region_end(warp)
+        return True
+
+    def tick(self, sm: "Sm", cycle: int) -> None:
+        """Per-cycle maintenance (RBQ conveyor movement)."""
+
+    def next_event(self, sm: "Sm") -> int:
+        return NEVER
+
+
+NULL_RESILIENCE = ResilienceRuntime()
+
+
+class ThreadBlock:
+    """A resident thread block: shared memory, barrier state, warp roster."""
+
+    def __init__(self, block_id: int, ctaid: tuple[int, int],
+                 num_threads: int, first_warp_id: int,
+                 shared_words: int) -> None:
+        self.id = block_id
+        self.ctaid = ctaid
+        self.num_threads = num_threads
+        self.first_warp_id = first_warp_id
+        self.shared = np.zeros(max(shared_words, 1), dtype=np.float64)
+        self.warps: list[Warp] = []
+        self.at_barrier: int = 0
+
+    @property
+    def done(self) -> bool:
+        return all(w.state is WarpState.DONE for w in self.warps)
+
+
+class Sm:
+    """One streaming multiprocessor."""
+
+    def __init__(self, sm_id: int, config: GpuConfig, l2: Cache,
+                 resilience: ResilienceRuntime = NULL_RESILIENCE) -> None:
+        self.id = sm_id
+        self.config = config
+        self.l1 = Cache(config.l1, name=f"sm{sm_id}.l1")
+        self.l2 = l2
+        self.schedulers: list[WarpScheduler] = []
+        self.scheduler_name = "GTO"
+        self.blocks: list[ThreadBlock] = []
+        self.warps: list[Warp] = []
+        self.stats = SimStats()
+        self.resilience = resilience.bind(self)
+        self.global_mem: np.ndarray | None = None
+        self.kernel: Kernel | None = None
+        self.reconv: dict[int, int] = {}
+        self._lsu_free_at = 0
+        self._next_sched = 0
+
+    # ------------------------------------------------------------------
+    # Launch-time setup
+    # ------------------------------------------------------------------
+    def configure(self, kernel: Kernel, global_mem: np.ndarray,
+                  reconv: dict[int, int], scheduler: str) -> None:
+        self.kernel = kernel
+        self.global_mem = global_mem
+        self.reconv = reconv
+        self.scheduler_name = scheduler
+        self.schedulers = [make_scheduler(scheduler)
+                           for _ in range(self.config.num_schedulers)]
+
+    def add_block(self, block: ThreadBlock, cycle: int) -> None:
+        self.blocks.append(block)
+        for warp in block.warps:
+            warp.wakeup_cycle = cycle
+            self.warps.append(warp)
+            scheduler = self.schedulers[self._next_sched]
+            self._next_sched = (self._next_sched + 1) % len(self.schedulers)
+            scheduler.attach(warp)
+            warp.scheduler = scheduler
+            warp.insts_since_boundary = 0
+            self.resilience.on_warp_attached(self, warp)
+            self.skip_markers(warp, cycle)
+        self.stats.blocks_launched += 1
+        self.stats.warps_launched += len(block.warps)
+
+    def remove_block(self, block: ThreadBlock) -> None:
+        self.blocks.remove(block)
+        for warp in block.warps:
+            warp.scheduler.detach(warp)
+            self.warps.remove(warp)
+            self.resilience.on_warp_detached(self, warp)
+
+    @property
+    def resident_blocks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def busy(self) -> bool:
+        return bool(self.blocks)
+
+    # ------------------------------------------------------------------
+    # Region accounting
+    # ------------------------------------------------------------------
+    def note_region_end(self, warp: Warp) -> None:
+        """Record region-size statistics when a warp crosses a boundary."""
+        self.stats.verified_regions += 1
+        self.stats.region_instructions += warp.insts_since_boundary
+        warp.insts_since_boundary = 0
+        # Once descheduled, the warp has nothing in flight: strikes can
+        # no longer corrupt its (ECC-protected, at-rest) registers.
+        warp.last_write = None
+
+    def skip_markers(self, warp: Warp, cycle: int) -> None:
+        """Deliver boundary markers at the warp's PC to the resilience
+        runtime; in the null runtime they are consumed for free."""
+        while (warp.state is WarpState.ACTIVE and not warp.finished
+               and warp.next_instruction().op is Op.RB):
+            self.stats.boundary_instructions += 1
+            pc_before = warp.pc
+            self.resilience.on_reach_boundary(self, warp, cycle)
+            if warp.state is not WarpState.ACTIVE or warp.pc == pc_before:
+                break
+
+    # ------------------------------------------------------------------
+    # Per-cycle operation
+    # ------------------------------------------------------------------
+    def tick(self, cycle: int) -> int:
+        """Run one cycle; returns the number of instructions issued."""
+        self.resilience.tick(self, cycle)
+        issued = 0
+        for scheduler in self.schedulers:
+            warp = scheduler.pick(lambda w: self._issuable(w, cycle), cycle)
+            if warp is None:
+                continue
+            self._issue(warp, cycle)
+            issued += 1
+        if self.busy:
+            self.stats.issue_cycles += 1 if issued else 0
+            self.stats.idle_cycles += 0 if issued else 1
+        return issued
+
+    def _issuable(self, warp: Warp, cycle: int) -> bool:
+        if warp.state is not WarpState.ACTIVE or warp.wakeup_cycle > cycle:
+            return False
+        if warp.finished:
+            return True  # issue slot used to retire the warp
+        inst = warp.next_instruction()
+        if inst.fu is FuClass.MEM and inst.space is not Space.PARAM \
+                and self._lsu_free_at > cycle:
+            return False
+        return warp.deps_ready(inst, cycle)
+
+    def _latency(self, fu: FuClass) -> int:
+        config = self.config
+        if fu is FuClass.ALU:
+            return config.alu_latency
+        if fu is FuClass.MUL:
+            return config.mul_latency
+        if fu is FuClass.SFU:
+            return config.sfu_latency
+        return config.alu_latency
+
+    def _issue(self, warp: Warp, cycle: int) -> None:
+        if warp.finished:
+            self._retire(warp, cycle)
+            return
+        inst = warp.next_instruction()
+        warp.wakeup_cycle = cycle + 1
+        warp.insts_since_boundary += 1
+        self.stats.count_issue(inst.fu, inst.shadow, inst.ckpt)
+
+        if inst.op is Op.BRA:
+            reconv = self.reconv.get(warp.pc, len(self.kernel.instructions))
+            warp.take_branch(inst, reconv)
+            self._after_pc_change(warp, cycle)
+            return
+        if inst.op is Op.BAR:
+            self._arrive_barrier(warp, cycle)
+            return
+        if inst.op is Op.EXIT:
+            warp.exit_lanes(inst)
+            if warp.finished:
+                self._retire(warp, cycle)
+            else:
+                self._after_pc_change(warp, cycle)
+            return
+
+        active = warp.active_mask
+        access = execute(inst, warp.ctx, active,
+                         self.global_mem, warp.block.shared)
+        if isinstance(inst.dst, Reg) and not inst.shadow:
+            warp.last_write = inst.dst
+            warp.last_write_pc = warp.pc
+            # Lanes actually written: a strike can only corrupt values in
+            # flight, i.e. in these lanes (the rest are at rest in the
+            # ECC-protected register file).
+            warp.last_write_mask = guard_mask(inst, warp.ctx, active)
+        if inst.fu is FuClass.MEM and inst.space is not Space.PARAM:
+            self._time_memory(warp, inst, access, cycle)
+        else:
+            warp.mark_pending(inst.dst, cycle + self._latency(inst.fu))
+        warp.advance()
+        self._after_pc_change(warp, cycle)
+
+    def _after_pc_change(self, warp: Warp, cycle: int) -> None:
+        if warp.finished:
+            self._retire(warp, cycle)
+            return
+        warp.retire_pending(cycle)
+        self.skip_markers(warp, cycle)
+
+    def _retire(self, warp: Warp, cycle: int) -> None:
+        if warp.state is WarpState.DONE:
+            return
+        if self.resilience.on_warp_exit(self, warp, cycle):
+            warp.state = WarpState.DONE
+            self._check_barrier_release(warp.block, cycle)
+
+    # ------------------------------------------------------------------
+    # Memory timing
+    # ------------------------------------------------------------------
+    def _time_memory(self, warp: Warp, inst: Instruction,
+                     access: MemAccess | None, cycle: int) -> None:
+        config = self.config
+        if access is None:  # fully predicated-off memory op
+            warp.mark_pending(inst.dst, cycle + 1)
+            return
+        if access.is_atomic:
+            lanes = len(access.addresses)
+            latency = config.atomic_latency + lanes
+            occupancy = max(1, lanes // 2)
+            self.stats.atomic_ops += lanes
+        elif access.space is Space.SHARED:
+            degree = self._bank_conflict_degree(access.addresses)
+            latency = config.shared_latency + (degree - 1)
+            occupancy = degree
+            self.stats.shared_accesses += 1
+            self.stats.shared_bank_conflicts += degree - 1
+        else:
+            segments = np.unique(access.addresses // config.l1.line_words)
+            occupancy = len(segments)
+            latency = 0
+            for segment in segments:
+                word = int(segment) * config.l1.line_words
+                if self.l1.access(word, is_store=access.is_store):
+                    seg_latency = config.l1_latency
+                elif self.l2.access(word, is_store=access.is_store):
+                    seg_latency = config.l2_latency
+                else:
+                    seg_latency = config.dram_latency
+                latency = max(latency, seg_latency)
+            self.stats.global_transactions += occupancy
+        self._lsu_free_at = max(self._lsu_free_at, cycle) + occupancy
+        if inst.info.is_load or inst.info.is_atomic:
+            warp.mark_pending(inst.dst, cycle + latency)
+
+    @staticmethod
+    def _bank_conflict_degree(addresses: np.ndarray) -> int:
+        unique = np.unique(addresses)
+        if len(unique) <= 1:
+            return 1
+        _, counts = np.unique(unique % 32, return_counts=True)
+        return int(counts.max())
+
+    # ------------------------------------------------------------------
+    # Barriers
+    # ------------------------------------------------------------------
+    def _arrive_barrier(self, warp: Warp, cycle: int) -> None:
+        """Sense-free monotonic-counter barrier.
+
+        Each dynamic BAR execution increments the warp's generation
+        counter; a warp waits until every live warp of its block has
+        reached its generation.  The counter is part of the recovery
+        snapshot, which makes region rollback across barriers safe: a
+        rolled-back warp re-arrives at the same generation and warps
+        that never rolled back already satisfy the release condition.
+        """
+        warp.barrier_count += 1
+        warp.state = WarpState.AT_BARRIER
+        warp.advance()
+        self._check_barrier_release(warp.block, cycle)
+
+    def _check_barrier_release(self, block: ThreadBlock, cycle: int) -> None:
+        alive = [w for w in block.warps if w.state is not WarpState.DONE]
+        if not alive:
+            return
+        reached = min(w.barrier_count for w in alive)
+        for warp in alive:
+            if (warp.state is WarpState.AT_BARRIER
+                    and warp.barrier_count <= reached):
+                warp.state = WarpState.ACTIVE
+                warp.wakeup_cycle = cycle + 1
+                self.skip_markers(warp, cycle + 1)
+
+    # ------------------------------------------------------------------
+    # Fast-forward support
+    # ------------------------------------------------------------------
+    def next_event(self, cycle: int) -> int:
+        """Earliest future cycle at which this SM might issue."""
+        best = self.resilience.next_event(self)
+        for warp in self.warps:
+            if warp.state is not WarpState.ACTIVE:
+                continue
+            if warp.finished:
+                return cycle + 1
+            inst = warp.next_instruction()
+            ready = max(warp.earliest_dep_cycle(inst), warp.wakeup_cycle)
+            if inst.fu is FuClass.MEM and inst.space is not Space.PARAM:
+                ready = max(ready, self._lsu_free_at)
+            best = min(best, ready)
+        return best

@@ -1,0 +1,90 @@
+"""Simulation statistics."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..isa import FuClass
+
+
+@dataclass
+class SimStats:
+    """Counters accumulated over one kernel launch."""
+
+    cycles: int = 0
+    instructions: int = 0
+    shadow_instructions: int = 0
+    ckpt_instructions: int = 0
+    boundary_instructions: int = 0
+    by_fu: Counter = field(default_factory=Counter)
+    idle_cycles: int = 0
+    issue_cycles: int = 0
+    # Memory system.
+    global_transactions: int = 0
+    shared_accesses: int = 0
+    shared_bank_conflicts: int = 0
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    atomic_ops: int = 0
+    # Flame runtime.
+    rbq_enqueues: int = 0
+    rbq_full_stalls: int = 0
+    verified_regions: int = 0
+    region_instructions: int = 0
+    recoveries: int = 0
+    reexecuted_instructions: int = 0
+    detected_errors: int = 0
+    # Launch shape.
+    blocks_launched: int = 0
+    warps_launched: int = 0
+    occupancy_warps: int = 0
+    regs_per_thread: int = 0
+
+    def count_issue(self, fu: FuClass, shadow: bool, ckpt: bool) -> None:
+        self.instructions += 1
+        self.by_fu[fu] += 1
+        if shadow:
+            self.shadow_instructions += 1
+        if ckpt:
+            self.ckpt_instructions += 1
+
+    @property
+    def avg_region_size(self) -> float:
+        """Average dynamic instructions per verified idempotent region."""
+        if not self.verified_regions:
+            return 0.0
+        return self.region_instructions / self.verified_regions
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def l1_miss_rate(self) -> float:
+        total = self.l1_hits + self.l1_misses
+        return self.l1_misses / total if total else 0.0
+
+    def merge(self, other: "SimStats") -> None:
+        """Accumulate another stats block (e.g. per-SM into per-GPU)."""
+        for name in ("instructions", "shadow_instructions",
+                     "ckpt_instructions", "boundary_instructions",
+                     "idle_cycles", "issue_cycles", "global_transactions",
+                     "shared_accesses", "shared_bank_conflicts", "l1_hits",
+                     "l1_misses", "l2_hits", "l2_misses", "atomic_ops",
+                     "rbq_enqueues", "rbq_full_stalls", "verified_regions",
+                     "region_instructions", "recoveries",
+                     "reexecuted_instructions", "detected_errors",
+                     "blocks_launched", "warps_launched"):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        self.by_fu.update(other.by_fu)
+        self.cycles = max(self.cycles, other.cycles)
+
+    def as_dict(self) -> dict:
+        data = {k: v for k, v in self.__dict__.items() if k != "by_fu"}
+        data["by_fu"] = {fu.value: n for fu, n in self.by_fu.items()}
+        data["avg_region_size"] = self.avg_region_size
+        data["ipc"] = self.ipc
+        return data

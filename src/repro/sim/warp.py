@@ -1,0 +1,218 @@
+"""Warp state: SIMT divergence stack, scoreboard, and recovery snapshots."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SimError
+from ..isa import Instruction, Kernel, Op, Pred, Reg, Special
+from .functional import LaneContext, guard_mask
+
+
+class WarpState(enum.Enum):
+    ACTIVE = "active"          # eligible for issue (deps permitting)
+    AT_BARRIER = "at_barrier"  # waiting for the block's barrier
+    IN_RBQ = "in_rbq"          # descheduled for WCDL verification (Flame)
+    DONE = "done"              # all lanes exited and final region verified
+
+
+@dataclass
+class StackEntry:
+    """One SIMT reconvergence stack entry."""
+
+    reconv_pc: int
+    pc: int
+    mask: np.ndarray
+
+    def copy(self) -> "StackEntry":
+        return StackEntry(self.reconv_pc, self.pc, self.mask.copy())
+
+
+@dataclass
+class WarpSnapshot:
+    """Control-flow context captured at a region boundary for recovery.
+
+    Registers need no snapshot — idempotence guarantees re-execution from
+    the recovery PC regenerates them — but the SIMT stack and the warp's
+    monotonic barrier-arrival counter are microarchitectural state the
+    RPT must restore alongside the PC (a few dozen bits per warp in
+    hardware).  Restoring the barrier counter is what makes rollback
+    across barrier instructions deadlock-free: a warp that re-executes a
+    BAR re-arrives at the same logical barrier generation, while warps
+    that never rolled back across it already satisfy the release
+    condition."""
+
+    pc: int
+    stack: list[StackEntry]
+    exited: np.ndarray
+    barrier_count: int
+
+    @staticmethod
+    def capture(warp: "Warp") -> "WarpSnapshot":
+        return WarpSnapshot(
+            pc=warp.pc,
+            stack=[entry.copy() for entry in warp.stack],
+            exited=warp.exited.copy(),
+            barrier_count=warp.barrier_count,
+        )
+
+    def restore(self, warp: "Warp") -> None:
+        warp.stack = [entry.copy() for entry in self.stack]
+        warp.exited = self.exited.copy()
+        warp.stack[-1].pc = self.pc
+        warp.barrier_count = self.barrier_count
+
+
+class Warp:
+    """One warp: 32 lanes sharing a PC, plus scheduling metadata."""
+
+    def __init__(self, warp_id: int, block, kernel: Kernel,
+                 num_regs: int, warp_size: int,
+                 specials: dict[Special, np.ndarray],
+                 params: np.ndarray, age: int) -> None:
+        self.id = warp_id
+        self.block = block
+        self.kernel = kernel
+        self.warp_size = warp_size
+        self.age = age                      # global dispatch order (for GTO/OLD)
+        self.state = WarpState.ACTIVE
+        self.ctx = LaneContext(num_regs, max(kernel.num_preds, 1), warp_size,
+                               specials, params)
+        full = np.ones(warp_size, dtype=bool)
+        if block.num_threads < (warp_id - block.first_warp_id + 1) * warp_size:
+            # Partial trailing warp: mask off lanes beyond the block size.
+            local = block.num_threads - (warp_id - block.first_warp_id) * warp_size
+            full = np.arange(warp_size) < local
+        self.stack: list[StackEntry] = [StackEntry(-1, 0, full)]
+        self.exited = ~full
+        # Scoreboard: destination -> cycle the value becomes usable.
+        self.pending: dict[Reg | Pred, int] = {}
+        self.wakeup_cycle = 0               # earliest cycle the warp may issue
+        self.scheduler = None               # set when attached to an SM
+        self.insts_since_boundary = 0       # dynamic region-size accounting
+        self.barrier_count = 0              # monotonic barrier generation
+        self.last_write: Reg | None = None  # injection target (in-flight dst)
+        self.last_write_mask: np.ndarray | None = None  # lanes written
+        self.last_write_pc = -1             # def site of the last write
+
+    # ------------------------------------------------------------------
+    # Execution state
+    # ------------------------------------------------------------------
+    @property
+    def pc(self) -> int:
+        return self.stack[-1].pc
+
+    @pc.setter
+    def pc(self, value: int) -> None:
+        self.stack[-1].pc = value
+
+    @property
+    def active_mask(self) -> np.ndarray:
+        return self.stack[-1].mask & ~self.exited
+
+    @property
+    def finished(self) -> bool:
+        return not bool((~self.exited).any())
+
+    def next_instruction(self) -> Instruction:
+        return self.kernel.instructions[self.pc]
+
+    def deps_ready(self, inst: Instruction, cycle: int) -> bool:
+        """Scoreboard check: sources ready and destination not in flight."""
+        pending = self.pending
+        if not pending:
+            return True
+        for reg in inst.read_regs():
+            if pending.get(reg, 0) > cycle:
+                return False
+        for pred in inst.read_preds():
+            if pending.get(pred, 0) > cycle:
+                return False
+        if inst.dst is not None and pending.get(inst.dst, 0) > cycle:
+            return False
+        return True
+
+    def earliest_dep_cycle(self, inst: Instruction) -> int:
+        """Cycle at which ``deps_ready`` will become true (for fast-forward)."""
+        latest = self.wakeup_cycle
+        for reg in inst.read_regs():
+            latest = max(latest, self.pending.get(reg, 0))
+        for pred in inst.read_preds():
+            latest = max(latest, self.pending.get(pred, 0))
+        if inst.dst is not None:
+            latest = max(latest, self.pending.get(inst.dst, 0))
+        return latest
+
+    def retire_pending(self, cycle: int) -> None:
+        """Drop scoreboard entries whose values are now available."""
+        if self.pending:
+            self.pending = {k: c for k, c in self.pending.items() if c > cycle}
+
+    def mark_pending(self, dst, ready_cycle: int) -> None:
+        if dst is not None:
+            self.pending[dst] = ready_cycle
+
+    # ------------------------------------------------------------------
+    # Control flow
+    # ------------------------------------------------------------------
+    def advance(self) -> None:
+        """Move to the next sequential instruction, reconverging if needed."""
+        self.pc += 1
+        self._maybe_reconverge()
+
+    def _maybe_reconverge(self) -> None:
+        while len(self.stack) > 1 and self.pc == self.stack[-1].reconv_pc:
+            self.stack.pop()
+
+    def take_branch(self, inst: Instruction, reconv_pc: int) -> None:
+        """Resolve a branch (possibly divergent) and update the SIMT stack."""
+        target = self.kernel.target_of(inst)
+        active = self.active_mask
+        if inst.guard is None:
+            self.pc = target
+            self._maybe_reconverge()
+            return
+        taken = guard_mask(inst, self.ctx, active)
+        not_taken = active & ~taken
+        if not not_taken.any():
+            self.pc = target
+            self._maybe_reconverge()
+            return
+        if not taken.any():
+            self.advance()
+            return
+        # Divergence: current entry reconverges at reconv_pc; run the
+        # taken path first, then the fall-through, then reconverge.
+        # A path that starts *at* the reconvergence point is empty (an
+        # if-without-else arm) — pushing it would execute the join point
+        # with a partial mask, so those lanes simply wait in the outer
+        # entry instead.
+        fallthrough = self.pc + 1
+        self.stack[-1].pc = reconv_pc
+        if fallthrough != reconv_pc:
+            self.stack.append(StackEntry(reconv_pc, fallthrough, not_taken))
+        if target != reconv_pc:
+            self.stack.append(StackEntry(reconv_pc, target, taken))
+        self._maybe_reconverge()
+
+    def exit_lanes(self, inst: Instruction) -> None:
+        """Retire lanes reaching EXIT; unwind empty stack entries."""
+        mask = guard_mask(inst, self.ctx, self.active_mask)
+        self.exited = self.exited | mask
+        if inst.guard is not None:
+            self.advance()
+        self._pop_empty()
+
+    def _pop_empty(self) -> None:
+        while len(self.stack) > 1 and not self.active_mask.any():
+            self.stack.pop()
+            self._maybe_reconverge()
+
+    def sanity_check(self) -> None:
+        if not self.stack:
+            raise SimError(f"warp {self.id} lost its SIMT stack")
+        if len(self.stack) > 64:
+            raise SimError(f"warp {self.id} SIMT stack overflow")

@@ -1,0 +1,10 @@
+"""The 34 Table-I benchmark applications, written in the virtual ISA
+with NumPy references for functional verification."""
+
+from .base import SCALES, Workload, WorkloadInstance, pick, rng_for
+from .suite import WORKLOADS, table1_rows, workload_by_name
+
+__all__ = [
+    "SCALES", "WORKLOADS", "Workload", "WorkloadInstance", "pick",
+    "rng_for", "table1_rows", "workload_by_name",
+]

@@ -1,0 +1,144 @@
+"""ALTIS workloads: Stencil (3-D) and TPACF."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa import AtomOp, CmpOp, KernelBuilder
+from ..sim import LaunchConfig
+from .base import Workload, WorkloadInstance, pick, rng_for
+
+
+def _build_stencil(scale: str) -> WorkloadInstance:
+    """3-D 7-point stencil: a 2-D thread grid marches the z dimension,
+    six neighbour loads per cell."""
+    nx = pick(scale, 16, 32, 64)
+    ny = pick(scale, 16, 32, 64)
+    nz = pick(scale, 4, 8, 16)
+    c0, c1 = 0.5, 1.0 / 12.0
+    in_base, out_base = 0, nx * ny * nz
+
+    b = KernelBuilder("stencil", num_params=5)
+    nxx, nyy, nzz, ib, ob = b.params(5)
+    x = b.global_index()
+    y = b.global_index_y()
+    inside = b.pand(b.setp(CmpOp.LT, x, nxx), b.setp(CmpOp.LT, y, nyy))
+    with b.if_(inside):
+        plane = b.mul(nxx, nyy)
+        xy = b.add(b.mul(y, nxx), x)
+        interior_xy = b.setp(CmpOp.GT, x, 0)
+        interior_xy = b.pand(interior_xy,
+                             b.setp(CmpOp.LT, x, b.sub(nxx, 1)))
+        interior_xy = b.pand(interior_xy, b.setp(CmpOp.GT, y, 0))
+        interior_xy = b.pand(interior_xy,
+                             b.setp(CmpOp.LT, y, b.sub(nyy, 1)))
+        with b.loop(0, nz) as z:
+            idx = b.add(b.mul(z, plane), xy)
+            src = b.add(ib, idx)
+            center = b.ld_global(src)
+            result = b.mov(center)
+            z_inner = b.pand(interior_xy, b.setp(CmpOp.GT, z, 0.0))
+            z_inner = b.pand(z_inner,
+                             b.setp(CmpOp.LT, z, b.sub(nzz, 1)))
+            with b.if_(z_inner):
+                xl = b.ld_global(src, offset=-1)
+                xr = b.ld_global(src, offset=1)
+                yl = b.ld_global(src, offset=-nx)
+                yr = b.ld_global(src, offset=nx)
+                zl = b.ld_global(src, offset=-nx * ny)
+                zr = b.ld_global(src, offset=nx * ny)
+                total = b.add(b.add(b.add(xl, xr), b.add(yl, yr)),
+                              b.add(zl, zr))
+                b.mad(total, c1, b.mul(center, c0), dst=result)
+            b.st_global(b.add(ob, idx), result)
+    kernel = b.build()
+
+    rng = rng_for("stencil", scale)
+    vol = rng.uniform(0, 10, (nz, ny, nx))
+    mem = np.zeros(2 * nx * ny * nz)
+    mem[:vol.size] = vol.ravel()
+    out = vol.copy()
+    out[1:-1, 1:-1, 1:-1] = (
+        c0 * vol[1:-1, 1:-1, 1:-1]
+        + c1 * (vol[1:-1, 1:-1, :-2] + vol[1:-1, 1:-1, 2:]
+                + vol[1:-1, :-2, 1:-1] + vol[1:-1, 2:, 1:-1]
+                + vol[:-2, 1:-1, 1:-1] + vol[2:, 1:-1, 1:-1]))
+    expected = mem.copy()
+    expected[out_base:] = out.ravel()
+    return WorkloadInstance(
+        kernel=kernel,
+        launch=LaunchConfig(grid=(-(-nx // 16), -(-ny // 8)),
+                            block=(16, 8),
+                            params=(nx, ny, nz, in_base, out_base)),
+        global_mem=mem,
+        expected=expected,
+        rtol=1e-9,
+    )
+
+
+def _build_tpacf(scale: str) -> WorkloadInstance:
+    """Two-point angular correlation: each thread correlates one unit
+    vector against the whole catalogue, binning dot products into a
+    privatized shared histogram merged with atomics."""
+    points = pick(scale, 128, 256, 512)
+    bins = 16
+    threads = 64
+    x_base, y_base, z_base = 0, points, 2 * points
+    h_base = 3 * points
+
+    b = KernelBuilder("tpacf", num_params=6, shared_words=bins)
+    npt, xb, yb, zb, hb, nbins = b.params(6)
+    tid = b.tid_x()
+    i = b.global_index()
+    zero = b.setp(CmpOp.LT, tid, bins)
+    b.st_shared(tid, 0.0, guard=zero)
+    b.barrier()
+    in_range = b.setp(CmpOp.LT, i, npt)
+    with b.if_(in_range):
+        xi = b.ld_global(b.add(xb, i))
+        yi = b.ld_global(b.add(yb, i))
+        zi = b.ld_global(b.add(zb, i))
+        with b.loop(0, points, 4) as j:
+            # x4 unrolled pair loop (pragma-unroll style).
+            for u in range(4):
+                xj = b.ld_global(b.add(xb, j), offset=u)
+                yj = b.ld_global(b.add(yb, j), offset=u)
+                zj = b.ld_global(b.add(zb, j), offset=u)
+                dot = b.mad(xi, xj, b.mad(yi, yj, b.mul(zi, zj)))
+                clamped = b.min_(b.max_(dot, -1.0), 1.0)
+                binf = b.floor(b.mul(b.add(clamped, 1.0), bins / 2.0))
+                binf = b.min_(binf, float(bins - 1))
+                b.atom_shared(AtomOp.ADD, binf, 1.0)
+    b.barrier()
+    with b.if_(zero):
+        b.atom_global(AtomOp.ADD, b.add(hb, tid), b.ld_shared(tid))
+    kernel = b.build()
+
+    rng = rng_for("tpacf", scale)
+    v = rng.normal(size=(points, 3))
+    v /= np.linalg.norm(v, axis=1, keepdims=True)
+    mem = np.zeros(h_base + bins)
+    mem[:points] = v[:, 0]
+    mem[y_base:y_base + points] = v[:, 1]
+    mem[z_base:z_base + points] = v[:, 2]
+    dots = np.clip(v @ v.T, -1.0, 1.0)
+    idx = np.minimum(np.floor((dots + 1.0) * (bins / 2.0)),
+                     bins - 1).astype(int)
+    expected = mem.copy()
+    expected[h_base:] = np.bincount(idx.ravel(), minlength=bins).astype(float)
+    return WorkloadInstance(
+        kernel=kernel,
+        launch=LaunchConfig(grid=(-(-points // threads), 1),
+                            block=(threads, 1),
+                            params=(points, x_base, y_base, z_base, h_base,
+                                    bins)),
+        global_mem=mem,
+        expected=expected,
+    )
+
+
+WORKLOADS = [
+    Workload("Stencil", "3-D Stencil Operation", "altis", _build_stencil),
+    Workload("TPACF", "Two Point Angular Correlation Function", "altis",
+             _build_tpacf, uses_barriers=True, uses_atomics=True),
+]

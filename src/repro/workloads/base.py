@@ -1,0 +1,84 @@
+"""Workload framework for the 34 Table-I benchmarks.
+
+Each workload builds, for a given scale, a :class:`WorkloadInstance`:
+the kernel (written in the virtual ISA), the launch geometry, the
+initial global memory image, and a NumPy reference computing the
+expected final memory.  The reference is what makes every benchmark
+double as a functional correctness test — including under fault
+injection, where recovered runs must reproduce it exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..isa import Kernel
+from ..sim import LaunchConfig
+
+#: Workload scales.  ``tiny`` keeps unit tests fast; ``small`` is the
+#: default for the figure harness; ``medium`` for closer-to-paper runs.
+SCALES = ("tiny", "small", "medium")
+
+
+@dataclass
+class WorkloadInstance:
+    """One concrete, runnable benchmark configuration."""
+
+    kernel: Kernel
+    launch: LaunchConfig
+    global_mem: np.ndarray
+    expected: np.ndarray | None = None
+    check_region: slice | None = None
+    rtol: float = 1e-9
+    atol: float = 1e-9
+
+    def fresh_memory(self) -> np.ndarray:
+        """A pristine copy of the initial global-memory image."""
+        return self.global_mem.copy()
+
+    def verify(self, final_mem: np.ndarray) -> bool:
+        """Does the final memory match the NumPy reference?"""
+        if self.expected is None:
+            return True
+        region = self.check_region or slice(0, self.expected.size)
+        got = final_mem[region]
+        want = self.expected[region] if self.expected.size >= got.size \
+            else self.expected
+        return bool(np.allclose(got, want, rtol=self.rtol, atol=self.atol))
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named benchmark: metadata plus an instance factory."""
+
+    abbr: str
+    full_name: str
+    suite: str
+    build: Callable[[str], WorkloadInstance] = field(compare=False)
+    uses_barriers: bool = False
+    uses_atomics: bool = False
+    notes: str = ""
+
+    def instance(self, scale: str = "small") -> WorkloadInstance:
+        if scale not in SCALES:
+            raise ConfigError(
+                f"unknown scale {scale!r}; choose from {SCALES}")
+        return self.build(scale)
+
+
+def pick(scale: str, tiny, small, medium):
+    """Scale-indexed parameter selection."""
+    return {"tiny": tiny, "small": small, "medium": medium}[scale]
+
+
+def rng_for(name: str, scale: str) -> np.random.Generator:
+    """Deterministic per-workload RNG (stable across processes, unlike
+    the salted built-in ``hash``)."""
+    import zlib
+
+    seed = zlib.crc32(f"{name}:{scale}".encode())
+    return np.random.default_rng(seed)

@@ -1,0 +1,570 @@
+"""CUDA SDK sample workloads: BO, CS, SP, BS, SQ, WT, Transpose, DWT,
+SN, Histogram."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa import AtomOp, CmpOp, KernelBuilder, Special
+from ..sim import LaunchConfig
+from .base import Workload, WorkloadInstance, pick, rng_for
+
+
+def _build_bo(scale: str) -> WorkloadInstance:
+    """Binomial option pricing: one block per option; the leaf values
+    live in shared memory and every backward-induction step is a
+    read/barrier/write/barrier round over them."""
+    steps = 63
+    options = pick(scale, 8, 32, 64)
+    threads = 64
+    p_up = 0.55
+    disc = 0.99
+    s_base, x_base, o_base = 0, options, 2 * options
+
+    b = KernelBuilder("bo", num_params=3, shared_words=steps + 1)
+    sb, xb, ob = b.params(3)
+    tid = b.tid_x()
+    opt = b.ctaid_x()
+    s0 = b.ld_global(b.add(sb, opt))
+    strike = b.ld_global(b.add(xb, opt))
+    # Leaf price: S * 1.02^tid * 0.98^(steps-tid); exp/log keeps it SFU.
+    ups = b.exp(b.mul(tid, float(np.log(1.02))))
+    downs = b.exp(b.mul(b.sub(float(steps), tid), float(np.log(0.98))))
+    leaf = b.mul(b.mul(s0, ups), downs)
+    payoff = b.max_(b.sub(leaf, strike), 0.0)
+    in_tree = b.setp(CmpOp.LE, tid, float(steps))
+    b.st_shared(tid, payoff, guard=in_tree)
+    b.barrier()
+    for t in range(steps, 0, -1):
+        live = b.setp(CmpOp.LT, tid, float(t))
+        nxt = b.reg()
+        with b.if_(live):
+            lo = b.ld_shared(tid)
+            hi = b.ld_shared(tid, offset=1)
+            blend = b.mad(p_up, hi, b.mul(1.0 - p_up, lo))
+            b.mul(blend, disc, dst=nxt)
+        b.barrier()
+        b.st_shared(tid, nxt, guard=live)
+        b.barrier()
+    leader = b.setp(CmpOp.EQ, tid, 0)
+    with b.if_(leader):
+        b.st_global(b.add(ob, opt), b.ld_shared(tid))
+    kernel = b.build()
+
+    rng = rng_for("bo", scale)
+    s = rng.uniform(20, 60, options)
+    strike_v = rng.uniform(20, 60, options)
+    mem = np.zeros(3 * options)
+    mem[:options] = s
+    mem[x_base:x_base + options] = strike_v
+
+    tids = np.arange(steps + 1)
+    prices = np.zeros(options)
+    for o in range(options):
+        leaf = (s[o] * np.exp(tids * np.log(1.02))
+                * np.exp((steps - tids) * np.log(0.98)))
+        v = np.maximum(leaf - strike_v[o], 0.0)
+        for t in range(steps, 0, -1):
+            v[:t] = 0.99 * (p_up * v[1:t + 1] + (1 - p_up) * v[:t])
+        prices[o] = v[0]
+    expected = mem.copy()
+    expected[o_base:] = prices
+    return WorkloadInstance(
+        kernel=kernel,
+        launch=LaunchConfig(grid=(options, 1), block=(threads, 1),
+                            params=(s_base, x_base, o_base)),
+        global_mem=mem,
+        expected=expected,
+        rtol=1e-8,
+    )
+
+
+def _build_cs(scale: str) -> WorkloadInstance:
+    """Separable convolution (row pass): stage tile + halo in shared,
+    synchronize, apply a 9-tap stencil from shared."""
+    radius = 4
+    n = pick(scale, 512, 2048, 8192)
+    threads = 64
+    in_base, w_base, out_base = 0, n, n + 2 * radius + 1
+
+    b = KernelBuilder("cs", num_params=4,
+                      shared_words=threads + 2 * radius)
+    nn, ib, wb, ob = b.params(4)
+    tid = b.tid_x()
+    gid = b.global_index()
+    # Main element (clamped at the ends).
+    clamped = b.min_(b.max_(gid, 0.0), b.sub(nn, 1))
+    b.st_shared(b.add(tid, radius), b.ld_global(b.add(ib, clamped)))
+    halo_left = b.setp(CmpOp.LT, tid, radius)
+    with b.if_(halo_left):
+        src = b.max_(b.sub(gid, radius), 0.0)
+        b.st_shared(tid, b.ld_global(b.add(ib, src)))
+        src_r = b.min_(b.add(gid, threads), b.sub(nn, 1))
+        b.st_shared(b.add(tid, threads + radius),
+                    b.ld_global(b.add(ib, src_r)))
+    b.barrier()
+    acc = b.mov(0.0)
+    base_reg = b.mov(tid)
+    for k in range(2 * radius + 1):
+        w = b.ld_global(wb, offset=k)
+        v = b.ld_shared(base_reg, offset=k)
+        b.mad(w, v, acc, dst=acc)
+    b.st_global(b.add(ob, gid), acc)
+    kernel = b.build()
+
+    rng = rng_for("cs", scale)
+    data = rng.uniform(-1, 1, n)
+    weights = rng.uniform(-1, 1, 2 * radius + 1)
+    mem = np.zeros(out_base + n)
+    mem[:n] = data
+    mem[w_base:w_base + 2 * radius + 1] = weights
+    idx = np.arange(n)
+    out = np.zeros(n)
+    for k in range(-radius, radius + 1):
+        out += weights[k + radius] * data[np.clip(idx + k, 0, n - 1)]
+    expected = mem.copy()
+    expected[out_base:] = out
+    return WorkloadInstance(
+        kernel=kernel,
+        launch=LaunchConfig(grid=(n // threads, 1), block=(threads, 1),
+                            params=(n, in_base, w_base, out_base)),
+        global_mem=mem,
+        expected=expected,
+        rtol=1e-8,
+    )
+
+
+def _reduction(b: KernelBuilder, tid, threads: int, value) -> None:
+    """Shared-memory tree reduction idiom used by SP/KNN/TPACF."""
+    b.st_shared(tid, value)
+    b.barrier()
+    stride = threads // 2
+    while stride >= 1:
+        active = b.setp(CmpOp.LT, tid, float(stride))
+        with b.if_(active):
+            other = b.ld_shared(tid, offset=stride)
+            mine = b.ld_shared(tid)
+            b.st_shared(tid, b.add(mine, other))
+        b.barrier()
+        stride //= 2
+
+
+def _build_sp(scale: str) -> WorkloadInstance:
+    """Scalar products: each block computes the dot product of one
+    vector pair via strided partial sums and a shared tree reduction."""
+    vec_len = pick(scale, 256, 1024, 4096)
+    pairs = pick(scale, 8, 16, 32)
+    threads = 64
+    a_base, b_base, r_base = 0, pairs * vec_len, 2 * pairs * vec_len
+
+    kb = KernelBuilder("sp", num_params=4, shared_words=threads)
+    vl, ab, bb, rb = kb.params(4)
+    tid = kb.tid_x()
+    pair = kb.ctaid_x()
+    vec_off = kb.mul(pair, vl)
+    acc = kb.mov(0.0)
+    with kb.loop(0, vec_len, threads) as k:
+        i = kb.add(k, tid)
+        a = kb.ld_global(kb.add(ab, kb.add(vec_off, i)))
+        bv = kb.ld_global(kb.add(bb, kb.add(vec_off, i)))
+        kb.mad(a, bv, acc, dst=acc)
+    _reduction(kb, tid, threads, acc)
+    leader = kb.setp(CmpOp.EQ, tid, 0)
+    with kb.if_(leader):
+        kb.st_global(kb.add(rb, pair), kb.ld_shared(tid))
+    kernel = kb.build()
+
+    rng = rng_for("sp", scale)
+    a = rng.uniform(-1, 1, (pairs, vec_len))
+    bm = rng.uniform(-1, 1, (pairs, vec_len))
+    mem = np.zeros(r_base + pairs)
+    mem[:pairs * vec_len] = a.ravel()
+    mem[b_base:b_base + pairs * vec_len] = bm.ravel()
+    expected = mem.copy()
+    expected[r_base:] = (a * bm).sum(axis=1)
+    return WorkloadInstance(
+        kernel=kernel,
+        launch=LaunchConfig(grid=(pairs, 1), block=(threads, 1),
+                            params=(vec_len, a_base, b_base, r_base)),
+        global_mem=mem,
+        expected=expected,
+        rtol=1e-7, atol=1e-7,
+    )
+
+
+def _build_bs(scale: str) -> WorkloadInstance:
+    """Black-Scholes call pricing: per-thread closed form with
+    exp/log/sqrt and a polynomial CND — SFU-bound streaming compute."""
+    n = pick(scale, 512, 2048, 8192)
+    riskfree, vol = 0.02, 0.30
+    s_base, x_base, t_base, c_base = 0, n, 2 * n, 3 * n
+
+    b = KernelBuilder("bs", num_params=5)
+    nn, sb, xb, tb, cb = b.params(5)
+    i = b.global_index()
+    guard = b.setp(CmpOp.LT, i, nn)
+
+    def cnd(b, d):
+        k = b.div(1.0, b.mad(0.2316419, b.abs_(d), 1.0))
+        poly = b.mov(1.330274429)
+        for coef in (-1.821255978, 1.781477937, -0.356563782, 0.319381530):
+            poly = b.mad(poly, k, coef)
+        poly = b.mul(poly, k)
+        pdf = b.mul(0.3989422804014327,
+                    b.exp(b.mul(-0.5, b.mul(d, d))))
+        tail = b.mul(pdf, poly)
+        pos = b.setp(CmpOp.GE, d, 0.0)
+        return b.selp(b.sub(1.0, tail), tail, pos)
+
+    with b.if_(guard):
+        s = b.ld_global(b.add(sb, i))
+        x = b.ld_global(b.add(xb, i))
+        t = b.ld_global(b.add(tb, i))
+        sqrt_t = b.sqrt(t)
+        d1 = b.div(
+            b.add(b.log(b.div(s, x)),
+                  b.mul(riskfree + 0.5 * vol * vol, t)),
+            b.mul(vol, sqrt_t))
+        d2 = b.sub(d1, b.mul(vol, sqrt_t))
+        expr = b.mul(x, b.exp(b.mul(-riskfree, t)))
+        call = b.sub(b.mul(s, cnd(b, d1)), b.mul(expr, cnd(b, d2)))
+        b.st_global(b.add(cb, i), call)
+    kernel = b.build()
+
+    rng = rng_for("bs", scale)
+    s = rng.uniform(5, 30, n)
+    x = rng.uniform(1, 100, n)
+    t = rng.uniform(0.25, 10, n)
+    mem = np.zeros(4 * n)
+    mem[:n] = s
+    mem[x_base:x_base + n] = x
+    mem[t_base:t_base + n] = t
+
+    def cnd_np(d):
+        k = 1.0 / (1.0 + 0.2316419 * np.abs(d))
+        poly = 1.330274429
+        for coef in (-1.821255978, 1.781477937, -0.356563782, 0.319381530):
+            poly = poly * k + coef
+        poly *= k
+        tail = 0.3989422804014327 * np.exp(-0.5 * d * d) * poly
+        return np.where(d >= 0, 1.0 - tail, tail)
+
+    sqrt_t = np.sqrt(t)
+    d1 = (np.log(s / x) + (riskfree + 0.5 * vol * vol) * t) / (vol * sqrt_t)
+    d2 = d1 - vol * sqrt_t
+    call = s * cnd_np(d1) - x * np.exp(-riskfree * t) * cnd_np(d2)
+    expected = mem.copy()
+    expected[c_base:] = call
+    threads = 128
+    return WorkloadInstance(
+        kernel=kernel,
+        launch=LaunchConfig(grid=(-(-n // threads), 1), block=(threads, 1),
+                            params=(n, s_base, x_base, t_base, c_base)),
+        global_mem=mem,
+        expected=expected,
+        rtol=1e-8,
+    )
+
+
+def _build_sq(scale: str) -> WorkloadInstance:
+    """Sobol quasi-random generation: XOR-combine direction vectors
+    selected by the Gray code of each sequence index."""
+    n = pick(scale, 512, 2048, 8192)
+    bits = 10
+    dir_base, out_base = 0, bits
+
+    b = KernelBuilder("sq", num_params=3)
+    nn, db, ob = b.params(3)
+    i = b.global_index()
+    guard = b.setp(CmpOp.LT, i, nn)
+    with b.if_(guard):
+        gray = b.xor(i, b.shr(i, 1))
+        acc = b.mov(0.0)
+        for bit in range(bits):
+            dir_v = b.ld_global(db, offset=bit)
+            has_bit = b.and_(b.shr(gray, bit), 1)
+            b.xor(acc, b.mul(dir_v, has_bit), dst=acc)
+        b.st_global(b.add(ob, i), acc)
+    kernel = b.build()
+
+    rng = rng_for("sq", scale)
+    dirs = rng.integers(1, 2**20, bits).astype(float)
+    mem = np.zeros(out_base + n)
+    mem[:bits] = dirs
+    idx = np.arange(n, dtype=np.int64)
+    gray = idx ^ (idx >> 1)
+    acc = np.zeros(n, dtype=np.int64)
+    for bit in range(bits):
+        has = (gray >> bit) & 1
+        acc ^= dirs.astype(np.int64)[bit] * has
+    expected = mem.copy()
+    expected[out_base:] = acc.astype(float)
+    threads = 128
+    return WorkloadInstance(
+        kernel=kernel,
+        launch=LaunchConfig(grid=(-(-n // threads), 1), block=(threads, 1),
+                            params=(n, dir_base, out_base)),
+        global_mem=mem,
+        expected=expected,
+    )
+
+
+def _build_wt(scale: str) -> WorkloadInstance:
+    """Fast Walsh transform: in-place shared-memory butterflies with a
+    barrier per stage — a dense shared-WAR/barrier workload."""
+    block_elems = 128
+    blocks = pick(scale, 4, 24, 64)
+    threads = 64
+    n = blocks * block_elems
+
+    b = KernelBuilder("wt", num_params=2, shared_words=block_elems)
+    ib, ob = b.params(2)
+    tid = b.tid_x()
+    blk = b.mul(b.ctaid_x(), block_elems)
+    # Each thread owns elements tid and tid+64.
+    b.st_shared(tid, b.ld_global(b.add(ib, b.add(blk, tid))))
+    hi_t = b.add(tid, threads)
+    b.st_shared(hi_t, b.ld_global(b.add(ib, b.add(blk, hi_t))))
+    b.barrier()
+    stride = 1
+    while stride < block_elems:
+        # pair base: (tid // stride) * 2*stride + (tid % stride)
+        q = b.floor(b.div(tid, float(stride)))
+        r = b.sub(tid, b.mul(q, float(stride)))
+        base = b.add(b.mul(q, float(2 * stride)), r)
+        lo = b.ld_shared(base)
+        hi = b.ld_shared(base, offset=stride)
+        b.st_shared(base, b.add(lo, hi))
+        b.st_shared(base, b.sub(lo, hi), offset=stride)
+        b.barrier()
+        stride *= 2
+    b.st_global(b.add(ob, b.add(blk, tid)), b.ld_shared(tid))
+    b.st_global(b.add(ob, b.add(blk, hi_t)), b.ld_shared(hi_t))
+    kernel = b.build()
+
+    rng = rng_for("wt", scale)
+    data = rng.uniform(-1, 1, (blocks, block_elems))
+    mem = np.zeros(2 * n)
+    mem[:n] = data.ravel()
+    out = data.copy()
+    stride = 1
+    while stride < block_elems:
+        tmp = out.copy()
+        for base in range(block_elems):
+            q, r = divmod(base, 2 * stride)
+            if r < stride:
+                lo = tmp[:, base]
+                hi = tmp[:, base + stride]
+                out[:, base] = lo + hi
+                out[:, base + stride] = lo - hi
+        stride *= 2
+    expected = mem.copy()
+    expected[n:] = out.ravel()
+    return WorkloadInstance(
+        kernel=kernel,
+        launch=LaunchConfig(grid=(blocks, 1), block=(threads, 1),
+                            params=(0, n)),
+        global_mem=mem,
+        expected=expected,
+    )
+
+
+def _build_transpose(scale: str) -> WorkloadInstance:
+    """Tiled matrix transpose through padded shared memory."""
+    tile = 16
+    n = pick(scale, 32, 64, 128)
+    pad = tile + 1
+    in_base, out_base = 0, n * n
+
+    b = KernelBuilder("transpose", num_params=3, shared_words=tile * pad)
+    nn, ib, ob = b.params(3)
+    x = b.add(b.mul(Special.CTAID_X, tile), Special.TID_X)
+    y = b.add(b.mul(Special.CTAID_Y, tile), Special.TID_Y)
+    s_in = b.add(b.mul(Special.TID_Y, pad), Special.TID_X)
+    b.st_shared(s_in, b.ld_global(b.add(ib, b.add(b.mul(y, nn), x))))
+    b.barrier()
+    xt = b.add(b.mul(Special.CTAID_Y, tile), Special.TID_X)
+    yt = b.add(b.mul(Special.CTAID_X, tile), Special.TID_Y)
+    s_out = b.add(b.mul(Special.TID_X, pad), Special.TID_Y)
+    b.st_global(b.add(ob, b.add(b.mul(yt, nn), xt)), b.ld_shared(s_out))
+    kernel = b.build()
+
+    rng = rng_for("transpose", scale)
+    a = rng.uniform(-1, 1, (n, n))
+    mem = np.zeros(2 * n * n)
+    mem[:n * n] = a.ravel()
+    expected = mem.copy()
+    expected[out_base:] = a.T.ravel()
+    g = n // tile
+    return WorkloadInstance(
+        kernel=kernel,
+        launch=LaunchConfig(grid=(g, g), block=(tile, tile),
+                            params=(n, in_base, out_base)),
+        global_mem=mem,
+        expected=expected,
+    )
+
+
+def _build_dwt(scale: str) -> WorkloadInstance:
+    """One level of a Haar discrete wavelet transform: averages to the
+    front half, differences to the back half."""
+    n = pick(scale, 1024, 4096, 16384)
+    half = n // 2
+    inv_sqrt2 = float(1.0 / np.sqrt(2.0))
+    in_base, out_base = 0, n
+
+    b = KernelBuilder("dwt", num_params=3)
+    hn, ib, ob = b.params(3)
+    i = b.global_index()
+    guard = b.setp(CmpOp.LT, i, hn)
+    with b.if_(guard):
+        src = b.add(ib, b.mul(i, 2))
+        a = b.ld_global(src)
+        d = b.ld_global(src, offset=1)
+        b.st_global(b.add(ob, i), b.mul(b.add(a, d), inv_sqrt2))
+        b.st_global(b.add(b.add(ob, hn), i),
+                    b.mul(b.sub(a, d), inv_sqrt2))
+    kernel = b.build()
+
+    rng = rng_for("dwt", scale)
+    data = rng.uniform(-1, 1, n)
+    mem = np.zeros(2 * n)
+    mem[:n] = data
+    expected = mem.copy()
+    expected[out_base:out_base + half] = (data[0::2] + data[1::2]) * inv_sqrt2
+    expected[out_base + half:] = (data[0::2] - data[1::2]) * inv_sqrt2
+    threads = 128
+    return WorkloadInstance(
+        kernel=kernel,
+        launch=LaunchConfig(grid=(-(-half // threads), 1),
+                            block=(threads, 1),
+                            params=(half, in_base, out_base)),
+        global_mem=mem,
+        expected=expected,
+    )
+
+
+def _build_sn(scale: str) -> WorkloadInstance:
+    """Bitonic sorting network over shared memory: 28 compare-exchange
+    stages, each bracketed by a barrier."""
+    n_per_block = 128
+    blocks = pick(scale, 4, 16, 32)
+    threads = n_per_block
+    n = blocks * n_per_block
+
+    b = KernelBuilder("sn", num_params=2, shared_words=n_per_block)
+    ib, ob = b.params(2)
+    tid = b.tid_x()
+    blk = b.mul(b.ctaid_x(), n_per_block)
+    b.st_shared(tid, b.ld_global(b.add(ib, b.add(blk, tid))))
+    b.barrier()
+    k = 2
+    while k <= n_per_block:
+        j = k // 2
+        while j >= 1:
+            partner = b.xor(tid, float(j))
+            upper = b.setp(CmpOp.GT, partner, tid)
+            ascending = b.setp(CmpOp.EQ, b.and_(tid, float(k)), 0.0)
+            mine = b.ld_shared(tid)
+            theirs = b.ld_shared(partner)
+            lo = b.min_(mine, theirs)
+            hi = b.max_(mine, theirs)
+            keep_lo = b.pand(upper, ascending)
+            wrong_way = b.pand(upper, b.pnot(ascending))
+            keep = b.selp(lo, mine, keep_lo)
+            keep = b.selp(hi, keep, wrong_way)
+            b.barrier()
+            b.st_shared(tid, keep, guard=upper)
+            take_hi = b.pand(b.pnot(upper), ascending)
+            take_lo = b.pand(b.pnot(upper), b.pnot(ascending))
+            keep2 = b.selp(hi, mine, take_hi)
+            keep2 = b.selp(lo, keep2, take_lo)
+            b.st_shared(tid, keep2, guard=b.pnot(upper))
+            b.barrier()
+            j //= 2
+        k *= 2
+    b.st_global(b.add(ob, b.add(blk, tid)), b.ld_shared(tid))
+    kernel = b.build()
+
+    rng = rng_for("sn", scale)
+    data = rng.uniform(-100, 100, (blocks, n_per_block))
+    mem = np.zeros(2 * n)
+    mem[:n] = data.ravel()
+    expected = mem.copy()
+    expected[n:] = np.sort(data, axis=1).ravel()
+    return WorkloadInstance(
+        kernel=kernel,
+        launch=LaunchConfig(grid=(blocks, 1), block=(threads, 1),
+                            params=(0, n)),
+        global_mem=mem,
+        expected=expected,
+    )
+
+
+def _build_histogram(scale: str) -> WorkloadInstance:
+    """64-bin histogram: shared-memory bin privatization with shared
+    atomics, then an atomic merge into the global histogram."""
+    n = pick(scale, 2048, 8192, 32768)
+    bins = 64
+    threads = 128
+    blocks = pick(scale, 4, 16, 32)
+    data_base, hist_base = 0, n
+
+    b = KernelBuilder("histogram", num_params=4, shared_words=bins)
+    nn, db, hb, total_threads = b.params(4)
+    tid = b.tid_x()
+    gid = b.global_index()
+    total = blocks * threads
+    iters = n // total
+    unroll = 2 if iters % 2 == 0 else 1
+    zero_bin = b.setp(CmpOp.LT, tid, bins)
+    b.st_shared(tid, 0.0, guard=zero_bin)
+    b.barrier()
+    # Grid-stride binning with a build-time trip count, x2 unrolled.
+    with b.loop(0, iters, unroll) as t:
+        base_t = b.add(b.mul(t, float(total)), gid)
+        for u in range(unroll):
+            value = b.ld_global(b.add(db, base_t), offset=u * total)
+            b.atom_shared(AtomOp.ADD, value, 1.0)
+    b.barrier()
+    with b.if_(zero_bin):
+        count = b.ld_shared(tid)
+        b.atom_global(AtomOp.ADD, b.add(hb, tid), count)
+    kernel = b.build()
+
+    rng = rng_for("histogram", scale)
+    data = rng.integers(0, bins, n).astype(float)
+    mem = np.zeros(n + bins)
+    mem[:n] = data
+    expected = mem.copy()
+    expected[hist_base:] = np.bincount(data.astype(int),
+                                       minlength=bins).astype(float)
+    return WorkloadInstance(
+        kernel=kernel,
+        launch=LaunchConfig(grid=(blocks, 1), block=(threads, 1),
+                            params=(n, data_base, hist_base,
+                                    blocks * threads)),
+        global_mem=mem,
+        expected=expected,
+    )
+
+
+WORKLOADS = [
+    Workload("BO", "binomialOptions", "cuda_sdk", _build_bo,
+             uses_barriers=True),
+    Workload("CS", "convolutionSeparable", "cuda_sdk", _build_cs,
+             uses_barriers=True),
+    Workload("SP", "scalarProd", "cuda_sdk", _build_sp, uses_barriers=True),
+    Workload("BS", "BlackScholes", "cuda_sdk", _build_bs),
+    Workload("SQ", "SobolQRNG", "cuda_sdk", _build_sq),
+    Workload("WT", "fastWalshTransform", "cuda_sdk", _build_wt,
+             uses_barriers=True),
+    Workload("Transpose", "transpose", "cuda_sdk", _build_transpose,
+             uses_barriers=True),
+    Workload("DWT", "Discrete Haar wavelet decomposition", "cuda_sdk",
+             _build_dwt),
+    Workload("SN", "sortingNetworks", "cuda_sdk", _build_sn,
+             uses_barriers=True),
+    Workload("Histogram", "histogram", "cuda_sdk", _build_histogram,
+             uses_barriers=True, uses_atomics=True),
+]

@@ -1,0 +1,176 @@
+"""GPGPU-Sim benchmark-suite workloads: NN, LPS, AES."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa import CmpOp, KernelBuilder
+from ..sim import LaunchConfig
+from .base import Workload, WorkloadInstance, pick, rng_for
+
+
+def _build_nn(scale: str) -> WorkloadInstance:
+    """Neural-network layer: out[j] = sigmoid(b[j] + sum_i W[j,i] x[i]).
+
+    One thread per output neuron; the weight-row walk is a rolled loop
+    with a x4-unrolled body (nvcc-style), ending in an SFU sigmoid.
+    """
+    n_in = pick(scale, 32, 64, 128)
+    n_out = pick(scale, 256, 512, 1024)
+    w_base, x_base, b_base, o_base = (0, n_out * n_in, n_out * n_in + n_in,
+                                      n_out * n_in + n_in + n_out)
+
+    b = KernelBuilder("nn", num_params=5)
+    nout, wb, xb, bias_b, ob = b.params(5)
+    j = b.global_index()
+    guard = b.setp(CmpOp.LT, j, nout)
+    with b.if_(guard):
+        acc = b.ld_global(b.add(bias_b, j))
+        row_base = b.add(wb, b.mul(j, n_in))
+        with b.loop(0, n_in, 8) as k:
+            # Indexed addressing (no pointer bumps): one induction
+            # variable, bodies unrolled x8 as nvcc would emit.
+            w_addr = b.add(row_base, k)
+            x_addr = b.add(xb, k)
+            for u in range(8):
+                w = b.ld_global(w_addr, offset=u)
+                x = b.ld_global(x_addr, offset=u)
+                b.mad(w, x, acc, dst=acc)
+        e = b.exp(b.neg(acc))
+        sig = b.div(1.0, b.add(1.0, e))
+        b.st_global(b.add(ob, j), sig)
+    kernel = b.build()
+
+    rng = rng_for("nn", scale)
+    w = rng.uniform(-0.5, 0.5, (n_out, n_in))
+    x = rng.uniform(-1, 1, n_in)
+    bias = rng.uniform(-0.1, 0.1, n_out)
+    mem = np.zeros(o_base + n_out)
+    mem[:n_out * n_in] = w.ravel()
+    mem[x_base:x_base + n_in] = x
+    mem[b_base:b_base + n_out] = bias
+    expected = mem.copy()
+    expected[o_base:] = 1.0 / (1.0 + np.exp(-(bias + w @ x)))
+    threads = 128
+    return WorkloadInstance(
+        kernel=kernel,
+        launch=LaunchConfig(grid=(-(-n_out // threads), 1),
+                            block=(threads, 1),
+                            params=(n_out, w_base, x_base, b_base, o_base)),
+        global_mem=mem,
+        expected=expected,
+    )
+
+
+def _build_lps(scale: str) -> WorkloadInstance:
+    """Laplace 2-D red-black-style sweep: interior cells average their
+    four neighbours, boundary cells copy through."""
+    w = pick(scale, 32, 64, 128)
+    h = pick(scale, 16, 32, 64)
+    in_base, out_base = 0, w * h
+
+    b = KernelBuilder("lps", num_params=4)
+    ww, hh, ib, ob = b.params(4)
+    x = b.global_index()
+    y = b.global_index_y()
+    inside = b.setp(CmpOp.LT, x, ww)
+    y_ok = b.setp(CmpOp.LT, y, hh)
+    inside = b.pand(inside, y_ok)
+    with b.if_(inside):
+        idx = b.add(b.mul(y, ww), x)
+        center = b.ld_global(b.add(ib, idx))
+        interior = b.setp(CmpOp.GT, x, 0)
+        interior = b.pand(interior, b.setp(CmpOp.LT, x, b.sub(ww, 1)))
+        interior = b.pand(interior, b.setp(CmpOp.GT, y, 0))
+        interior = b.pand(interior, b.setp(CmpOp.LT, y, b.sub(hh, 1)))
+        result = b.mov(center)
+        with b.if_(interior):
+            src = b.add(ib, idx)
+            left = b.ld_global(src, offset=-1)
+            right = b.ld_global(src, offset=1)
+            up = b.ld_global(src, offset=-w)
+            down = b.ld_global(src, offset=w)
+            total = b.add(b.add(left, right), b.add(up, down))
+            b.mul(total, 0.25, dst=result)
+        b.st_global(b.add(ob, idx), result)
+    kernel = b.build()
+
+    rng = rng_for("lps", scale)
+    grid_vals = rng.uniform(0, 100, (h, w))
+    mem = np.zeros(2 * w * h)
+    mem[:w * h] = grid_vals.ravel()
+    expected = mem.copy()
+    out = grid_vals.copy()
+    out[1:-1, 1:-1] = 0.25 * (grid_vals[1:-1, :-2] + grid_vals[1:-1, 2:]
+                              + grid_vals[:-2, 1:-1] + grid_vals[2:, 1:-1])
+    expected[out_base:] = out.ravel()
+    return WorkloadInstance(
+        kernel=kernel,
+        launch=LaunchConfig(grid=(-(-w // 32), -(-h // 4)),
+                            block=(32, 4),
+                            params=(w, h, in_base, out_base)),
+        global_mem=mem,
+        expected=expected,
+    )
+
+
+def _build_aes(scale: str) -> WorkloadInstance:
+    """AES-style round function: repeated S-box gathers, XORs, and byte
+    rotations over a per-thread state word — table-lookup bound."""
+    n = pick(scale, 512, 2048, 8192)
+    rounds = 4
+    sbox_base, key_base, in_base, out_base = 0, 256, 256 + rounds, \
+        256 + rounds + 0
+    in_base = 256 + rounds
+    out_base = in_base + n
+
+    b = KernelBuilder("aes", num_params=5)
+    nn, sb, kb, ib, ob = b.params(5)
+    i = b.global_index()
+    guard = b.setp(CmpOp.LT, i, nn)
+    with b.if_(guard):
+        state = b.ld_global(b.add(ib, i))
+        for r in range(rounds):
+            rk = b.ld_global(kb, offset=r)
+            state = b.xor(state, rk)
+            lo = b.and_(state, 255)
+            sub = b.ld_global(b.add(sb, lo))
+            hi = b.shr(state, 8)
+            state = b.xor(b.shl(sub, 4), hi)
+            state = b.and_(state, 0xFFFFFF)
+        b.st_global(b.add(ob, i), state)
+    kernel = b.build()
+
+    rng = rng_for("aes", scale)
+    sbox = rng.integers(0, 256, 256).astype(float)
+    keys = rng.integers(0, 2**20, rounds).astype(float)
+    data = rng.integers(0, 2**20, n).astype(float)
+    mem = np.zeros(out_base + n)
+    mem[:256] = sbox
+    mem[key_base:key_base + rounds] = keys
+    mem[in_base:in_base + n] = data
+
+    state = data.astype(np.int64)
+    for r in range(rounds):
+        state = state ^ int(keys[r])
+        lo = state & 255
+        sub = sbox.astype(np.int64)[lo]
+        hi = state >> 8
+        state = ((sub << 4) ^ hi) & 0xFFFFFF
+    expected = mem.copy()
+    expected[out_base:] = state.astype(float)
+    threads = 128
+    return WorkloadInstance(
+        kernel=kernel,
+        launch=LaunchConfig(grid=(-(-n // threads), 1), block=(threads, 1),
+                            params=(n, sbox_base, key_base, in_base, out_base)),
+        global_mem=mem,
+        expected=expected,
+    )
+
+
+WORKLOADS = [
+    Workload("NN", "Neural network", "gpgpusim", _build_nn),
+    Workload("LPS", "Laplace transform", "gpgpusim", _build_lps),
+    Workload("AES", "AES encryption", "gpgpusim", _build_aes),
+]

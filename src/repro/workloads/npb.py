@@ -1,0 +1,149 @@
+"""NAS Parallel Benchmarks workloads: IS and CG."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa import AtomOp, CmpOp, KernelBuilder
+from ..sim import LaunchConfig
+from .base import Workload, WorkloadInstance, pick, rng_for
+
+
+def _build_is(scale: str) -> WorkloadInstance:
+    """Integer Sort's key-counting phase: every thread walks a strided
+    slice of the key array bumping global bucket counters atomically."""
+    n = pick(scale, 1024, 4096, 16384)
+    buckets = 32
+    keys_base, count_base = 0, n
+
+    stride_threads = pick(scale, 512, 1024, 2048)
+    iters = n // stride_threads
+    assert iters % 2 == 0 or iters == 1
+
+    b = KernelBuilder("is", num_params=4)
+    nn, kb, cb, stride = b.params(4)
+    i = b.global_index()
+    # Grid-stride key walk with a build-time trip count, x2 unrolled.
+    unroll = 2 if iters % 2 == 0 else 1
+    with b.loop(0, iters, unroll) as t:
+        base_t = b.add(b.mul(t, float(stride_threads)), i)
+        for u in range(unroll):
+            key = b.ld_global(b.add(kb, base_t),
+                              offset=u * stride_threads)
+            b.atom_global(AtomOp.ADD, b.add(cb, key), 1.0)
+    kernel = b.build()
+
+    rng = rng_for("is", scale)
+    keys = rng.integers(0, buckets, n).astype(float)
+    mem = np.zeros(n + buckets)
+    mem[:n] = keys
+    expected = mem.copy()
+    expected[count_base:] = np.bincount(keys.astype(int),
+                                        minlength=buckets).astype(float)
+    threads = 128
+    return WorkloadInstance(
+        kernel=kernel,
+        launch=LaunchConfig(grid=(stride_threads // threads, 1),
+                            block=(threads, 1),
+                            params=(n, keys_base, count_base, stride_threads)),
+        global_mem=mem,
+        expected=expected,
+    )
+
+
+def _build_cg(scale: str) -> WorkloadInstance:
+    """Conjugate-Gradient's two hot kernels fused: a CSR sparse
+    matrix-vector product (one thread per row, gather loads) followed by
+    a shared-memory block reduction of the local dot product r.y —
+    the staged-shared + barrier pattern the region-extension
+    optimization targets."""
+    rows = pick(scale, 512, 1024, 4096)
+    nnz_per_row = 8
+    threads = 64
+    # Layout: rowptr[rows+1] | col[nnz] | val[nnz] | x[rows] | y[rows]
+    #         | partial[numblocks]
+    nnz = rows * nnz_per_row
+    rp_base = 0
+    col_base = rp_base + rows + 1
+    val_base = col_base + nnz
+    x_base = val_base + nnz
+    y_base = x_base + rows
+    blocks = -(-rows // threads)
+    partial_base = y_base + rows
+
+    b = KernelBuilder("cg", num_params=7, shared_words=threads)
+    nr, rpb, colb, valb, xb, yb, pb = b.params(7)
+    row = b.global_index()
+    tid = b.tid_x()
+    in_range = b.setp(CmpOp.LT, row, nr)
+    dot = b.mov(0.0)
+    with b.if_(in_range):
+        start = b.ld_global(b.add(rpb, row))
+        acc = b.mov(0.0)
+        ptr = b.add(colb, start)
+        vptr = b.add(valb, start)
+        for u in range(nnz_per_row):
+            c = b.ld_global(ptr, offset=u)
+            v = b.ld_global(vptr, offset=u)
+            x = b.ld_global(b.add(xb, c))
+            b.mad(v, x, acc, dst=acc)
+        b.st_global(b.add(yb, row), acc)
+        r = b.ld_global(b.add(xb, row))
+        b.mul(acc, r, dst=dot)
+    # Block reduction of x.y into partial[block] (shared tree).
+    b.st_shared(tid, dot)
+    b.barrier()
+    stride = threads // 2
+    while stride >= 1:
+        active = b.setp(CmpOp.LT, tid, stride)
+        with b.if_(active):
+            other = b.ld_shared(tid, offset=stride)
+            mine = b.ld_shared(tid)
+            b.st_shared(tid, b.add(mine, other))
+        b.barrier()
+        stride //= 2
+    leader = b.setp(CmpOp.EQ, tid, 0)
+    with b.if_(leader):
+        total = b.ld_shared(tid)
+        bid = b.ctaid_x()
+        b.st_global(b.add(pb, bid), total)
+    kernel = b.build()
+
+    rng = rng_for("cg", scale)
+    cols = np.empty((rows, nnz_per_row), dtype=int)
+    for r_i in range(rows):
+        cols[r_i] = rng.choice(rows, nnz_per_row, replace=False)
+    vals = rng.uniform(-1, 1, (rows, nnz_per_row))
+    x = rng.uniform(-1, 1, rows)
+    rowptr = np.arange(rows + 1) * nnz_per_row
+    mem = np.zeros(partial_base + blocks)
+    mem[rp_base:rp_base + rows + 1] = rowptr
+    mem[col_base:col_base + nnz] = cols.ravel()
+    mem[val_base:val_base + nnz] = vals.ravel()
+    mem[x_base:x_base + rows] = x
+
+    y = (vals * x[cols]).sum(axis=1)
+    local = x * y
+    partials = np.zeros(blocks)
+    for blk in range(blocks):
+        lo, hi = blk * threads, min((blk + 1) * threads, rows)
+        partials[blk] = local[lo:hi].sum()
+    expected = mem.copy()
+    expected[y_base:y_base + rows] = y
+    expected[partial_base:] = partials
+    return WorkloadInstance(
+        kernel=kernel,
+        launch=LaunchConfig(grid=(blocks, 1), block=(threads, 1),
+                            params=(rows, rp_base, col_base, val_base,
+                                    x_base, y_base, partial_base)),
+        global_mem=mem,
+        expected=expected,
+        rtol=1e-8, atol=1e-8,
+    )
+
+
+WORKLOADS = [
+    Workload("IS", "Integer Sort", "npb", _build_is, uses_atomics=True),
+    Workload("CG", "Conjugate Gradient", "npb", _build_cg,
+             uses_barriers=True),
+]

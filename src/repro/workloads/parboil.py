@@ -1,0 +1,117 @@
+"""Parboil workloads: SGEMM and LBM."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa import CmpOp, KernelBuilder, Special
+from ..sim import LaunchConfig
+from .base import Workload, WorkloadInstance, pick, rng_for
+
+
+def _build_sgemm(scale: str) -> WorkloadInstance:
+    """Tiled dense matrix multiply C = A x B with shared-memory tiles.
+
+    The canonical double-barrier pattern: each tile round stages A and B
+    sub-blocks into shared memory, synchronizes, accumulates, and
+    synchronizes again before overwriting the tiles — the shared-memory
+    anti-dependence Flame's region analysis must reason about.
+    """
+    tile = 16
+    n = pick(scale, 32, 64, 128)
+    a_base, b_base, c_base = 0, n * n, 2 * n * n
+
+    b = KernelBuilder("sgemm", num_params=4, shared_words=2 * tile * tile)
+    nn, ab, bb, cb = b.params(4)
+    row = b.add(b.mul(Special.CTAID_Y, tile), Special.TID_Y)
+    col = b.add(b.mul(Special.CTAID_X, tile), Special.TID_X)
+    s_index = b.add(b.mul(Special.TID_Y, tile), Special.TID_X)
+    acc = b.mov(0.0)
+    with b.loop(0, n, tile) as kt:
+        a_addr = b.add(b.add(b.mul(row, nn), kt), Special.TID_X)
+        b.st_shared(s_index, b.ld_global(b.add(ab, a_addr)))
+        b_addr = b.add(b.mul(b.add(kt, Special.TID_Y), nn), col)
+        b.st_shared(s_index, b.ld_global(b.add(bb, b_addr)),
+                    offset=tile * tile)
+        b.barrier()
+        a_row = b.mul(Special.TID_Y, tile)
+        tx = b.mov(Special.TID_X)
+        # Fully unrolled accumulation, as nvcc emits for constant trip
+        # counts — this is what gives PTX its ~50-instruction regions.
+        for k in range(tile):
+            a_val = b.ld_shared(a_row, offset=k)
+            b_val = b.ld_shared(tx, offset=tile * tile + k * tile)
+            b.mad(a_val, b_val, acc, dst=acc)
+        b.barrier()
+    b.st_global(b.add(cb, b.add(b.mul(row, nn), col)), acc)
+    kernel = b.build()
+
+    rng = rng_for("sgemm", scale)
+    a = rng.uniform(-1, 1, (n, n))
+    bm = rng.uniform(-1, 1, (n, n))
+    mem = np.zeros(3 * n * n)
+    mem[:n * n] = a.ravel()
+    mem[n * n:2 * n * n] = bm.ravel()
+    expected = mem.copy()
+    expected[c_base:] = (a @ bm).ravel()
+    grid = n // tile
+    return WorkloadInstance(
+        kernel=kernel,
+        launch=LaunchConfig(grid=(grid, grid), block=(tile, tile),
+                            params=(n, a_base, b_base, c_base)),
+        global_mem=mem,
+        expected=expected,
+        rtol=1e-9,
+    )
+
+
+def _build_lbm(scale: str) -> WorkloadInstance:
+    """Lattice-Boltzmann-style streaming: read five distribution arrays,
+    relax toward a local equilibrium, write five output arrays — heavily
+    memory-bound with no data reuse."""
+    n = pick(scale, 512, 2048, 8192)
+    omega = 1.6
+
+    b = KernelBuilder("lbm", num_params=3)
+    nn, fin, fout = b.params(3)
+    i = b.global_index()
+    guard = b.setp(CmpOp.LT, i, nn)
+    with b.if_(guard):
+        fs = []
+        for d in range(5):
+            addr = b.add(fin, b.add(i, d * n))
+            fs.append(b.ld_global(addr))
+        rho = fs[0]
+        for d in range(1, 5):
+            rho = b.add(rho, fs[d])
+        feq = b.mul(rho, 0.2)
+        for d in range(5):
+            relaxed = b.add(fs[d], b.mul(b.sub(feq, fs[d]), omega))
+            b.st_global(b.add(fout, b.add(i, d * n)), relaxed)
+    kernel = b.build()
+
+    rng = rng_for("lbm", scale)
+    f = rng.uniform(0.1, 1.0, (5, n))
+    mem = np.zeros(10 * n)
+    mem[:5 * n] = f.ravel()
+    expected = mem.copy()
+    rho = f.sum(axis=0)
+    feq = 0.2 * rho
+    expected[5 * n:] = (f + (feq - f) * omega).ravel()
+    threads = 128
+    blocks = -(-n // threads)
+    return WorkloadInstance(
+        kernel=kernel,
+        launch=LaunchConfig(grid=(blocks, 1), block=(threads, 1),
+                            params=(n, 0, 5 * n)),
+        global_mem=mem,
+        expected=expected,
+    )
+
+
+WORKLOADS = [
+    Workload("SGEMM", "Single-precision Matrix Multiply", "parboil",
+             _build_sgemm, uses_barriers=True),
+    Workload("LBM", "Lattice-Boltzmann Method Fluid Dynamics", "parboil",
+             _build_lbm),
+]

@@ -1,0 +1,798 @@
+"""Rodinia workloads: BP, BFS, Gaussian, Hotspot, LavaMD, LUD, NW, PF,
+SRAD, SC, CFD, Kmeans, KNN."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa import AtomOp, CmpOp, KernelBuilder, Special
+from ..sim import LaunchConfig
+from .base import Workload, WorkloadInstance, pick, rng_for
+
+
+def _build_bp(scale: str) -> WorkloadInstance:
+    """Back-propagation forward layer: stage the input activations in
+    shared memory per block, synchronize, then every thread computes one
+    output unit's weighted sum and sigmoid."""
+    n_in = 64
+    n_out = pick(scale, 256, 1024, 4096)
+    threads = 64
+    w_base = 0
+    x_base = w_base + n_out * n_in
+    o_base = x_base + n_in
+
+    b = KernelBuilder("bp", num_params=4, shared_words=n_in)
+    nout, wb, xb, ob = b.params(4)
+    tid = b.tid_x()
+    j = b.global_index()
+    b.st_shared(tid, b.ld_global(b.add(xb, tid)))
+    b.barrier()
+    guard = b.setp(CmpOp.LT, j, nout)
+    with b.if_(guard):
+        acc = b.mov(0.0)
+        row = b.add(wb, b.mul(j, n_in))
+        with b.loop(0, n_in, 8) as k:
+            w_addr = b.add(row, k)
+            s_addr = b.mov(k)
+            for u in range(8):
+                w = b.ld_global(w_addr, offset=u)
+                x = b.ld_shared(s_addr, offset=u)
+                b.mad(w, x, acc, dst=acc)
+        sig = b.div(1.0, b.add(1.0, b.exp(b.neg(acc))))
+        b.st_global(b.add(ob, j), sig)
+    kernel = b.build()
+
+    rng = rng_for("bp", scale)
+    w = rng.uniform(-0.3, 0.3, (n_out, n_in))
+    x = rng.uniform(-1, 1, n_in)
+    mem = np.zeros(o_base + n_out)
+    mem[:n_out * n_in] = w.ravel()
+    mem[x_base:x_base + n_in] = x
+    expected = mem.copy()
+    expected[o_base:] = 1.0 / (1.0 + np.exp(-(w @ x)))
+    return WorkloadInstance(
+        kernel=kernel,
+        launch=LaunchConfig(grid=(n_out // threads, 1), block=(threads, 1),
+                            params=(n_out, w_base, x_base, o_base)),
+        global_mem=mem,
+        expected=expected,
+    )
+
+
+def _build_bfs(scale: str) -> WorkloadInstance:
+    """One BFS frontier expansion: threads on the frontier relax their
+    neighbours — data-dependent branching and gather/scatter traffic."""
+    nodes = pick(scale, 512, 2048, 8192)
+    degree = 4
+    rng = rng_for("bfs", scale)
+    edges = rng.integers(0, nodes, (nodes, degree)).astype(float)
+    frontier = (rng.uniform(0, 1, nodes) < 0.3).astype(float)
+    visited = frontier.copy()
+    cost = np.where(frontier > 0, 0.0, -1.0)
+
+    # Layout: edges | frontier | visited | cost | next_frontier
+    e_base = 0
+    f_base = e_base + nodes * degree
+    v_base = f_base + nodes
+    c_base = v_base + nodes
+    nf_base = c_base + nodes
+
+    b = KernelBuilder("bfs", num_params=6)
+    nn, eb, fb, vb, cb, nfb = b.params(6)
+    i = b.global_index()
+    guard = b.setp(CmpOp.LT, i, nn)
+    with b.if_(guard):
+        on_frontier = b.setp(CmpOp.GT, b.ld_global(b.add(fb, i)), 0.0)
+        with b.if_(on_frontier):
+            my_cost = b.ld_global(b.add(cb, i))
+            new_cost = b.add(my_cost, 1.0)
+            edge_row = b.add(eb, b.mul(i, degree))
+            for e in range(degree):
+                nbr = b.ld_global(edge_row, offset=e)
+                seen = b.setp(CmpOp.GT, b.ld_global(b.add(vb, nbr)), 0.0)
+                fresh = b.pnot(seen)
+                b.st_global(b.add(cb, nbr), new_cost, guard=fresh)
+                b.st_global(b.add(nfb, nbr), 1.0, guard=fresh)
+    kernel = b.build()
+
+    mem = np.zeros(nf_base + nodes)
+    mem[:nodes * degree] = edges.ravel()
+    mem[f_base:f_base + nodes] = frontier
+    mem[v_base:v_base + nodes] = visited
+    mem[c_base:c_base + nodes] = cost
+
+    exp_cost = cost.copy()
+    exp_next = np.zeros(nodes)
+    for i in np.flatnonzero(frontier):
+        for e in edges[i].astype(int):
+            if visited[e] == 0:
+                exp_cost[e] = cost[i] + 1.0
+                exp_next[e] = 1.0
+    expected = mem.copy()
+    expected[c_base:c_base + nodes] = exp_cost
+    expected[nf_base:] = exp_next
+    threads = 128
+    return WorkloadInstance(
+        kernel=kernel,
+        launch=LaunchConfig(grid=(-(-nodes // threads), 1),
+                            block=(threads, 1),
+                            params=(nodes, e_base, f_base, v_base, c_base,
+                                    nf_base)),
+        global_mem=mem,
+        expected=expected,
+    )
+
+
+def _build_gaussian(scale: str) -> WorkloadInstance:
+    """Gaussian elimination Fan2 step (k = 0): in-place update of the
+    trailing submatrix — every store is a memory anti-dependence."""
+    n = pick(scale, 32, 64, 128)
+    a_base, m_base = 0, n * n
+
+    b = KernelBuilder("gaussian", num_params=4)
+    nn, ab, mb, k_param = b.params(4)
+    x = b.global_index()
+    y = b.global_index_y()
+    xg = b.setp(CmpOp.LT, x, nn)
+    yg = b.pand(xg, b.setp(CmpOp.LT, y, b.sub(nn, 1)))
+    with b.if_(yg):
+        row = b.add(y, 1.0)        # rows k+1..n-1 with k=0
+        mult = b.ld_global(b.add(mb, row))
+        pivot = b.ld_global(b.add(ab, x))      # a[0, x]
+        addr = b.add(ab, b.add(b.mul(row, nn), x))
+        old = b.ld_global(addr)
+        b.st_global(addr, b.sub(old, b.mul(mult, pivot)))
+    kernel = b.build()
+
+    rng = rng_for("gaussian", scale)
+    a = rng.uniform(1, 2, (n, n))
+    m = rng.uniform(0.1, 0.9, n)
+    mem = np.zeros(2 * n * n)
+    mem[:n * n] = a.ravel()
+    mem[m_base:m_base + n] = m
+    out = a.copy()
+    out[1:, :] = a[1:, :] - m[1:n, None] * a[0, :]
+    expected = mem.copy()
+    expected[:n * n] = out.ravel()
+    return WorkloadInstance(
+        kernel=kernel,
+        launch=LaunchConfig(grid=(-(-n // 32), -(-(n - 1) // 4)),
+                            block=(32, 4),
+                            params=(n, a_base, m_base, 0)),
+        global_mem=mem,
+        expected=expected,
+    )
+
+
+def _build_hotspot(scale: str) -> WorkloadInstance:
+    """Hotspot thermal stencil: tile staged in shared memory, one
+    in-kernel iteration with neighbour clamping at tile borders."""
+    tile = 16
+    n = pick(scale, 32, 64, 128)
+    t_base, p_base, o_base = 0, n * n, 2 * n * n
+    cap, rx, ry = 0.5, 0.1, 0.1
+
+    b = KernelBuilder("hotspot", num_params=4, shared_words=tile * tile)
+    nn, tb, pb, ob = b.params(4)
+    tx = b.mov(Special.TID_X)
+    ty = b.mov(Special.TID_Y)
+    x = b.add(b.mul(Special.CTAID_X, tile), tx)
+    y = b.add(b.mul(Special.CTAID_Y, tile), ty)
+    g_idx = b.add(b.mul(y, nn), x)
+    s_idx = b.add(b.mul(ty, tile), tx)
+    temp = b.ld_global(b.add(tb, g_idx))
+    b.st_shared(s_idx, temp)
+    b.barrier()
+    power = b.ld_global(b.add(pb, g_idx))
+    # Clamped neighbour offsets within the tile.
+    xm = b.max_(b.sub(tx, 1), 0.0)
+    xp = b.min_(b.add(tx, 1), tile - 1)
+    ym = b.max_(b.sub(ty, 1), 0.0)
+    yp = b.min_(b.add(ty, 1), tile - 1)
+    left = b.ld_shared(b.add(b.mul(ty, tile), xm))
+    right = b.ld_shared(b.add(b.mul(ty, tile), xp))
+    up = b.ld_shared(b.add(b.mul(ym, tile), tx))
+    down = b.ld_shared(b.add(b.mul(yp, tile), tx))
+    dx = b.mul(b.sub(b.add(left, right), b.mul(2.0, temp)), rx)
+    dy = b.mul(b.sub(b.add(up, down), b.mul(2.0, temp)), ry)
+    delta = b.mul(b.add(b.add(dx, dy), power), cap)
+    b.st_global(b.add(ob, g_idx), b.add(temp, delta))
+    kernel = b.build()
+
+    rng = rng_for("hotspot", scale)
+    temp_v = rng.uniform(50, 90, (n, n))
+    power_v = rng.uniform(0, 5, (n, n))
+    mem = np.zeros(3 * n * n)
+    mem[:n * n] = temp_v.ravel()
+    mem[p_base:p_base + n * n] = power_v.ravel()
+
+    g = n // tile
+    out = np.zeros((n, n))
+    for by in range(g):
+        for bx in range(g):
+            t = temp_v[by * tile:(by + 1) * tile, bx * tile:(bx + 1) * tile]
+            p = power_v[by * tile:(by + 1) * tile, bx * tile:(bx + 1) * tile]
+            idx = np.arange(tile)
+            xm, xp = np.maximum(idx - 1, 0), np.minimum(idx + 1, tile - 1)
+            left, right = t[:, xm], t[:, xp]
+            up, down = t[xm, :], t[xp, :]
+            dx = (left + right - 2 * t) * rx
+            dy = (up + down - 2 * t) * ry
+            out[by * tile:(by + 1) * tile, bx * tile:(bx + 1) * tile] = \
+                t + (dx + dy + p) * cap
+    expected = mem.copy()
+    expected[o_base:] = out.ravel()
+    return WorkloadInstance(
+        kernel=kernel,
+        launch=LaunchConfig(grid=(g, g), block=(tile, tile),
+                            params=(n, t_base, p_base, o_base)),
+        global_mem=mem,
+        expected=expected,
+    )
+
+
+def _build_lavamd(scale: str) -> WorkloadInstance:
+    """LavaMD-style particle forces: stage one box's particles in shared
+    memory, synchronize, then accumulate pairwise exp-kernel forces."""
+    particles = 64
+    boxes = pick(scale, 4, 16, 32)
+    threads = 64
+    x_base = 0
+    f_base = boxes * particles
+
+    b = KernelBuilder("lavamd", num_params=3, shared_words=particles)
+    xb, fb, np_param = b.params(3)
+    tid = b.tid_x()
+    box = b.mul(b.ctaid_x(), particles)
+    mine_addr = b.add(xb, b.add(box, tid))
+    mine = b.ld_global(mine_addr)
+    b.st_shared(tid, mine)
+    b.barrier()
+    force = b.mov(0.0)
+    with b.loop(0, particles, 4) as j:
+        s_addr = b.mov(j)
+        for u in range(4):
+            xj = b.ld_shared(s_addr, offset=u)
+            d = b.sub(mine, xj)
+            d2 = b.mul(d, d)
+            w = b.exp(b.neg(d2))
+            b.mad(w, d, force, dst=force)
+    b.st_global(b.add(fb, b.add(box, tid)), force)
+    kernel = b.build()
+
+    rng = rng_for("lavamd", scale)
+    x = rng.uniform(-2, 2, (boxes, particles))
+    mem = np.zeros(2 * boxes * particles)
+    mem[:boxes * particles] = x.ravel()
+    d = x[:, :, None] - x[:, None, :]
+    force = (np.exp(-(d ** 2)) * d).sum(axis=2)
+    expected = mem.copy()
+    expected[f_base:] = force.ravel()
+    return WorkloadInstance(
+        kernel=kernel,
+        launch=LaunchConfig(grid=(boxes, 1), block=(threads, 1),
+                            params=(x_base, f_base, particles)),
+        global_mem=mem,
+        expected=expected,
+        rtol=1e-8, atol=1e-8,
+    )
+
+
+def _build_lud(scale: str) -> WorkloadInstance:
+    """LUD diagonal-block factorization: a shared 16x16 tile updated in
+    place with two barriers per elimination step — the paper's
+    worst-case kernel for boundary frequency (Section VI-B2)."""
+    tile = 16
+    blocks = pick(scale, 4, 16, 32)
+    threads = tile
+    a_base = 0
+    n_words = blocks * tile * tile
+
+    b = KernelBuilder("lud", num_params=2, shared_words=tile * tile)
+    ab, tile_p = b.params(2)
+    tid = b.tid_x()
+    base = b.add(ab, b.mul(b.ctaid_x(), tile * tile))
+    # Stage the tile: each thread loads its column across all rows.
+    for row in range(tile):
+        addr = b.add(base, b.add(tid, row * tile))
+        b.st_shared(b.add(b.mov(float(row * tile)), tid),
+                    b.ld_global(addr))
+    b.barrier()
+    for k in range(tile - 1):
+        # Scale column k below the pivot.
+        below = b.setp(CmpOp.GT, tid, float(k))
+        with b.if_(below):
+            pivot = b.ld_shared(b.mov(float(k * tile + k)))
+            mine_a = b.add(b.mul(tid, tile), k)
+            b.st_shared(mine_a, b.div(b.ld_shared(mine_a), pivot))
+        b.barrier()
+        # Rank-1 update of the trailing submatrix (thread = row).
+        with b.if_(below):
+            lik = b.ld_shared(b.add(b.mul(tid, tile), k))
+            row_addr = b.mul(tid, tile)
+            for j in range(k + 1, tile):
+                ukj = b.ld_shared(b.mov(float(k * tile + j)))
+                a_addr = b.add(row_addr, j)
+                old = b.ld_shared(a_addr)
+                b.st_shared(a_addr, b.sub(old, b.mul(lik, ukj)))
+        b.barrier()
+    for row in range(tile):
+        addr = b.add(base, b.add(tid, row * tile))
+        b.st_global(addr, b.ld_shared(b.add(b.mov(float(row * tile)), tid)))
+    kernel = b.build()
+
+    rng = rng_for("lud", scale)
+    tiles = rng.uniform(1, 2, (blocks, tile, tile))
+    for blk in range(blocks):
+        tiles[blk] += np.eye(tile) * tile  # diagonal dominance
+    mem = tiles.ravel().copy()
+    out = tiles.copy()
+    for blk in range(blocks):
+        a = out[blk]
+        for k in range(tile - 1):
+            a[k + 1:, k] /= a[k, k]
+            a[k + 1:, k + 1:] -= np.outer(a[k + 1:, k], a[k, k + 1:])
+    expected = out.ravel()
+    return WorkloadInstance(
+        kernel=kernel,
+        launch=LaunchConfig(grid=(blocks, 1), block=(threads, 1),
+                            params=(a_base, tile)),
+        global_mem=mem,
+        expected=expected,
+        rtol=1e-8, atol=1e-8,
+    )
+
+
+def _build_nw(scale: str) -> WorkloadInstance:
+    """Needleman-Wunsch anti-diagonal dynamic programming over a shared
+    score tile, one barrier per wavefront."""
+    tile = 16
+    blocks = pick(scale, 4, 16, 32)
+    threads = tile
+    penalty = 2.0
+    pad = tile + 1
+    r_base = 0                       # reference matrix per block
+    s_base = blocks * tile * tile    # output scores per block
+
+    b = KernelBuilder("nw", num_params=3, shared_words=pad * pad)
+    rb, sb, pen = b.params(3)
+    tid = b.tid_x()
+    base = b.add(rb, b.mul(b.ctaid_x(), tile * tile))
+    # Initialize first row and column of the DP tile (the top row has
+    # pad = tile+1 entries; all threads write the same last value).
+    b.st_shared(b.add(b.mov(0.0), tid), b.mul(tid, b.neg(pen)))
+    corner = b.mov(float(tile))
+    b.st_shared(corner, b.mul(float(tile), b.neg(pen)))
+    col_addr = b.mul(b.add(tid, 1), pad)
+    b.st_shared(col_addr, b.mul(b.add(tid, 1), b.neg(pen)))
+    b.barrier()
+    for wave in range(2 * tile - 1):
+        # Thread t handles cell (i=t, j=wave-t) when 0 <= j < tile.
+        j_coord = b.sub(float(wave), tid)
+        valid = b.setp(CmpOp.GE, j_coord, 0.0)
+        valid = b.pand(valid, b.setp(CmpOp.LT, j_coord, float(tile)))
+        with b.if_(valid):
+            i1 = b.add(tid, 1)
+            j1 = b.add(j_coord, 1)
+            up_left = b.ld_shared(b.add(b.mul(b.sub(i1, 1), pad),
+                                        b.sub(j1, 1)))
+            up = b.ld_shared(b.add(b.mul(b.sub(i1, 1), pad), j1))
+            left = b.ld_shared(b.add(b.mul(i1, pad), b.sub(j1, 1)))
+            ref = b.ld_global(b.add(base, b.add(b.mul(tid, tile), j_coord)))
+            diag = b.add(up_left, ref)
+            gap = b.max_(b.sub(up, pen), b.sub(left, pen))
+            score = b.max_(diag, gap)
+            b.st_shared(b.add(b.mul(i1, pad), j1), score)
+        b.barrier()
+    # Write back the score tile (excluding the boundary row/col).
+    for row in range(tile):
+        s_addr = b.add(b.mul(b.mov(float(row + 1)), pad), b.add(tid, 1))
+        out_addr = b.add(b.add(sb, b.mul(b.ctaid_x(), tile * tile)),
+                         b.add(tid, row * tile))
+        b.st_global(out_addr, b.ld_shared(s_addr))
+    kernel = b.build()
+
+    rng = rng_for("nw", scale)
+    ref = rng.integers(-3, 4, (blocks, tile, tile)).astype(float)
+    mem = np.zeros(s_base + blocks * tile * tile)
+    mem[:blocks * tile * tile] = ref.ravel()
+    scores = np.zeros_like(ref)
+    for blk in range(blocks):
+        dp = np.zeros((pad, pad))
+        dp[0, :] = -penalty * np.arange(pad)
+        dp[:, 0] = -penalty * np.arange(pad)
+        for i in range(1, pad):
+            for j in range(1, pad):
+                dp[i, j] = max(dp[i - 1, j - 1] + ref[blk, i - 1, j - 1],
+                               dp[i - 1, j] - penalty,
+                               dp[i, j - 1] - penalty)
+        scores[blk] = dp[1:, 1:]
+    expected = mem.copy()
+    expected[s_base:] = scores.ravel()
+    return WorkloadInstance(
+        kernel=kernel,
+        launch=LaunchConfig(grid=(blocks, 1), block=(threads, 1),
+                            params=(r_base, s_base, penalty)),
+        global_mem=mem,
+        expected=expected,
+    )
+
+
+def _build_pf(scale: str) -> WorkloadInstance:
+    """PathFinder: row-by-row DP through a cost grid with ping-pong
+    shared buffers and a barrier per row — the Figure 10 shape."""
+    cols = 64
+    rows = pick(scale, 8, 16, 32)
+    blocks = pick(scale, 4, 16, 32)
+    threads = cols
+    d_base = 0
+    grid_words = blocks * rows * cols
+    r_base = grid_words
+
+    b = KernelBuilder("pf", num_params=4, shared_words=2 * cols)
+    db, rb, nrows, ncols = b.params(4)
+    tid = b.tid_x()
+    base = b.add(db, b.mul(b.ctaid_x(), rows * cols))
+    b.st_shared(tid, b.ld_global(b.add(base, tid)))
+    b.barrier()
+    for row in range(1, rows):
+        cur = (row % 2) * cols
+        prev = ((row - 1) % 2) * cols
+        left_i = b.max_(b.sub(tid, 1), 0.0)
+        right_i = b.min_(b.add(tid, 1), cols - 1)
+        lo = b.ld_shared(left_i, offset=prev)
+        mid = b.ld_shared(tid, offset=prev)
+        hi = b.ld_shared(right_i, offset=prev)
+        best = b.min_(b.min_(lo, mid), hi)
+        cost = b.ld_global(b.add(base, b.add(tid, row * cols)))
+        b.st_shared(tid, b.add(cost, best), offset=cur)
+        b.barrier()
+    final = ((rows - 1) % 2) * cols
+    out = b.add(rb, b.add(b.mul(b.ctaid_x(), cols), tid))
+    b.st_global(out, b.ld_shared(tid, offset=final))
+    kernel = b.build()
+
+    rng = rng_for("pf", scale)
+    grid_v = rng.integers(0, 10, (blocks, rows, cols)).astype(float)
+    mem = np.zeros(grid_words + blocks * cols)
+    mem[:grid_words] = grid_v.ravel()
+    result = np.zeros((blocks, cols))
+    for blk in range(blocks):
+        acc = grid_v[blk, 0].copy()
+        for row in range(1, rows):
+            left = np.concatenate([[acc[0]], acc[:-1]])
+            right = np.concatenate([acc[1:], [acc[-1]]])
+            acc = grid_v[blk, row] + np.minimum(np.minimum(left, acc), right)
+        result[blk] = acc
+    expected = mem.copy()
+    expected[r_base:] = result.ravel()
+    return WorkloadInstance(
+        kernel=kernel,
+        launch=LaunchConfig(grid=(blocks, 1), block=(threads, 1),
+                            params=(d_base, r_base, rows, cols)),
+        global_mem=mem,
+        expected=expected,
+    )
+
+
+def _build_srad(scale: str) -> WorkloadInstance:
+    """SRAD diffusion-coefficient kernel: gradient stencil, divisions,
+    and an exp-based coefficient per interior cell."""
+    n = pick(scale, 32, 64, 128)
+    j_base, c_base = 0, n * n
+    q0 = 0.5
+
+    b = KernelBuilder("srad", num_params=3)
+    nn, jb, cb = b.params(3)
+    x = b.global_index()
+    y = b.global_index_y()
+    ok = b.pand(b.setp(CmpOp.LT, x, nn), b.setp(CmpOp.LT, y, nn))
+    with b.if_(ok):
+        xm = b.max_(b.sub(x, 1), 0.0)
+        xp = b.min_(b.add(x, 1), b.sub(nn, 1))
+        ym = b.max_(b.sub(y, 1), 0.0)
+        yp = b.min_(b.add(y, 1), b.sub(nn, 1))
+        row = b.mul(y, nn)
+        jc = b.ld_global(b.add(jb, b.add(row, x)))
+        jl = b.ld_global(b.add(jb, b.add(row, xm)))
+        jr = b.ld_global(b.add(jb, b.add(row, xp)))
+        ju = b.ld_global(b.add(jb, b.add(b.mul(ym, nn), x)))
+        jd = b.ld_global(b.add(jb, b.add(b.mul(yp, nn), x)))
+        g2 = b.mov(0.0)
+        lap = b.mov(0.0)
+        for nbr in (jl, jr, ju, jd):
+            d = b.sub(nbr, jc)
+            b.mad(d, d, g2, dst=g2)
+            b.add(lap, d, dst=lap)
+        jc2 = b.mul(jc, jc)
+        num = b.sub(b.div(g2, jc2), b.mul(0.0625,
+                                          b.mul(b.div(lap, jc),
+                                                b.div(lap, jc))))
+        den = b.mad(0.25, b.div(lap, jc), 1.0)
+        q = b.div(num, b.mul(den, den))
+        c = b.div(1.0, b.add(1.0, b.div(b.sub(q, q0), q0 * (1.0 + q0))))
+        c = b.min_(b.max_(c, 0.0), 1.0)
+        b.st_global(b.add(cb, b.add(row, x)), c)
+    kernel = b.build()
+
+    rng = rng_for("srad", scale)
+    j = rng.uniform(1, 5, (n, n))
+    mem = np.zeros(2 * n * n)
+    mem[:n * n] = j.ravel()
+    idx = np.arange(n)
+    xm, xp = np.maximum(idx - 1, 0), np.minimum(idx + 1, n - 1)
+    jl, jr = j[:, xm], j[:, xp]
+    ju, jd = j[xm, :], j[xp, :]
+    g2 = np.zeros_like(j)
+    lap = np.zeros_like(j)
+    for nbr in (jl, jr, ju, jd):
+        d = nbr - j
+        g2 += d * d
+        lap += d
+    num = g2 / (j * j) - 0.0625 * (lap / j) ** 2
+    den = 1.0 + 0.25 * lap / j
+    q = num / (den * den)
+    c = 1.0 / (1.0 + (q - q0) / (q0 * (1.0 + q0)))
+    c = np.clip(c, 0.0, 1.0)
+    expected = mem.copy()
+    expected[c_base:] = c.ravel()
+    return WorkloadInstance(
+        kernel=kernel,
+        launch=LaunchConfig(grid=(-(-n // 32), -(-n // 4)), block=(32, 4),
+                            params=(n, j_base, c_base)),
+        global_mem=mem,
+        expected=expected,
+        rtol=1e-8,
+    )
+
+
+def _build_sc(scale: str) -> WorkloadInstance:
+    """Streamcluster assignment: each point scans the candidate centers
+    (4-D) and records the nearest one and its cost."""
+    points = pick(scale, 512, 2048, 8192)
+    centers = 8
+    dims = 4
+    p_base = 0
+    c_base = points * dims
+    a_base = c_base + centers * dims
+    cost_base = a_base + points
+
+    b = KernelBuilder("sc", num_params=6)
+    npt, pb, cb, ab, costb, ncent = b.params(6)
+    i = b.global_index()
+    guard = b.setp(CmpOp.LT, i, npt)
+    with b.if_(guard):
+        p_addr = b.add(pb, b.mul(i, dims))
+        coords = [b.ld_global(p_addr, offset=d) for d in range(dims)]
+        best = b.mov(1e30)
+        best_idx = b.mov(0.0)
+        # Fully unrolled center scan (constant trip count, pragma-unroll
+        # style) so the whole scan forms a handful of large regions.
+        for c in range(centers):
+            c_addr = b.add(cb, float(c * dims))
+            dist = b.mov(0.0)
+            for d in range(dims):
+                delta = b.sub(coords[d], b.ld_global(c_addr, offset=d))
+                b.mad(delta, delta, dist, dst=dist)
+            closer = b.setp(CmpOp.LT, dist, best)
+            b.selp(dist, best, closer, dst=best)
+            b.selp(float(c), best_idx, closer, dst=best_idx)
+        b.st_global(b.add(ab, i), best_idx)
+        b.st_global(b.add(costb, i), best)
+    kernel = b.build()
+
+    rng = rng_for("sc", scale)
+    pts = rng.uniform(-5, 5, (points, dims))
+    cts = rng.uniform(-5, 5, (centers, dims))
+    mem = np.zeros(cost_base + points)
+    mem[:points * dims] = pts.ravel()
+    mem[c_base:c_base + centers * dims] = cts.ravel()
+    d2 = ((pts[:, None, :] - cts[None, :, :]) ** 2).sum(axis=2)
+    expected = mem.copy()
+    expected[a_base:a_base + points] = d2.argmin(axis=1).astype(float)
+    expected[cost_base:] = d2.min(axis=1)
+    threads = 128
+    return WorkloadInstance(
+        kernel=kernel,
+        launch=LaunchConfig(grid=(-(-points // threads), 1),
+                            block=(threads, 1),
+                            params=(points, p_base, c_base, a_base,
+                                    cost_base, centers)),
+        global_mem=mem,
+        expected=expected,
+        rtol=1e-8,
+    )
+
+
+def _build_cfd(scale: str) -> WorkloadInstance:
+    """CFD flux accumulation: gather four neighbours' conserved
+    variables through an indirection table and combine with sqrt/div."""
+    cells = pick(scale, 512, 2048, 8192)
+    nbrs = 4
+    v_base = 0
+    n_base = cells
+    f_base = n_base + cells * nbrs
+
+    b = KernelBuilder("cfd", num_params=4)
+    nc, vb, nb, fb = b.params(4)
+    i = b.global_index()
+    guard = b.setp(CmpOp.LT, i, nc)
+    with b.if_(guard):
+        mine = b.ld_global(b.add(vb, i))
+        flux = b.mov(0.0)
+        n_row = b.add(nb, b.mul(i, nbrs))
+        for k in range(nbrs):
+            j = b.ld_global(n_row, offset=k)
+            vj = b.ld_global(b.add(vb, j))
+            avg = b.mul(b.add(mine, vj), 0.5)
+            wave = b.sqrt(b.add(b.abs_(avg), 1.0))
+            b.add(flux, b.div(b.sub(vj, mine), wave), dst=flux)
+        b.st_global(b.add(fb, i), flux)
+    kernel = b.build()
+
+    rng = rng_for("cfd", scale)
+    v = rng.uniform(0.5, 2.0, cells)
+    nbr = rng.integers(0, cells, (cells, nbrs)).astype(float)
+    mem = np.zeros(f_base + cells)
+    mem[:cells] = v
+    mem[n_base:n_base + cells * nbrs] = nbr.ravel()
+    vj = v[nbr.astype(int)]
+    avg = (v[:, None] + vj) * 0.5
+    wave = np.sqrt(np.abs(avg) + 1.0)
+    flux = ((vj - v[:, None]) / wave).sum(axis=1)
+    expected = mem.copy()
+    expected[f_base:] = flux
+    threads = 128
+    return WorkloadInstance(
+        kernel=kernel,
+        launch=LaunchConfig(grid=(-(-cells // threads), 1),
+                            block=(threads, 1),
+                            params=(cells, v_base, n_base, f_base)),
+        global_mem=mem,
+        expected=expected,
+        rtol=1e-8,
+    )
+
+
+def _build_kmeans(scale: str) -> WorkloadInstance:
+    """K-means assignment step plus atomic per-cluster counting."""
+    points = pick(scale, 512, 2048, 8192)
+    k = 8
+    dims = 4
+    p_base = 0
+    c_base = points * dims
+    m_base = c_base + k * dims
+    count_base = m_base + points
+
+    b = KernelBuilder("kmeans", num_params=6)
+    npt, pb, cb, mb, cntb, kk = b.params(6)
+    i = b.global_index()
+    guard = b.setp(CmpOp.LT, i, npt)
+    with b.if_(guard):
+        p_addr = b.add(pb, b.mul(i, dims))
+        coords = [b.ld_global(p_addr, offset=d) for d in range(dims)]
+        best = b.mov(1e30)
+        best_idx = b.mov(0.0)
+        for c in range(k):
+            c_addr = b.add(cb, float(c * dims))
+            dist = b.mov(0.0)
+            for d in range(dims):
+                delta = b.sub(coords[d], b.ld_global(c_addr, offset=d))
+                b.mad(delta, delta, dist, dst=dist)
+            closer = b.setp(CmpOp.LT, dist, best)
+            b.selp(dist, best, closer, dst=best)
+            b.selp(float(c), best_idx, closer, dst=best_idx)
+        b.st_global(b.add(mb, i), best_idx)
+        b.atom_global(AtomOp.ADD, b.add(cntb, best_idx), 1.0)
+    kernel = b.build()
+
+    rng = rng_for("kmeans", scale)
+    pts = rng.uniform(-5, 5, (points, dims))
+    cts = rng.uniform(-5, 5, (k, dims))
+    mem = np.zeros(count_base + k)
+    mem[:points * dims] = pts.ravel()
+    mem[c_base:c_base + k * dims] = cts.ravel()
+    d2 = ((pts[:, None, :] - cts[None, :, :]) ** 2).sum(axis=2)
+    member = d2.argmin(axis=1)
+    expected = mem.copy()
+    expected[m_base:m_base + points] = member.astype(float)
+    expected[count_base:] = np.bincount(member, minlength=k).astype(float)
+    threads = 128
+    return WorkloadInstance(
+        kernel=kernel,
+        launch=LaunchConfig(grid=(-(-points // threads), 1),
+                            block=(threads, 1),
+                            params=(points, p_base, c_base, m_base,
+                                    count_base, k)),
+        global_mem=mem,
+        expected=expected,
+        rtol=1e-8,
+    )
+
+
+def _build_knn(scale: str) -> WorkloadInstance:
+    """k-Nearest-Neighbours distance kernel: per-record Euclidean
+    distance from the query, then a block-level min-reduction."""
+    records = pick(scale, 512, 2048, 8192)
+    threads = 64
+    lat_base = 0
+    lng_base = records
+    d_base = 2 * records
+    blocks = -(-records // threads)
+    min_base = d_base + records
+
+    b = KernelBuilder("knn", num_params=7, shared_words=threads)
+    nr, latb, lngb, db, minb, qlat, qlng = b.params(7)
+    i = b.global_index()
+    tid = b.tid_x()
+    guard = b.setp(CmpOp.LT, i, nr)
+    dist = b.mov(1e30)
+    with b.if_(guard):
+        dlat = b.sub(b.ld_global(b.add(latb, i)), qlat)
+        dlng = b.sub(b.ld_global(b.add(lngb, i)), qlng)
+        b.sqrt(b.mad(dlat, dlat, b.mul(dlng, dlng)), dst=dist)
+        b.st_global(b.add(db, i), dist)
+    b.st_shared(tid, dist)
+    b.barrier()
+    stride = threads // 2
+    while stride >= 1:
+        active = b.setp(CmpOp.LT, tid, float(stride))
+        with b.if_(active):
+            other = b.ld_shared(tid, offset=stride)
+            mine = b.ld_shared(tid)
+            b.st_shared(tid, b.min_(mine, other))
+        b.barrier()
+        stride //= 2
+    leader = b.setp(CmpOp.EQ, tid, 0)
+    with b.if_(leader):
+        b.st_global(b.add(minb, b.ctaid_x()), b.ld_shared(tid))
+    kernel = b.build()
+
+    rng = rng_for("knn", scale)
+    lat = rng.uniform(-90, 90, records)
+    lng = rng.uniform(-180, 180, records)
+    qla, qln = 10.0, 20.0
+    mem = np.zeros(min_base + blocks)
+    mem[:records] = lat
+    mem[lng_base:lng_base + records] = lng
+    dists = np.sqrt((lat - qla) ** 2 + (lng - qln) ** 2)
+    mins = np.zeros(blocks)
+    for blk in range(blocks):
+        lo, hi = blk * threads, min((blk + 1) * threads, records)
+        mins[blk] = dists[lo:hi].min()
+    expected = mem.copy()
+    expected[d_base:d_base + records] = dists
+    expected[min_base:] = mins
+    return WorkloadInstance(
+        kernel=kernel,
+        launch=LaunchConfig(grid=(blocks, 1), block=(threads, 1),
+                            params=(records, lat_base, lng_base, d_base,
+                                    min_base, qla, qln)),
+        global_mem=mem,
+        expected=expected,
+        rtol=1e-8,
+    )
+
+
+WORKLOADS = [
+    Workload("BP", "back propagation", "rodinia", _build_bp,
+             uses_barriers=True),
+    Workload("BFS", "breadth-first search", "rodinia", _build_bfs),
+    Workload("Gaussian", "gaussian elimination", "rodinia", _build_gaussian),
+    Workload("Hotspot", "hotspot", "rodinia", _build_hotspot,
+             uses_barriers=True),
+    Workload("LavaMD", "lava Molecular Dynamics", "rodinia", _build_lavamd,
+             uses_barriers=True),
+    Workload("LUD", "LU Decomposition", "rodinia", _build_lud,
+             uses_barriers=True),
+    Workload("NW", "Needleman-Wunsch", "rodinia", _build_nw,
+             uses_barriers=True),
+    Workload("PF", "pathfinder", "rodinia", _build_pf, uses_barriers=True),
+    Workload("SRAD", "SRAD_v2", "rodinia", _build_srad),
+    Workload("SC", "streamcluster", "rodinia", _build_sc),
+    Workload("CFD", "CFD solver", "rodinia", _build_cfd),
+    Workload("Kmeans", "kmeans", "rodinia", _build_kmeans,
+             uses_atomics=True),
+    Workload("KNN", "k-Nearest Neighbors", "rodinia", _build_knn,
+             uses_barriers=True),
+]

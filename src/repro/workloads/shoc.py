@@ -1,0 +1,95 @@
+"""SHOC workloads: Triad and GUPS."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa import CmpOp, KernelBuilder
+from ..sim import LaunchConfig
+from .base import Workload, WorkloadInstance, pick, rng_for
+
+
+def _build_triad(scale: str) -> WorkloadInstance:
+    """STREAM triad: c[i] = a[i] + s * b[i] — pure memory bandwidth."""
+    n = pick(scale, 1024, 4096, 16384)
+    a_base, b_base, c_base = 0, n, 2 * n
+
+    b = KernelBuilder("triad", num_params=5)
+    nn, s, ab, bb, cb = b.params(5)
+    i = b.global_index()
+    guard = b.setp(CmpOp.LT, i, nn)
+    with b.if_(guard):
+        a = b.ld_global(b.add(ab, i))
+        bv = b.ld_global(b.add(bb, i))
+        b.st_global(b.add(cb, i), b.mad(s, bv, a))
+    kernel = b.build()
+
+    rng = rng_for("triad", scale)
+    a = rng.uniform(-1, 1, n)
+    bv = rng.uniform(-1, 1, n)
+    mem = np.zeros(3 * n)
+    mem[:n] = a
+    mem[n:2 * n] = bv
+    expected = mem.copy()
+    expected[c_base:] = a + 1.75 * bv
+    threads = 128
+    return WorkloadInstance(
+        kernel=kernel,
+        launch=LaunchConfig(grid=(-(-n // threads), 1), block=(threads, 1),
+                            params=(n, 1.75, a_base, b_base, c_base)),
+        global_mem=mem,
+        expected=expected,
+    )
+
+
+def _build_gups(scale: str) -> WorkloadInstance:
+    """Giga-updates-per-second: pseudo-random read-modify-write XOR
+    updates over a table.  Each thread owns a disjoint table segment (so
+    runs are deterministic), but accesses within the segment hop
+    pseudo-randomly — cache-hostile, and every update is an in-place
+    memory anti-dependence the region former must cut."""
+    threads_total = pick(scale, 256, 512, 1024)
+    seg = 16                      # words per thread
+    updates = pick(scale, 8, 16, 32)
+    table_words = threads_total * seg
+
+    b = KernelBuilder("gups", num_params=3)
+    nt, tb, upd = b.params(3)
+    i = b.global_index()
+    guard = b.setp(CmpOp.LT, i, nt)
+    with b.if_(guard):
+        seg_base = b.add(tb, b.mul(i, seg))
+        with b.loop(0, upd) as j:
+            mixed = b.mad(j, 7, i)
+            slot = b.rem(b.mul(mixed, 13), seg)
+            addr = b.add(seg_base, slot)
+            old = b.ld_global(addr)
+            key = b.mad(j, 31, 17)
+            b.st_global(addr, b.xor(old, key))
+    kernel = b.build()
+
+    rng = rng_for("gups", scale)
+    table = rng.integers(0, 2**30, table_words).astype(float)
+    mem = table.copy()
+    ref = table.astype(np.int64)
+    for t in range(threads_total):
+        for j in range(updates):
+            slot = ((j * 7 + t) * 13) % seg
+            addr = t * seg + slot
+            ref[addr] ^= j * 31 + 17
+    expected = ref.astype(float)
+    threads = 128
+    return WorkloadInstance(
+        kernel=kernel,
+        launch=LaunchConfig(grid=(-(-threads_total // threads), 1),
+                            block=(threads, 1),
+                            params=(threads_total, 0, updates)),
+        global_mem=mem,
+        expected=expected,
+    )
+
+
+WORKLOADS = [
+    Workload("Triad", "STREAM triad", "shoc", _build_triad),
+    Workload("GUPS", "Giga UPdates per Second", "shoc", _build_gups),
+]

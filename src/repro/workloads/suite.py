@@ -1,0 +1,31 @@
+"""The Table-I benchmark registry: all 34 workloads by abbreviation."""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from . import altis, cuda_sdk, gpgpusim, npb, parboil, rodinia, shoc
+from .base import Workload
+
+_MODULES = (parboil, gpgpusim, cuda_sdk, npb, rodinia, altis, shoc)
+
+#: All Table-I workloads, keyed by abbreviation, in paper order by suite.
+WORKLOADS: dict[str, Workload] = {}
+for _module in _MODULES:
+    for _workload in _module.WORKLOADS:
+        if _workload.abbr in WORKLOADS:
+            raise ConfigError(f"duplicate workload {_workload.abbr!r}")
+        WORKLOADS[_workload.abbr] = _workload
+
+
+def workload_by_name(abbr: str) -> Workload:
+    try:
+        return WORKLOADS[abbr]
+    except KeyError:
+        raise ConfigError(
+            f"unknown workload {abbr!r}; choose from {sorted(WORKLOADS)}"
+        ) from None
+
+
+def table1_rows() -> list[tuple[str, str, str]]:
+    """(suite, full name, abbreviation) rows of Table I."""
+    return [(w.suite, w.full_name, w.abbr) for w in WORKLOADS.values()]

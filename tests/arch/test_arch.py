@@ -1,0 +1,151 @@
+"""Architecture configs, acoustic sensor model, and fault-rate model."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch import (ALL_GPUS, FaultRates, GTX480, GV100, RTX2060,
+                        SECONDS_PER_DAY, SensorMesh, TITAN_X, gpu_by_name,
+                        sample_strike_cycles, section4_report,
+                        sensors_for_wcdl, wcdl_curve, wcdl_for_sensors)
+from repro.errors import ConfigError
+
+
+class TestConfigs:
+    def test_four_architectures(self):
+        assert set(ALL_GPUS) == {"GTX480", "RTX2060", "GV100", "TITAN X"}
+
+    def test_lookup(self):
+        assert gpu_by_name("GTX480") is GTX480
+        with pytest.raises(ConfigError):
+            gpu_by_name("H100")
+
+    def test_paper_frequencies(self):
+        """Table II's frequency column."""
+        assert GTX480.core_freq_mhz == 700
+        assert RTX2060.core_freq_mhz == 1365
+        assert GV100.core_freq_mhz == 1136
+        assert TITAN_X.core_freq_mhz == 1000
+
+    def test_paper_sm_counts(self):
+        assert GTX480.num_sms == 16
+        assert RTX2060.num_sms == 30
+        assert GV100.num_sms == 80
+        assert TITAN_X.num_sms == 24
+
+    def test_warps_split_across_schedulers(self):
+        for gpu in ALL_GPUS.values():
+            assert gpu.max_warps_per_sm % gpu.num_schedulers == 0
+
+    def test_scaled_copy(self):
+        scaled = GTX480.scaled(sim_sms=1)
+        assert scaled.sim_sms == 1
+        assert GTX480.sim_sms == 2
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ConfigError):
+            GTX480.scaled(sim_sms=0)
+        with pytest.raises(ConfigError):
+            GTX480.scaled(max_warps_per_sm=63)  # not divisible by 2
+
+
+class TestSensorModel:
+    def test_default_calibration_point(self):
+        """Paper Section VI-A1: GTX480 with 200 sensors -> 20 cycles."""
+        assert wcdl_for_sensors(GTX480, 200) == 20
+
+    def test_paper_range_50_to_300(self):
+        """Paper: 50-300 sensors give roughly 50 to 15 cycles."""
+        assert 45 <= wcdl_for_sensors(GTX480, 50) <= 56
+        assert 14 <= wcdl_for_sensors(GTX480, 300) <= 17
+
+    def test_table2_sensor_counts(self):
+        """Table II within +-2 sensors."""
+        expected = {"GTX480": 200, "RTX2060": 248, "GV100": 128,
+                    "TITAN X": 260}
+        for name, want in expected.items():
+            got = sensors_for_wcdl(gpu_by_name(name), 20)
+            assert abs(got - want) <= 2, (name, got)
+
+    def test_area_overhead_below_paper_bound(self):
+        """Paper: < 0.1% area overhead for every architecture."""
+        for gpu in ALL_GPUS.values():
+            mesh = SensorMesh(gpu, sensors_for_wcdl(gpu, 20))
+            assert mesh.area_overhead < 0.001
+
+    def test_inverse_consistency(self):
+        for gpu in ALL_GPUS.values():
+            for wcdl in (10, 20, 35, 50):
+                n = sensors_for_wcdl(gpu, wcdl)
+                assert wcdl_for_sensors(gpu, n) <= wcdl
+                if n > 1:
+                    assert wcdl_for_sensors(gpu, n - 1) > wcdl
+
+    @given(st.integers(1, 2000), st.integers(1, 2000))
+    def test_monotonicity(self, a, b):
+        """More sensors never increase WCDL."""
+        lo, hi = min(a, b), max(a, b)
+        assert wcdl_for_sensors(GTX480, hi) <= wcdl_for_sensors(GTX480, lo)
+
+    def test_curve_shape(self):
+        curve = wcdl_curve(GTX480, [50, 100, 200, 300])
+        assert curve == sorted(curve, reverse=True)
+
+    def test_zero_sensors_rejected(self):
+        with pytest.raises(ConfigError):
+            wcdl_for_sensors(GTX480, 0)
+        with pytest.raises(ConfigError):
+            SensorMesh(GTX480, 0)
+
+
+class TestFaultModel:
+    def test_section4_arithmetic(self):
+        """Paper: 0.5 post-masking errors/day -> ~1.37 raw strikes/day."""
+        rates = FaultRates()
+        assert math.isclose(rates.raw_strikes_per_day, 1.3699, abs_tol=1e-3)
+        assert math.isclose(rates.false_positives_per_day, 0.87, abs_tol=0.01)
+
+    def test_strike_rate_per_cycle(self):
+        rates = FaultRates()
+        per_cycle = rates.strikes_per_cycle(GTX480)
+        cycles_per_day = 700e6 * SECONDS_PER_DAY
+        assert math.isclose(per_cycle * cycles_per_day,
+                            rates.raw_strikes_per_day)
+
+    def test_recovery_overhead_negligible(self):
+        """Section IV's conclusion: re-executing ~50 instructions ~1.4
+        times per day is a vanishing fraction of machine time."""
+        rates = FaultRates()
+        frac = rates.recovery_overhead_fraction(GTX480, 50.23)
+        assert frac < 1e-10
+
+    def test_report_keys(self):
+        report = section4_report()
+        assert math.isclose(report["raw_strikes_per_day"], 1.3699,
+                            abs_tol=1e-3)
+        assert "false_positives_per_day" in report
+
+    def test_invalid_rates(self):
+        with pytest.raises(ConfigError):
+            FaultRates(masking_rate=1.0)
+        with pytest.raises(ConfigError):
+            FaultRates(post_masking_errors_per_day=-1)
+
+    def test_poisson_sampling(self):
+        rng = np.random.default_rng(42)
+        arrivals = sample_strike_cycles(0.01, 10_000, rng)
+        assert all(0 <= a < 10_000 for a in arrivals)
+        assert arrivals == sorted(arrivals)
+        # Expect ~100 strikes; allow generous slack.
+        assert 50 < len(arrivals) < 200
+
+    def test_zero_rate_no_strikes(self):
+        rng = np.random.default_rng(0)
+        assert sample_strike_cycles(0.0, 1000, rng) == []
+
+    def test_negative_rate_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigError):
+            sample_strike_cycles(-1.0, 100, rng)

@@ -1,0 +1,102 @@
+"""Instruction insertion/removal with label remapping."""
+
+from hypothesis import given, strategies as st
+
+from repro.compiler import insert_instructions, remove_instructions
+from repro.isa import Instruction, Op, parse_kernel
+
+BASE = """
+.kernel k
+    mov r0, 0
+HEAD:
+    setp.ge p0, r0, 5
+    @p0 bra END
+    add r0, r0, 1
+    bra HEAD
+END:
+    exit
+"""
+
+_RB = Instruction(op=Op.RB)
+
+
+class TestInsert:
+    def test_label_at_insertion_point_captures(self):
+        kernel = parse_kernel(BASE)
+        head = kernel.labels["HEAD"]
+        out = insert_instructions(kernel, {head: [_RB]})
+        assert out.instructions[out.labels["HEAD"]].op is Op.RB
+
+    def test_label_without_capture_skips(self):
+        kernel = parse_kernel(BASE)
+        head = kernel.labels["HEAD"]
+        out = insert_instructions(kernel, {head: [_RB]},
+                                  capture_labels=False)
+        target = out.instructions[out.labels["HEAD"]]
+        assert target.op is not Op.RB
+
+    def test_later_labels_shift(self):
+        kernel = parse_kernel(BASE)
+        out = insert_instructions(kernel, {0: [_RB, _RB]})
+        assert out.labels["HEAD"] == kernel.labels["HEAD"] + 2
+        assert out.labels["END"] == kernel.labels["END"] + 2
+
+    def test_multiple_points(self):
+        kernel = parse_kernel(BASE)
+        out = insert_instructions(kernel, {0: [_RB], 3: [_RB, _RB]})
+        assert len(out.instructions) == len(kernel.instructions) + 3
+        out.validate()
+
+    def test_insert_at_end(self):
+        kernel = parse_kernel(BASE)
+        n = len(kernel.instructions)
+        out = insert_instructions(kernel, {n: [_RB]})
+        assert out.instructions[-1].op is Op.RB
+
+    def test_empty_insertions_clone(self):
+        kernel = parse_kernel(BASE)
+        out = insert_instructions(kernel, {})
+        assert out.instructions == kernel.instructions
+        assert out is not kernel
+
+
+class TestRemove:
+    def test_label_slides_to_survivor(self):
+        kernel = parse_kernel(BASE)
+        head = kernel.labels["HEAD"]
+        withrb = insert_instructions(kernel, {head: [_RB]})
+        rb_index = withrb.labels["HEAD"]
+        out = remove_instructions(withrb, {rb_index})
+        assert out.instructions == kernel.instructions
+        assert out.labels == kernel.labels
+
+    def test_remove_multiple(self):
+        kernel = parse_kernel(BASE)
+        withrb = insert_instructions(kernel, {0: [_RB], 4: [_RB]})
+        rbs = {i for i, inst in enumerate(withrb.instructions)
+               if inst.op is Op.RB}
+        out = remove_instructions(withrb, rbs)
+        assert out.instructions == kernel.instructions
+        assert out.labels == kernel.labels
+
+
+class TestInsertRemoveProperty:
+    @given(st.sets(st.integers(0, 6), max_size=4))
+    def test_insert_then_remove_is_identity(self, points):
+        kernel = parse_kernel(BASE)
+        out = insert_instructions(kernel, {p: [_RB] for p in points})
+        rbs = {i for i, inst in enumerate(out.instructions)
+               if inst.op is Op.RB}
+        assert len(rbs) == len(points)
+        back = remove_instructions(out, rbs)
+        assert back.instructions == kernel.instructions
+        assert back.labels == kernel.labels
+
+    @given(st.sets(st.integers(0, 7), min_size=1, max_size=5))
+    def test_branch_targets_still_valid(self, points):
+        kernel = parse_kernel(BASE)
+        out = insert_instructions(kernel, {p: [_RB] for p in points})
+        out.validate()
+        # The back edge still reaches HEAD's (possibly shifted) location.
+        head_inst = out.instructions[out.labels["HEAD"]]
+        assert head_inst.op in (Op.RB, Op.SETP)

@@ -1,0 +1,116 @@
+"""Scheme composition: the compile pipeline of Section VI-B."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import (SCHEMES, compile_kernel, prepare_launch,
+                            scan_kernel, scheme_by_name, Detection, Recovery)
+from repro.errors import ConfigError
+from repro.isa import Op
+from repro.sim import LaunchConfig, run_kernel
+
+
+class TestSchemeRegistry:
+    def test_all_nine_plus_flame(self):
+        assert len(SCHEMES) == 10
+        assert "flame" in SCHEMES
+        assert "baseline" in SCHEMES
+
+    def test_flame_is_sensor_renaming_with_opt(self):
+        flame = scheme_by_name("flame")
+        assert flame.recovery is Recovery.RENAMING
+        assert flame.detection is Detection.SENSOR
+        assert flame.extend_regions
+        noopt = scheme_by_name("sensor_renaming")
+        assert not noopt.extend_regions
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ConfigError):
+            scheme_by_name("magic")
+
+    def test_runtime_flags(self):
+        assert scheme_by_name("flame").uses_sensor_runtime
+        assert not scheme_by_name("duplication_renaming").uses_sensor_runtime
+        assert not scheme_by_name("hybrid_renaming").uses_sensor_runtime
+
+
+class TestCompileShapes:
+    def test_baseline_has_no_markers(self, loop_kernel):
+        compiled = compile_kernel(loop_kernel, "baseline")
+        assert all(i.op is not Op.RB for i in compiled.kernel.instructions)
+        assert compiled.regions is None
+
+    def test_recovery_schemes_are_war_free(self, loop_kernel):
+        for name in ("renaming", "flame", "sensor_renaming",
+                     "duplication_renaming", "hybrid_renaming"):
+            compiled = compile_kernel(loop_kernel, name)
+            scan = scan_kernel(compiled.kernel)
+            assert not scan.mem_cuts, name
+
+    def test_renaming_schemes_have_no_reg_wars(self, loop_kernel):
+        compiled = compile_kernel(loop_kernel, "flame")
+        assert scan_kernel(compiled.kernel).clean
+
+    def test_duplication_adds_shadow_instructions(self, loop_kernel):
+        plain = compile_kernel(loop_kernel, "renaming")
+        dup = compile_kernel(loop_kernel, "duplication_renaming")
+        assert len(dup.kernel.instructions) > len(plain.kernel.instructions)
+        assert dup.duplication.duplicated > 0
+
+    def test_hybrid_duplicates_less_than_full(self, loop_kernel):
+        full = compile_kernel(loop_kernel, "duplication_renaming")
+        tail = compile_kernel(loop_kernel, "hybrid_renaming", wcdl=5)
+        assert tail.duplication.duplicated <= full.duplication.duplicated
+
+    def test_hybrid_scales_with_wcdl(self, loop_kernel):
+        short = compile_kernel(loop_kernel, "hybrid_renaming", wcdl=2)
+        long = compile_kernel(loop_kernel, "hybrid_renaming", wcdl=40)
+        assert short.duplication.duplicated <= long.duplication.duplicated
+
+    def test_checkpointing_needs_extra_param(self, loop_kernel):
+        compiled = compile_kernel(loop_kernel, "checkpointing")
+        assert compiled.needs_ckpt_param
+        assert compiled.kernel.num_params == loop_kernel.num_params + 1
+
+    def test_shadow_regs_do_not_count_for_occupancy(self, loop_kernel):
+        plain = compile_kernel(loop_kernel, "renaming")
+        dup = compile_kernel(loop_kernel, "duplication_renaming")
+        assert dup.regs_per_thread == plain.regs_per_thread
+        # But the functional register file is larger.
+        assert dup.kernel.num_regs > plain.kernel.num_regs
+
+
+class TestFunctionalEquivalence:
+    """Every scheme must compute exactly what the baseline computes."""
+
+    @pytest.mark.parametrize("scheme", sorted(SCHEMES))
+    def test_scheme_preserves_semantics(self, loop_kernel, scheme):
+        launch = LaunchConfig(grid=(2, 1), block=(64, 1),
+                              params=(100, 0, 128))
+
+        def init():
+            mem = np.zeros(4096)
+            mem[:100] = np.arange(100) / 7.0
+            mem[128:228] = 1.5
+            return mem
+
+        golden = init()
+        run_kernel(loop_kernel, launch, golden)
+
+        compiled = compile_kernel(loop_kernel, scheme)
+        mem = init()
+        params, mem = prepare_launch(compiled, launch.params, mem,
+                                     launch.num_blocks,
+                                     launch.threads_per_block)
+        launch2 = LaunchConfig(grid=launch.grid, block=launch.block,
+                               params=params)
+        run_kernel(compiled.kernel, launch2, mem,
+                   regs_per_thread=compiled.regs_per_thread)
+        assert np.allclose(mem[:300], golden[:300]), scheme
+
+    def test_prepare_launch_noop_without_ckpt(self, loop_kernel):
+        compiled = compile_kernel(loop_kernel, "renaming")
+        mem = np.zeros(16)
+        params, mem2 = prepare_launch(compiled, (1.0,), mem, 2, 64)
+        assert params == (1.0,)
+        assert mem2 is mem

@@ -1,0 +1,107 @@
+"""Register allocation: compactness, correctness, pressure limits."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import allocate_registers
+from repro.errors import CompileError
+from repro.isa import CmpOp, KernelBuilder, Reg
+from repro.sim import LaunchConfig, run_kernel
+from tests.conftest import interpret_kernel
+
+
+def chain_kernel(length=40):
+    """Long dependence chain: one live value at a time."""
+    b = KernelBuilder("chain", num_params=1)
+    out = b.params(1)[0]
+    v = b.mov(1.0)
+    for _ in range(length):
+        v = b.add(v, 2.0)
+    b.st_global(b.add(out, b.tid_x()), v)
+    return b.build()
+
+
+def wide_kernel(width=12):
+    """Many simultaneously-live values."""
+    b = KernelBuilder("wide", num_params=1)
+    out = b.params(1)[0]
+    vals = [b.mul(b.tid_x(), float(i + 1)) for i in range(width)]
+    total = vals[0]
+    for v in vals[1:]:
+        total = b.add(total, v)
+    b.st_global(b.add(out, b.tid_x()), total)
+    return b.build()
+
+
+class TestCompaction:
+    def test_chain_needs_few_registers(self):
+        kernel = chain_kernel()
+        assert kernel.num_regs > 40
+        allocated = allocate_registers(kernel)
+        assert allocated.num_regs <= 5
+
+    def test_wide_kernel_needs_width_registers(self):
+        allocated = allocate_registers(wide_kernel(12))
+        assert 12 <= allocated.num_regs <= 15
+
+    def test_num_regs_matches_kernel(self):
+        allocated = allocate_registers(chain_kernel())
+        assert allocated.kernel.num_regs == allocated.num_regs
+
+
+class TestSemanticsPreserved:
+    @pytest.mark.parametrize("make", [chain_kernel, wide_kernel])
+    def test_allocation_preserves_results(self, make):
+        kernel = make()
+        allocated = allocate_registers(kernel).kernel
+        launch = LaunchConfig(grid=(1, 1), block=(32, 1), params=(0,))
+        m0, m1 = np.zeros(64), np.zeros(64)
+        run_kernel(kernel, launch, m0)
+        run_kernel(allocated, launch, m1)
+        assert np.array_equal(m0, m1)
+
+    def test_loop_kernel_allocation(self, loop_kernel):
+        allocated = allocate_registers(loop_kernel).kernel
+        launch = LaunchConfig(grid=(2, 1), block=(64, 1),
+                              params=(100, 0, 128))
+        m0 = np.zeros(512)
+        m0[:100] = np.arange(100.0)
+        m0[128:228] = 2.0
+        m1 = m0.copy()
+        run_kernel(loop_kernel, launch, m0)
+        run_kernel(allocated, launch, m1)
+        assert np.allclose(m0, m1)
+
+    def test_guarded_partial_defs_survive_allocation(self):
+        """The allocator must not reuse a register whose old value lives
+        through a predicated write."""
+        b = KernelBuilder("g", num_params=1)
+        out = b.params(1)[0]
+        tid = b.tid_x()
+        val = b.mov(7.0)
+        p = b.setp(CmpOp.LT, tid, 16)
+        b.mov(9.0, dst=val, guard=p)
+        # An unrelated value that could be tempted into val's register.
+        other = b.mul(tid, 3.0)
+        b.st_global(b.add(out, tid), b.add(val, other))
+        kernel = b.build()
+        allocated = allocate_registers(kernel).kernel
+        launch = LaunchConfig(grid=(1, 1), block=(32, 1), params=(0,))
+        m0, m1 = np.zeros(64), np.zeros(64)
+        run_kernel(kernel, launch, m0)
+        run_kernel(allocated, launch, m1)
+        assert np.array_equal(m0, m1)
+
+    def test_matches_reference_interpreter(self):
+        kernel = allocate_registers(wide_kernel()).kernel
+        launch = LaunchConfig(grid=(1, 1), block=(32, 1), params=(0,))
+        sim_mem = np.zeros(64)
+        run_kernel(kernel, launch, sim_mem)
+        ref_mem = interpret_kernel(kernel, launch, np.zeros(64))
+        assert np.array_equal(sim_mem, ref_mem)
+
+
+class TestLimits:
+    def test_absurd_pressure_rejected(self):
+        with pytest.raises(CompileError):
+            allocate_registers(wide_kernel(300))

@@ -1,0 +1,283 @@
+"""Idempotent region formation: boundary placement, WAR elimination."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import (RegWarPolicy, form_regions, region_size_profile,
+                            scan_kernel, eligible_extension_barriers)
+from repro.isa import CmpOp, KernelBuilder, Op, parse_kernel
+from repro.sim import LaunchConfig, run_kernel
+
+
+def boundaries_of(kernel):
+    return [i for i, inst in enumerate(kernel.instructions)
+            if inst.op is Op.RB]
+
+
+class TestMemoryWarCuts:
+    def test_in_place_update_gets_cut(self):
+        """Figure 2a: a load followed by a may-aliasing store must be in
+        different regions."""
+        kernel = parse_kernel("""
+.kernel k
+    ld.param r0, [0]
+    ld.global r1, [r0]
+    add r1, r1, 1
+    st.global [r0], r1
+    exit
+""")
+        formed = form_regions(kernel)
+        scan = scan_kernel(formed.kernel)
+        assert scan.clean
+        assert formed.boundaries >= 1
+
+    def test_disjoint_arrays_not_cut(self):
+        """Loads from one pointer param and stores to another can share a
+        region (provenance disambiguation)."""
+        kernel = parse_kernel("""
+.kernel k
+    ld.param r0, [0]
+    ld.param r1, [1]
+    ld.global r2, [r0]
+    st.global [r1], r2
+    exit
+""")
+        formed = form_regions(kernel)
+        assert formed.war_cuts == 0
+
+    def test_waraw_exempt(self):
+        """A store preceded by a same-region store to the same location
+        does not break idempotence (WARAW, Section II-C)."""
+        kernel = parse_kernel("""
+.kernel k
+    ld.param r0, [0]
+    st.global [r0], 1
+    ld.global r1, [r0]
+    st.global [r0], r1
+    exit
+""")
+        formed = form_regions(kernel)
+        assert formed.war_cuts == 0
+
+    def test_different_offsets_same_base_disjoint(self):
+        kernel = parse_kernel("""
+.kernel k
+    ld.param r0, [0]
+    ld.global r1, [r0+4]
+    st.global [r0+8], r1
+    exit
+""")
+        assert form_regions(kernel).war_cuts == 0
+
+    def test_same_offset_same_base_cut(self):
+        kernel = parse_kernel("""
+.kernel k
+    ld.param r0, [0]
+    ld.global r1, [r0+4]
+    st.global [r0+4], r1
+    exit
+""")
+        assert form_regions(kernel).war_cuts == 1
+
+    def test_rewritten_base_is_conservative(self):
+        """After the base register changes, offset reasoning must not
+        prove disjointness."""
+        kernel = parse_kernel("""
+.kernel k
+    ld.param r0, [0]
+    ld.global r1, [r0+4]
+    add r0, r0, 1
+    st.global [r0+3], r1
+    exit
+""")
+        formed = form_regions(kernel)
+        assert scan_kernel(formed.kernel).clean
+        assert formed.boundaries >= 1
+
+
+class TestRegisterWars:
+    def test_self_increment_split(self):
+        """`add r, r, 1` cannot be fixed by any cut; the split transform
+        introduces a temporary and a boundary between read and write."""
+        kernel = parse_kernel("""
+.kernel k
+    mov r0, 0
+HEAD:
+    setp.ge p0, r0, 5
+    @p0 bra END
+    add r0, r0, 1
+    bra HEAD
+END:
+    exit
+""")
+        formed = form_regions(kernel)
+        assert scan_kernel(formed.kernel).clean
+        assert formed.rename_fallback_cuts >= 1
+
+    # Figure 2b: the WAR appears because a region boundary separates the
+    # first write of r1 from its read/re-write (a WARAW chain broken by
+    # the boundary).
+    _FIG2B = """
+.kernel k
+    ld.param r0, [0]
+    mov r1, 5
+    ld.global r3, [r0]
+    st.global [r0], r3
+    add r2, r1, 1
+    mov r1, 7
+    st.global [r0+1], r1
+    st.global [r0+2], r2
+    exit
+"""
+
+    def test_linear_war_renamed(self):
+        """Figure 3a: a WAR with a unique def-use chain is renamed."""
+        formed = form_regions(parse_kernel(self._FIG2B))
+        assert formed.renames >= 1
+        assert scan_kernel(formed.kernel).clean
+
+    def test_keep_policy_leaves_reg_wars(self):
+        formed = form_regions(parse_kernel(self._FIG2B),
+                              policy=RegWarPolicy.KEEP)
+        assert formed.renames == 0
+        assert formed.residual_reg_wars
+
+
+class TestStructuralBoundaries:
+    def test_loop_header_boundary(self):
+        kernel = parse_kernel("""
+.kernel k
+    mov r0, 0
+HEAD:
+    setp.ge p0, r0, 5
+    @p0 bra END
+    add r1, r0, 1
+    mov r0, r1
+    bra HEAD
+END:
+    exit
+""")
+        formed = form_regions(kernel)
+        # Every path around the back edge crosses at least one RB.
+        head = formed.kernel.labels["HEAD"]
+        assert formed.kernel.instructions[head].op is Op.RB
+
+    def test_barrier_boundary_before_bar(self):
+        b = KernelBuilder("k", num_params=1, shared_words=32)
+        p0 = b.params(1)[0]
+        tid = b.tid_x()
+        b.st_shared(tid, tid)
+        b.barrier()
+        b.st_global(b.add(p0, tid), b.ld_shared(tid))
+        kernel = b.build()
+        formed = form_regions(kernel)
+        bar = next(i for i, inst in enumerate(formed.kernel.instructions)
+                   if inst.op is Op.BAR)
+        assert formed.kernel.instructions[bar - 1].op is Op.RB
+
+    def test_atomic_gets_boundary(self):
+        kernel = parse_kernel("""
+.kernel k
+    ld.param r0, [0]
+    atom.global.add r1, [r0], 1
+    exit
+""")
+        formed = form_regions(kernel)
+        atom = next(i for i, inst in enumerate(formed.kernel.instructions)
+                    if inst.info.is_atomic)
+        assert formed.kernel.instructions[atom - 1].op is Op.RB
+
+    def test_no_adjacent_boundaries(self):
+        kernel = parse_kernel("""
+.kernel k
+    ld.param r0, [0]
+    ld.global r1, [r0]
+    st.global [r0], r1
+    atom.global.add r2, [r0+9], 1
+    exit
+""")
+        formed = form_regions(kernel)
+        ops = [inst.op for inst in formed.kernel.instructions]
+        for a, b_ in zip(ops, ops[1:]):
+            assert not (a is Op.RB and b_ is Op.RB)
+
+
+class TestFunctionalPreservation:
+    """Region formation must never change kernel semantics."""
+
+    @pytest.mark.parametrize("policy", [RegWarPolicy.RENAME,
+                                        RegWarPolicy.KEEP])
+    def test_loop_kernel_unchanged(self, loop_kernel, policy):
+        launch = LaunchConfig(grid=(2, 1), block=(64, 1),
+                              params=(100, 0, 128))
+        mem0 = np.zeros(512)
+        mem0[:100] = np.arange(100) / 3.0
+        mem0[128:228] = 1.0
+        golden = mem0.copy()
+        run_kernel(loop_kernel, launch, golden)
+        formed = form_regions(loop_kernel, policy=policy)
+        mem1 = mem0.copy()
+        run_kernel(formed.kernel, launch, mem1)
+        assert np.allclose(mem1, golden)
+
+
+class TestExtensionOptimization:
+    def _fig10_kernel(self):
+        """The Figure 10 pattern: init shared, barrier, read-others,
+        write back to the same shared array."""
+        b = KernelBuilder("fig10", num_params=1, shared_words=64)
+        out = b.params(1)[0]
+        tid = b.tid_x()
+        b.st_shared(tid, b.add(tid, 100.0))
+        b.barrier()
+        other = b.ld_shared(b.sub(63.0, tid))
+        b.st_shared(tid, b.mul(other, 2.0))
+        b.barrier()
+        b.st_global(b.add(out, b.global_index()), b.ld_shared(tid))
+        return b.build()
+
+    def test_eligible_barrier_detected(self):
+        kernel = self._fig10_kernel()
+        assert eligible_extension_barriers(kernel)
+
+    def test_opt_reduces_boundaries(self):
+        kernel = self._fig10_kernel()
+        plain = form_regions(kernel, extend_regions=False)
+        opt = form_regions(kernel, extend_regions=True)
+        assert opt.boundaries < plain.boundaries
+        assert opt.extended_barriers >= 1
+
+    def test_global_store_after_barrier_blocks_eligibility(self):
+        b = KernelBuilder("k", num_params=1, shared_words=64)
+        out = b.params(1)[0]
+        tid = b.tid_x()
+        b.st_shared(tid, tid)
+        b.barrier()
+        b.st_global(b.add(out, tid), b.ld_shared(tid))
+        b.barrier()
+        b.st_shared(tid, 0.0)
+        kernel = b.build()
+        eligible = eligible_extension_barriers(kernel)
+        bars = [i for i, inst in enumerate(kernel.instructions)
+                if inst.op is Op.BAR]
+        assert bars[0] not in eligible
+
+    def test_opt_preserves_semantics(self):
+        kernel = self._fig10_kernel()
+        launch = LaunchConfig(grid=(2, 1), block=(64, 1), params=(0,))
+        golden = np.zeros(128)
+        run_kernel(kernel, launch, golden)
+        opt = form_regions(kernel, extend_regions=True)
+        mem = np.zeros(128)
+        run_kernel(opt.kernel, launch, mem)
+        assert np.allclose(mem, golden)
+
+
+class TestRegionSizeProfile:
+    def test_profile_of_formed_kernel(self, loop_kernel):
+        formed = form_regions(loop_kernel)
+        sizes = region_size_profile(formed.kernel)
+        assert sizes
+        assert all(s > 0 for s in sizes)
+        assert sum(sizes) == sum(1 for i in formed.kernel.instructions
+                                 if i.op is not Op.RB)

@@ -1,0 +1,61 @@
+"""Ablation framework: each design choice must matter where expected."""
+
+import pytest
+
+from repro.compiler import allocate_registers, compile_kernel, form_regions
+from repro.harness.ablations import (ABLATIONS, AblationRow,
+                                     render_ablation, run_ablation)
+from repro.workloads import WORKLOADS
+
+
+class TestKnobs:
+    def test_no_provenance_cuts_streaming_kernels(self):
+        """Without pointer provenance, disjoint-array streaming kernels
+        get spurious boundary cuts."""
+        for abbr in ("LBM", "Triad", "CS"):
+            alloc = allocate_registers(WORKLOADS[abbr].instance("tiny").kernel)
+            with_prov = form_regions(alloc.kernel, use_provenance=True)
+            without = form_regions(alloc.kernel, use_provenance=False)
+            assert without.boundaries > with_prov.boundaries, abbr
+
+    def test_no_compaction_inflates_registers(self):
+        kernel = WORKLOADS["SGEMM"].instance("tiny").kernel
+        compacted = compile_kernel(kernel, "flame")
+        inflated = compile_kernel(kernel, "flame", compact=False)
+        assert inflated.regs_per_thread > compacted.regs_per_thread
+
+    def test_knobs_preserve_semantics(self):
+        """Every ablation variant still computes correct results (checked
+        inside run_ablation via instance.verify)."""
+        rows = run_ablation(benchmarks=("LBM",), scale="tiny")
+        assert len(rows) == len(ABLATIONS)
+
+    def test_unknown_variant_rejected(self):
+        from repro.harness.ablations import _compile_variant
+
+        with pytest.raises(ValueError):
+            _compile_variant(WORKLOADS["Triad"].instance("tiny").kernel,
+                             "nonsense", 20)
+
+
+class TestStudy:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_ablation(benchmarks=("LBM", "SGEMM"), scale="tiny")
+
+    def test_matrix_complete(self, rows):
+        assert {(r.benchmark, r.variant) for r in rows} == {
+            (b, v) for b in ("LBM", "SGEMM") for v in ABLATIONS}
+
+    def test_full_variant_never_worst_on_boundaries(self, rows):
+        for bench in ("LBM", "SGEMM"):
+            variants = {r.variant: r for r in rows if r.benchmark == bench}
+            assert variants["full"].boundaries <= \
+                variants["no_provenance"].boundaries
+            assert variants["full"].regs_per_thread <= \
+                variants["no_compaction"].regs_per_thread
+
+    def test_render(self, rows):
+        text = render_ablation(rows)
+        assert "no_provenance" in text
+        assert "LBM" in text

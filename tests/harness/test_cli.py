@@ -1,0 +1,39 @@
+"""CLI entry point."""
+
+import pytest
+
+from repro.harness.cli import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "SGEMM" in out and "GUPS" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        assert "200" in capsys.readouterr().out
+
+    def test_figure12(self, capsys):
+        assert main(["figure12"]) == 0
+        assert "GTX480" in capsys.readouterr().out
+
+    def test_hwcost(self, capsys):
+        assert main(["hwcost"]) == 0
+        out = capsys.readouterr().out
+        assert "120" in out and "1024" in out
+
+    def test_figure15_subset(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["figure15", "--scale", "tiny",
+                     "--benchmarks", "Triad", "--workers", "1"]) == 0
+        assert "flame" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure99"])
+
+    def test_experiment_list(self):
+        assert "all" in EXPERIMENTS
+        assert "ablation" in EXPERIMENTS

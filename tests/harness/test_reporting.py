@@ -1,0 +1,68 @@
+"""Text rendering of experiment results."""
+
+from repro.harness import OverheadStudy, figure12, hwcost, table1, table2
+from repro.harness.reporting import (pct, render_figure12, render_figure15,
+                                     render_figure16, render_figure17,
+                                     render_hwcost, render_table,
+                                     render_table1, render_table2,
+                                     render_figure13_14)
+
+
+class TestRenderTable:
+    def test_alignment_and_header(self):
+        text = render_table(["A", "Bee"], [[1, 2], [33, 4]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "A" in lines[1] and "Bee" in lines[1]
+        assert len(lines) == 5
+
+    def test_empty_rows(self):
+        text = render_table(["X"], [])
+        assert "X" in text
+
+
+class TestPct:
+    def test_positive(self):
+        assert pct(1.056) == "+5.60%"
+
+    def test_negative(self):
+        assert pct(0.95) == "-5.00%"
+
+
+class TestRenderers:
+    def test_table1(self):
+        text = render_table1(table1())
+        assert "SGEMM" in text and "GUPS" in text
+
+    def test_figure12(self):
+        counts = (50, 200)
+        text = render_figure12(figure12(counts), counts)
+        assert "GTX480" in text
+
+    def test_table2(self):
+        text = render_table2(table2())
+        assert "200" in text
+
+    def test_hwcost(self):
+        text = render_hwcost(hwcost())
+        assert "120" in text and "1024" in text
+
+    def test_figure15(self):
+        text = render_figure15({"flame": 1.006})
+        assert "+0.60%" in text
+
+    def test_figure16(self):
+        text = render_figure16(
+            {"LUD": {"without_opt": 1.15, "with_opt": 1.064}})
+        assert "LUD" in text and "+6.40%" in text
+
+    def test_figure17(self):
+        text = render_figure17({10: 1.0013, 50: 1.021})
+        assert "10" in text and "50" in text
+
+    def test_figure13_14(self):
+        study = OverheadStudy(scale="tiny", schemes=("flame",),
+                              benchmarks=("Triad",),
+                              normalized={"Triad": {"flame": 1.05}})
+        text = render_figure13_14(study)
+        assert "Triad" in text and "GEOMEAN" in text

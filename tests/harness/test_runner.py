@@ -1,0 +1,89 @@
+"""Experiment runner: execution, caching, and normalization."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.harness import RunOutcome, Runner, RunSpec, execute, normalized_time
+
+
+@pytest.fixture
+def runner(tmp_path):
+    return Runner(cache_dir=str(tmp_path), workers=1)
+
+
+class TestExecute:
+    def test_single_run(self):
+        outcome = execute(RunSpec(workload="Triad", scheme="baseline",
+                                  scale="tiny"))
+        assert outcome.cycles > 0
+        assert outcome.verified
+        assert outcome.instructions > 0
+
+    def test_flame_run_records_regions(self):
+        outcome = execute(RunSpec(workload="Triad", scheme="flame",
+                                  scale="tiny"))
+        assert outcome.avg_region_size > 0
+        assert outcome.boundaries > 0
+        assert outcome.rbq_enqueues > 0
+
+    def test_unknown_workload(self):
+        with pytest.raises(ConfigError):
+            execute(RunSpec(workload="NOPE"))
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ConfigError):
+            execute(RunSpec(workload="Triad", scheme="bogus"))
+
+
+class TestCaching:
+    def test_cache_round_trip(self, runner):
+        spec = RunSpec(workload="Triad", scheme="baseline", scale="tiny")
+        first = runner.run(spec)
+        fresh_runner = Runner(cache_dir=runner.cache_dir, workers=1)
+        second = fresh_runner.run(spec)
+        assert second.cycles == first.cycles
+        assert isinstance(second, RunOutcome)
+
+    def test_fresh_bypasses_cache(self, runner):
+        spec = RunSpec(workload="Triad", scheme="baseline", scale="tiny")
+        runner.run(spec)
+        fresh = Runner(cache_dir=runner.cache_dir, workers=1, fresh=True)
+        assert fresh.run(spec).cycles == runner.run(spec).cycles
+
+    def test_cache_key_distinguishes_fields(self):
+        base = RunSpec(workload="Triad")
+        assert base.cache_key() != RunSpec(workload="Triad",
+                                           wcdl=30).cache_key()
+        assert base.cache_key() != RunSpec(workload="Triad",
+                                           scheduler="LRR").cache_key()
+        assert base.cache_key() != RunSpec(workload="Triad",
+                                           gpu="GV100").cache_key()
+
+    def test_run_many_dedups(self, runner):
+        spec = RunSpec(workload="Triad", scheme="baseline", scale="tiny")
+        outcomes = runner.run_many([spec, spec, spec])
+        assert len(outcomes) == 3
+        assert all(o.cycles == outcomes[0].cycles for o in outcomes)
+
+
+class TestNormalization:
+    def test_baseline_normalizes_to_one(self, runner):
+        spec = RunSpec(workload="Triad", scheme="baseline", scale="tiny")
+        assert normalized_time(runner, spec) == 1.0
+
+    def test_flame_normalized(self, runner):
+        spec = RunSpec(workload="Triad", scheme="flame", scale="tiny")
+        ratio = normalized_time(runner, spec)
+        assert 0.8 < ratio < 2.0
+
+    def test_baselines_shared_across_wcdl(self, runner):
+        for wcdl in (10, 20):
+            normalized_time(runner, RunSpec(workload="Triad",
+                                            scheme="flame", scale="tiny",
+                                            wcdl=wcdl))
+        # Only one baseline cache entry should exist.
+        import os
+
+        files = os.listdir(runner.cache_dir)
+        baselines = [f for f in files if "baseline" in f]
+        assert len(baselines) == 1

@@ -1,0 +1,165 @@
+"""Property-based whole-stack tests.
+
+Random structured kernels are generated through the builder, then:
+
+* the cycle-level SIMT simulator must agree with the sequential
+  per-thread reference interpreter (SIMT correctness), and
+* every resilience scheme must agree with the uncompiled kernel
+  (compiler correctness), and
+* Flame under fault injection must agree bit-exactly with a fault-free
+  run (recovery correctness).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.compiler import compile_kernel, prepare_launch
+from repro.core import FaultInjector, FlameRuntime
+from repro.isa import CmpOp, KernelBuilder, Op
+from repro.sim import Gpu, LaunchConfig, run_kernel
+from repro.arch import GTX480
+from tests.conftest import interpret_kernel
+
+MEM_WORDS = 4096
+OUT_BASE = 1024
+
+
+@st.composite
+def random_kernel(draw):
+    """A random structured kernel over a small register pool.
+
+    All memory addresses stay in-bounds by construction: loads read
+    [0, 512), stores write [OUT_BASE + slot*64 + tid].
+    """
+    b = KernelBuilder("rand", num_params=1)
+    base = b.params(1)[0]
+    tid = b.tid_x()
+    gid = b.global_index()
+    pool = [tid, b.mov(1.0), b.mov(draw(st.integers(-4, 4))), gid]
+
+    def pick_reg():
+        return pool[draw(st.integers(0, len(pool) - 1))]
+
+    def emit_op(depth):
+        kind = draw(st.sampled_from(
+            ["alu", "alu", "alu", "sfu", "guarded", "load", "store",
+             "if", "loop"] if depth < 2 else
+            ["alu", "alu", "sfu", "guarded", "load", "store"]))
+        if kind == "alu":
+            op = draw(st.sampled_from([Op.ADD, Op.SUB, Op.MUL, Op.MIN,
+                                       Op.MAX, Op.XOR, Op.AND]))
+            method = getattr(b, {"min": "min_", "max": "max_",
+                                 "and": "and_"}.get(op.value, op.value))
+            pool.append(method(pick_reg(), pick_reg()))
+        elif kind == "sfu":
+            fn = draw(st.sampled_from(["sqrt", "exp_clip", "abs_"]))
+            if fn == "exp_clip":
+                pool.append(b.exp(b.min_(pick_reg(), 10.0)))
+            elif fn == "sqrt":
+                pool.append(b.sqrt(b.abs_(pick_reg())))
+            else:
+                pool.append(b.abs_(pick_reg()))
+        elif kind == "guarded":
+            p = b.setp(draw(st.sampled_from(list(CmpOp))), pick_reg(),
+                       pick_reg())
+            # Never mutate tid/gid (pool[0]/pool[3]): stores are indexed
+            # by them, and changing them would create cross-block races.
+            mutable = [r for i, r in enumerate(pool) if i not in (0, 3)]
+            target = mutable[draw(st.integers(0, len(mutable) - 1))]
+            b.add(pick_reg(), 1.0, dst=target, guard=p)
+        elif kind == "load":
+            addr = b.and_(pick_reg(), 511.0)
+            pool.append(b.ld_global(addr))
+        elif kind == "store":
+            slot = draw(st.integers(0, 7))
+            addr = b.add(b.mov(float(OUT_BASE + slot * 128)), gid)
+            b.st_global(addr, pick_reg())
+        elif kind == "if":
+            p = b.setp(draw(st.sampled_from([CmpOp.LT, CmpOp.GE])),
+                       tid, float(draw(st.integers(1, 31))))
+            with b.if_(p):
+                for _ in range(draw(st.integers(1, 3))):
+                    emit_op(depth + 1)
+        elif kind == "loop":
+            trips = draw(st.integers(1, 3))
+            with b.loop(0, trips):
+                for _ in range(draw(st.integers(1, 3))):
+                    emit_op(depth + 1)
+
+    for _ in range(draw(st.integers(3, 10))):
+        emit_op(0)
+    # Publish the register pool so every value is observable (slots are
+    # gid-indexed: no cross-block aliasing).
+    for slot, reg in enumerate(pool[:12]):
+        addr = b.add(b.mov(float(OUT_BASE + 1024 + slot * 128)), gid)
+        b.st_global(addr, reg)
+    return b.build()
+
+
+def fresh_memory():
+    rng = np.random.default_rng(1234)
+    mem = np.zeros(MEM_WORDS)
+    mem[:512] = rng.uniform(-8, 8, 512).round(3)
+    return mem
+
+
+LAUNCH = LaunchConfig(grid=(2, 1), block=(64, 1), params=(0,))
+
+relaxed = settings(max_examples=12, deadline=None,
+                   suppress_health_check=[HealthCheck.too_slow,
+                                          HealthCheck.data_too_large])
+
+
+class TestSimtMatchesSequentialReference:
+    @relaxed
+    @given(random_kernel())
+    def test_simulator_equals_interpreter(self, kernel):
+        sim_mem = fresh_memory()
+        run_kernel(kernel, LAUNCH, sim_mem)
+        ref_mem = interpret_kernel(kernel, LAUNCH, fresh_memory())
+        assert np.allclose(sim_mem, ref_mem, equal_nan=True)
+
+
+class TestSchemesPreserveSemantics:
+    @relaxed
+    @given(random_kernel(),
+           st.sampled_from(["flame", "checkpointing",
+                            "duplication_renaming", "hybrid_renaming"]))
+    def test_compiled_equals_uncompiled(self, kernel, scheme):
+        golden = fresh_memory()
+        run_kernel(kernel, LAUNCH, golden)
+        compiled = compile_kernel(kernel, scheme)
+        mem = fresh_memory()
+        params, mem = prepare_launch(compiled, LAUNCH.params, mem,
+                                     LAUNCH.num_blocks,
+                                     LAUNCH.threads_per_block)
+        launch = LaunchConfig(grid=LAUNCH.grid, block=LAUNCH.block,
+                              params=params)
+        runtime = FlameRuntime(20) if compiled.scheme.uses_sensor_runtime \
+            else None
+        gpu = Gpu(GTX480, resilience=runtime) if runtime else Gpu(GTX480)
+        gpu.launch(compiled.kernel, launch, mem,
+                   regs_per_thread=compiled.regs_per_thread)
+        assert np.allclose(mem[:MEM_WORDS], golden, equal_nan=True)
+
+
+class TestRecoveryIsExact:
+    @relaxed
+    @given(random_kernel(), st.integers(0, 2**16))
+    def test_injected_run_equals_golden(self, kernel, seed):
+        compiled = compile_kernel(kernel, "flame")
+
+        def launch_once(injector):
+            gpu = Gpu(GTX480, resilience=FlameRuntime(20))
+            gpu.fault_injector = injector
+            mem = fresh_memory()
+            gpu.launch(compiled.kernel, LAUNCH, mem,
+                       regs_per_thread=compiled.regs_per_thread)
+            return mem
+
+        golden = launch_once(None)
+        injector = FaultInjector(strike_cycles=[40, 90, 140], wcdl=20,
+                                 seed=seed)
+        faulty = launch_once(injector)
+        assert np.allclose(faulty, golden, equal_nan=True)

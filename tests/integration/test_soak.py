@@ -1,0 +1,86 @@
+"""Soak tests: realistic Poisson strike processes and long-horizon
+recovery, plus end-to-end determinism checks."""
+
+import numpy as np
+import pytest
+
+from repro.arch import FaultRates, GTX480, sample_strike_cycles
+from repro.compiler import compile_kernel
+from repro.core import FaultInjector, FlameRuntime
+from repro.sim import Gpu
+from repro.workloads import WORKLOADS
+
+
+class TestPoissonSoak:
+    def test_accelerated_poisson_strikes_recover(self):
+        """Strikes sampled from a (massively accelerated) Poisson process
+        over the kernel's horizon all recover to the golden output."""
+        instance = WORKLOADS["Hotspot"].instance("tiny")
+        compiled = compile_kernel(instance.kernel, "flame")
+
+        def run(strikes):
+            gpu = Gpu(GTX480, resilience=FlameRuntime(20))
+            if strikes:
+                gpu.fault_injector = FaultInjector(strike_cycles=strikes,
+                                                   wcdl=20, seed=11)
+            mem = instance.fresh_memory()
+            result = gpu.launch(compiled.kernel, instance.launch, mem,
+                                regs_per_thread=compiled.regs_per_thread)
+            return result, mem
+
+        golden_result, golden = run([])
+        rng = np.random.default_rng(5)
+        # Accelerate the real-world rate (~1.4/day) to ~1 per 300 cycles.
+        strikes = sample_strike_cycles(1 / 300.0, golden_result.cycles, rng)
+        assert strikes, "horizon long enough for at least one strike"
+        faulty_result, faulty = run(strikes)
+        assert np.allclose(faulty, golden)
+        assert faulty_result.stats.recoveries == len(
+            [s for s in strikes if s <= faulty_result.cycles])
+
+    def test_realistic_rate_is_quiet(self):
+        """At the paper's real strike rate, a kernel-sized horizon sees
+        essentially no strikes — fault-free overhead is the right metric
+        (the paper's argument for Figure 13)."""
+        rates = FaultRates()
+        rng = np.random.default_rng(0)
+        strikes = sample_strike_cycles(rates.strikes_per_cycle(GTX480),
+                                       10_000_000, rng)
+        assert len(strikes) == 0
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("abbr", ("SGEMM", "Histogram", "NW"))
+    def test_repeated_flame_runs_identical(self, abbr):
+        instance = WORKLOADS[abbr].instance("tiny")
+        compiled = compile_kernel(instance.kernel, "flame")
+
+        def run():
+            gpu = Gpu(GTX480, resilience=FlameRuntime(20))
+            mem = instance.fresh_memory()
+            result = gpu.launch(compiled.kernel, instance.launch, mem,
+                                regs_per_thread=compiled.regs_per_thread)
+            return result.cycles, mem
+
+        c1, m1 = run()
+        c2, m2 = run()
+        assert c1 == c2
+        assert np.array_equal(m1, m2)
+
+    def test_injected_runs_deterministic(self):
+        instance = WORKLOADS["CS"].instance("tiny")
+        compiled = compile_kernel(instance.kernel, "flame")
+
+        def run():
+            gpu = Gpu(GTX480, resilience=FlameRuntime(20))
+            gpu.fault_injector = FaultInjector(
+                strike_cycles=[120, 240], wcdl=20, seed=3)
+            mem = instance.fresh_memory()
+            result = gpu.launch(compiled.kernel, instance.launch, mem,
+                                regs_per_thread=compiled.regs_per_thread)
+            return result.cycles, mem
+
+        c1, m1 = run()
+        c2, m2 = run()
+        assert c1 == c2
+        assert np.array_equal(m1, m2)

@@ -1,0 +1,140 @@
+"""Assembler: parsing, errors, and round-tripping through to_asm()."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AsmError
+from repro.isa import (AtomOp, CmpOp, Imm, Op, Pred, Reg, Space, Special,
+                       parse_instruction, parse_kernel, parse_program)
+
+ASM = """
+.kernel saxpy
+.params 4
+.shared 8
+    ld.param r0, [0]
+    ld.param r1, [1]
+    mul r2, %ctaid.x, %ntid.x
+    add r3, r2, %tid.x
+    setp.lt p0, r3, r0
+    @!p0 bra END
+    ld.global r4, [r3+16]
+    st.shared [r3], r4
+    atom.global.add r5, [r3], 1
+END:
+    exit
+"""
+
+
+class TestParseKernel:
+    def test_full_kernel(self):
+        kernel = parse_kernel(ASM)
+        assert kernel.name == "saxpy"
+        assert kernel.num_params == 4
+        assert kernel.shared_words == 8
+        assert kernel.labels["END"] == len(kernel.instructions) - 1
+
+    def test_round_trip(self):
+        kernel = parse_kernel(ASM)
+        again = parse_kernel(kernel.to_asm())
+        assert again.instructions == kernel.instructions
+        assert again.labels == kernel.labels
+
+    def test_comments_stripped(self):
+        kernel = parse_kernel(".kernel k\n  mov r0, 1 ; comment\n  exit\n")
+        assert kernel.instructions[0].op is Op.MOV
+
+    def test_multiple_kernels(self):
+        text = ".kernel a\n exit\n.kernel b\n exit\n"
+        program = parse_program(text)
+        assert set(program.kernels) == {"a", "b"}
+
+    def test_branch_to_unknown_label_rejected(self):
+        with pytest.raises(Exception):
+            parse_kernel(".kernel k\n bra NOWHERE\n exit\n")
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(AsmError):
+            parse_program("\n\n")
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AsmError):
+            parse_kernel(".kernel k\nA:\nA:\n exit\n")
+
+
+class TestParseInstruction:
+    def test_guard_senses(self):
+        pos = parse_instruction("@p1 add r0, r1, r2")
+        assert pos.guard == Pred(1) and pos.guard_sense
+        neg = parse_instruction("@!p1 add r0, r1, r2")
+        assert not neg.guard_sense
+
+    def test_memory_offsets(self):
+        inst = parse_instruction("ld.global r0, [r1-12]")
+        assert inst.offset == -12
+
+    def test_atom(self):
+        inst = parse_instruction("atom.shared.max r0, [r1], r2")
+        assert inst.atom_op is AtomOp.MAX
+        assert inst.space is Space.SHARED
+
+    def test_setp(self):
+        inst = parse_instruction("setp.ge p0, r1, 3")
+        assert inst.cmp is CmpOp.GE
+        assert inst.srcs[1] == Imm(3.0)
+
+    def test_specials(self):
+        inst = parse_instruction("mov r0, %laneid")
+        assert inst.srcs[0] is Special.LANEID
+
+    def test_unknown_opcode(self):
+        with pytest.raises(AsmError):
+            parse_instruction("frobnicate r0, r1")
+
+    def test_unknown_suffix(self):
+        with pytest.raises(AsmError):
+            parse_instruction("ld.texture r0, [r1]")
+
+    def test_bad_operand(self):
+        with pytest.raises(AsmError):
+            parse_instruction("add r0, r1, banana")
+
+    def test_non_pred_guard_rejected(self):
+        with pytest.raises(AsmError):
+            parse_instruction("@r1 add r0, r1, r2")
+
+
+@st.composite
+def simple_instruction(draw):
+    """Random ALU/memory instructions for round-trip testing."""
+    kind = draw(st.sampled_from(["alu", "ld", "st", "setp"]))
+    reg = lambda: Reg(draw(st.integers(0, 15)))
+    if kind == "alu":
+        from repro.isa import Instruction
+
+        op = draw(st.sampled_from([Op.ADD, Op.SUB, Op.MUL, Op.MIN, Op.XOR]))
+        return Instruction(op=op, dst=reg(), srcs=(reg(), reg()))
+    if kind == "ld":
+        from repro.isa import Instruction
+
+        return Instruction(op=Op.LD, dst=reg(), srcs=(reg(),),
+                           space=draw(st.sampled_from([Space.GLOBAL,
+                                                       Space.SHARED])),
+                           offset=draw(st.integers(-64, 64)))
+    if kind == "st":
+        from repro.isa import Instruction
+
+        return Instruction(op=Op.ST, srcs=(reg(), reg()),
+                           space=Space.GLOBAL,
+                           offset=draw(st.integers(-64, 64)))
+    from repro.isa import Instruction
+
+    return Instruction(op=Op.SETP, dst=Pred(draw(st.integers(0, 7))),
+                       srcs=(reg(), reg()),
+                       cmp=draw(st.sampled_from(list(CmpOp))))
+
+
+class TestRoundTripProperty:
+    @given(simple_instruction())
+    def test_instruction_round_trips(self, inst):
+        parsed = parse_instruction(str(inst))
+        assert parsed == inst

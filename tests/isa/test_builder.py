@@ -1,0 +1,165 @@
+"""KernelBuilder: structured control flow, resource handing, finalize."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IsaError
+from repro.isa import CmpOp, KernelBuilder, Op, Reg
+from repro.sim import LaunchConfig, run_kernel
+
+
+class TestResources:
+    def test_fresh_regs_are_sequential(self):
+        b = KernelBuilder("k")
+        assert [b.reg().index for _ in range(3)] == [0, 1, 2]
+
+    def test_value_returning_emitters(self):
+        b = KernelBuilder("k")
+        d = b.add(1, 2)
+        assert isinstance(d, Reg)
+        assert b._instructions[-1].dst == d
+
+    def test_dst_override(self):
+        b = KernelBuilder("k")
+        target = b.reg()
+        result = b.add(1, 2, dst=target)
+        assert result is target
+
+    def test_params_checked_against_declared(self):
+        b = KernelBuilder("k", num_params=1)
+        b.params(1)
+        with pytest.raises(IsaError):
+            KernelBuilder("k2", num_params=1).params(2)
+
+    def test_duplicate_label_rejected(self):
+        b = KernelBuilder("k")
+        b.label("L")
+        with pytest.raises(IsaError):
+            b.label("L")
+
+
+class TestFinalize:
+    def test_auto_exit_appended(self):
+        b = KernelBuilder("k")
+        b.add(1, 2)
+        kernel = b.build()
+        assert kernel.instructions[-1].op is Op.EXIT
+
+    def test_no_double_exit(self):
+        b = KernelBuilder("k")
+        b.add(1, 2)
+        b.exit()
+        kernel = b.build()
+        assert sum(1 for i in kernel.instructions if i.op is Op.EXIT) == 1
+
+    def test_trailing_label_gets_own_exit(self):
+        """A branch to a label at the very end must not land inside the
+        skipped body."""
+        b = KernelBuilder("k")
+        p = b.setp(CmpOp.LT, b.mov(0.0), 1.0)
+        with b.if_(p):
+            b.exit()
+        kernel = b.build()
+        # The ENDIF label must point at an EXIT that is not the body's.
+        end = kernel.labels[next(iter(kernel.labels))]
+        assert kernel.instructions[end].op is Op.EXIT
+        assert end == len(kernel.instructions) - 1
+
+    def test_empty_builder_still_produces_valid_kernel(self):
+        kernel = KernelBuilder("k").build()
+        kernel.validate()
+        assert kernel.instructions[-1].op is Op.EXIT
+
+
+class TestControlFlowSemantics:
+    """Execute built kernels on the simulator and check the lowering."""
+
+    def _run(self, kernel, n_threads=32, params=(), mem_size=256):
+        mem = np.zeros(mem_size)
+        run_kernel(kernel, LaunchConfig(grid=(1, 1), block=(n_threads, 1),
+                                        params=params), mem)
+        return mem
+
+    def test_loop_executes_correct_trip_count(self):
+        b = KernelBuilder("k", num_params=0)
+        total = b.mov(0.0)
+        with b.loop(0, 7) as i:
+            total = b.add(total, 1.0, dst=total)
+        b.st_global(b.mov(b.tid_x()), total)
+        mem = self._run(b.build())
+        assert (mem[:32] == 7).all()
+
+    def test_loop_zero_trips(self):
+        b = KernelBuilder("k")
+        total = b.mov(5.0)
+        with b.loop(3, 3):
+            b.add(total, 100.0, dst=total)
+        b.st_global(b.tid_x(), total)
+        mem = self._run(b.build())
+        assert (mem[:32] == 5).all()
+
+    def test_loop_negative_step(self):
+        b = KernelBuilder("k")
+        total = b.mov(0.0)
+        with b.loop(4, 0, step=-1) as i:
+            b.add(total, i, dst=total)
+        b.st_global(b.tid_x(), total)
+        mem = self._run(b.build())
+        assert (mem[:32] == 4 + 3 + 2 + 1).all()
+
+    def test_if_divergent(self):
+        b = KernelBuilder("k")
+        tid = b.tid_x()
+        p = b.setp(CmpOp.LT, tid, 10)
+        val = b.mov(0.0)
+        with b.if_(p):
+            b.mov(1.0, dst=val)
+        b.st_global(tid, val)
+        mem = self._run(b.build())
+        assert (mem[:10] == 1).all()
+        assert (mem[10:32] == 0).all()
+
+    def test_if_inverted_sense(self):
+        b = KernelBuilder("k")
+        tid = b.tid_x()
+        p = b.setp(CmpOp.LT, tid, 10)
+        val = b.mov(0.0)
+        with b.if_(p, sense=False):
+            b.mov(1.0, dst=val)
+        b.st_global(tid, val)
+        mem = self._run(b.build())
+        assert (mem[:10] == 0).all()
+        assert (mem[10:32] == 1).all()
+
+    def test_nested_if_in_loop(self):
+        b = KernelBuilder("k")
+        tid = b.tid_x()
+        total = b.mov(0.0)
+        with b.loop(0, 6) as i:
+            even = b.setp(CmpOp.EQ, b.rem(i, 2), 0)
+            with b.if_(even):
+                b.add(total, 1.0, dst=total)
+        b.st_global(tid, total)
+        mem = self._run(b.build())
+        assert (mem[:32] == 3).all()
+
+    def test_while_loop(self):
+        b = KernelBuilder("k")
+        tid = b.tid_x()
+        x = b.mov(1.0)
+        count = b.mov(0.0)
+        with b.while_(lambda: b.setp(CmpOp.LT, x, 100)):
+            b.mul(x, 2.0, dst=x)
+            b.add(count, 1.0, dst=count)
+        b.st_global(tid, count)
+        mem = self._run(b.build())
+        assert (mem[:32] == 7).all()   # 2^7 = 128 >= 100
+
+    def test_global_index_spans_blocks(self):
+        b = KernelBuilder("k")
+        gi = b.global_index()
+        b.st_global(gi, 1.0)
+        mem = np.zeros(256)
+        run_kernel(b.build(), LaunchConfig(grid=(4, 1), block=(32, 1)), mem)
+        assert (mem[:128] == 1).all()
+        assert (mem[128:] == 0).all()

@@ -1,0 +1,132 @@
+"""CFG construction, dominators, back edges, and reconvergence points."""
+
+from repro.isa import Cfg, CmpOp, KernelBuilder, Op, parse_kernel
+
+STRAIGHT = """
+.kernel s
+    mov r0, 1
+    add r0, r0, 1
+    exit
+"""
+
+DIAMOND = """
+.kernel d
+    setp.lt p0, r0, 1
+    @p0 bra THEN
+    mov r1, 2
+    bra JOIN
+THEN:
+    mov r1, 3
+JOIN:
+    st.global [r2], r1
+    exit
+"""
+
+LOOP = """
+.kernel l
+    mov r0, 0
+HEAD:
+    setp.ge p0, r0, 10
+    @p0 bra END
+    add r0, r0, 1
+    bra HEAD
+END:
+    exit
+"""
+
+
+class TestBlocks:
+    def test_straight_line_single_block(self):
+        cfg = Cfg(parse_kernel(STRAIGHT))
+        assert len(cfg.blocks) == 1
+        assert len(cfg.blocks[0]) == 3
+
+    def test_diamond_block_structure(self):
+        cfg = Cfg(parse_kernel(DIAMOND))
+        # entry, else, then, join
+        assert len(cfg.blocks) == 4
+        join = cfg.block_at(cfg.kernel.labels["JOIN"])
+        assert sorted(join.preds) == [1, 2]
+
+    def test_block_of_maps_every_instruction(self):
+        cfg = Cfg(parse_kernel(DIAMOND))
+        for i in range(len(cfg.kernel.instructions)):
+            block = cfg.block_at(i)
+            assert i in block
+
+
+class TestLoops:
+    def test_back_edge_detected(self):
+        cfg = Cfg(parse_kernel(LOOP))
+        edges = cfg.back_edges()
+        assert len(edges) == 1
+        (_, header), = edges
+        assert cfg.blocks[header].start == cfg.kernel.labels["HEAD"]
+
+    def test_loop_headers(self):
+        cfg = Cfg(parse_kernel(LOOP))
+        headers = cfg.loop_headers()
+        assert {cfg.blocks[h].start for h in headers} == \
+            {cfg.kernel.labels["HEAD"]}
+
+    def test_straight_line_has_no_back_edges(self):
+        assert not Cfg(parse_kernel(STRAIGHT)).back_edges()
+
+
+class TestMergePoints:
+    def test_diamond_join_is_merge(self):
+        cfg = Cfg(parse_kernel(DIAMOND))
+        merges = cfg.merge_blocks()
+        starts = {cfg.blocks[m].start for m in merges}
+        assert cfg.kernel.labels["JOIN"] in starts
+
+    def test_loop_header_is_merge(self):
+        cfg = Cfg(parse_kernel(LOOP))
+        starts = {cfg.blocks[m].start for m in cfg.merge_blocks()}
+        assert cfg.kernel.labels["HEAD"] in starts
+
+
+class TestReconvergence:
+    def test_diamond_reconverges_at_join(self):
+        kernel = parse_kernel(DIAMOND)
+        cfg = Cfg(kernel)
+        table = cfg.reconvergence_table()
+        branch_pc = 1  # the guarded bra
+        assert table[branch_pc] == kernel.labels["JOIN"]
+
+    def test_loop_exit_branch_reconverges_at_end(self):
+        kernel = parse_kernel(LOOP)
+        table = Cfg(kernel).reconvergence_table()
+        branch_pc = 2  # @p0 bra END
+        assert table[branch_pc] == kernel.labels["END"]
+
+    def test_unguarded_branches_not_in_table(self):
+        kernel = parse_kernel(LOOP)
+        table = Cfg(kernel).reconvergence_table()
+        assert 4 not in table  # the unconditional back edge
+
+    def test_guard_exit_reconverges_past_end(self):
+        kernel = parse_kernel(
+            ".kernel k\n setp.lt p0, r0, 1\n @p0 bra SKIP\n mov r1, 1\n"
+            "SKIP:\n exit\n")
+        table = Cfg(kernel).reconvergence_table()
+        assert table[1] == kernel.labels["SKIP"]
+
+
+class TestRpo:
+    def test_rpo_starts_at_entry(self):
+        for text in (STRAIGHT, DIAMOND, LOOP):
+            order = Cfg(parse_kernel(text)).rpo()
+            assert order[0] == 0
+
+    def test_rpo_visits_all_reachable(self):
+        cfg = Cfg(parse_kernel(DIAMOND))
+        assert sorted(cfg.rpo()) == [b.index for b in cfg.blocks]
+
+    def test_rpo_preds_before_succs_in_dag(self):
+        cfg = Cfg(parse_kernel(DIAMOND))
+        pos = {b: i for i, b in enumerate(cfg.rpo())}
+        for block in cfg.blocks:
+            for succ in block.succs:
+                if (block.index, succ) not in cfg.back_edges():
+                    assert pos[block.index] < pos[succ]

@@ -1,0 +1,142 @@
+"""Instruction validation, operand introspection, and rendering."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa import (AtomOp, CmpOp, FuClass, Imm, Instruction, Op, OP_INFO,
+                       Pred, Reg, Space)
+
+
+def alu(op=Op.ADD, dst=Reg(0), srcs=(Reg(1), Reg(2)), **kw):
+    return Instruction(op=op, dst=dst, srcs=srcs, **kw)
+
+
+class TestValidation:
+    def test_valid_add(self):
+        alu().validate()
+
+    def test_wrong_arity(self):
+        with pytest.raises(IsaError):
+            Instruction(op=Op.ADD, dst=Reg(0), srcs=(Reg(1),)).validate()
+
+    def test_alu_requires_reg_dst(self):
+        with pytest.raises(IsaError):
+            Instruction(op=Op.ADD, dst=Pred(0),
+                        srcs=(Reg(1), Reg(2))).validate()
+
+    def test_setp_requires_pred_dst(self):
+        with pytest.raises(IsaError):
+            Instruction(op=Op.SETP, dst=Reg(0), srcs=(Reg(1), Reg(2)),
+                        cmp=CmpOp.LT).validate()
+
+    def test_setp_requires_cmp(self):
+        with pytest.raises(IsaError):
+            Instruction(op=Op.SETP, dst=Pred(0),
+                        srcs=(Reg(1), Reg(2))).validate()
+
+    def test_load_requires_space(self):
+        with pytest.raises(IsaError):
+            Instruction(op=Op.LD, dst=Reg(0), srcs=(Reg(1),)).validate()
+
+    def test_load_address_must_be_reg(self):
+        with pytest.raises(IsaError):
+            Instruction(op=Op.LD, dst=Reg(0), srcs=(Imm(3),),
+                        space=Space.GLOBAL).validate()
+
+    def test_param_load_takes_imm(self):
+        Instruction(op=Op.LD, dst=Reg(0), srcs=(Imm(0),),
+                    space=Space.PARAM).validate()
+        with pytest.raises(IsaError):
+            Instruction(op=Op.LD, dst=Reg(0), srcs=(Reg(1),),
+                        space=Space.PARAM).validate()
+
+    def test_atom_requires_op(self):
+        with pytest.raises(IsaError):
+            Instruction(op=Op.ATOM, dst=Reg(0), srcs=(Reg(1), Reg(2)),
+                        space=Space.GLOBAL).validate()
+
+    def test_bra_requires_target(self):
+        with pytest.raises(IsaError):
+            Instruction(op=Op.BRA).validate()
+
+    def test_exit_takes_no_dst(self):
+        with pytest.raises(IsaError):
+            Instruction(op=Op.EXIT, dst=Reg(0)).validate()
+
+
+class TestIntrospection:
+    def test_read_regs(self):
+        inst = alu(srcs=(Reg(3), Imm(1.0)))
+        assert inst.read_regs() == (Reg(3),)
+
+    def test_guard_counts_as_pred_read(self):
+        inst = alu(guard=Pred(2))
+        assert Pred(2) in inst.read_preds()
+
+    def test_written_reg(self):
+        assert alu().written_reg() == Reg(0)
+        setp = Instruction(op=Op.SETP, dst=Pred(1), srcs=(Reg(0), Imm(0)),
+                           cmp=CmpOp.LT)
+        assert setp.written_reg() is None
+        assert setp.written_pred() == Pred(1)
+
+    def test_with_replaces_fields(self):
+        inst = alu()
+        changed = inst.with_(dst=Reg(9))
+        assert changed.dst == Reg(9)
+        assert inst.dst == Reg(0)
+
+    def test_fu_class(self):
+        assert alu().fu is FuClass.ALU
+        assert alu(op=Op.MUL).fu is FuClass.MUL
+        sqrt = Instruction(op=Op.SQRT, dst=Reg(0), srcs=(Reg(1),))
+        assert sqrt.fu is FuClass.SFU
+
+
+class TestRendering:
+    def test_alu_text(self):
+        assert str(alu()) == "add r0, r1, r2"
+
+    def test_guard_text(self):
+        inst = alu(guard=Pred(0), guard_sense=False)
+        assert str(inst).startswith("@!p0 ")
+
+    def test_load_text(self):
+        inst = Instruction(op=Op.LD, dst=Reg(2), srcs=(Reg(1),),
+                           space=Space.GLOBAL, offset=8)
+        assert str(inst) == "ld.global r2, [r1+8]"
+
+    def test_store_negative_offset(self):
+        inst = Instruction(op=Op.ST, srcs=(Reg(1), Reg(2)),
+                           space=Space.SHARED, offset=-4)
+        assert str(inst) == "st.shared [r1-4], r2"
+
+    def test_atom_text(self):
+        inst = Instruction(op=Op.ATOM, dst=Reg(0), srcs=(Reg(1), Imm(1)),
+                           space=Space.GLOBAL, atom_op=AtomOp.ADD)
+        assert "atom.global.add" in str(inst)
+
+    def test_shadow_marker(self):
+        assert "<dup>" in str(alu(shadow=True))
+
+    def test_ckpt_marker(self):
+        inst = Instruction(op=Op.ST, srcs=(Reg(1), Reg(2)),
+                           space=Space.GLOBAL, ckpt=True)
+        assert "<ckpt>" in str(inst)
+
+
+class TestOpInfo:
+    def test_every_op_has_info(self):
+        for op in Op:
+            assert op in OP_INFO
+
+    def test_duplicable_excludes_memory_and_control(self):
+        for op, info in OP_INFO.items():
+            if info.is_load or info.is_store or info.is_atomic \
+                    or info.is_branch or info.is_barrier or info.is_exit \
+                    or info.is_boundary:
+                assert not info.duplicable, op
+
+    def test_boundary_is_meta(self):
+        assert OP_INFO[Op.RB].is_boundary
+        assert OP_INFO[Op.RB].fu is FuClass.META

@@ -1,0 +1,67 @@
+"""Operand construction and coercion."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import Imm, Pred, Reg, Special, as_operand
+
+
+class TestRegPred:
+    def test_reg_repr(self):
+        assert repr(Reg(7)) == "r7"
+
+    def test_pred_repr(self):
+        assert repr(Pred(2)) == "p2"
+
+    def test_regs_are_hashable_and_equal_by_index(self):
+        assert Reg(3) == Reg(3)
+        assert Reg(3) != Reg(4)
+        assert len({Reg(1), Reg(1), Reg(2)}) == 2
+
+    def test_reg_and_pred_are_distinct(self):
+        assert Reg(1) != Pred(1)
+
+    def test_regs_are_ordered(self):
+        assert Reg(1) < Reg(2)
+        assert sorted([Reg(5), Reg(1)]) == [Reg(1), Reg(5)]
+
+
+class TestImm:
+    def test_integral_repr_drops_decimal(self):
+        assert repr(Imm(4.0)) == "4"
+
+    def test_fractional_repr(self):
+        assert repr(Imm(0.5)) == "0.5"
+
+
+class TestSpecial:
+    def test_value_names(self):
+        assert str(Special.TID_X) == "%tid.x"
+        assert str(Special.CTAID_Y) == "%ctaid.y"
+
+    def test_all_specials_distinct(self):
+        assert len({s.value for s in Special}) == len(list(Special))
+
+
+class TestAsOperand:
+    def test_passthrough(self):
+        for operand in (Reg(0), Pred(1), Imm(2.0), Special.LANEID):
+            assert as_operand(operand) is operand
+
+    @given(st.integers(-1000, 1000))
+    def test_int_becomes_imm(self, value):
+        operand = as_operand(value)
+        assert isinstance(operand, Imm)
+        assert operand.value == float(value)
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_float_becomes_imm(self, value):
+        assert as_operand(value).value == value
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            as_operand(True)
+
+    def test_junk_rejected(self):
+        with pytest.raises(TypeError):
+            as_operand("r1")

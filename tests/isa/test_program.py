@@ -1,0 +1,87 @@
+"""Kernel and Program containers."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa import (Instruction, Kernel, Op, Program, Reg, RegAllocator,
+                       parse_kernel)
+
+
+def tiny_kernel():
+    return Kernel(
+        name="t",
+        instructions=[
+            Instruction(op=Op.MOV, dst=Reg(0), srcs=(Reg(1),)),
+            Instruction(op=Op.EXIT),
+        ],
+        labels={},
+    )
+
+
+class TestKernel:
+    def test_num_regs_counts_max_index(self):
+        assert tiny_kernel().num_regs == 2
+
+    def test_validate_rejects_missing_exit(self):
+        kernel = Kernel(name="k", instructions=[
+            Instruction(op=Op.MOV, dst=Reg(0), srcs=(Reg(1),))])
+        with pytest.raises(IsaError):
+            kernel.validate()
+
+    def test_validate_rejects_bad_label(self):
+        with pytest.raises(IsaError):
+            Kernel(name="k", instructions=[Instruction(op=Op.EXIT)],
+                   labels={"L": 99})
+
+    def test_validate_rejects_unknown_branch_target(self):
+        kernel = Kernel(name="k", instructions=[
+            Instruction(op=Op.BRA, target="X"),
+            Instruction(op=Op.EXIT)])
+        with pytest.raises(IsaError):
+            kernel.validate()
+
+    def test_clone_is_independent(self):
+        kernel = tiny_kernel()
+        clone = kernel.clone()
+        clone.instructions.append(Instruction(op=Op.EXIT))
+        assert len(kernel) == 2
+        assert len(clone) == 3
+
+    def test_labels_at(self):
+        kernel = parse_kernel(".kernel k\nA:\nB:\n exit\n")
+        assert sorted(kernel.labels_at(0)) == ["A", "B"]
+
+    def test_to_asm_contains_body(self):
+        text = tiny_kernel().to_asm()
+        assert ".kernel t" in text
+        assert "mov r0, r1" in text
+
+
+class TestRegAllocator:
+    def test_starts_above_floor(self):
+        alloc = RegAllocator(next_reg=5)
+        assert alloc.reg() == Reg(5)
+        assert alloc.reg() == Reg(6)
+
+    def test_pred_counter_independent(self):
+        alloc = RegAllocator(next_reg=2, next_pred=1)
+        assert alloc.pred().index == 1
+        assert alloc.reg().index == 2
+
+
+class TestProgram:
+    def test_add_and_lookup(self):
+        program = Program()
+        program.add(tiny_kernel())
+        assert program["t"].name == "t"
+
+    def test_duplicate_rejected(self):
+        program = Program()
+        program.add(tiny_kernel())
+        with pytest.raises(IsaError):
+            program.add(tiny_kernel())
+
+    def test_iteration(self):
+        program = Program()
+        program.add(tiny_kernel())
+        assert [k.name for k in program] == ["t"]

@@ -1,0 +1,95 @@
+"""Set-associative LRU cache model."""
+
+from hypothesis import given, strategies as st
+
+from repro.arch import CacheConfig
+from repro.sim import Cache
+
+
+def small_cache(sets=4, assoc=2):
+    return Cache(CacheConfig(num_sets=sets, assoc=assoc, line_words=32))
+
+
+class TestBasics:
+    def test_cold_miss_then_hit(self):
+        cache = small_cache()
+        assert not cache.access(0)
+        assert cache.access(0)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_same_line_shares_tag(self):
+        cache = small_cache()
+        cache.access(0)
+        assert cache.access(31)      # same 32-word line
+        assert not cache.access(32)  # next line
+
+    def test_conflict_eviction(self):
+        cache = small_cache(sets=4, assoc=2)
+        # Three lines mapping to set 0: lines 0, 4, 8.
+        line_words = 32
+        cache.access(0 * 4 * line_words)
+        cache.access(1 * 4 * line_words * 4 // 4)  # line 4 -> set 0
+        a, b, c = 0, 4 * line_words, 8 * line_words
+        cache.invalidate()
+        cache.hits = cache.misses = 0
+        cache.access(a)
+        cache.access(b)
+        cache.access(c)          # evicts a (LRU)
+        assert not cache.access(a)
+
+    def test_lru_order_updated_on_hit(self):
+        cache = small_cache(sets=1, assoc=2)
+        a, b, c = 0, 32, 64
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)          # refresh a
+        cache.access(c)          # evicts b, not a
+        assert cache.access(a)
+        assert not cache.access(b)
+
+    def test_store_no_allocate(self):
+        cache = small_cache()
+        cache.access(0, is_store=True)
+        assert not cache.access(0)   # store missed without allocating
+
+    def test_store_hit_counts(self):
+        cache = small_cache()
+        cache.access(0)
+        assert cache.access(0, is_store=True)
+
+    def test_invalidate(self):
+        cache = small_cache()
+        cache.access(0)
+        cache.invalidate()
+        assert not cache.access(0)
+
+    def test_miss_rate(self):
+        cache = small_cache()
+        cache.access(0)
+        cache.access(0)
+        assert cache.miss_rate == 0.5
+
+
+class TestProperties:
+    @given(st.lists(st.integers(0, 8 * 32 - 1), min_size=1, max_size=60))
+    def test_working_set_within_one_set_assoc_always_rehits(self, addrs):
+        """Accessing at most `assoc` distinct lines of one set never
+        evicts: a second pass over the same addresses all hits."""
+        cache = small_cache(sets=1, assoc=8)
+        distinct_lines = {a // 32 for a in addrs}
+        if len(distinct_lines) > 8:
+            return
+        for a in addrs:
+            cache.access(a)
+        before_hits = cache.hits
+        for a in addrs:
+            assert cache.access(a)
+        assert cache.hits == before_hits + len(addrs)
+
+    @given(st.lists(st.integers(0, 4096), min_size=1, max_size=100))
+    def test_counters_consistent(self, addrs):
+        cache = small_cache(sets=8, assoc=4)
+        for a in addrs:
+            cache.access(a)
+        assert cache.hits + cache.misses == len(addrs)
+        assert cache.accesses == len(addrs)

@@ -1,0 +1,119 @@
+"""Warp scheduler policies (GTO, OLD, LRR, Two-Level)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim import (GtoScheduler, LrrScheduler, OldestScheduler, SCHEDULERS,
+                       TwoLevelScheduler, make_scheduler)
+
+
+class FakeWarp:
+    def __init__(self, age):
+        self.age = age
+        self.ready = True
+
+    def __repr__(self):
+        return f"W{self.age}"
+
+
+def attach(sched, n):
+    warps = [FakeWarp(i) for i in range(n)]
+    for w in warps:
+        sched.attach(w)
+    return warps
+
+
+def ready(w):
+    return w.ready
+
+
+class TestGto:
+    def test_greedy_sticks_with_current(self):
+        sched = GtoScheduler()
+        warps = attach(sched, 4)
+        first = sched.pick(ready, 0)
+        assert sched.pick(ready, 1) is first
+
+    def test_switches_to_oldest_on_stall(self):
+        sched = GtoScheduler()
+        warps = attach(sched, 4)
+        current = sched.pick(ready, 0)
+        current.ready = False
+        nxt = sched.pick(ready, 1)
+        assert nxt is not current
+        assert nxt.age == min(w.age for w in warps if w.ready)
+
+    def test_none_when_all_stalled(self):
+        sched = GtoScheduler()
+        warps = attach(sched, 3)
+        for w in warps:
+            w.ready = False
+        assert sched.pick(ready, 0) is None
+
+    def test_detach_clears_current(self):
+        sched = GtoScheduler()
+        warps = attach(sched, 2)
+        current = sched.pick(ready, 0)
+        sched.detach(current)
+        assert sched.pick(ready, 1) is not current
+
+
+class TestOldest:
+    def test_always_oldest_ready(self):
+        sched = OldestScheduler()
+        warps = attach(sched, 4)
+        assert sched.pick(ready, 0).age == 0
+        warps[0].ready = False
+        assert sched.pick(ready, 1).age == 1
+
+
+class TestLrr:
+    def test_round_robin_rotation(self):
+        sched = LrrScheduler()
+        warps = attach(sched, 3)
+        picks = [sched.pick(ready, c).age for c in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_skips_stalled(self):
+        sched = LrrScheduler()
+        warps = attach(sched, 3)
+        warps[1].ready = False
+        picks = [sched.pick(ready, c).age for c in range(4)]
+        assert 1 not in picks
+
+    def test_empty(self):
+        assert LrrScheduler().pick(ready, 0) is None
+
+
+class TestTwoLevel:
+    def test_schedules_within_active_set(self):
+        sched = TwoLevelScheduler(active_size=2)
+        warps = attach(sched, 6)
+        picks = {sched.pick(ready, c).age for c in range(4)}
+        assert picks <= {0, 1}
+
+    def test_promotes_when_active_stalls(self):
+        sched = TwoLevelScheduler(active_size=2)
+        warps = attach(sched, 4)
+        sched.pick(ready, 0)
+        warps[0].ready = False
+        warps[1].ready = False
+        pick = sched.pick(ready, 1)
+        assert pick is not None
+        assert pick.age in (2, 3)
+
+    def test_bad_active_size(self):
+        with pytest.raises(ConfigError):
+            TwoLevelScheduler(active_size=0)
+
+
+class TestRegistry:
+    def test_all_four_registered(self):
+        assert set(SCHEDULERS) == {"GTO", "OLD", "LRR", "2LV"}
+
+    def test_factory(self):
+        assert isinstance(make_scheduler("GTO"), GtoScheduler)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            make_scheduler("FIFO")

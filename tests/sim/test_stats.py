@@ -1,0 +1,54 @@
+"""SimStats accounting and merging."""
+
+from repro.isa import FuClass
+from repro.sim import SimStats
+
+
+class TestCounters:
+    def test_count_issue_classifies(self):
+        stats = SimStats()
+        stats.count_issue(FuClass.ALU, shadow=False, ckpt=False)
+        stats.count_issue(FuClass.MEM, shadow=False, ckpt=True)
+        stats.count_issue(FuClass.ALU, shadow=True, ckpt=False)
+        assert stats.instructions == 3
+        assert stats.shadow_instructions == 1
+        assert stats.ckpt_instructions == 1
+        assert stats.by_fu[FuClass.ALU] == 2
+
+    def test_avg_region_size(self):
+        stats = SimStats()
+        assert stats.avg_region_size == 0.0
+        stats.verified_regions = 4
+        stats.region_instructions = 50
+        assert stats.avg_region_size == 12.5
+
+    def test_ipc(self):
+        stats = SimStats()
+        stats.instructions = 100
+        stats.cycles = 400
+        assert stats.ipc == 0.25
+
+    def test_l1_miss_rate_empty(self):
+        assert SimStats().l1_miss_rate == 0.0
+
+
+class TestMerge:
+    def test_merge_sums_counts_keeps_max_cycles(self):
+        a, b = SimStats(), SimStats()
+        a.instructions, b.instructions = 10, 20
+        a.cycles, b.cycles = 100, 80
+        a.by_fu[FuClass.ALU] = 5
+        b.by_fu[FuClass.ALU] = 7
+        a.merge(b)
+        assert a.instructions == 30
+        assert a.cycles == 100          # wall time, not a sum
+        assert a.by_fu[FuClass.ALU] == 12
+
+    def test_as_dict_round_trip_fields(self):
+        stats = SimStats()
+        stats.instructions = 5
+        stats.by_fu[FuClass.SFU] = 5
+        data = stats.as_dict()
+        assert data["instructions"] == 5
+        assert data["by_fu"] == {"sfu": 5}
+        assert "avg_region_size" in data and "ipc" in data

@@ -1,0 +1,42 @@
+"""Functional correctness of all 34 benchmarks against their NumPy
+references, under the baseline and under Flame compilation."""
+
+import pytest
+
+from repro.workloads import WORKLOADS
+from tests.conftest import run_compiled
+
+ALL = sorted(WORKLOADS)
+
+
+@pytest.mark.parametrize("abbr", ALL)
+def test_baseline_matches_reference(abbr):
+    instance = WORKLOADS[abbr].instance("tiny")
+    _, _, verified = run_compiled(instance, "baseline")
+    assert verified, abbr
+
+
+@pytest.mark.parametrize("abbr", ALL)
+def test_flame_matches_reference(abbr):
+    instance = WORKLOADS[abbr].instance("tiny")
+    result, _, verified = run_compiled(instance, "flame")
+    assert verified, abbr
+    assert result.stats.verified_regions > 0
+
+
+@pytest.mark.parametrize("abbr", ("SGEMM", "LUD", "Histogram", "BFS",
+                                  "GUPS", "SN", "BO", "CG"))
+@pytest.mark.parametrize("scheme", ("checkpointing", "duplication_renaming",
+                                    "hybrid_renaming",
+                                    "sensor_checkpointing"))
+def test_remaining_schemes_on_tricky_workloads(abbr, scheme):
+    instance = WORKLOADS[abbr].instance("tiny")
+    _, _, verified = run_compiled(instance, scheme)
+    assert verified, (abbr, scheme)
+
+
+@pytest.mark.parametrize("abbr", ("Triad", "SGEMM", "NW"))
+def test_small_scale_also_correct(abbr):
+    instance = WORKLOADS[abbr].instance("small")
+    _, _, verified = run_compiled(instance, "flame")
+    assert verified, abbr

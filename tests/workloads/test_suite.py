@@ -1,0 +1,98 @@
+"""Workload registry (Table I) and per-workload structural checks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.isa import Op, Space
+from repro.workloads import (SCALES, WORKLOADS, table1_rows,
+                             workload_by_name)
+
+
+class TestRegistry:
+    def test_exactly_34_benchmarks(self):
+        assert len(WORKLOADS) == 34
+
+    def test_paper_abbreviations_present(self):
+        expected = {"SGEMM", "LBM", "NN", "LPS", "AES", "BO", "CS", "SP",
+                    "BS", "SQ", "WT", "Transpose", "DWT", "SN", "Histogram",
+                    "IS", "CG", "BP", "BFS", "Gaussian", "Hotspot", "LavaMD",
+                    "LUD", "NW", "PF", "SRAD", "SC", "CFD", "Kmeans", "KNN",
+                    "Stencil", "TPACF", "Triad", "GUPS"}
+        assert set(WORKLOADS) == expected
+
+    def test_suite_assignment(self):
+        assert WORKLOADS["SGEMM"].suite == "parboil"
+        assert WORKLOADS["LUD"].suite == "rodinia"
+        assert WORKLOADS["Triad"].suite == "shoc"
+        assert WORKLOADS["IS"].suite == "npb"
+        assert WORKLOADS["TPACF"].suite == "altis"
+        assert WORKLOADS["AES"].suite == "gpgpusim"
+        assert WORKLOADS["Histogram"].suite == "cuda_sdk"
+
+    def test_table1_rows(self):
+        rows = table1_rows()
+        assert len(rows) == 34
+        assert all(len(r) == 3 for r in rows)
+
+    def test_lookup_errors(self):
+        with pytest.raises(ConfigError):
+            workload_by_name("NOPE")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ConfigError):
+            WORKLOADS["Triad"].instance("huge")
+
+
+class TestStructuralFlags:
+    def test_barrier_flag_matches_kernel(self):
+        for abbr, workload in WORKLOADS.items():
+            kernel = workload.instance("tiny").kernel
+            has_bar = any(i.op is Op.BAR for i in kernel.instructions)
+            assert has_bar == workload.uses_barriers, abbr
+
+    def test_atomics_flag_matches_kernel(self):
+        for abbr, workload in WORKLOADS.items():
+            kernel = workload.instance("tiny").kernel
+            has_atom = any(i.info.is_atomic for i in kernel.instructions)
+            assert has_atom == workload.uses_atomics, abbr
+
+    def test_shared_usage_declared(self):
+        for abbr, workload in WORKLOADS.items():
+            kernel = workload.instance("tiny").kernel
+            uses_shared = any(
+                i.space is Space.SHARED for i in kernel.instructions
+                if i.space is not None)
+            if uses_shared:
+                assert kernel.shared_words > 0, abbr
+
+
+class TestInstances:
+    @pytest.mark.parametrize("abbr", sorted(WORKLOADS))
+    def test_instance_well_formed(self, abbr):
+        instance = WORKLOADS[abbr].instance("tiny")
+        instance.kernel.validate()
+        assert instance.expected is not None
+        assert instance.global_mem.size == instance.expected.size
+        assert instance.launch.num_blocks >= 2
+        assert instance.launch.threads_per_block >= 16
+
+    @pytest.mark.parametrize("abbr", sorted(WORKLOADS))
+    def test_fresh_memory_is_a_copy(self, abbr):
+        instance = WORKLOADS[abbr].instance("tiny")
+        mem = instance.fresh_memory()
+        mem[:] = -1
+        assert not np.array_equal(mem, instance.global_mem)
+
+    def test_scales_grow(self):
+        for abbr in ("Triad", "SGEMM", "LBM"):
+            sizes = [WORKLOADS[abbr].instance(s).global_mem.size
+                     for s in SCALES]
+            assert sizes == sorted(sizes)
+            assert sizes[0] < sizes[-1]
+
+    def test_deterministic_instances(self):
+        a = WORKLOADS["LBM"].instance("tiny")
+        b = WORKLOADS["LBM"].instance("tiny")
+        assert np.array_equal(a.global_mem, b.global_mem)
+        assert np.array_equal(a.expected, b.expected)
