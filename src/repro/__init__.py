@@ -18,7 +18,7 @@ Quick start::
 
 from . import arch, compiler, core, harness, isa, sim, workloads
 from .errors import (AsmError, CompileError, ConfigError, IsaError,
-                     LaunchError, ReproError, SimError)
+                     LaunchError, ReproError, SimError, SimTimeout)
 from .harness import RunOutcome, Runner, RunSpec
 
 __version__ = "1.0.0"
@@ -36,6 +36,7 @@ def quick_run(workload: str, scheme: str = "flame", scale: str = "tiny",
 
 __all__ = [
     "AsmError", "CompileError", "ConfigError", "IsaError", "LaunchError",
-    "ReproError", "RunOutcome", "Runner", "RunSpec", "SimError", "arch",
-    "compiler", "core", "harness", "isa", "quick_run", "sim", "workloads",
+    "ReproError", "RunOutcome", "Runner", "RunSpec", "SimError",
+    "SimTimeout", "arch", "compiler", "core", "harness", "isa",
+    "quick_run", "sim", "workloads",
 ]

@@ -2,6 +2,9 @@
 the recovery protocol, fault injection, and hardware-cost accounting.
 """
 
+from .campaign import (CampaignJournal, CampaignSpec, CellAggregate,
+                       TrialResult, TrialSpec, aggregate, run_trial,
+                       wilson_interval)
 from .hwcost import HardwareCost, flame_hardware_cost
 from .injection import FaultInjector, InjectionRecord
 from .rbq import RbqEntry, RegionBoundaryQueue
@@ -9,7 +12,9 @@ from .rpt import RecoveryPcTable
 from .runtime import FlameRuntime, FlameSmRuntime
 
 __all__ = [
-    "FaultInjector", "FlameRuntime", "FlameSmRuntime", "HardwareCost",
-    "InjectionRecord", "RbqEntry", "RecoveryPcTable", "RegionBoundaryQueue",
-    "flame_hardware_cost",
+    "CampaignJournal", "CampaignSpec", "CellAggregate", "FaultInjector",
+    "FlameRuntime", "FlameSmRuntime", "HardwareCost", "InjectionRecord",
+    "RbqEntry", "RecoveryPcTable", "RegionBoundaryQueue", "TrialResult",
+    "TrialSpec", "aggregate", "flame_hardware_cost", "run_trial",
+    "wilson_interval",
 ]

@@ -1,0 +1,478 @@
+"""Monte Carlo fault-injection campaigns.
+
+Statistical validation of the paper's resilience claim: sample N
+independent strike trials per (workload, scheme, GPU, WCDL) cell, run
+each against a fault-free golden execution, and classify the outcome
+into the standard taxonomy —
+
+* **masked** — the strike never became architecturally visible (it
+  missed every live destination register, or the corrupted value was
+  overwritten / never propagated to memory);
+* **sdc** — silent data corruption: the run finished but its memory
+  image differs from the golden run;
+* **due_hang** — detected unrecoverable event: the corrupted state
+  drove the kernel past its cycle budget (or wall clock) — the trial's
+  :class:`~repro.errors.SimTimeout`;
+* **due_crash** — the simulator raised (deadlock, launch fault, …)
+  instead of finishing;
+* **recovered** — a landed strike was sensed within WCDL and the
+  all-warp rollback restored bit-exact output;
+* **infra_error** — the trial itself could not be executed (worker
+  death after bounded retries); reported separately, never counted in
+  resilience rates.
+
+Rates come with Wilson score confidence intervals, the standard choice
+for small-count binomial proportions (an SDC count of 0 out of 200
+still yields an honest nonzero upper bound).
+
+Every completed trial is journaled as one JSON line, appended
+atomically, so an interrupted campaign resumes exactly where it
+stopped and partial results are always reportable.  Trial sampling is
+a pure function of ``(campaign seed, workload, scheme, trial index)``
+— resume order cannot change any outcome.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import zlib
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigError, ReproError, SimTimeout
+
+#: Outcome taxonomy (string constants so records serialize naturally).
+MASKED = "masked"
+SDC = "sdc"
+DUE_HANG = "due_hang"
+DUE_CRASH = "due_crash"
+RECOVERED = "recovered"
+INFRA_ERROR = "infra_error"
+
+OUTCOMES = (MASKED, SDC, DUE_HANG, DUE_CRASH, RECOVERED, INFRA_ERROR)
+
+#: Outcomes that falsify the resilience claim when seen under a
+#: sensor-protected scheme.
+UNRECOVERED = (SDC, DUE_HANG, DUE_CRASH)
+
+
+# ----------------------------------------------------------------------
+# Specs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One campaign: ``trials`` independent strikes per (workload,
+    scheme) cell, all sharing one GPU / scheduler / WCDL / scale."""
+
+    workloads: tuple[str, ...]
+    schemes: tuple[str, ...] = ("baseline", "flame")
+    trials: int = 200
+    seed: int = 0
+    scale: str = "tiny"
+    gpu: str = "GTX480"
+    scheduler: str = "GTO"
+    wcdl: int = 20
+    strikes_per_trial: int = 1
+    #: Faulty-run cycle budget = max(min_cycle_budget,
+    #: golden_cycles * max_cycles_factor).
+    max_cycles_factor: float = 20.0
+    min_cycle_budget: int = 10_000
+    #: Per-trial wall-clock budget (seconds); 0 disables the alarm.
+    timeout_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        if not self.workloads:
+            raise ConfigError("campaign needs at least one workload")
+        if not self.schemes:
+            raise ConfigError("campaign needs at least one scheme")
+        if self.trials < 1:
+            raise ConfigError("campaign needs at least one trial")
+        if self.strikes_per_trial < 1:
+            raise ConfigError("each trial needs at least one strike")
+        if self.max_cycles_factor <= 0 or self.min_cycle_budget < 1:
+            raise ConfigError("cycle budget parameters must be positive")
+
+    def campaign_id(self) -> str:
+        """Stable identifier for journaling / resume."""
+        ident = json.dumps(asdict(self), sort_keys=True)
+        return f"{zlib.crc32(ident.encode()) & 0xFFFFFFFF:08x}"
+
+    def cells(self) -> list[tuple[str, str]]:
+        return [(w, s) for w in self.workloads for s in self.schemes]
+
+    def trial_specs(self) -> list["TrialSpec"]:
+        return [
+            TrialSpec(workload=w, scheme=s, index=i, campaign_seed=self.seed,
+                      scale=self.scale, gpu=self.gpu,
+                      scheduler=self.scheduler, wcdl=self.wcdl,
+                      strikes=self.strikes_per_trial,
+                      max_cycles_factor=self.max_cycles_factor,
+                      min_cycle_budget=self.min_cycle_budget,
+                      timeout_s=self.timeout_s)
+            for w, s in self.cells() for i in range(self.trials)
+        ]
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One Monte Carlo trial, self-contained and picklable."""
+
+    workload: str
+    scheme: str
+    index: int
+    campaign_seed: int
+    scale: str = "tiny"
+    gpu: str = "GTX480"
+    scheduler: str = "GTO"
+    wcdl: int = 20
+    strikes: int = 1
+    max_cycles_factor: float = 20.0
+    min_cycle_budget: int = 10_000
+    timeout_s: float = 120.0
+
+    @property
+    def key(self) -> tuple[str, str, int]:
+        return (self.workload, self.scheme, self.index)
+
+    def rng(self) -> np.random.Generator:
+        """Per-trial generator: a pure function of the campaign seed and
+        the trial's coordinates, so outcomes are independent of the
+        order (or process) in which trials execute."""
+        return np.random.default_rng([
+            self.campaign_seed & 0xFFFFFFFF,
+            zlib.crc32(self.workload.encode()),
+            zlib.crc32(self.scheme.encode()),
+            self.index,
+        ])
+
+
+@dataclass
+class TrialResult:
+    """Outcome of one trial (also the journal record schema)."""
+
+    workload: str
+    scheme: str
+    index: int
+    outcome: str
+    strike_cycles: list[int] = field(default_factory=list)
+    injector_seed: int = 0
+    golden_cycles: int = 0
+    cycles: int = 0
+    landed: int = 0
+    recoveries: int = 0
+    detail: str = ""
+    attempts: int = 1
+
+    @property
+    def key(self) -> tuple[str, str, int]:
+        return (self.workload, self.scheme, self.index)
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(data: dict) -> "TrialResult":
+        return TrialResult(**data)
+
+
+# ----------------------------------------------------------------------
+# Trial execution (runs inside worker processes — module-level and
+# import-light so it pickles cleanly)
+# ----------------------------------------------------------------------
+#: Per-process memo of golden runs: compiling a workload and simulating
+#: it fault-free once per worker amortizes across that worker's trials.
+_GOLDEN_CACHE: dict[tuple, tuple] = {}
+
+
+def _golden(trial: TrialSpec):
+    key = (trial.workload, trial.scheme, trial.scale, trial.gpu,
+           trial.scheduler, trial.wcdl)
+    hit = _GOLDEN_CACHE.get(key)
+    if hit is None:
+        from ..arch import gpu_by_name
+        from ..compiler import (compile_kernel, prepare_launch,
+                                scheme_by_name)
+        from ..sim import Gpu, LaunchConfig, NULL_RESILIENCE
+        from ..workloads import workload_by_name
+        from .runtime import FlameRuntime
+
+        workload = workload_by_name(trial.workload)
+        instance = workload.instance(trial.scale)
+        scheme = scheme_by_name(trial.scheme)
+        compiled = compile_kernel(instance.kernel, scheme, wcdl=trial.wcdl)
+        config = gpu_by_name(trial.gpu)
+
+        def launch_once(injector=None, max_cycles=None):
+            runtime = (FlameRuntime(trial.wcdl)
+                       if scheme.uses_sensor_runtime else NULL_RESILIENCE)
+            gpu = Gpu(config, resilience=runtime, scheduler=trial.scheduler)
+            gpu.fault_injector = injector
+            mem = instance.fresh_memory()
+            params, mem = prepare_launch(
+                compiled, instance.launch.params, mem,
+                instance.launch.num_blocks,
+                instance.launch.threads_per_block,
+                warp_size=config.warp_size)
+            launch = LaunchConfig(grid=instance.launch.grid,
+                                  block=instance.launch.block, params=params)
+            result = gpu.launch(compiled.kernel, launch, mem,
+                                regs_per_thread=compiled.regs_per_thread,
+                                max_cycles=max_cycles)
+            return result, mem
+
+        result, golden_mem = launch_once()
+        hit = (launch_once, result.cycles, golden_mem)
+        _GOLDEN_CACHE[key] = hit
+    return hit
+
+
+class _WallClockTimeout(Exception):
+    """Internal: the per-trial SIGALRM fired."""
+
+
+def _alarm_guard(seconds: float):
+    """Arm a per-trial wall-clock alarm where the platform allows it
+    (POSIX, main thread); returns a disarm callable."""
+    import signal
+    import threading
+
+    if (seconds <= 0 or not hasattr(signal, "SIGALRM")
+            or threading.current_thread() is not threading.main_thread()):
+        return lambda: None
+
+    def fire(signum, frame):
+        raise _WallClockTimeout()
+
+    previous = signal.signal(signal.SIGALRM, fire)
+    signal.alarm(max(1, math.ceil(seconds)))
+
+    def disarm():
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+    return disarm
+
+
+def run_trial(trial: TrialSpec) -> TrialResult:
+    """Execute one trial and classify it.
+
+    Simulation-level failures are *classified*, never raised: the only
+    exceptions escaping this function are infrastructure faults (import
+    errors, worker death), which the pool layer retries.
+    """
+    from .injection import FaultInjector
+
+    launch_once, golden_cycles, golden_mem = _golden(trial)
+    rng = trial.rng()
+    # Strike cycles are sampled over the fault-free execution window so
+    # every trial has a chance to land (a strike after kernel end is a
+    # guaranteed no-op and would just dilute the campaign).
+    high = max(2, golden_cycles)
+    strike_cycles = sorted(int(c) for c in rng.integers(1, high,
+                                                        size=trial.strikes))
+    injector_seed = int(rng.integers(0, 2**31 - 1))
+    budget = max(trial.min_cycle_budget,
+                 int(golden_cycles * trial.max_cycles_factor))
+    result = TrialResult(workload=trial.workload, scheme=trial.scheme,
+                         index=trial.index, outcome=MASKED,
+                         strike_cycles=strike_cycles,
+                         injector_seed=injector_seed,
+                         golden_cycles=golden_cycles)
+    injector = FaultInjector(strike_cycles=list(strike_cycles),
+                             wcdl=trial.wcdl, seed=injector_seed)
+    disarm = _alarm_guard(trial.timeout_s)
+    try:
+        sim_result, faulty_mem = launch_once(injector, max_cycles=budget)
+    except SimTimeout as exc:
+        result.outcome = DUE_HANG
+        result.cycles = exc.cycles
+        result.detail = str(exc)
+        return result
+    except _WallClockTimeout:
+        result.outcome = DUE_HANG
+        result.detail = f"wall-clock timeout after {trial.timeout_s:g}s"
+        return result
+    except ReproError as exc:
+        result.outcome = DUE_CRASH
+        result.detail = f"{type(exc).__name__}: {exc}"
+        return result
+    finally:
+        disarm()
+
+    result.cycles = sim_result.cycles
+    result.landed = sum(1 for r in injector.records if r.landed)
+    result.recoveries = sim_result.stats.recoveries
+    if not np.array_equal(faulty_mem, golden_mem):
+        result.outcome = SDC
+    elif result.landed and result.recoveries:
+        result.outcome = RECOVERED
+    else:
+        # Output bit-exact without a landed-and-rolled-back strike:
+        # either the strike missed every live register or (baseline) the
+        # corruption was overwritten before reaching memory.
+        result.outcome = MASKED
+    return result
+
+
+# ----------------------------------------------------------------------
+# Aggregation
+# ----------------------------------------------------------------------
+def wilson_interval(successes: int, n: int,
+                    z: float = 1.96) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion."""
+    if n <= 0:
+        return (0.0, 1.0)
+    p = successes / n
+    zz = z * z
+    denom = 1.0 + zz / n
+    center = (p + zz / (2 * n)) / denom
+    half = z * math.sqrt(p * (1 - p) / n + zz / (4 * n * n)) / denom
+    return (max(0.0, center - half), min(1.0, center + half))
+
+
+@dataclass
+class CellAggregate:
+    """Outcome counts and rates for one (workload, scheme) cell."""
+
+    workload: str
+    scheme: str
+    trials: int
+    counts: dict[str, int]
+    rates: dict[str, tuple[float, float, float]]  # rate, ci_lo, ci_hi
+
+    @property
+    def unrecovered(self) -> int:
+        return sum(self.counts[o] for o in UNRECOVERED)
+
+    def as_dict(self) -> dict:
+        return {"workload": self.workload, "scheme": self.scheme,
+                "trials": self.trials, "counts": dict(self.counts),
+                "rates": {k: list(v) for k, v in self.rates.items()},
+                "unrecovered": self.unrecovered}
+
+
+def aggregate(results: list[TrialResult]) -> list[CellAggregate]:
+    """Collapse trial results into per-cell aggregates.
+
+    Deterministic and order-independent: duplicates (a trial journaled
+    by both a killed and a resumed campaign) keep the first-by-index
+    record, and cells render in sorted order.
+    """
+    unique: dict[tuple[str, str, int], TrialResult] = {}
+    for r in results:
+        unique.setdefault(r.key, r)
+    cells: dict[tuple[str, str], list[TrialResult]] = {}
+    for r in sorted(unique.values(), key=lambda r: r.key):
+        cells.setdefault((r.workload, r.scheme), []).append(r)
+    out = []
+    for (workload, scheme), rows in sorted(cells.items()):
+        counts = {o: 0 for o in OUTCOMES}
+        for r in rows:
+            counts[r.outcome] = counts.get(r.outcome, 0) + 1
+        measured = len(rows) - counts[INFRA_ERROR]
+        rates = {}
+        for o in OUTCOMES:
+            if o == INFRA_ERROR:
+                continue
+            lo, hi = wilson_interval(counts[o], measured)
+            rate = counts[o] / measured if measured else 0.0
+            rates[o] = (rate, lo, hi)
+        out.append(CellAggregate(workload=workload, scheme=scheme,
+                                 trials=len(rows), counts=counts,
+                                 rates=rates))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Journal
+# ----------------------------------------------------------------------
+class CampaignJournal:
+    """Append-only JSONL trial journal with crash-safe records.
+
+    Each completed trial is one ``json.dumps`` line written with a
+    single ``write`` + flush + fsync, so a killed campaign can leave at
+    most one truncated *final* line — which ``load`` skips — and every
+    fully written record survives.  A header line pins the campaign
+    spec; resuming against a journal from a different spec is refused
+    rather than silently mixing incompatible trials.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    # -- writing -------------------------------------------------------
+    def _append_line(self, record: dict) -> None:
+        os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+        line = json.dumps(record, sort_keys=True) + "\n"
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def repair(self) -> None:
+        """Drop a torn final line left by a killed writer, so records
+        appended on resume start on a fresh line instead of gluing onto
+        the partial one."""
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "rb+") as handle:
+            data = handle.read()
+            if not data or data.endswith(b"\n"):
+                return
+            handle.seek(data.rfind(b"\n") + 1)
+            handle.truncate()
+
+    def write_header(self, spec: CampaignSpec) -> None:
+        self._append_line({"type": "header",
+                           "campaign_id": spec.campaign_id(),
+                           "spec": asdict(spec)})
+
+    def append(self, result: TrialResult) -> None:
+        record = result.as_dict()
+        record["type"] = "trial"
+        self._append_line(record)
+
+    # -- reading -------------------------------------------------------
+    def load(self, spec: CampaignSpec | None = None) -> list[TrialResult]:
+        """Read every intact trial record; verify the header against
+        ``spec`` when given."""
+        if not os.path.exists(self.path):
+            return []
+        results: list[TrialResult] = []
+        with open(self.path, encoding="utf-8") as handle:
+            for line in handle:
+                if not line.endswith("\n"):
+                    break  # truncated tail from a killed writer
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                kind = record.pop("type", "trial")
+                if kind == "header":
+                    if (spec is not None and
+                            record.get("campaign_id") != spec.campaign_id()):
+                        raise ConfigError(
+                            f"journal {self.path} belongs to campaign "
+                            f"{record.get('campaign_id')}, not "
+                            f"{spec.campaign_id()}; use a fresh journal "
+                            f"path or delete the stale one")
+                    continue
+                try:
+                    results.append(TrialResult.from_dict(record))
+                except TypeError:
+                    continue  # unknown schema — ignore, don't crash
+        return results
+
+    def has_header(self) -> bool:
+        return os.path.exists(self.path) and os.path.getsize(self.path) > 0
+
+
+__all__ = [
+    "CampaignJournal", "CampaignSpec", "CellAggregate", "DUE_CRASH",
+    "DUE_HANG", "INFRA_ERROR", "MASKED", "OUTCOMES", "RECOVERED", "SDC",
+    "TrialResult", "TrialSpec", "UNRECOVERED", "aggregate", "run_trial",
+    "wilson_interval",
+]

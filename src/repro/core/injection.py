@@ -177,7 +177,12 @@ class FaultInjector:
         runtime = sm.resilience
         recover = getattr(runtime, "recover", None)
         for record in self.records:
-            if record.sm_id == sm_id and not record.recovered:
+            # Only credit records whose own sensing delay has elapsed:
+            # with overlapping strikes on one SM, a later strike must
+            # not be attributed to an earlier detection event (its
+            # corruption may land *after* this rollback).
+            if (record.sm_id == sm_id and not record.recovered
+                    and record.detect_cycle <= cycle):
                 record.recovered = recover is not None
         if recover is not None:
             recover(cycle)

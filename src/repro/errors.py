@@ -21,6 +21,20 @@ class SimError(ReproError):
     """Raised when the simulator reaches an inconsistent state."""
 
 
+class SimTimeout(SimError):
+    """Raised when a launch exhausts its cycle budget (likely hung).
+
+    A corrupted register can drive a kernel into an infinite loop; the
+    ``max_cycles`` guard on :meth:`repro.sim.Gpu.launch` turns that hang
+    into this catchable exception so fault-injection campaigns can
+    classify the trial as a DUE-hang instead of stalling a worker pool.
+    """
+
+    def __init__(self, message: str, cycles: int = 0) -> None:
+        super().__init__(message)
+        self.cycles = cycles
+
+
 class LaunchError(ReproError):
     """Raised when a kernel launch configuration is invalid."""
 

@@ -1,7 +1,10 @@
 """Experiment harness: regenerates every table and figure of the paper."""
 
 from . import ablations, experiments, reporting
-from .experiments import (ALL_BENCHMARKS, FIG13_SCHEMES, OverheadStudy,
+from .campaign import (CampaignReport, CampaignRunner, default_journal_path,
+                       run_campaign)
+from .experiments import (ALL_BENCHMARKS, CAMPAIGN_BENCHMARKS,
+                          FIG13_SCHEMES, OverheadStudy, fault_coverage,
                           figure12, figure13_14, figure15, figure16,
                           figure17, figure18, figure19, geomean, hwcost,
                           optimization_eligible_benchmarks, section4, table1,
@@ -9,10 +12,11 @@ from .experiments import (ALL_BENCHMARKS, FIG13_SCHEMES, OverheadStudy,
 from .runner import RunOutcome, Runner, RunSpec, execute, normalized_time
 
 __all__ = [
-    "ALL_BENCHMARKS", "FIG13_SCHEMES", "OverheadStudy", "RunOutcome",
-    "Runner", "RunSpec", "execute", "experiments", "figure12",
-    "figure13_14", "figure15", "figure16", "figure17", "figure18",
-    "ablations", "figure19", "geomean", "hwcost", "normalized_time",
-    "optimization_eligible_benchmarks", "reporting", "section4", "table1",
-    "table2",
+    "ALL_BENCHMARKS", "CAMPAIGN_BENCHMARKS", "CampaignReport",
+    "CampaignRunner", "FIG13_SCHEMES", "OverheadStudy", "RunOutcome",
+    "Runner", "RunSpec", "default_journal_path", "execute", "experiments",
+    "fault_coverage", "figure12", "figure13_14", "figure15", "figure16",
+    "figure17", "figure18", "ablations", "figure19", "geomean", "hwcost",
+    "normalized_time", "optimization_eligible_benchmarks", "reporting",
+    "run_campaign", "section4", "table1", "table2",
 ]

@@ -1,0 +1,259 @@
+"""Campaign orchestration: hardened worker pool, journaling, resume.
+
+The core module (:mod:`repro.core.campaign`) defines what a trial *is*;
+this module is about running thousands of them without a single bad
+trial taking the campaign down:
+
+* trials run in worker processes, each guarded by the simulator's
+  cycle-budget watchdog plus a per-trial wall-clock alarm;
+* worker death (OOM kill, interpreter abort) is transient — the pool is
+  rebuilt and the affected trials retried with exponential backoff, up
+  to a bound, after which they are journaled as ``infra_error`` rather
+  than aborting the batch;
+* a wall-clock backstop over each dispatch epoch classifies trials
+  wedged beyond all watchdogs as DUE-hangs and abandons their workers;
+* every completed trial is appended to the JSONL journal immediately,
+  so killing the campaign at any point loses at most the in-flight
+  trials — rerunning the same command resumes from the journal.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..core.campaign import (CampaignJournal, CampaignSpec, CellAggregate,
+                             DUE_HANG, INFRA_ERROR, TrialResult, TrialSpec,
+                             aggregate, run_trial)
+from .runner import _DEFAULT_CACHE_DIR
+
+
+def default_journal_path(spec: CampaignSpec,
+                         cache_dir: str | None = None) -> str:
+    base = cache_dir or os.environ.get("REPRO_CACHE_DIR",
+                                       _DEFAULT_CACHE_DIR)
+    return os.path.join(base, "campaigns",
+                        f"campaign_{spec.campaign_id()}.jsonl")
+
+
+@dataclass
+class CampaignReport:
+    """Everything a rendered summary (or a test) needs."""
+
+    spec: CampaignSpec
+    results: list[TrialResult]
+    cells: list[CellAggregate]
+    journal_path: str
+    complete: bool = True
+    infra_failures: int = 0
+
+    def cell(self, workload: str, scheme: str) -> CellAggregate:
+        for cell in self.cells:
+            if cell.workload == workload and cell.scheme == scheme:
+                return cell
+        raise KeyError((workload, scheme))
+
+    def scheme_totals(self) -> dict[str, dict[str, int]]:
+        totals: dict[str, dict[str, int]] = {}
+        for cell in self.cells:
+            bucket = totals.setdefault(cell.scheme, {})
+            for outcome, count in cell.counts.items():
+                bucket[outcome] = bucket.get(outcome, 0) + count
+        return totals
+
+
+class CampaignRunner:
+    """Dispatches a campaign's trials through a hardened process pool."""
+
+    def __init__(self, workers: int | None = None, max_retries: int = 2,
+                 backoff_s: float = 0.5,
+                 epoch_slack_s: float = 60.0) -> None:
+        self.workers = workers if workers is not None else \
+            max(1, (os.cpu_count() or 1))
+        self.max_retries = max_retries
+        self.backoff_s = backoff_s
+        self.epoch_slack_s = epoch_slack_s
+        #: Trial executor — an attribute so tests can inject failures.
+        self._execute = run_trial
+
+    # ------------------------------------------------------------------
+    def run(self, spec: CampaignSpec, journal_path: str | None = None,
+            progress: bool = False, fresh: bool = False) -> CampaignReport:
+        path = journal_path or default_journal_path(spec)
+        journal = CampaignJournal(path)
+        if fresh and os.path.exists(path):
+            os.remove(path)
+        journal.repair()
+        done = {r.key for r in journal.load(spec)}
+        if not journal.has_header():
+            journal.write_header(spec)
+        pending = deque(t for t in spec.trial_specs() if t.key not in done)
+        total = len(pending) + len(done)
+        if progress and done:
+            print(f"  resuming: {len(done)}/{total} trials journaled",
+                  flush=True)
+        completed = len(done)
+        infra = 0
+
+        def record(result: TrialResult) -> None:
+            nonlocal completed, infra
+            journal.append(result)
+            completed += 1
+            if result.outcome == INFRA_ERROR:
+                infra += 1
+            if progress and (completed % 25 == 0 or completed == total):
+                print(f"  [{completed}/{total}] trials journaled",
+                      flush=True)
+
+        if pending:
+            if self.workers > 1 and len(pending) > 1:
+                self._run_pool(spec, pending, record)
+            else:
+                self._run_inline(pending, record)
+
+        results = journal.load(spec)
+        keys = {r.key for r in results}
+        expected = {t.key for t in spec.trial_specs()}
+        return CampaignReport(spec=spec, results=results,
+                              cells=aggregate(results), journal_path=path,
+                              complete=expected <= keys,
+                              infra_failures=infra)
+
+    # ------------------------------------------------------------------
+    def _infra_result(self, trial: TrialSpec, attempts: int,
+                      error: BaseException) -> TrialResult:
+        return TrialResult(workload=trial.workload, scheme=trial.scheme,
+                           index=trial.index, outcome=INFRA_ERROR,
+                           detail=f"{type(error).__name__}: {error}",
+                           attempts=attempts)
+
+    def _backoff(self, attempt: int) -> None:
+        if self.backoff_s > 0:
+            time.sleep(self.backoff_s * (2 ** (attempt - 1)))
+
+    def _run_inline(self, pending: deque, record) -> None:
+        """Single-process path: same capture + bounded-retry semantics,
+        no pool."""
+        while pending:
+            trial = pending.popleft()
+            for attempt in range(1, self.max_retries + 2):
+                try:
+                    result = self._execute(trial)
+                    result.attempts = attempt
+                    record(result)
+                    break
+                except Exception as exc:  # infra fault — sim errors are
+                    if attempt > self.max_retries:  # classified in-trial
+                        record(self._infra_result(trial, attempt, exc))
+                        break
+                    self._backoff(attempt)
+
+    def _run_pool(self, spec: CampaignSpec, pending: deque, record) -> None:
+        from concurrent.futures import (ProcessPoolExecutor, TimeoutError,
+                                        as_completed)
+
+        # A dead worker poisons every outstanding future with
+        # BrokenProcessPool — there is no telling which trial killed it.
+        # Everything unfinished at breakage becomes a *suspect* and is
+        # retried in isolation (one trial per single-worker pool), which
+        # identifies the culprit exactly and never taxes healthy trials.
+        suspects: deque = deque()
+        while pending:
+            batch = list(pending)
+            pending.clear()
+            workers = min(self.workers, len(batch))
+            epoch_timeout = None
+            if spec.timeout_s > 0:
+                epoch_timeout = (spec.timeout_s
+                                 * math.ceil(len(batch) / workers)
+                                 + self.epoch_slack_s)
+            pool = ProcessPoolExecutor(max_workers=workers)
+            futures = {pool.submit(self._execute, t): t for t in batch}
+            broken = False
+            try:
+                for future in as_completed(futures, timeout=epoch_timeout):
+                    trial = futures.pop(future)
+                    try:
+                        result = future.result()
+                    except Exception:
+                        # run_trial never raises for simulation failures,
+                        # so this is worker death / a lost result.
+                        suspects.append(trial)
+                        broken = True
+                        break
+                    result.attempts = 1
+                    record(result)
+            except TimeoutError:
+                # Watchdogs failed (worker wedged in uninterruptible
+                # code): classify started stragglers as wall-clock
+                # DUE-hangs and abandon their workers; never-started
+                # trials just requeue.
+                for future, trial in futures.items():
+                    if future.cancel():
+                        pending.append(trial)
+                        continue
+                    record(TrialResult(
+                        workload=trial.workload, scheme=trial.scheme,
+                        index=trial.index, outcome=DUE_HANG,
+                        detail="wall-clock epoch timeout (worker "
+                               "abandoned)"))
+                pool.shutdown(wait=False, cancel_futures=True)
+                continue
+            if broken:
+                suspects.extend(futures.values())
+                pool.shutdown(wait=False, cancel_futures=True)
+            else:
+                pool.shutdown(wait=True)
+        if suspects:
+            self._run_isolated(spec, suspects, record)
+
+    def _run_isolated(self, spec: CampaignSpec, trials: deque,
+                      record) -> None:
+        """Retry suspects one at a time, each in a fresh single-worker
+        pool, with bounded backoff: a trial that keeps killing its
+        worker is journaled as ``infra_error`` without taking any other
+        trial down with it."""
+        from concurrent.futures import ProcessPoolExecutor, TimeoutError
+
+        timeout = (spec.timeout_s + self.epoch_slack_s
+                   if spec.timeout_s > 0 else None)
+        for trial in trials:
+            for attempt in range(1, self.max_retries + 2):
+                pool = ProcessPoolExecutor(max_workers=1)
+                try:
+                    result = pool.submit(self._execute,
+                                         trial).result(timeout=timeout)
+                except TimeoutError:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    record(TrialResult(
+                        workload=trial.workload, scheme=trial.scheme,
+                        index=trial.index, outcome=DUE_HANG,
+                        detail="wall-clock timeout (isolated worker "
+                               "abandoned)", attempts=attempt))
+                    break
+                except Exception as exc:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    if attempt > self.max_retries:
+                        record(self._infra_result(trial, attempt, exc))
+                        break
+                    self._backoff(attempt)
+                else:
+                    pool.shutdown(wait=True)
+                    result.attempts = attempt
+                    record(result)
+                    break
+
+
+def run_campaign(spec: CampaignSpec, workers: int | None = None,
+                 journal_path: str | None = None, progress: bool = False,
+                 fresh: bool = False) -> CampaignReport:
+    """Convenience one-shot used by the CLI and the experiments module."""
+    return CampaignRunner(workers=workers).run(
+        spec, journal_path=journal_path, progress=progress, fresh=fresh)
+
+
+__all__ = ["CampaignReport", "CampaignRunner", "default_journal_path",
+           "run_campaign"]

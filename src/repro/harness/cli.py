@@ -19,7 +19,7 @@ from .runner import Runner
 
 EXPERIMENTS = ("table1", "figure12", "table2", "figure13", "figure15",
                "figure16", "figure17", "figure18", "figure19", "section4",
-               "hwcost", "ablation", "all")
+               "hwcost", "ablation", "campaign", "all")
 
 
 def _benchmarks(args) -> tuple[str, ...]:
@@ -38,10 +38,40 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--benchmarks", default="",
                         help="comma-separated subset (default: all 34)")
     parser.add_argument("--fresh", action="store_true",
-                        help="ignore cached results")
+                        help="ignore cached results (for campaigns: "
+                             "discard the journal and start over)")
     parser.add_argument("--workers", type=int, default=None,
                         help="parallel simulation processes")
+    campaign = parser.add_argument_group(
+        "campaign", "Monte Carlo fault-injection campaign options")
+    campaign.add_argument("--trials", type=int, default=200,
+                          help="trials per (workload, scheme) cell")
+    campaign.add_argument("--schemes", default="baseline,flame",
+                          help="comma-separated schemes to campaign over")
+    campaign.add_argument("--seed", type=int, default=0,
+                          help="campaign master seed")
+    campaign.add_argument("--wcdl", type=int, default=20,
+                          help="worst-case detection latency in cycles")
+    campaign.add_argument("--trial-timeout", type=float, default=120.0,
+                          help="per-trial wall-clock budget in seconds "
+                               "(0 disables)")
+    campaign.add_argument("--journal", default="",
+                          help="campaign journal path (default: derived "
+                               "from the spec under the cache dir); "
+                               "rerunning with the same journal resumes")
     args = parser.parse_args(argv)
+
+    if args.experiment == "campaign":
+        benches = (tuple(args.benchmarks.split(","))
+                   if args.benchmarks else exp.CAMPAIGN_BENCHMARKS)
+        report = exp.fault_coverage(
+            scale=args.scale, benchmarks=benches,
+            schemes=tuple(args.schemes.split(",")), trials=args.trials,
+            seed=args.seed, wcdl=args.wcdl, timeout_s=args.trial_timeout,
+            workers=args.workers, journal_path=args.journal or None,
+            fresh=args.fresh, progress=True)
+        print(rep.render_campaign(report))
+        return 0
 
     runner = Runner(fresh=args.fresh, workers=args.workers)
     benches = _benchmarks(args)

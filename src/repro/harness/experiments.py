@@ -264,6 +264,41 @@ def section4(scale: str = "small",
 
 
 # ----------------------------------------------------------------------
+# Fault coverage — Monte Carlo injection campaign (Section V's claim,
+# validated statistically rather than by hand-scheduled strikes)
+# ----------------------------------------------------------------------
+#: Default campaign workloads: barrier/divergence-heavy but atomic-free
+#: (atomics are not replayable under the paper's data-race-free model).
+CAMPAIGN_BENCHMARKS = ("SGEMM", "Triad")
+
+
+def fault_coverage(scale: str = "tiny",
+                   benchmarks: tuple[str, ...] = CAMPAIGN_BENCHMARKS,
+                   schemes: tuple[str, ...] = ("baseline", "flame"),
+                   trials: int = 200, seed: int = 0, wcdl: int = 20,
+                   gpu: str = "GTX480", scheduler: str = "GTO",
+                   timeout_s: float = 120.0, workers: int | None = None,
+                   journal_path: str | None = None, fresh: bool = False,
+                   progress: bool = False):
+    """Run (or resume) an injection campaign and return its report."""
+    from ..compiler import scheme_by_name
+    from ..core.campaign import CampaignSpec
+    from .campaign import run_campaign
+
+    # Fail fast on typos: otherwise every trial of an unknown workload or
+    # scheme burns its retry budget in a worker and lands as infra_error.
+    for name in benchmarks:
+        workload_by_name(name)
+    for name in schemes:
+        scheme_by_name(name)
+    spec = CampaignSpec(workloads=tuple(benchmarks), schemes=tuple(schemes),
+                        trials=trials, seed=seed, scale=scale, gpu=gpu,
+                        scheduler=scheduler, wcdl=wcdl, timeout_s=timeout_s)
+    return run_campaign(spec, workers=workers, journal_path=journal_path,
+                        progress=progress, fresh=fresh)
+
+
+# ----------------------------------------------------------------------
 # Section VI-A2 hardware cost
 # ----------------------------------------------------------------------
 def hwcost(wcdl: int = 20) -> list[dict]:

@@ -2,7 +2,12 @@
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from .experiments import OverheadStudy
+
+if TYPE_CHECKING:
+    from .campaign import CampaignReport
 
 
 def render_table(headers: list[str], rows: list[list], title: str = "") -> str:
@@ -104,6 +109,40 @@ def render_section4(report: dict) -> str:
             for k, v in report.items()]
     return render_table(["Quantity", "Value"], rows,
                         title="Section IV: fault-rate arithmetic")
+
+
+def render_campaign(report: "CampaignReport") -> str:
+    """Per-cell taxonomy counts plus SDC / unrecovered rates with
+    Wilson 95% confidence intervals."""
+    from ..core.campaign import (DUE_CRASH, DUE_HANG, INFRA_ERROR, MASKED,
+                                 RECOVERED, SDC)
+
+    def ci(cell, outcome):
+        rate, lo, hi = cell.rates[outcome]
+        return f"{rate:.3f} [{lo:.3f}, {hi:.3f}]"
+
+    rows = []
+    for cell in report.cells:
+        measured = cell.trials - cell.counts[INFRA_ERROR]
+        rows.append([
+            cell.workload, cell.scheme, cell.trials,
+            cell.counts[MASKED], cell.counts[RECOVERED], cell.counts[SDC],
+            cell.counts[DUE_HANG], cell.counts[DUE_CRASH],
+            cell.counts[INFRA_ERROR],
+            ci(cell, SDC) if measured else "n/a",
+            cell.unrecovered,
+        ])
+    spec = report.spec
+    status = "complete" if report.complete else "PARTIAL"
+    title = (f"Fault-injection campaign ({status}): {spec.trials} "
+             f"trials/cell, scale={spec.scale}, {spec.gpu}, "
+             f"{spec.scheduler}, WCDL={spec.wcdl}, seed={spec.seed}\n"
+             f"journal: {report.journal_path}")
+    return render_table(
+        ["Workload", "Scheme", "Trials", "Masked", "Recovered", "SDC",
+         "DUE-hang", "DUE-crash", "Infra", "SDC rate [95% CI]",
+         "Unrecovered"],
+        rows, title=title)
 
 
 def render_hwcost(rows: list[dict]) -> str:

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 from dataclasses import asdict, dataclass
 
 from ..arch import gpu_by_name
@@ -152,8 +153,23 @@ class Runner:
     def _store(self, outcome: RunOutcome) -> None:
         self._memory[outcome.spec.cache_key()] = outcome
         os.makedirs(self.cache_dir, exist_ok=True)
-        with open(self._cache_path(outcome.spec), "w") as handle:
-            json.dump(outcome.as_dict(), handle)
+        path = self._cache_path(outcome.spec)
+        # Write-then-rename so a killed process can never leave a
+        # truncated cache entry: the temp file lives in cache_dir to
+        # keep os.replace on one filesystem (rename is atomic there).
+        fd, tmp_path = tempfile.mkstemp(dir=self.cache_dir,
+                                        prefix=".tmp_",
+                                        suffix=".json")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(outcome.as_dict(), handle)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
 
     def run(self, spec: RunSpec) -> RunOutcome:
         cached = self._load(spec)
@@ -179,12 +195,29 @@ class Runner:
                 outcomes[key] = cached
             else:
                 missing.append(spec)
+        failures: list[tuple[RunSpec, BaseException]] = []
         if missing:
             if self.workers > 1 and len(missing) > 1:
-                from concurrent.futures import ProcessPoolExecutor
+                from concurrent.futures import (ProcessPoolExecutor,
+                                                as_completed)
 
+                # submit + as_completed (rather than pool.map) so one
+                # failing spec surfaces its own error and the rest of
+                # the batch still completes.
                 with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                    for i, outcome in enumerate(pool.map(execute, missing)):
+                    futures = {pool.submit(execute, spec): spec
+                               for spec in missing}
+                    for i, future in enumerate(as_completed(futures)):
+                        spec = futures[future]
+                        try:
+                            outcome = future.result()
+                        except Exception as exc:
+                            failures.append((spec, exc))
+                            if progress:
+                                print(f"  [{i + 1}/{len(missing)}] "
+                                      f"{spec.workload}/{spec.scheme} "
+                                      f"FAILED: {exc}", flush=True)
+                            continue
                         self._store(outcome)
                         outcomes[outcome.spec.cache_key()] = outcome
                         if progress:
@@ -193,12 +226,28 @@ class Runner:
                                   f"{outcome.spec.scheme} done", flush=True)
             else:
                 for i, spec in enumerate(missing):
-                    outcome = self.run(spec)
+                    try:
+                        outcome = self.run(spec)
+                    except Exception as exc:
+                        failures.append((spec, exc))
+                        if progress:
+                            print(f"  [{i + 1}/{len(missing)}] "
+                                  f"{spec.workload}/{spec.scheme} "
+                                  f"FAILED: {exc}", flush=True)
+                        continue
                     outcomes[spec.cache_key()] = outcome
                     if progress:
                         print(f"  [{i + 1}/{len(missing)}] "
                               f"{spec.workload}/{spec.scheme} done",
                               flush=True)
+        if failures:
+            detail = "; ".join(
+                f"{spec.workload}/{spec.scheme}/{spec.scale}: "
+                f"{type(exc).__name__}: {exc}" for spec, exc in failures)
+            raise ReproError(
+                f"{len(failures)} of {len(missing)} uncached runs failed "
+                f"({len(missing) - len(failures)} completed and were "
+                f"cached) — {detail}")
         return [outcomes[spec.cache_key()] for spec in specs]
 
 

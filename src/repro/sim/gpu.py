@@ -7,7 +7,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..arch import GpuConfig, GTX480
-from ..errors import LaunchError, SimError
+from ..errors import LaunchError, SimError, SimTimeout
 from ..isa import Cfg, Kernel, Special
 from .caches import Cache
 from .sm import NEVER, ResilienceRuntime, NULL_RESILIENCE, Sm, ThreadBlock
@@ -95,9 +95,21 @@ class Gpu:
     # ------------------------------------------------------------------
     def launch(self, kernel: Kernel, launch: LaunchConfig,
                global_mem: np.ndarray,
-               regs_per_thread: int | None = None) -> RunResult:
-        """Run one kernel to completion and return timing + final memory."""
+               regs_per_thread: int | None = None,
+               max_cycles: int | None = None) -> RunResult:
+        """Run one kernel to completion and return timing + final memory.
+
+        ``max_cycles`` bounds the simulated cycle count; exceeding it
+        raises :class:`SimTimeout` (a corrupted register can loop a
+        kernel forever — callers running fault-injection trials pass a
+        budget derived from the fault-free cycle count so a hung trial
+        surfaces as a catchable DUE instead of wedging its worker).
+        """
         kernel.validate()
+        if max_cycles is not None and max_cycles < 1:
+            raise LaunchError("max_cycles must be at least one cycle")
+        budget = MAX_CYCLES if max_cycles is None else min(MAX_CYCLES,
+                                                           max_cycles)
         if len(launch.params) != kernel.num_params:
             raise LaunchError(
                 f"kernel {kernel.name!r} takes {kernel.num_params} params, "
@@ -144,9 +156,11 @@ class Gpu:
                 cycle += 1
             else:
                 cycle = self._fast_forward(cycle)
-            if cycle > MAX_CYCLES:
-                raise SimError(f"kernel {kernel.name!r} exceeded "
-                               f"{MAX_CYCLES} cycles — likely livelocked")
+            if cycle > budget:
+                raise SimTimeout(
+                    f"kernel {kernel.name!r} exceeded its cycle budget of "
+                    f"{budget} cycles — likely hung or livelocked",
+                    cycles=cycle)
 
         stats = SimStats()
         per_sm = []
@@ -231,7 +245,9 @@ class Gpu:
 def run_kernel(kernel: Kernel, launch: LaunchConfig, global_mem: np.ndarray,
                config: GpuConfig = GTX480, scheduler: str = "GTO",
                resilience: ResilienceRuntime = NULL_RESILIENCE,
-               regs_per_thread: int | None = None) -> RunResult:
+               regs_per_thread: int | None = None,
+               max_cycles: int | None = None) -> RunResult:
     """Convenience one-shot: build a GPU, launch, return the result."""
     gpu = Gpu(config, resilience, scheduler)
-    return gpu.launch(kernel, launch, global_mem, regs_per_thread)
+    return gpu.launch(kernel, launch, global_mem, regs_per_thread,
+                      max_cycles=max_cycles)

@@ -1,0 +1,197 @@
+"""Monte Carlo campaign engine: sampling determinism, outcome
+classification, journal crash-safety, and aggregation.
+
+The statistical backbone of the resilience claim: trials must be pure
+functions of (campaign seed, workload, scheme, index) so a resumed
+campaign aggregates byte-identically to an uninterrupted one.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.campaign import (CampaignJournal, CampaignSpec, DUE_HANG,
+                                 MASKED, OUTCOMES, RECOVERED, SDC,
+                                 TrialResult, aggregate, run_trial,
+                                 wilson_interval)
+from repro.errors import ConfigError
+
+
+def spec_for(scheme, trials=4, seed=0, **kwargs):
+    return CampaignSpec(workloads=("Triad",), schemes=(scheme,),
+                        trials=trials, seed=seed, scale="tiny", **kwargs)
+
+
+class TestSpec:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CampaignSpec(workloads=())
+        with pytest.raises(ConfigError):
+            CampaignSpec(workloads=("Triad",), trials=0)
+        with pytest.raises(ConfigError):
+            CampaignSpec(workloads=("Triad",), strikes_per_trial=0)
+
+    def test_campaign_id_stable_and_distinct(self):
+        a = spec_for("baseline")
+        assert a.campaign_id() == spec_for("baseline").campaign_id()
+        assert a.campaign_id() != spec_for("baseline",
+                                           seed=1).campaign_id()
+        assert a.campaign_id() != spec_for("flame").campaign_id()
+
+    def test_trial_specs_cover_all_cells(self):
+        spec = CampaignSpec(workloads=("Triad", "SGEMM"),
+                            schemes=("baseline", "flame"), trials=3)
+        trials = spec.trial_specs()
+        assert len(trials) == 12
+        assert len({t.key for t in trials}) == 12
+
+    def test_trial_rng_is_coordinate_pure(self):
+        spec = spec_for("baseline")
+        a, b = spec.trial_specs()[2], spec_for("baseline").trial_specs()[2]
+        assert a.rng().integers(1 << 30) == b.rng().integers(1 << 30)
+        # Different coordinates draw independently.
+        c = spec.trial_specs()[3]
+        assert a.rng().integers(1 << 30) != c.rng().integers(1 << 30)
+
+
+class TestClassification:
+    def test_known_sdc_trial(self):
+        # Deterministic anchor: baseline Triad, seed 0, index 1 lands a
+        # strike that corrupts memory with nothing to recover it.
+        trial = spec_for("baseline", trials=2).trial_specs()[1]
+        result = run_trial(trial)
+        assert result.outcome == SDC
+        assert result.landed >= 1
+        assert result.recoveries == 0
+
+    def test_known_recovered_trial(self):
+        # Flame Triad, seed 0, index 6: landed strike, sensed within
+        # WCDL, rolled back to bit-exact output.
+        trial = spec_for("flame", trials=7).trial_specs()[6]
+        result = run_trial(trial)
+        assert result.outcome == RECOVERED
+        assert result.landed >= 1
+        assert result.recoveries >= 1
+
+    def test_cycle_budget_exhaustion_is_due_hang(self):
+        # A budget far below the fault-free cycle count forces the
+        # watchdog: the trial must classify, not raise.
+        trial = spec_for("baseline", max_cycles_factor=0.0001,
+                         min_cycle_budget=5).trial_specs()[0]
+        result = run_trial(trial)
+        assert result.outcome == DUE_HANG
+        assert "cycle budget" in result.detail
+
+    def test_trials_are_deterministic(self):
+        trial = spec_for("flame", trials=3).trial_specs()[2]
+        assert run_trial(trial).as_dict() == run_trial(trial).as_dict()
+
+    def test_strikes_sampled_inside_execution_window(self):
+        for trial in spec_for("baseline", trials=6).trial_specs():
+            result = run_trial(trial)
+            assert result.golden_cycles > 0
+            for cycle in result.strike_cycles:
+                assert 1 <= cycle < result.golden_cycles
+
+    def test_flame_never_unrecovered(self):
+        for trial in spec_for("flame", trials=8).trial_specs():
+            assert run_trial(trial).outcome in (MASKED, RECOVERED)
+
+
+class TestWilson:
+    def test_bounds(self):
+        lo, hi = wilson_interval(0, 200)
+        assert lo == 0.0 and 0.0 < hi < 0.05
+
+    def test_contains_point_estimate(self):
+        lo, hi = wilson_interval(17, 100)
+        assert lo < 0.17 < hi
+
+    def test_degenerate(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+        lo, hi = wilson_interval(10, 10)
+        assert lo > 0.6 and hi == 1.0
+
+    def test_narrows_with_n(self):
+        narrow = wilson_interval(50, 1000)
+        wide = wilson_interval(5, 100)
+        assert narrow[1] - narrow[0] < wide[1] - wide[0]
+
+
+def _result(index, outcome=MASKED, workload="Triad", scheme="baseline"):
+    return TrialResult(workload=workload, scheme=scheme, index=index,
+                       outcome=outcome)
+
+
+class TestAggregate:
+    def test_counts_and_rates(self):
+        results = [_result(0), _result(1, SDC), _result(2, SDC),
+                   _result(3, RECOVERED)]
+        (cell,) = aggregate(results)
+        assert cell.trials == 4
+        assert cell.counts[SDC] == 2
+        assert cell.unrecovered == 2
+        rate, lo, hi = cell.rates[SDC]
+        assert rate == 0.5 and lo < 0.5 < hi
+        assert set(cell.counts) == set(OUTCOMES)
+
+    def test_order_independent_and_deduped(self):
+        results = [_result(i, SDC if i % 3 == 0 else MASKED)
+                   for i in range(9)]
+        shuffled = results[::-1] + results  # duplicates, reversed order
+        a = [c.as_dict() for c in aggregate(results)]
+        b = [c.as_dict() for c in aggregate(shuffled)]
+        assert json.dumps(a, sort_keys=True) == json.dumps(b,
+                                                           sort_keys=True)
+
+    def test_cells_sorted(self):
+        results = [_result(0, workload="Triad", scheme="flame"),
+                   _result(0, workload="SGEMM", scheme="baseline")]
+        cells = aggregate(results)
+        assert [(c.workload, c.scheme) for c in cells] == [
+            ("SGEMM", "baseline"), ("Triad", "flame")]
+
+
+class TestJournal:
+    def test_round_trip(self, tmp_path):
+        spec = spec_for("baseline")
+        journal = CampaignJournal(str(tmp_path / "j.jsonl"))
+        journal.write_header(spec)
+        journal.append(_result(0))
+        journal.append(_result(1, SDC))
+        loaded = journal.load(spec)
+        assert [r.index for r in loaded] == [0, 1]
+        assert loaded[1].outcome == SDC
+
+    def test_truncated_tail_is_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = CampaignJournal(str(path))
+        journal.append(_result(0))
+        journal.append(_result(1))
+        with open(path, "a") as handle:
+            handle.write('{"type": "trial", "workload": "Tri')  # killed
+        loaded = journal.load()
+        assert [r.index for r in loaded] == [0, 1]
+
+    def test_header_mismatch_refused(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        journal = CampaignJournal(path)
+        journal.write_header(spec_for("baseline", seed=0))
+        with pytest.raises(ConfigError):
+            journal.load(spec_for("baseline", seed=99))
+
+    def test_missing_file_is_empty(self, tmp_path):
+        journal = CampaignJournal(str(tmp_path / "nope.jsonl"))
+        assert journal.load() == []
+        assert not journal.has_header()
+
+    def test_unknown_records_ignored(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = CampaignJournal(str(path))
+        journal.append(_result(0))
+        with open(path, "a") as handle:
+            handle.write(json.dumps({"type": "trial",
+                                     "mystery_field": 1}) + "\n")
+            handle.write("not json at all\n")
+        assert [r.index for r in journal.load()] == [0]

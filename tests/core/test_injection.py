@@ -146,3 +146,70 @@ class TestInjectorMechanics:
 
         with pytest.raises(ConfigError):
             FaultInjector(strike_cycles=[1], wcdl=0)
+
+
+class _StubRuntime:
+    def __init__(self):
+        self.recoveries = []
+
+    def recover(self, cycle):
+        self.recoveries.append(cycle)
+
+
+class _StubSm:
+    def __init__(self, sm_id, runtime):
+        self.id = sm_id
+        self.resilience = runtime
+
+
+class _StubGpu:
+    def __init__(self, sms):
+        self.sms = sms
+
+
+class TestRecoveryAttribution:
+    """Overlapping strikes on one SM: a detection event may only credit
+    records whose own sensing delay has elapsed — a later strike's
+    corruption can land *after* this rollback and must not be counted
+    as recovered by it."""
+
+    def _injector_with_records(self, detect_cycles, sm_id=0):
+        from repro.core import InjectionRecord
+
+        injector = FaultInjector(strike_cycles=[], wcdl=20, seed=0)
+        for dc in detect_cycles:
+            injector.records.append(InjectionRecord(
+                strike_cycle=dc - 5, detect_cycle=dc, sm_id=sm_id,
+                landed=True))
+        return injector
+
+    def test_pending_strike_not_credited_to_earlier_detection(self):
+        runtime = _StubRuntime()
+        gpu = _StubGpu([_StubSm(0, runtime)])
+        injector = self._injector_with_records([10, 30])
+        injector._detect(gpu, sm_id=0, cycle=10)
+        first, second = injector.records
+        assert first.recovered
+        assert not second.recovered  # its own sensor has not fired yet
+        assert runtime.recoveries == [10]
+
+    def test_later_detection_credits_remaining_record(self):
+        runtime = _StubRuntime()
+        gpu = _StubGpu([_StubSm(0, runtime)])
+        injector = self._injector_with_records([10, 30])
+        injector._detect(gpu, sm_id=0, cycle=10)
+        injector._detect(gpu, sm_id=0, cycle=30)
+        assert all(r.recovered for r in injector.records)
+        assert runtime.recoveries == [10, 30]
+
+    def test_other_sm_records_untouched(self):
+        from repro.core import InjectionRecord
+
+        runtime = _StubRuntime()
+        gpu = _StubGpu([_StubSm(0, runtime), _StubSm(1, _StubRuntime())])
+        injector = self._injector_with_records([10])
+        injector.records.append(InjectionRecord(
+            strike_cycle=5, detect_cycle=10, sm_id=1, landed=True))
+        injector._detect(gpu, sm_id=0, cycle=10)
+        assert injector.records[0].recovered
+        assert not injector.records[1].recovered

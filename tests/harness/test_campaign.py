@@ -1,0 +1,192 @@
+"""Campaign orchestration: pooled dispatch, resume, retry hardening.
+
+The resumability contract under test: kill a campaign after k trials,
+rerun the same command, and the final aggregates are byte-identical to
+an uninterrupted run.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.campaign import (CampaignSpec, INFRA_ERROR, OUTCOMES,
+                                 run_trial)
+from repro.harness.campaign import (CampaignRunner, default_journal_path,
+                                    run_campaign)
+
+
+def small_spec(trials=4, **kwargs):
+    kwargs.setdefault("workloads", ("Triad",))
+    kwargs.setdefault("schemes", ("baseline", "flame"))
+    return CampaignSpec(trials=trials, seed=1, scale="tiny",
+                        timeout_s=120.0, **kwargs)
+
+
+def aggregates_json(report):
+    return json.dumps([c.as_dict() for c in report.cells], sort_keys=True)
+
+
+class TestCampaignRun:
+    def test_inline_campaign_completes(self, tmp_path):
+        spec = small_spec()
+        report = CampaignRunner(workers=1).run(
+            spec, journal_path=str(tmp_path / "j.jsonl"))
+        assert report.complete
+        assert len(report.results) == 8
+        for cell in report.cells:
+            assert cell.trials == 4
+            assert sum(cell.counts.values()) == 4
+        # Flame must never leave an unrecovered strike.
+        assert report.cell("Triad", "flame").unrecovered == 0
+
+    def test_pooled_campaign_matches_inline(self, tmp_path):
+        spec = small_spec()
+        inline = CampaignRunner(workers=1).run(
+            spec, journal_path=str(tmp_path / "inline.jsonl"))
+        pooled = CampaignRunner(workers=2).run(
+            spec, journal_path=str(tmp_path / "pooled.jsonl"))
+        assert aggregates_json(inline) == aggregates_json(pooled)
+
+    def test_rerun_resumes_from_journal(self, tmp_path):
+        spec = small_spec()
+        path = str(tmp_path / "j.jsonl")
+        first = CampaignRunner(workers=1).run(spec, journal_path=path)
+        calls = []
+
+        runner = CampaignRunner(workers=1)
+        runner._execute = lambda t: calls.append(t) or run_trial(t)
+        second = runner.run(spec, journal_path=path)
+        assert calls == []  # everything journaled; nothing re-ran
+        assert aggregates_json(first) == aggregates_json(second)
+
+    def test_interrupted_campaign_resumes_identically(self, tmp_path):
+        spec = small_spec(trials=5)
+        full_path = str(tmp_path / "full.jsonl")
+        cut_path = str(tmp_path / "cut.jsonl")
+        full = CampaignRunner(workers=1).run(spec, journal_path=full_path)
+        # Simulate a mid-campaign kill: keep the header + 4 trials, with
+        # the 5th record torn mid-write.
+        with open(full_path) as handle:
+            lines = handle.readlines()
+        with open(cut_path, "w") as handle:
+            handle.writelines(lines[:5])
+            handle.write(lines[5][: len(lines[5]) // 2])
+        resumed = CampaignRunner(workers=1).run(spec, journal_path=cut_path)
+        assert resumed.complete
+        assert aggregates_json(full) == aggregates_json(resumed)
+
+    def test_fresh_discards_journal(self, tmp_path):
+        spec = small_spec(trials=2)
+        path = str(tmp_path / "j.jsonl")
+        CampaignRunner(workers=1).run(spec, journal_path=path)
+        before = os.path.getsize(path)
+        CampaignRunner(workers=1).run(spec, journal_path=path, fresh=True)
+        assert os.path.getsize(path) == before  # rewritten, not appended
+
+    def test_default_journal_path_is_spec_keyed(self, tmp_path,
+                                                monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        a = default_journal_path(small_spec())
+        assert a.startswith(str(tmp_path))
+        assert a != default_journal_path(small_spec(trials=9))
+
+
+class TestHardening:
+    def test_transient_failure_retried(self, tmp_path):
+        spec = small_spec(trials=2, schemes=("baseline",))
+        failures = {"left": 2}
+
+        def flaky(trial):
+            if trial.index == 0 and failures["left"] > 0:
+                failures["left"] -= 1
+                raise OSError("worker died")
+            return run_trial(trial)
+
+        runner = CampaignRunner(workers=1, max_retries=2, backoff_s=0.0)
+        runner._execute = flaky
+        report = runner.run(spec, journal_path=str(tmp_path / "j.jsonl"))
+        assert report.complete
+        assert report.infra_failures == 0
+        retried = next(r for r in report.results if r.index == 0)
+        assert retried.attempts == 3
+        assert retried.outcome in OUTCOMES
+
+    def test_persistent_failure_bounded_and_isolated(self, tmp_path):
+        spec = small_spec(trials=3, schemes=("baseline",))
+
+        def doomed(trial):
+            if trial.index == 1:
+                raise OSError("worker always dies")
+            return run_trial(trial)
+
+        runner = CampaignRunner(workers=1, max_retries=2, backoff_s=0.0)
+        runner._execute = doomed
+        report = runner.run(spec, journal_path=str(tmp_path / "j.jsonl"))
+        # The doomed trial is journaled as infrastructure error after
+        # bounded retries; the rest of the batch still completed.
+        assert report.infra_failures == 1
+        bad = next(r for r in report.results if r.index == 1)
+        assert bad.outcome == INFRA_ERROR
+        assert bad.attempts == 3
+        assert "worker always dies" in bad.detail
+        good = [r for r in report.results if r.index != 1]
+        assert len(good) == 2
+        assert all(r.outcome != INFRA_ERROR for r in good)
+
+    def test_worker_death_in_pool_does_not_abort_batch(self, tmp_path):
+        spec = small_spec(trials=3, schemes=("baseline",))
+        runner = CampaignRunner(workers=2, max_retries=1, backoff_s=0.0)
+        runner._execute = _die_on_index_one
+        report = runner.run(spec, journal_path=str(tmp_path / "j.jsonl"))
+        bad = next(r for r in report.results if r.index == 1)
+        assert bad.outcome == INFRA_ERROR
+        good = [r for r in report.results if r.index != 1]
+        assert len(good) == 2
+        assert all(r.outcome != INFRA_ERROR for r in good)
+
+
+def _die_on_index_one(trial):
+    """Module-level so the process pool can pickle it; hard-kills the
+    worker to simulate an OOM kill / interpreter abort."""
+    if trial.index == 1:
+        os._exit(17)
+    return run_trial(trial)
+
+
+class TestFaultCoverageEntry:
+    def test_experiments_wrapper(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        from repro.harness.experiments import fault_coverage
+
+        report = fault_coverage(benchmarks=("Triad",),
+                                schemes=("baseline",), trials=2,
+                                workers=1)
+        assert report.complete
+        assert os.path.exists(report.journal_path)
+
+    def test_unknown_names_fail_fast(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        from repro.errors import ConfigError
+        from repro.harness.experiments import fault_coverage
+
+        with pytest.raises(ConfigError, match="scheme"):
+            fault_coverage(benchmarks=("Triad",), schemes=("flmae",),
+                           trials=1, workers=1)
+        with pytest.raises(ConfigError, match="workload"):
+            fault_coverage(benchmarks=("Traid",), schemes=("baseline",),
+                           trials=1, workers=1)
+
+    def test_run_campaign_helper(self, tmp_path):
+        report = run_campaign(small_spec(trials=1), workers=1,
+                              journal_path=str(tmp_path / "j.jsonl"))
+        assert report.complete
+
+    def test_render_campaign(self, tmp_path):
+        from repro.harness.reporting import render_campaign
+
+        report = CampaignRunner(workers=1).run(
+            small_spec(trials=2), journal_path=str(tmp_path / "j.jsonl"))
+        text = render_campaign(report)
+        assert "SDC rate" in text and "Unrecovered" in text
+        assert "baseline" in text and "flame" in text

@@ -30,6 +30,27 @@ class TestCli:
                      "--benchmarks", "Triad", "--workers", "1"]) == 0
         assert "flame" in capsys.readouterr().out
 
+    def test_campaign(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["campaign", "--scale", "tiny", "--benchmarks",
+                     "Triad", "--trials", "3", "--workers", "1",
+                     "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "SDC rate" in out and "Unrecovered" in out
+        assert "baseline" in out and "flame" in out
+
+    def test_campaign_resumes_via_journal(self, capsys, tmp_path,
+                                          monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        args = ["campaign", "--scale", "tiny", "--benchmarks", "Triad",
+                "--schemes", "baseline", "--trials", "2", "--workers", "1"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0  # second run: everything journaled
+        second = capsys.readouterr().out
+        assert first[first.index("Workload"):] == \
+            second[second.index("Workload"):]
+
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["figure99"])

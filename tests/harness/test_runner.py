@@ -66,6 +66,76 @@ class TestCaching:
         assert all(o.cycles == outcomes[0].cycles for o in outcomes)
 
 
+class TestCrashSafety:
+    def test_store_leaves_no_temp_files(self, runner):
+        spec = RunSpec(workload="Triad", scheme="baseline", scale="tiny")
+        runner.run(spec)
+        import os
+
+        files = os.listdir(runner.cache_dir)
+        assert not [f for f in files if f.startswith(".tmp_")]
+        assert any(f.endswith(".json") for f in files)
+
+    def test_store_is_atomic_replace(self, runner, monkeypatch):
+        """A crash mid-write must never leave a truncated cache entry:
+        the final payload appears via os.replace or not at all."""
+        import json
+        import os
+
+        spec = RunSpec(workload="Triad", scheme="baseline", scale="tiny")
+        outcome = runner.run(spec)
+        path = runner._cache_path(spec)
+        # The entry on disk parses even though a crashing writer was
+        # simulated by failing the json.dump of a second store.
+        calls = {"n": 0}
+        real_dump = json.dump
+
+        def exploding_dump(obj, handle, **kwargs):
+            calls["n"] += 1
+            raise OSError("disk full")
+
+        monkeypatch.setattr(json, "dump", exploding_dump)
+        with pytest.raises(OSError):
+            runner._store(outcome)
+        monkeypatch.setattr(json, "dump", real_dump)
+        with open(path) as handle:
+            assert json.load(handle)["cycles"] == outcome.cycles
+        assert not [f for f in os.listdir(runner.cache_dir)
+                    if f.startswith(".tmp_")]
+
+
+class TestBatchIsolation:
+    def test_one_bad_spec_does_not_abort_batch(self, runner):
+        from repro.errors import ReproError
+
+        good = RunSpec(workload="Triad", scheme="baseline", scale="tiny")
+        bad = RunSpec(workload="NOPE", scheme="baseline", scale="tiny")
+        with pytest.raises(ReproError) as info:
+            runner.run_many([good, bad])
+        # The failure names its own spec, and the good spec completed
+        # and was cached despite it.
+        assert "NOPE" in str(info.value)
+        assert runner._load(good) is not None
+
+    def test_pool_path_isolates_failures(self, tmp_path):
+        from repro.errors import ReproError
+
+        runner = Runner(cache_dir=str(tmp_path), workers=2)
+        good = RunSpec(workload="Triad", scheme="baseline", scale="tiny")
+        bad = RunSpec(workload="Triad", scheme="bogus", scale="tiny")
+        with pytest.raises(ReproError) as info:
+            runner.run_many([good, bad])
+        assert "bogus" in str(info.value)
+        assert runner._load(good) is not None
+
+    def test_all_good_batch_unchanged(self, runner):
+        specs = [RunSpec(workload="Triad", scheme="baseline", scale="tiny"),
+                 RunSpec(workload="Triad", scheme="flame", scale="tiny")]
+        outcomes = runner.run_many(specs)
+        assert len(outcomes) == 2
+        assert all(o.verified for o in outcomes)
+
+
 class TestNormalization:
     def test_baseline_normalizes_to_one(self, runner):
         spec = RunSpec(workload="Triad", scheme="baseline", scale="tiny")

@@ -111,6 +111,32 @@ class TestExecutionSemantics:
         assert mem[:16 * 8].sum() == 16 * 8
 
 
+class TestCycleBudget:
+    def test_exhausted_budget_raises_sim_timeout(self, saxpy_kernel):
+        from repro.errors import SimTimeout
+
+        launch = LaunchConfig(grid=(4, 1), block=(64, 1),
+                              params=(200, 2.5, 0, 256))
+        with pytest.raises(SimTimeout) as info:
+            run_kernel(saxpy_kernel, launch, np.zeros(512), max_cycles=3)
+        assert info.value.cycles > 3
+        assert isinstance(info.value, SimError)  # stays catchable as before
+
+    def test_sufficient_budget_is_inert(self, saxpy_kernel):
+        launch = LaunchConfig(grid=(4, 1), block=(64, 1),
+                              params=(200, 2.5, 0, 256))
+        free = run_kernel(saxpy_kernel, launch, np.zeros(512))
+        budgeted = run_kernel(saxpy_kernel, launch, np.zeros(512),
+                              max_cycles=free.cycles + 10)
+        assert budgeted.cycles == free.cycles
+
+    def test_invalid_budget_rejected(self, saxpy_kernel):
+        launch = LaunchConfig(grid=(4, 1), block=(64, 1),
+                              params=(200, 2.5, 0, 256))
+        with pytest.raises(LaunchError):
+            run_kernel(saxpy_kernel, launch, np.zeros(512), max_cycles=0)
+
+
 class TestTimingBehaviour:
     def test_deterministic(self, saxpy_kernel):
         launch = LaunchConfig(grid=(4, 1), block=(64, 1),
