@@ -5,13 +5,13 @@ from .configs import (ALL_GPUS, GTX480, GV100, RTX2060, TITAN_X, CacheConfig,
 from .fault_model import (FaultRates, sample_strike_cycles, section4_report,
                           SECONDS_PER_DAY)
 from .sensors import (MESH_CONSTANT, MESH_EXPONENT, SENSOR_AREA_MM2,
-                      SOUND_SPEED_MM_PER_US, SensorMesh, sensors_for_wcdl,
-                      wcdl_curve, wcdl_for_sensors)
+                      SOUND_SPEED_MM_PER_US, SensorMesh, SensorModel,
+                      sensors_for_wcdl, wcdl_curve, wcdl_for_sensors)
 
 __all__ = [
     "ALL_GPUS", "CacheConfig", "FaultRates", "GTX480", "GV100", "GpuConfig",
     "MESH_CONSTANT", "MESH_EXPONENT", "RTX2060", "SECONDS_PER_DAY",
-    "SENSOR_AREA_MM2", "SOUND_SPEED_MM_PER_US", "SensorMesh", "TITAN_X",
-    "gpu_by_name", "sample_strike_cycles", "section4_report",
+    "SENSOR_AREA_MM2", "SOUND_SPEED_MM_PER_US", "SensorMesh", "SensorModel",
+    "TITAN_X", "gpu_by_name", "sample_strike_cycles", "section4_report",
     "sensors_for_wcdl", "wcdl_curve", "wcdl_for_sensors",
 ]

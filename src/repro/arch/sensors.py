@@ -95,3 +95,66 @@ def sensors_for_wcdl(gpu: GpuConfig, wcdl_cycles: int) -> int:
 def wcdl_curve(gpu: GpuConfig, sensor_counts: list[int]) -> list[int]:
     """The Figure 12 series: WCDL for each sensor count."""
     return [wcdl_for_sensors(gpu, n) for n in sensor_counts]
+
+
+@dataclass(frozen=True)
+class SensorModel:
+    """An imperfect acoustic detection model layered on the WCDL law.
+
+    The paper assumes every strike is sensed within WCDL cycles.  Field
+    studies of deployed detectors motivate two relaxations, both layered
+    on top of the power-law WCDL of :func:`wcdl_for_sensors`:
+
+    * ``miss_probability`` — per-strike probability that the mesh never
+      reports the strike at all (dead sensor, arbitration loss, wave
+      attenuated below threshold).  A missed strike is never followed by
+      a rollback, so under Flame it degrades into the unprotected case.
+    * ``jitter_cycles`` — extra detection latency beyond the nominal
+      WCDL bound (mesh arbitration backpressure, clock-domain crossing).
+      Jitter can push detection past the RBQ conveyor depth, letting a
+      corrupted region verify before the sensor fires — exactly the
+      failure mode the WCDL-sized conveyor was designed to exclude.
+
+    The default model (``miss_probability=0``, ``jitter_cycles=0``) is
+    the paper's perfect sensor: detection delay uniform in [1, WCDL].
+    """
+
+    wcdl: int = 20
+    miss_probability: float = 0.0
+    jitter_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        if self.wcdl < 1:
+            raise ConfigError("WCDL must be at least one cycle")
+        if not 0.0 <= self.miss_probability <= 1.0:
+            raise ConfigError("sensor miss probability must be in [0, 1]")
+        if self.jitter_cycles < 0:
+            raise ConfigError("sensor jitter must be non-negative")
+
+    @property
+    def perfect(self) -> bool:
+        return self.miss_probability == 0.0 and self.jitter_cycles == 0
+
+    def sample_delay(self, rng) -> int | None:
+        """Detection delay (cycles) for one strike, or ``None`` if the
+        mesh misses the strike entirely.
+
+        The miss draw happens only when ``miss_probability > 0`` so a
+        perfect model consumes exactly the generator stream the paper's
+        original uniform-delay sampling did.
+        """
+        if self.miss_probability > 0.0 and rng.random() < self.miss_probability:
+            return None
+        delay = int(rng.integers(1, self.wcdl + 1))
+        if self.jitter_cycles:
+            delay += int(rng.integers(0, self.jitter_cycles + 1))
+        return delay
+
+    @staticmethod
+    def for_mesh(mesh: SensorMesh, miss_probability: float = 0.0,
+                 jitter_cycles: int = 0) -> "SensorModel":
+        """Build a sensor model whose nominal WCDL comes from a deployed
+        mesh's power-law latency."""
+        return SensorModel(wcdl=mesh.wcdl_cycles,
+                           miss_probability=miss_probability,
+                           jitter_cycles=jitter_cycles)

@@ -6,15 +6,18 @@ from .campaign import (CampaignJournal, CampaignSpec, CellAggregate,
                        TrialResult, TrialSpec, aggregate, run_trial,
                        wilson_interval)
 from .hwcost import HardwareCost, flame_hardware_cost
-from .injection import FaultInjector, InjectionRecord
+from .injection import (ALL_FAULT_SITES, FAULT_SITES, FaultInjector,
+                        FaultSite, InjectionRecord, fault_site_by_name,
+                        register_fault_site)
 from .rbq import RbqEntry, RegionBoundaryQueue
 from .rpt import RecoveryPcTable
 from .runtime import FlameRuntime, FlameSmRuntime
 
 __all__ = [
-    "CampaignJournal", "CampaignSpec", "CellAggregate", "FaultInjector",
-    "FlameRuntime", "FlameSmRuntime", "HardwareCost", "InjectionRecord",
-    "RbqEntry", "RecoveryPcTable", "RegionBoundaryQueue", "TrialResult",
-    "TrialSpec", "aggregate", "flame_hardware_cost", "run_trial",
-    "wilson_interval",
+    "ALL_FAULT_SITES", "CampaignJournal", "CampaignSpec", "CellAggregate",
+    "FAULT_SITES", "FaultInjector", "FaultSite", "FlameRuntime",
+    "FlameSmRuntime", "HardwareCost", "InjectionRecord", "RbqEntry",
+    "RecoveryPcTable", "RegionBoundaryQueue", "TrialResult", "TrialSpec",
+    "aggregate", "fault_site_by_name", "flame_hardware_cost",
+    "register_fault_site", "run_trial", "wilson_interval",
 ]

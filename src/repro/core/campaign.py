@@ -76,6 +76,16 @@ class CampaignSpec:
     scheduler: str = "GTO"
     wcdl: int = 20
     strikes_per_trial: int = 1
+    #: Fault sites to sweep (each is its own campaign cell dimension).
+    sites: tuple[str, ...] = ("dest_reg",)
+    #: Imperfect-sensor knobs (0/0 = the paper's ideal detector).
+    sensor_miss_probability: float = 0.0
+    sensor_jitter_cycles: int = 0
+    #: Attach the per-cycle architectural sanitizer to every run.
+    sanitize: bool = False
+    #: Parity protection of Flame's own structures.
+    harden_rpt: bool = True
+    harden_rbq: bool = True
     #: Faulty-run cycle budget = max(min_cycle_budget,
     #: golden_cycles * max_cycles_factor).
     max_cycles_factor: float = 20.0
@@ -88,6 +98,15 @@ class CampaignSpec:
             raise ConfigError("campaign needs at least one workload")
         if not self.schemes:
             raise ConfigError("campaign needs at least one scheme")
+        if not self.sites:
+            raise ConfigError("campaign needs at least one fault site")
+        from .injection import fault_site_by_name
+        for site in self.sites:
+            fault_site_by_name(site)  # fail fast on unknown sites
+        if not 0.0 <= self.sensor_miss_probability < 1.0:
+            raise ConfigError("sensor miss probability must be in [0, 1)")
+        if self.sensor_jitter_cycles < 0:
+            raise ConfigError("sensor jitter must be >= 0 cycles")
         if self.trials < 1:
             raise ConfigError("campaign needs at least one trial")
         if self.strikes_per_trial < 1:
@@ -100,19 +119,26 @@ class CampaignSpec:
         ident = json.dumps(asdict(self), sort_keys=True)
         return f"{zlib.crc32(ident.encode()) & 0xFFFFFFFF:08x}"
 
-    def cells(self) -> list[tuple[str, str]]:
-        return [(w, s) for w in self.workloads for s in self.schemes]
+    def cells(self) -> list[tuple[str, str, str]]:
+        return [(w, s, f) for w in self.workloads for s in self.schemes
+                for f in self.sites]
 
     def trial_specs(self) -> list["TrialSpec"]:
         return [
-            TrialSpec(workload=w, scheme=s, index=i, campaign_seed=self.seed,
+            TrialSpec(workload=w, scheme=s, site=f, index=i,
+                      campaign_seed=self.seed,
                       scale=self.scale, gpu=self.gpu,
                       scheduler=self.scheduler, wcdl=self.wcdl,
                       strikes=self.strikes_per_trial,
+                      sensor_miss_probability=self.sensor_miss_probability,
+                      sensor_jitter_cycles=self.sensor_jitter_cycles,
+                      sanitize=self.sanitize,
+                      harden_rpt=self.harden_rpt,
+                      harden_rbq=self.harden_rbq,
                       max_cycles_factor=self.max_cycles_factor,
                       min_cycle_budget=self.min_cycle_budget,
                       timeout_s=self.timeout_s)
-            for w, s in self.cells() for i in range(self.trials)
+            for w, s, f in self.cells() for i in range(self.trials)
         ]
 
 
@@ -124,18 +150,24 @@ class TrialSpec:
     scheme: str
     index: int
     campaign_seed: int
+    site: str = "dest_reg"
     scale: str = "tiny"
     gpu: str = "GTX480"
     scheduler: str = "GTO"
     wcdl: int = 20
     strikes: int = 1
+    sensor_miss_probability: float = 0.0
+    sensor_jitter_cycles: int = 0
+    sanitize: bool = False
+    harden_rpt: bool = True
+    harden_rbq: bool = True
     max_cycles_factor: float = 20.0
     min_cycle_budget: int = 10_000
     timeout_s: float = 120.0
 
     @property
-    def key(self) -> tuple[str, str, int]:
-        return (self.workload, self.scheme, self.index)
+    def key(self) -> tuple[str, str, str, int]:
+        return (self.workload, self.scheme, self.site, self.index)
 
     def rng(self) -> np.random.Generator:
         """Per-trial generator: a pure function of the campaign seed and
@@ -145,6 +177,7 @@ class TrialSpec:
             self.campaign_seed & 0xFFFFFFFF,
             zlib.crc32(self.workload.encode()),
             zlib.crc32(self.scheme.encode()),
+            zlib.crc32(self.site.encode()),
             self.index,
         ])
 
@@ -157,6 +190,7 @@ class TrialResult:
     scheme: str
     index: int
     outcome: str
+    site: str = "dest_reg"
     strike_cycles: list[int] = field(default_factory=list)
     injector_seed: int = 0
     golden_cycles: int = 0
@@ -167,8 +201,8 @@ class TrialResult:
     attempts: int = 1
 
     @property
-    def key(self) -> tuple[str, str, int]:
-        return (self.workload, self.scheme, self.index)
+    def key(self) -> tuple[str, str, str, int]:
+        return (self.workload, self.scheme, self.site, self.index)
 
     def as_dict(self) -> dict:
         return asdict(self)
@@ -189,13 +223,14 @@ _GOLDEN_CACHE: dict[tuple, tuple] = {}
 
 def _golden(trial: TrialSpec):
     key = (trial.workload, trial.scheme, trial.scale, trial.gpu,
-           trial.scheduler, trial.wcdl)
+           trial.scheduler, trial.wcdl, trial.sanitize,
+           trial.harden_rpt, trial.harden_rbq)
     hit = _GOLDEN_CACHE.get(key)
     if hit is None:
         from ..arch import gpu_by_name
         from ..compiler import (compile_kernel, prepare_launch,
                                 scheme_by_name)
-        from ..sim import Gpu, LaunchConfig, NULL_RESILIENCE
+        from ..sim import Gpu, LaunchConfig, NULL_RESILIENCE, Sanitizer
         from ..workloads import workload_by_name
         from .runtime import FlameRuntime
 
@@ -206,9 +241,13 @@ def _golden(trial: TrialSpec):
         config = gpu_by_name(trial.gpu)
 
         def launch_once(injector=None, max_cycles=None):
-            runtime = (FlameRuntime(trial.wcdl)
+            runtime = (FlameRuntime(trial.wcdl,
+                                    harden_rpt=trial.harden_rpt,
+                                    harden_rbq=trial.harden_rbq)
                        if scheme.uses_sensor_runtime else NULL_RESILIENCE)
-            gpu = Gpu(config, resilience=runtime, scheduler=trial.scheduler)
+            sanitizer = Sanitizer() if trial.sanitize else None
+            gpu = Gpu(config, resilience=runtime, scheduler=trial.scheduler,
+                      sanitizer=sanitizer)
             gpu.fault_injector = injector
             mem = instance.fresh_memory()
             params, mem = prepare_launch(
@@ -263,6 +302,7 @@ def run_trial(trial: TrialSpec) -> TrialResult:
     exceptions escaping this function are infrastructure faults (import
     errors, worker death), which the pool layer retries.
     """
+    from ..arch import SensorModel
     from .injection import FaultInjector
 
     launch_once, golden_cycles, golden_mem = _golden(trial)
@@ -278,11 +318,16 @@ def run_trial(trial: TrialSpec) -> TrialResult:
                  int(golden_cycles * trial.max_cycles_factor))
     result = TrialResult(workload=trial.workload, scheme=trial.scheme,
                          index=trial.index, outcome=MASKED,
+                         site=trial.site,
                          strike_cycles=strike_cycles,
                          injector_seed=injector_seed,
                          golden_cycles=golden_cycles)
+    sensor = SensorModel(wcdl=trial.wcdl,
+                         miss_probability=trial.sensor_miss_probability,
+                         jitter_cycles=trial.sensor_jitter_cycles)
     injector = FaultInjector(strike_cycles=list(strike_cycles),
-                             wcdl=trial.wcdl, seed=injector_seed)
+                             wcdl=trial.wcdl, seed=injector_seed,
+                             site=trial.site, sensor=sensor)
     disarm = _alarm_guard(trial.timeout_s)
     try:
         sim_result, faulty_mem = launch_once(injector, max_cycles=budget)
@@ -304,7 +349,10 @@ def run_trial(trial: TrialSpec) -> TrialResult:
 
     result.cycles = sim_result.cycles
     result.landed = sum(1 for r in injector.records if r.landed)
-    result.recoveries = sim_result.stats.recoveries
+    # Coalesced recoveries count: a strike landing during an in-progress
+    # rollback is still answered by a (re-applied) rollback.
+    result.recoveries = (sim_result.stats.recoveries
+                         + sim_result.stats.coalesced_recoveries)
     if not np.array_equal(faulty_mem, golden_mem):
         result.outcome = SDC
     elif result.landed and result.recoveries:
@@ -335,13 +383,14 @@ def wilson_interval(successes: int, n: int,
 
 @dataclass
 class CellAggregate:
-    """Outcome counts and rates for one (workload, scheme) cell."""
+    """Outcome counts and rates for one (workload, scheme, site) cell."""
 
     workload: str
     scheme: str
     trials: int
     counts: dict[str, int]
     rates: dict[str, tuple[float, float, float]]  # rate, ci_lo, ci_hi
+    site: str = "dest_reg"
 
     @property
     def unrecovered(self) -> int:
@@ -349,9 +398,22 @@ class CellAggregate:
 
     def as_dict(self) -> dict:
         return {"workload": self.workload, "scheme": self.scheme,
+                "site": self.site,
                 "trials": self.trials, "counts": dict(self.counts),
                 "rates": {k: list(v) for k, v in self.rates.items()},
                 "unrecovered": self.unrecovered}
+
+
+def _rates_from_counts(counts: dict[str, int],
+                       measured: int) -> dict[str, tuple[float, float, float]]:
+    rates = {}
+    for o in OUTCOMES:
+        if o == INFRA_ERROR:
+            continue
+        lo, hi = wilson_interval(counts[o], measured)
+        rate = counts[o] / measured if measured else 0.0
+        rates[o] = (rate, lo, hi)
+    return rates
 
 
 def aggregate(results: list[TrialResult]) -> list[CellAggregate]:
@@ -361,29 +423,42 @@ def aggregate(results: list[TrialResult]) -> list[CellAggregate]:
     by both a killed and a resumed campaign) keep the first-by-index
     record, and cells render in sorted order.
     """
-    unique: dict[tuple[str, str, int], TrialResult] = {}
+    unique: dict[tuple[str, str, str, int], TrialResult] = {}
     for r in results:
         unique.setdefault(r.key, r)
-    cells: dict[tuple[str, str], list[TrialResult]] = {}
+    cells: dict[tuple[str, str, str], list[TrialResult]] = {}
     for r in sorted(unique.values(), key=lambda r: r.key):
-        cells.setdefault((r.workload, r.scheme), []).append(r)
+        cells.setdefault((r.workload, r.scheme, r.site), []).append(r)
     out = []
-    for (workload, scheme), rows in sorted(cells.items()):
+    for (workload, scheme, site), rows in sorted(cells.items()):
         counts = {o: 0 for o in OUTCOMES}
         for r in rows:
             counts[r.outcome] = counts.get(r.outcome, 0) + 1
         measured = len(rows) - counts[INFRA_ERROR]
-        rates = {}
-        for o in OUTCOMES:
-            if o == INFRA_ERROR:
-                continue
-            lo, hi = wilson_interval(counts[o], measured)
-            rate = counts[o] / measured if measured else 0.0
-            rates[o] = (rate, lo, hi)
-        out.append(CellAggregate(workload=workload, scheme=scheme,
+        out.append(CellAggregate(workload=workload, scheme=scheme, site=site,
                                  trials=len(rows), counts=counts,
-                                 rates=rates))
+                                 rates=_rates_from_counts(counts, measured)))
     return out
+
+
+def merge_cells(cells: list[CellAggregate], workload: str,
+                scheme: str) -> CellAggregate | None:
+    """Site-agnostic view of one (workload, scheme): sum the per-site
+    counts and recompute rates over the pooled trials."""
+    rows = [c for c in cells if c.workload == workload and c.scheme == scheme]
+    if not rows:
+        return None
+    if len(rows) == 1:
+        return rows[0]
+    counts = {o: 0 for o in OUTCOMES}
+    for c in rows:
+        for o, n in c.counts.items():
+            counts[o] = counts.get(o, 0) + n
+    trials = sum(c.trials for c in rows)
+    measured = trials - counts[INFRA_ERROR]
+    return CellAggregate(workload=workload, scheme=scheme, site="all",
+                         trials=trials, counts=counts,
+                         rates=_rates_from_counts(counts, measured))
 
 
 # ----------------------------------------------------------------------
@@ -473,6 +548,6 @@ class CampaignJournal:
 __all__ = [
     "CampaignJournal", "CampaignSpec", "CellAggregate", "DUE_CRASH",
     "DUE_HANG", "INFRA_ERROR", "MASKED", "OUTCOMES", "RECOVERED", "SDC",
-    "TrialResult", "TrialSpec", "UNRECOVERED", "aggregate", "run_trial",
-    "wilson_interval",
+    "TrialResult", "TrialSpec", "UNRECOVERED", "aggregate", "merge_cells",
+    "run_trial", "wilson_interval",
 ]

@@ -36,9 +36,17 @@ class RbqEntry:
 
 @dataclass
 class RegionBoundaryQueue:
-    """The verification conveyor of one warp scheduler."""
+    """The verification conveyor of one warp scheduler.
+
+    ``hardened`` models the paper's assumption that Flame's own tiny
+    structures are protected (parity/ECC, like the hardened AGUs of the
+    Section IV discussion): a particle strike on a hardened conveyor is
+    absorbed rather than corrupting an in-flight verification.  The
+    fault injector's ``rbq`` site consults this flag.
+    """
 
     wcdl: int
+    hardened: bool = True
     _entries: deque = field(default_factory=deque)
     _last_enqueue_cycle: int = -1
 

@@ -19,8 +19,18 @@ if TYPE_CHECKING:
 
 @dataclass
 class RecoveryPcTable:
-    """Per-warp recovery contexts."""
+    """Per-warp recovery contexts.
 
+    ``hardened`` models the paper's assumption that the table (1 Kbit
+    per scheduler) is parity/ECC-protected like the hardened AGUs of
+    the Section IV discussion: a strike on a hardened table is absorbed.
+    Disabling hardening exposes the table to the fault injector's
+    ``rpt`` site — a corrupted entry silently redirects the next
+    rollback, which the architectural sanitizer's region-start invariant
+    is designed to catch.
+    """
+
+    hardened: bool = True
     entries: dict[int, "WarpSnapshot"] = field(default_factory=dict)
 
     def register_warp(self, warp: "Warp") -> None:

@@ -27,17 +27,39 @@ from .rpt import RecoveryPcTable
 
 
 class FlameRuntime(ResilienceRuntime):
-    """Factory bound per-SM; construct with the sensor mesh's WCDL."""
+    """Factory bound per-SM; construct with the sensor mesh's WCDL.
+
+    ``rollback_cycles`` models the latency of a rollback (flush the
+    pipeline and verification conveyor, reset every warp from its RPT
+    entry): warps resume that many cycles after detection.  Strikes
+    landing inside that window raise their own detections, which
+    coalesce into the in-progress rollback instead of being silently
+    credited to it (see :meth:`FlameSmRuntime.recover`).
+
+    ``harden_rpt`` / ``harden_rbq`` set the :class:`RecoveryPcTable` /
+    :class:`RegionBoundaryQueue` ``hardened`` flags, which the fault
+    injector's ``rpt`` / ``rbq`` sites honor (a hardened structure
+    absorbs strikes, per the paper's hardened-AGU discussion).
+    """
 
     needs_boundaries = True
 
-    def __init__(self, wcdl: int = 20) -> None:
+    def __init__(self, wcdl: int = 20, rollback_cycles: int = 1,
+                 harden_rpt: bool = True, harden_rbq: bool = True) -> None:
         if wcdl < 1:
             raise ConfigError("WCDL must be at least one cycle")
+        if rollback_cycles < 1:
+            raise ConfigError("rollback must take at least one cycle")
         self.wcdl = wcdl
+        self.rollback_cycles = rollback_cycles
+        self.harden_rpt = harden_rpt
+        self.harden_rbq = harden_rbq
 
     def bind(self, sm: Sm) -> "FlameSmRuntime":
-        return FlameSmRuntime(self.wcdl, sm)
+        return FlameSmRuntime(self.wcdl, sm,
+                              rollback_cycles=self.rollback_cycles,
+                              harden_rpt=self.harden_rpt,
+                              harden_rbq=self.harden_rbq)
 
 
 class FlameSmRuntime(ResilienceRuntime):
@@ -45,12 +67,17 @@ class FlameSmRuntime(ResilienceRuntime):
 
     needs_boundaries = True
 
-    def __init__(self, wcdl: int, sm: Sm) -> None:
+    def __init__(self, wcdl: int, sm: Sm, rollback_cycles: int = 1,
+                 harden_rpt: bool = True, harden_rbq: bool = True) -> None:
         self.wcdl = wcdl
         self.sm = sm
-        self.rpt = RecoveryPcTable()
+        self.rollback_cycles = rollback_cycles
+        self.harden_rbq = harden_rbq
+        self.rpt = RecoveryPcTable(hardened=harden_rpt)
         self._rbqs: dict[int, RegionBoundaryQueue] = {}
         self._pending: list[RbqEntry] = []
+        #: Cycle the in-progress rollback completes, if one is running.
+        self._rollback_until: int | None = None
 
     def bind(self, sm: Sm) -> "FlameSmRuntime":
         return self
@@ -59,7 +86,7 @@ class FlameSmRuntime(ResilienceRuntime):
         key = id(warp.scheduler)
         rbq = self._rbqs.get(key)
         if rbq is None:
-            rbq = RegionBoundaryQueue(self.wcdl)
+            rbq = RegionBoundaryQueue(self.wcdl, hardened=self.harden_rbq)
             self._rbqs[key] = rbq
         return rbq
 
@@ -138,8 +165,19 @@ class FlameSmRuntime(ResilienceRuntime):
     # ------------------------------------------------------------------
     def recover(self, cycle: int) -> None:
         """Sensor fired: flush verifications, reset all warps to their
-        recovery PCs, and restart execution."""
+        recovery PCs, and restart execution.
+
+        A detection while a rollback is already in progress (the
+        recovery storm of a strike landing between detection and
+        rollback completion) coalesces into it: the flush/reset is
+        re-applied — the late strike may have corrupted state the first
+        reset already wrote — and the rollback window extends, but it is
+        counted as a ``coalesced_recoveries`` rather than a fresh
+        recovery.  Either way the detection itself is always counted.
+        """
         sm = self.sm
+        nested = self._rollback_until is not None and cycle < self._rollback_until
+        resume = cycle + self.rollback_cycles
         for rbq in self._rbqs.values():
             rbq.flush()
         self._pending.clear()
@@ -148,11 +186,18 @@ class FlameSmRuntime(ResilienceRuntime):
                 continue
             self.rpt.recover(warp)
             warp.state = WarpState.ACTIVE
-            warp.wakeup_cycle = cycle + 1
+            warp.wakeup_cycle = resume
             warp.pending.clear()
             warp.insts_since_boundary = 0
+            # The rollback flushes the pipeline: nothing of the warp's
+            # doomed in-flight work can be struck anymore.
+            warp.clear_inflight()
             # A recovery PC may sit on a boundary marker (kernel entry of
             # a loop-header-led kernel); re-deliver it rather than issue it.
-            sm.skip_markers(warp, cycle + 1)
-        sm.stats.recoveries += 1
+            sm.skip_markers(warp, resume)
+        self._rollback_until = resume
+        if nested:
+            sm.stats.coalesced_recoveries += 1
+        else:
+            sm.stats.recoveries += 1
         sm.stats.detected_errors += 1

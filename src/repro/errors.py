@@ -35,6 +35,31 @@ class SimTimeout(SimError):
         self.cycles = cycles
 
 
+class SanitizerError(SimError):
+    """Raised by the always-on architectural sanitizer when a per-cycle
+    invariant is violated (scoreboard consistency, SIMT-stack
+    well-formedness, RBQ conveyor monotonicity, RPT entries at region
+    starts).
+
+    Carries precise SM/warp/cycle context so a fault-injection campaign
+    can classify the trial as a DUE-crash with an actionable detail
+    string instead of letting corrupted microarchitectural state decay
+    into downstream garbage.
+    """
+
+    def __init__(self, invariant: str, message: str, sm_id: int = -1,
+                 warp_id: int | None = None, cycle: int = -1) -> None:
+        where = f"sm{sm_id}"
+        if warp_id is not None:
+            where += f" warp{warp_id}"
+        super().__init__(
+            f"sanitizer[{invariant}] at cycle {cycle} ({where}): {message}")
+        self.invariant = invariant
+        self.sm_id = sm_id
+        self.warp_id = warp_id
+        self.cycle = cycle
+
+
 class LaunchError(ReproError):
     """Raised when a kernel launch configuration is invalid."""
 

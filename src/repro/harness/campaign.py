@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 
 from ..core.campaign import (CampaignJournal, CampaignSpec, CellAggregate,
                              DUE_HANG, INFRA_ERROR, TrialResult, TrialSpec,
-                             aggregate, run_trial)
+                             aggregate, merge_cells, run_trial)
 from .runner import _DEFAULT_CACHE_DIR
 
 
@@ -50,11 +50,21 @@ class CampaignReport:
     complete: bool = True
     infra_failures: int = 0
 
-    def cell(self, workload: str, scheme: str) -> CellAggregate:
+    def cell(self, workload: str, scheme: str,
+             site: str | None = None) -> CellAggregate:
+        """One (workload, scheme[, site]) aggregate.  Without ``site``
+        the per-site cells are pooled (single-site campaigns are
+        returned as-is)."""
+        if site is None:
+            merged = merge_cells(self.cells, workload, scheme)
+            if merged is None:
+                raise KeyError((workload, scheme))
+            return merged
         for cell in self.cells:
-            if cell.workload == workload and cell.scheme == scheme:
+            if (cell.workload == workload and cell.scheme == scheme
+                    and cell.site == site):
                 return cell
-        raise KeyError((workload, scheme))
+        raise KeyError((workload, scheme, site))
 
     def scheme_totals(self) -> dict[str, dict[str, int]]:
         totals: dict[str, dict[str, int]] = {}
@@ -127,6 +137,7 @@ class CampaignRunner:
                       error: BaseException) -> TrialResult:
         return TrialResult(workload=trial.workload, scheme=trial.scheme,
                            index=trial.index, outcome=INFRA_ERROR,
+                           site=trial.site,
                            detail=f"{type(error).__name__}: {error}",
                            attempts=attempts)
 
@@ -198,6 +209,7 @@ class CampaignRunner:
                     record(TrialResult(
                         workload=trial.workload, scheme=trial.scheme,
                         index=trial.index, outcome=DUE_HANG,
+                        site=trial.site,
                         detail="wall-clock epoch timeout (worker "
                                "abandoned)"))
                 pool.shutdown(wait=False, cancel_futures=True)
@@ -231,6 +243,7 @@ class CampaignRunner:
                     record(TrialResult(
                         workload=trial.workload, scheme=trial.scheme,
                         index=trial.index, outcome=DUE_HANG,
+                        site=trial.site,
                         detail="wall-clock timeout (isolated worker "
                                "abandoned)", attempts=attempt))
                     break

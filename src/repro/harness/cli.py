@@ -52,6 +52,22 @@ def main(argv: list[str] | None = None) -> int:
                           help="campaign master seed")
     campaign.add_argument("--wcdl", type=int, default=20,
                           help="worst-case detection latency in cycles")
+    campaign.add_argument("--sites", default="dest_reg",
+                          help="comma-separated fault sites to sweep "
+                               "('all' = every registered site)")
+    campaign.add_argument("--sensor-miss", type=float, default=0.0,
+                          help="per-strike sensor miss probability")
+    campaign.add_argument("--sensor-jitter", type=int, default=0,
+                          help="extra detection-latency jitter in cycles "
+                               "(beyond the WCDL bound)")
+    campaign.add_argument("--sanitize", action="store_true",
+                          help="attach the per-cycle architectural "
+                               "sanitizer (violations classify as "
+                               "DUE-crash)")
+    campaign.add_argument("--no-harden-rpt", action="store_true",
+                          help="expose the Recovery PC Table to strikes")
+    campaign.add_argument("--no-harden-rbq", action="store_true",
+                          help="expose the RBQ conveyor to strikes")
     campaign.add_argument("--trial-timeout", type=float, default=120.0,
                           help="per-trial wall-clock budget in seconds "
                                "(0 disables)")
@@ -62,12 +78,22 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.experiment == "campaign":
+        from ..core.injection import ALL_FAULT_SITES
+
         benches = (tuple(args.benchmarks.split(","))
                    if args.benchmarks else exp.CAMPAIGN_BENCHMARKS)
+        sites = (ALL_FAULT_SITES if args.sites == "all"
+                 else tuple(args.sites.split(",")))
         report = exp.fault_coverage(
             scale=args.scale, benchmarks=benches,
             schemes=tuple(args.schemes.split(",")), trials=args.trials,
-            seed=args.seed, wcdl=args.wcdl, timeout_s=args.trial_timeout,
+            seed=args.seed, wcdl=args.wcdl, sites=sites,
+            sensor_miss_probability=args.sensor_miss,
+            sensor_jitter_cycles=args.sensor_jitter,
+            sanitize=args.sanitize,
+            harden_rpt=not args.no_harden_rpt,
+            harden_rbq=not args.no_harden_rbq,
+            timeout_s=args.trial_timeout,
             workers=args.workers, journal_path=args.journal or None,
             fresh=args.fresh, progress=True)
         print(rep.render_campaign(report))

@@ -277,12 +277,17 @@ def fault_coverage(scale: str = "tiny",
                    schemes: tuple[str, ...] = ("baseline", "flame"),
                    trials: int = 200, seed: int = 0, wcdl: int = 20,
                    gpu: str = "GTX480", scheduler: str = "GTO",
+                   sites: tuple[str, ...] = ("dest_reg",),
+                   sensor_miss_probability: float = 0.0,
+                   sensor_jitter_cycles: int = 0, sanitize: bool = False,
+                   harden_rpt: bool = True, harden_rbq: bool = True,
                    timeout_s: float = 120.0, workers: int | None = None,
                    journal_path: str | None = None, fresh: bool = False,
                    progress: bool = False):
     """Run (or resume) an injection campaign and return its report."""
     from ..compiler import scheme_by_name
     from ..core.campaign import CampaignSpec
+    from ..core.injection import fault_site_by_name
     from .campaign import run_campaign
 
     # Fail fast on typos: otherwise every trial of an unknown workload or
@@ -291,9 +296,16 @@ def fault_coverage(scale: str = "tiny",
         workload_by_name(name)
     for name in schemes:
         scheme_by_name(name)
+    for name in sites:
+        fault_site_by_name(name)
     spec = CampaignSpec(workloads=tuple(benchmarks), schemes=tuple(schemes),
                         trials=trials, seed=seed, scale=scale, gpu=gpu,
-                        scheduler=scheduler, wcdl=wcdl, timeout_s=timeout_s)
+                        scheduler=scheduler, wcdl=wcdl,
+                        sites=tuple(sites),
+                        sensor_miss_probability=sensor_miss_probability,
+                        sensor_jitter_cycles=sensor_jitter_cycles,
+                        sanitize=sanitize, harden_rpt=harden_rpt,
+                        harden_rbq=harden_rbq, timeout_s=timeout_s)
     return run_campaign(spec, workers=workers, journal_path=journal_path,
                         progress=progress, fresh=fresh)
 

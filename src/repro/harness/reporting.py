@@ -125,7 +125,7 @@ def render_campaign(report: "CampaignReport") -> str:
     for cell in report.cells:
         measured = cell.trials - cell.counts[INFRA_ERROR]
         rows.append([
-            cell.workload, cell.scheme, cell.trials,
+            cell.workload, cell.scheme, cell.site, cell.trials,
             cell.counts[MASKED], cell.counts[RECOVERED], cell.counts[SDC],
             cell.counts[DUE_HANG], cell.counts[DUE_CRASH],
             cell.counts[INFRA_ERROR],
@@ -134,13 +134,24 @@ def render_campaign(report: "CampaignReport") -> str:
         ])
     spec = report.spec
     status = "complete" if report.complete else "PARTIAL"
+    knobs = ""
+    if spec.sensor_miss_probability or spec.sensor_jitter_cycles:
+        knobs += (f", sensor miss={spec.sensor_miss_probability:g} "
+                  f"jitter={spec.sensor_jitter_cycles}")
+    if spec.sanitize:
+        knobs += ", sanitizer on"
+    if not spec.harden_rpt or not spec.harden_rbq:
+        soft = [n for n, h in (("RPT", spec.harden_rpt),
+                               ("RBQ", spec.harden_rbq)) if not h]
+        knobs += f", unhardened: {'+'.join(soft)}"
     title = (f"Fault-injection campaign ({status}): {spec.trials} "
              f"trials/cell, scale={spec.scale}, {spec.gpu}, "
-             f"{spec.scheduler}, WCDL={spec.wcdl}, seed={spec.seed}\n"
+             f"{spec.scheduler}, WCDL={spec.wcdl}, seed={spec.seed}"
+             f"{knobs}\n"
              f"journal: {report.journal_path}")
     return render_table(
-        ["Workload", "Scheme", "Trials", "Masked", "Recovered", "SDC",
-         "DUE-hang", "DUE-crash", "Infra", "SDC rate [95% CI]",
+        ["Workload", "Scheme", "Site", "Trials", "Masked", "Recovered",
+         "SDC", "DUE-hang", "DUE-crash", "Infra", "SDC rate [95% CI]",
          "Unrecovered"],
         rows, title=title)
 

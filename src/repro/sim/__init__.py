@@ -16,6 +16,7 @@ from .gpu import (Gpu, LaunchConfig, MAX_CYCLES, RunResult, occupancy_blocks,
 from .schedulers import (GtoScheduler, LrrScheduler, OldestScheduler,
                          SCHEDULERS, TwoLevelScheduler, WarpScheduler,
                          make_scheduler)
+from .sanitizer import Sanitizer
 from .sm import NEVER, NULL_RESILIENCE, ResilienceRuntime, Sm, ThreadBlock
 from .stats import SimStats
 from .warp import StackEntry, Warp, WarpSnapshot, WarpState
@@ -24,7 +25,8 @@ __all__ = [
     "Cache", "Gpu", "GtoScheduler", "LaneContext", "LaunchConfig",
     "LrrScheduler", "MAX_CYCLES", "MemAccess", "NEVER", "NULL_RESILIENCE",
     "OldestScheduler", "ResilienceRuntime", "RunResult", "SCHEDULERS",
-    "SimStats", "Sm", "StackEntry", "ThreadBlock", "TwoLevelScheduler",
+    "Sanitizer", "SimStats", "Sm", "StackEntry", "ThreadBlock",
+    "TwoLevelScheduler",
     "Warp", "WarpScheduler", "WarpSnapshot", "WarpState", "execute",
     "guard_mask", "make_scheduler", "occupancy_blocks", "run_kernel",
 ]

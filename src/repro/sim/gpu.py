@@ -82,13 +82,15 @@ class Gpu:
 
     def __init__(self, config: GpuConfig = GTX480,
                  resilience: ResilienceRuntime = NULL_RESILIENCE,
-                 scheduler: str = "GTO") -> None:
+                 scheduler: str = "GTO", sanitizer=None) -> None:
         self.config = config
         self.scheduler = scheduler
         self.l2 = Cache(config.l2, name="l2")
         self.sms = [Sm(i, config, self.l2, resilience)
                     for i in range(config.sim_sms)]
         self.fault_injector = None  # set by repro.core.injection
+        #: Opt-in per-cycle invariant checker (repro.sim.sanitizer).
+        self.sanitizer = sanitizer
 
     # ------------------------------------------------------------------
     # Launch
@@ -150,6 +152,8 @@ class Gpu:
             for sm in self.sms:
                 for block in [b for b in sm.blocks if b.done]:
                     sm.remove_block(block)
+            if self.sanitizer is not None:
+                self.sanitizer.check(self, cycle)
             if not pending and all(not sm.busy for sm in self.sms):
                 break
             if issued:
@@ -246,8 +250,8 @@ def run_kernel(kernel: Kernel, launch: LaunchConfig, global_mem: np.ndarray,
                config: GpuConfig = GTX480, scheduler: str = "GTO",
                resilience: ResilienceRuntime = NULL_RESILIENCE,
                regs_per_thread: int | None = None,
-               max_cycles: int | None = None) -> RunResult:
+               max_cycles: int | None = None, sanitizer=None) -> RunResult:
     """Convenience one-shot: build a GPU, launch, return the result."""
-    gpu = Gpu(config, resilience, scheduler)
+    gpu = Gpu(config, resilience, scheduler, sanitizer=sanitizer)
     return gpu.launch(kernel, launch, global_mem, regs_per_thread,
                       max_cycles=max_cycles)

@@ -1,0 +1,176 @@
+"""Always-on architectural sanitizer: per-cycle invariant checking.
+
+Golden-output diffing only catches corruption that reaches memory by
+kernel end.  Corruption of *microarchitectural* state — a scoreboard
+entry, a SIMT divergence-stack mask, an RBQ conveyor slot, a Recovery
+PC Table entry — can instead decay into downstream garbage (wrong-path
+execution, phantom dependencies, resume-at-random-PC) whose eventual
+symptom tells you nothing about the root cause.
+
+The :class:`Sanitizer` is an opt-in per-cycle checker attached to a
+:class:`~repro.sim.Gpu` (``gpu.sanitizer = Sanitizer()``).  After every
+simulated cycle it walks each SM and verifies:
+
+* **scoreboard consistency** — every pending entry names a register or
+  predicate that exists in the warp's file, with a sane ready cycle;
+* **divergence-stack well-formedness** — non-empty, bounded depth,
+  every entry's PC inside the kernel, masks of warp width whose lanes
+  nest (an inner entry's active lanes are a subset of its parent's);
+* **RBQ conveyor monotonicity** — entries strictly ordered by enqueue
+  cycle (one slot advance per cycle) and no entry ridden longer than
+  the WCDL conveyor length;
+* **RPT entries at region starts** — every recovery PC is the kernel
+  entry or the instruction following a region-boundary marker, so a
+  rollback can only ever resume at an idempotent re-execution point.
+
+A violation raises :class:`~repro.errors.SanitizerError` with the SM,
+warp, cycle, and invariant name.  Fault-injection campaigns run with
+the sanitizer classify such trials as DUE-crash with that precise
+detail string (see :mod:`repro.core.campaign`).
+"""
+
+from __future__ import annotations
+
+import weakref
+
+import numpy as np
+
+from ..errors import SanitizerError
+from ..isa import Op, Pred, Reg
+
+#: SIMT stack depth bound mirrored from ``Warp.sanity_check``.
+MAX_STACK_DEPTH = 64
+
+
+class Sanitizer:
+    """Opt-in per-cycle invariant checker over every SM of a GPU."""
+
+    def __init__(self) -> None:
+        self.checks = 0
+        self._region_starts: tuple[weakref.ref, frozenset[int]] | None = None
+
+    # ------------------------------------------------------------------
+    def check(self, gpu, cycle: int) -> None:
+        """Verify every invariant on every SM; raise on the first hit."""
+        self.checks += 1
+        for sm in gpu.sms:
+            self._check_sm(sm, cycle)
+
+    def _check_sm(self, sm, cycle: int) -> None:
+        for warp in sm.warps:
+            self._check_scoreboard(sm, warp, cycle)
+            self._check_stack(sm, warp, cycle)
+        runtime = sm.resilience
+        rbqs = getattr(runtime, "_rbqs", None)
+        if rbqs is not None:
+            for rbq in rbqs.values():
+                self._check_rbq(sm, rbq, cycle)
+        rpt = getattr(runtime, "rpt", None)
+        if rpt is not None and sm.kernel is not None:
+            self._check_rpt(sm, rpt, cycle)
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    def _check_scoreboard(self, sm, warp, cycle: int) -> None:
+        num_regs = warp.ctx.regs.shape[0]
+        num_preds = warp.ctx.preds.shape[0]
+        for key, ready in warp.pending.items():
+            if isinstance(key, Reg):
+                if not 0 <= key.index < num_regs:
+                    self._fail("scoreboard", sm, warp, cycle,
+                               f"pending entry for nonexistent register "
+                               f"r{key.index} (file holds {num_regs})")
+            elif isinstance(key, Pred):
+                if not 0 <= key.index < num_preds:
+                    self._fail("scoreboard", sm, warp, cycle,
+                               f"pending entry for nonexistent predicate "
+                               f"p{key.index} (file holds {num_preds})")
+            else:
+                self._fail("scoreboard", sm, warp, cycle,
+                           f"pending entry keyed by non-operand {key!r}")
+            if not isinstance(ready, (int, np.integer)) or ready < 0:
+                self._fail("scoreboard", sm, warp, cycle,
+                           f"pending ready cycle {ready!r} for {key}")
+
+    def _check_stack(self, sm, warp, cycle: int) -> None:
+        stack = warp.stack
+        if not stack:
+            self._fail("simt-stack", sm, warp, cycle, "empty SIMT stack")
+        if len(stack) > MAX_STACK_DEPTH:
+            self._fail("simt-stack", sm, warp, cycle,
+                       f"SIMT stack depth {len(stack)} exceeds "
+                       f"{MAX_STACK_DEPTH}")
+        top = len(warp.kernel.instructions)
+        for depth, entry in enumerate(stack):
+            if not 0 <= entry.pc <= top:
+                self._fail("simt-stack", sm, warp, cycle,
+                           f"stack[{depth}] pc {entry.pc} outside "
+                           f"kernel [0, {top}]")
+            mask = entry.mask
+            if (not isinstance(mask, np.ndarray) or mask.dtype != np.bool_
+                    or mask.shape != (warp.warp_size,)):
+                self._fail("simt-stack", sm, warp, cycle,
+                           f"stack[{depth}] mask malformed "
+                           f"({getattr(mask, 'shape', None)!r}, "
+                           f"{getattr(mask, 'dtype', None)!r})")
+            if depth and bool((mask & ~stack[depth - 1].mask).any()):
+                self._fail("simt-stack", sm, warp, cycle,
+                           f"stack[{depth}] activates lanes outside its "
+                           f"parent entry (divergence masks must nest)")
+
+    def _check_rbq(self, sm, rbq, cycle: int) -> None:
+        previous = None
+        for slot, entry in enumerate(rbq._entries):
+            if previous is not None and entry.enqueued_at <= previous:
+                self._fail("rbq-conveyor", sm, entry.warp, cycle,
+                           f"slot {slot} enqueued at {entry.enqueued_at}, "
+                           f"not after its predecessor ({previous}) — the "
+                           f"conveyor advances one slot per cycle")
+            previous = entry.enqueued_at
+            if cycle - entry.enqueued_at > rbq.wcdl:
+                self._fail("rbq-conveyor", sm, entry.warp, cycle,
+                           f"slot {slot} has ridden the conveyor "
+                           f"{cycle - entry.enqueued_at} cycles "
+                           f"(> WCDL={rbq.wcdl}) without popping")
+
+    def _check_rpt(self, sm, rpt, cycle: int) -> None:
+        starts = self._kernel_region_starts(sm.kernel)
+        for warp_id, snapshot in rpt.entries.items():
+            if snapshot.pc not in starts:
+                self._fail("rpt-region-start", sm, None, cycle,
+                           f"RPT entry of warp {warp_id} points at pc "
+                           f"{snapshot.pc}, which is not a region start",
+                           warp_id=warp_id)
+            if snapshot.barrier_count < 0:
+                self._fail("rpt-region-start", sm, None, cycle,
+                           f"RPT entry of warp {warp_id} carries negative "
+                           f"barrier generation {snapshot.barrier_count}",
+                           warp_id=warp_id)
+
+    # ------------------------------------------------------------------
+    def _kernel_region_starts(self, kernel) -> frozenset[int]:
+        """Valid recovery PCs: kernel entry, every boundary marker, and
+        the instruction after each marker (the marker itself is a legal
+        recovery PC — ``skip_markers`` re-delivers it on restore)."""
+        cached = self._region_starts
+        if cached is not None and cached[0]() is kernel:
+            return cached[1]
+        starts = {0}
+        for index, inst in enumerate(kernel.instructions):
+            if inst.op is Op.RB:
+                starts.add(index)
+                starts.add(index + 1)
+        frozen = frozenset(starts)
+        self._region_starts = (weakref.ref(kernel), frozen)
+        return frozen
+
+    def _fail(self, invariant: str, sm, warp, cycle: int, message: str,
+              warp_id: int | None = None) -> None:
+        if warp_id is None and warp is not None:
+            warp_id = warp.id
+        raise SanitizerError(invariant, message, sm_id=sm.id,
+                             warp_id=warp_id, cycle=cycle)
+
+
+__all__ = ["MAX_STACK_DEPTH", "Sanitizer"]

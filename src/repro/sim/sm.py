@@ -14,7 +14,7 @@ import numpy as np
 
 from ..arch import GpuConfig
 from ..errors import SimError
-from ..isa import FuClass, Instruction, Kernel, Op, Reg, Space
+from ..isa import FuClass, Instruction, Kernel, Op, Pred, Reg, Space
 from .caches import Cache
 from .functional import MemAccess, execute, guard_mask
 from .schedulers import WarpScheduler, make_scheduler
@@ -157,8 +157,9 @@ class Sm:
         self.stats.region_instructions += warp.insts_since_boundary
         warp.insts_since_boundary = 0
         # Once descheduled, the warp has nothing in flight: strikes can
-        # no longer corrupt its (ECC-protected, at-rest) registers.
-        warp.last_write = None
+        # no longer corrupt its (ECC-protected, at-rest) registers,
+        # predicates, or the shared-memory words it stored.
+        warp.clear_inflight()
 
     def skip_markers(self, warp: Warp, cycle: int) -> None:
         """Deliver boundary markers at the warp's PC to the resilience
@@ -245,6 +246,19 @@ class Sm:
             # flight, i.e. in these lanes (the rest are at rest in the
             # ECC-protected register file).
             warp.last_write_mask = guard_mask(inst, warp.ctx, active)
+        elif isinstance(inst.dst, Pred) and not inst.shadow:
+            # Predicate produced in flight: a strike can flip the guard
+            # before any consumer reads it (the predicate file itself is
+            # ECC-protected at rest, like the register file).
+            warp.last_pred_write = inst.dst
+            warp.last_pred_write_pc = warp.pc
+            warp.last_pred_write_mask = guard_mask(inst, warp.ctx, active)
+        if (access is not None and access.space is Space.SHARED
+                and access.is_store and not access.is_atomic
+                and not inst.shadow):
+            # Shared-memory words written through the (unprotected) store
+            # datapath this region: the in-flight shared fault surface.
+            warp.last_shared_write = access.addresses
         if inst.fu is FuClass.MEM and inst.space is not Space.PARAM:
             self._time_memory(warp, inst, access, cycle)
         else:

@@ -35,6 +35,7 @@ class SimStats:
     verified_regions: int = 0
     region_instructions: int = 0
     recoveries: int = 0
+    coalesced_recoveries: int = 0
     reexecuted_instructions: int = 0
     detected_errors: int = 0
     # Launch shape.
@@ -76,7 +77,8 @@ class SimStats:
                      "l1_misses", "l2_hits", "l2_misses", "atomic_ops",
                      "rbq_enqueues", "rbq_full_stalls", "verified_regions",
                      "region_instructions", "recoveries",
-                     "reexecuted_instructions", "detected_errors",
+                     "coalesced_recoveries", "reexecuted_instructions",
+                     "detected_errors",
                      "blocks_launched", "warps_launched"):
             setattr(self, name, getattr(self, name) + getattr(other, name))
         self.by_fu.update(other.by_fu)

@@ -97,6 +97,24 @@ class Warp:
         self.last_write: Reg | None = None  # injection target (in-flight dst)
         self.last_write_mask: np.ndarray | None = None  # lanes written
         self.last_write_pc = -1             # def site of the last write
+        # Additional in-flight fault-surface tracking (multi-site model):
+        # the words of the block's shared memory most recently stored by
+        # this warp in its current (unverified) region, and the predicate
+        # register most recently produced in flight.
+        self.last_shared_write: np.ndarray | None = None
+        self.last_pred_write: Pred | None = None
+        self.last_pred_write_mask: np.ndarray | None = None
+        self.last_pred_write_pc = -1
+
+    def clear_inflight(self) -> None:
+        """Nothing of this warp's is in flight anymore (region boundary
+        reached, or the pipeline was flushed by a rollback): strikes can
+        no longer corrupt values it produced."""
+        self.last_write = None
+        self.last_write_mask = None
+        self.last_shared_write = None
+        self.last_pred_write = None
+        self.last_pred_write_mask = None
 
     # ------------------------------------------------------------------
     # Execution state

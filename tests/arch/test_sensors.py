@@ -1,0 +1,82 @@
+"""The imperfect-sensor detection model layered on the WCDL power law."""
+
+import numpy as np
+import pytest
+
+from repro.arch import GTX480, SensorMesh, SensorModel
+from repro.errors import ConfigError
+
+
+class TestValidation:
+    def test_bad_wcdl(self):
+        with pytest.raises(ConfigError):
+            SensorModel(wcdl=0)
+
+    @pytest.mark.parametrize("p", [-0.1, 1.5])
+    def test_bad_miss_probability(self, p):
+        with pytest.raises(ConfigError):
+            SensorModel(wcdl=20, miss_probability=p)
+
+    def test_bad_jitter(self):
+        with pytest.raises(ConfigError):
+            SensorModel(wcdl=20, jitter_cycles=-1)
+
+    def test_perfect_flag(self):
+        assert SensorModel(wcdl=20).perfect
+        assert not SensorModel(wcdl=20, miss_probability=0.1).perfect
+        assert not SensorModel(wcdl=20, jitter_cycles=3).perfect
+
+
+class TestSampling:
+    def test_perfect_delays_bounded_by_wcdl(self):
+        model = SensorModel(wcdl=7)
+        rng = np.random.default_rng(0)
+        delays = [model.sample_delay(rng) for _ in range(500)]
+        assert None not in delays
+        assert min(delays) >= 1
+        assert max(delays) <= 7
+
+    def test_jitter_extends_past_wcdl(self):
+        model = SensorModel(wcdl=5, jitter_cycles=10)
+        rng = np.random.default_rng(1)
+        delays = [model.sample_delay(rng) for _ in range(500)]
+        assert max(delays) > 5          # some detection slips past WCDL
+        assert max(delays) <= 15
+        assert min(delays) >= 1
+
+    def test_misses_at_given_rate(self):
+        model = SensorModel(wcdl=20, miss_probability=0.5)
+        rng = np.random.default_rng(2)
+        misses = sum(model.sample_delay(rng) is None for _ in range(2000))
+        assert 850 <= misses <= 1150    # ~N(1000, 22)
+
+    def test_always_missing_sensor(self):
+        model = SensorModel(wcdl=20, miss_probability=1.0)
+        rng = np.random.default_rng(3)
+        assert all(model.sample_delay(rng) is None for _ in range(50))
+
+    def test_perfect_model_preserves_legacy_stream(self):
+        """A perfect model must consume exactly one uniform draw per
+        strike, keeping pre-sensor-model seeds reproducible."""
+        model = SensorModel(wcdl=20)
+        a = np.random.default_rng(42)
+        b = np.random.default_rng(42)
+        sampled = [model.sample_delay(a) for _ in range(100)]
+        legacy = [int(b.integers(1, 21)) for _ in range(100)]
+        assert sampled == legacy
+
+    def test_deterministic_given_seed(self):
+        model = SensorModel(wcdl=20, miss_probability=0.3, jitter_cycles=5)
+        a = [model.sample_delay(np.random.default_rng(9)) for _ in range(1)]
+        b = [model.sample_delay(np.random.default_rng(9)) for _ in range(1)]
+        assert a == b
+
+
+class TestMeshIntegration:
+    def test_for_mesh_uses_power_law_wcdl(self):
+        mesh = SensorMesh(GTX480, sensors_per_sm=200)
+        model = SensorModel.for_mesh(mesh, miss_probability=0.01,
+                                     jitter_cycles=2)
+        assert model.wcdl == mesh.wcdl_cycles == 20
+        assert model.miss_probability == 0.01
+        assert model.jitter_cycles == 2

@@ -11,10 +11,10 @@ import os
 
 import pytest
 
-from repro.core.campaign import (CampaignJournal, CampaignSpec, DUE_HANG,
-                                 MASKED, OUTCOMES, RECOVERED, SDC,
-                                 TrialResult, aggregate, run_trial,
-                                 wilson_interval)
+from repro.core.campaign import (CampaignJournal, CampaignSpec, DUE_CRASH,
+                                 DUE_HANG, MASKED, OUTCOMES, RECOVERED, SDC,
+                                 TrialResult, aggregate, merge_cells,
+                                 run_trial, wilson_interval)
 from repro.errors import ConfigError
 
 
@@ -195,3 +195,152 @@ class TestJournal:
                                      "mystery_field": 1}) + "\n")
             handle.write("not json at all\n")
         assert [r.index for r in journal.load()] == [0]
+
+
+class TestMultiSiteSpec:
+    def test_site_validation(self):
+        with pytest.raises(ConfigError):
+            spec_for("flame", sites=())
+        with pytest.raises(ConfigError, match="unknown fault site"):
+            spec_for("flame", sites=("dest_reg", "alu_pipe"))
+        with pytest.raises(ConfigError):
+            spec_for("flame", sensor_miss_probability=1.0)
+        with pytest.raises(ConfigError):
+            spec_for("flame", sensor_jitter_cycles=-1)
+
+    def test_sites_multiply_cells_and_trials(self):
+        spec = CampaignSpec(workloads=("Triad", "SGEMM"),
+                            schemes=("baseline", "flame"), trials=3,
+                            sites=("dest_reg", "shared_mem", "rpt"))
+        assert len(spec.cells()) == 12
+        trials = spec.trial_specs()
+        assert len(trials) == 36
+        assert len({t.key for t in trials}) == 36
+        assert {t.site for t in trials} == {"dest_reg", "shared_mem", "rpt"}
+
+    def test_campaign_id_distinguishes_knobs(self):
+        base = spec_for("flame")
+        assert base.campaign_id() != spec_for(
+            "flame", sites=("shared_mem",)).campaign_id()
+        assert base.campaign_id() != spec_for(
+            "flame", sensor_miss_probability=0.1).campaign_id()
+        assert base.campaign_id() != spec_for(
+            "flame", sanitize=True).campaign_id()
+        assert base.campaign_id() != spec_for(
+            "flame", harden_rpt=False).campaign_id()
+
+    def test_rng_streams_differ_per_site(self):
+        a = spec_for("flame", sites=("dest_reg",)).trial_specs()[0]
+        b = spec_for("flame", sites=("shared_mem",)).trial_specs()[0]
+        assert a.index == b.index and a.workload == b.workload
+        assert a.rng().integers(1 << 30) != b.rng().integers(1 << 30)
+
+    def test_trial_specs_carry_knobs(self):
+        spec = spec_for("flame", sites=("rpt",),
+                        sensor_miss_probability=0.25,
+                        sensor_jitter_cycles=4, sanitize=True,
+                        harden_rpt=False)
+        trial = spec.trial_specs()[0]
+        assert trial.site == "rpt"
+        assert trial.sensor_miss_probability == 0.25
+        assert trial.sensor_jitter_cycles == 4
+        assert trial.sanitize and not trial.harden_rpt
+
+
+class TestMultiSiteTrials:
+    def test_flame_recovers_shared_mem_site(self):
+        spec = CampaignSpec(workloads=("SGEMM",), schemes=("flame",),
+                            trials=3, scale="tiny", sites=("shared_mem",))
+        for trial in spec.trial_specs():
+            result = run_trial(trial)
+            assert result.site == "shared_mem"
+            assert result.outcome in (MASKED, RECOVERED)
+
+    def test_hardened_rpt_site_never_unrecovered(self):
+        spec = CampaignSpec(workloads=("Triad",), schemes=("flame",),
+                            trials=4, scale="tiny", sites=("rpt",))
+        for trial in spec.trial_specs():
+            assert run_trial(trial).outcome in (MASKED, RECOVERED)
+
+    def test_unhardened_rpt_shows_failures(self):
+        spec = CampaignSpec(workloads=("SGEMM",), schemes=("flame",),
+                            trials=6, scale="tiny", sites=("rpt",),
+                            strikes_per_trial=2, harden_rpt=False)
+        outcomes = [run_trial(t).outcome for t in spec.trial_specs()]
+        assert any(o in (SDC, DUE_HANG, DUE_CRASH) for o in outcomes)
+
+    def test_sanitizer_turns_corruption_into_due_crash(self):
+        spec = CampaignSpec(workloads=("SGEMM",), schemes=("flame",),
+                            trials=6, scale="tiny", sites=("rpt",),
+                            strikes_per_trial=2, harden_rpt=False,
+                            sanitize=True)
+        results = [run_trial(t) for t in spec.trial_specs()]
+        crashes = [r for r in results if r.outcome == DUE_CRASH]
+        assert crashes
+        assert any("SanitizerError" in r.detail for r in crashes)
+
+    def test_missed_sensor_degrades_flame(self):
+        spec = CampaignSpec(workloads=("Triad",), schemes=("flame",),
+                            trials=8, scale="tiny",
+                            sensor_miss_probability=0.999999)
+        outcomes = [run_trial(t).outcome for t in spec.trial_specs()]
+        assert RECOVERED not in outcomes
+        assert any(o != MASKED for o in outcomes)
+
+    def test_sanitize_preserves_clean_outcomes(self):
+        plain = spec_for("flame", trials=3)
+        checked = spec_for("flame", trials=3, sanitize=True)
+        for a, b in zip(plain.trial_specs(), checked.trial_specs()):
+            ra, rb = run_trial(a), run_trial(b)
+            assert ra.outcome == rb.outcome
+            assert ra.strike_cycles == rb.strike_cycles
+
+
+class TestMultiSiteAggregate:
+    def test_groups_by_site(self):
+        results = [
+            _result(0), _result(1, SDC),
+            TrialResult(workload="Triad", scheme="baseline", index=0,
+                        outcome=RECOVERED, site="shared_mem"),
+        ]
+        cells = aggregate(results)
+        assert [(c.site, c.trials) for c in cells] == [
+            ("dest_reg", 2), ("shared_mem", 1)]
+
+    def test_merge_cells_pools_counts(self):
+        results = ([_result(i, SDC if i < 2 else MASKED) for i in range(5)]
+                   + [TrialResult(workload="Triad", scheme="baseline",
+                                  index=i, outcome=RECOVERED,
+                                  site="predicate") for i in range(5)])
+        merged = merge_cells(aggregate(results), "Triad", "baseline")
+        assert merged.site == "all"
+        assert merged.trials == 10
+        assert merged.counts[SDC] == 2
+        assert merged.counts[RECOVERED] == 5
+        rate, lo, hi = merged.rates[SDC]
+        assert rate == 0.2 and lo < 0.2 < hi
+
+    def test_merge_single_site_returns_it(self):
+        (cell,) = aggregate([_result(0), _result(1)])
+        assert merge_cells([cell], "Triad", "baseline") is cell
+        assert merge_cells([cell], "SGEMM", "flame") is None
+
+    def test_journal_roundtrip_preserves_site(self, tmp_path):
+        journal = CampaignJournal(str(tmp_path / "j.jsonl"))
+        journal.append(TrialResult(workload="Triad", scheme="flame",
+                                   index=0, outcome=RECOVERED,
+                                   site="simt_stack"))
+        (loaded,) = journal.load()
+        assert loaded.site == "simt_stack"
+
+    def test_pre_site_journal_records_still_load(self, tmp_path):
+        """Journals written before the multi-site surface carry no
+        ``site`` field; they must load as dest_reg records."""
+        path = tmp_path / "j.jsonl"
+        record = _result(0, SDC).as_dict()
+        record.pop("site", None)
+        with open(path, "w") as handle:
+            handle.write(json.dumps(record) + "\n")
+        (loaded,) = CampaignJournal(str(path)).load()
+        assert loaded.site == "dest_reg"
+        assert loaded.outcome == SDC

@@ -148,6 +148,348 @@ class TestInjectorMechanics:
             FaultInjector(strike_cycles=[1], wcdl=0)
 
 
+def run_site(abbr, site, strikes, seed, wcdl=20, scheme="flame",
+             harden_rpt=True, harden_rbq=True, rollback_cycles=1,
+             config=GTX480, sensor=None):
+    """Like :func:`run_with_faults` but parameterized over the full
+    multi-site fault surface."""
+    workload = WORKLOADS[abbr]
+    instance = workload.instance("tiny")
+    compiled = compile_kernel(instance.kernel, scheme, wcdl=wcdl)
+
+    def launch_once(injector):
+        if scheme == "flame":
+            gpu = Gpu(config, resilience=FlameRuntime(
+                wcdl, rollback_cycles=rollback_cycles,
+                harden_rpt=harden_rpt, harden_rbq=harden_rbq))
+        else:
+            gpu = Gpu(config)
+        gpu.fault_injector = injector
+        mem = instance.fresh_memory()
+        params, mem = prepare_launch(compiled, instance.launch.params, mem,
+                                     instance.launch.num_blocks,
+                                     instance.launch.threads_per_block)
+        launch = LaunchConfig(grid=instance.launch.grid,
+                              block=instance.launch.block, params=params)
+        result = gpu.launch(compiled.kernel, launch, mem,
+                            regs_per_thread=compiled.regs_per_thread,
+                            max_cycles=2_000_000)
+        return result, mem
+
+    golden_result, golden = launch_once(None)
+    injector = FaultInjector(strike_cycles=strikes, wcdl=wcdl, seed=seed,
+                             site=site, sensor=sensor)
+    faulty_result, faulty = launch_once(injector)
+    return golden, faulty, injector, faulty_result
+
+
+class TestFaultSiteTaxonomy:
+    def test_registry_contents(self):
+        from repro.core import ALL_FAULT_SITES, FAULT_SITES
+
+        assert ALL_FAULT_SITES == ("dest_reg", "shared_mem", "predicate",
+                                   "simt_stack", "rpt", "rbq")
+        assert set(FAULT_SITES) == set(ALL_FAULT_SITES)
+
+    def test_unknown_site_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="unknown fault site"):
+            FaultInjector(strike_cycles=[1], site="cache_tag")
+
+    def test_reregistration_rejected(self):
+        from repro.core import FAULT_SITES, register_fault_site
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            register_fault_site(FAULT_SITES["dest_reg"])
+
+    def test_custom_site_registers_and_unregisters(self):
+        from repro.core import (FAULT_SITES, FaultSite, fault_site_by_name,
+                                register_fault_site)
+
+        class NopSite(FaultSite):
+            name = "nop_site"
+
+            def inject(self, injector, gpu, sm, record, rng):
+                record.detail = "nop"
+
+        try:
+            register_fault_site(NopSite())
+            assert fault_site_by_name("nop_site").name == "nop_site"
+            FaultInjector(strike_cycles=[], site="nop_site")
+        finally:
+            FAULT_SITES.pop("nop_site", None)
+
+    def test_records_carry_site(self):
+        _, _, injector, _ = run_site("SGEMM", "shared_mem", [100], seed=0)
+        assert all(r.site == "shared_mem" for r in injector.records)
+
+
+class TestSharedMemSite:
+    def test_landed_shared_strike_recovers(self):
+        golden, faulty, injector, result = run_site(
+            "SGEMM", "shared_mem", [100, 200, 300], seed=0)
+        assert sum(r.landed for r in injector.records) >= 1
+        assert np.allclose(faulty, golden)
+        assert result.stats.recoveries >= 1
+
+    @pytest.mark.parametrize("abbr,seed", [("CS", 1), ("NW", 0)])
+    def test_recovers_across_workloads(self, abbr, seed):
+        golden, faulty, injector, _ = run_site(
+            abbr, "shared_mem", [100, 200, 300], seed=seed)
+        assert sum(r.landed for r in injector.records) >= 1
+        assert np.allclose(faulty, golden)
+
+    def test_corruption_detail_names_address(self):
+        _, _, injector, _ = run_site("SGEMM", "shared_mem", [100, 200, 300],
+                                     seed=0)
+        landed = [r for r in injector.records if r.landed]
+        assert all(r.detail.startswith("shared[") for r in landed)
+
+
+class TestPredicateSite:
+    def test_landed_predicate_strike_recovers(self):
+        # SN is the only tiny workload with non-address predicate defs.
+        golden, faulty, injector, _ = run_site(
+            "SN", "predicate", [100, 300, 500], seed=0)
+        assert sum(r.landed for r in injector.records) >= 1
+        assert np.allclose(faulty, golden)
+
+    def test_baseline_predicate_strike_corrupts(self):
+        corrupted = 0
+        for seed in range(4):
+            golden, faulty, injector, _ = run_site(
+                "SN", "predicate", [100, 300, 500], seed=seed,
+                scheme="baseline")
+            if not np.allclose(faulty, golden):
+                corrupted += 1
+        assert corrupted > 0
+
+    def test_address_guards_never_struck(self):
+        """Every landed predicate strike must be outside the
+        address-feeding taint set (hardened-AGU assumption)."""
+        _, _, injector, _ = run_site("SN", "predicate", [100, 300, 500],
+                                     seed=0)
+        for record in injector.records:
+            if record.landed:
+                assert record.detail.startswith("p")
+
+
+class TestSimtStackSite:
+    def test_flame_rollback_restores_stack(self):
+        from repro.errors import ReproError
+
+        recovered = 0
+        for seed in range(6):
+            try:
+                golden, faulty, injector, _ = run_site(
+                    "SGEMM", "simt_stack", [200], seed=seed)
+            except ReproError:
+                continue  # corrupted mask crashed before detection: a DUE
+            if any(r.landed for r in injector.records):
+                assert np.allclose(faulty, golden)
+                recovered += 1
+        assert recovered >= 1
+
+
+class TestFlameStructureSites:
+    def test_hardened_rpt_absorbs(self):
+        golden, faulty, injector, result = run_site("SGEMM", "rpt", [200],
+                                                    seed=0)
+        record = injector.records[0]
+        assert record.absorbed and not record.landed
+        # The sensor still hears the (absorbed) strike: harmless rollback.
+        assert result.stats.recoveries >= 1
+        assert np.allclose(faulty, golden)
+
+    def test_hardened_rbq_absorbs(self):
+        golden, faulty, injector, _ = run_site("SGEMM", "rbq", [200], seed=0)
+        assert all(r.absorbed or not r.landed for r in injector.records)
+        assert np.allclose(faulty, golden)
+
+    def test_unhardened_rpt_breaks_recovery(self):
+        """With RPT parity off, a corrupted recovery PC redirects the
+        rollback: measurable SDC/DUE across seeds."""
+        from repro.errors import ReproError
+
+        bad = 0
+        for seed in range(8):
+            try:
+                golden, faulty, injector, _ = run_site(
+                    "SGEMM", "rpt", [200, 400], seed=seed, harden_rpt=False)
+            except ReproError:
+                bad += 1
+                continue
+            if (any(r.landed for r in injector.records)
+                    and not np.allclose(faulty, golden)):
+                bad += 1
+        assert bad >= 2
+
+    def test_baseline_has_no_flame_structures(self):
+        golden, faulty, injector, _ = run_site("SGEMM", "rpt", [200], seed=0,
+                                               scheme="baseline")
+        record = injector.records[0]
+        assert not record.landed and not record.absorbed
+        assert record.detail == "no RPT on this scheme"
+        assert np.allclose(faulty, golden)
+
+
+class TestImperfectSensor:
+    def test_missed_strike_never_detected(self):
+        from repro.arch import SensorModel
+
+        sensor = SensorModel(wcdl=20, miss_probability=1.0)
+        golden, faulty, injector, result = run_site(
+            "Triad", "dest_reg", [60, 120], seed=1, sensor=sensor)
+        assert all(r.missed for r in injector.records)
+        assert all(r.detect_cycle == -1 for r in injector.records)
+        assert result.stats.recoveries == 0
+        landed = sum(1 for r in injector.records if r.landed)
+        assert injector.undetected == landed
+
+    def test_missed_strikes_cause_sdc_under_flame(self):
+        """Sensor misses degrade Flame to the unprotected case."""
+        from repro.arch import SensorModel
+
+        sensor = SensorModel(wcdl=20, miss_probability=1.0)
+        corrupted = 0
+        for seed in range(8):
+            golden, faulty, injector, _ = run_site(
+                "Triad", "dest_reg", [60, 120], seed=seed, sensor=sensor)
+            if not np.allclose(faulty, golden):
+                corrupted += 1
+        assert corrupted > 0
+
+    def test_sensor_overrides_injector_wcdl(self):
+        from repro.arch import SensorModel
+
+        injector = FaultInjector(strike_cycles=[], wcdl=99,
+                                 sensor=SensorModel(wcdl=7))
+        assert injector.wcdl == 7
+
+    def test_jitter_can_exceed_wcdl(self):
+        from repro.arch import SensorModel
+
+        sensor = SensorModel(wcdl=5, jitter_cycles=40)
+        _, _, injector, _ = run_site("Triad", "dest_reg",
+                                     [50, 100, 150, 200], seed=3,
+                                     wcdl=5, sensor=sensor)
+        delays = [r.detect_cycle - r.strike_cycle
+                  for r in injector.records if not r.missed]
+        assert delays and max(delays) > 5
+
+
+class TestStrikeCycleValidation:
+    def test_negative_cycle_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match=">= 0"):
+            FaultInjector(strike_cycles=[10, -3])
+
+    @pytest.mark.parametrize("bad", [1.5, "100", None, True])
+    def test_non_integer_rejected(self, bad):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="integers"):
+            FaultInjector(strike_cycles=[bad])
+
+    def test_numpy_integers_accepted(self):
+        injector = FaultInjector(
+            strike_cycles=list(np.array([30, 10, 20], dtype=np.int64)))
+        assert injector.strike_cycles == [10, 20, 30]
+        assert all(type(c) is int for c in injector.strike_cycles)
+
+
+class TestAddressDefCache:
+    def test_cache_hit_returns_same_set(self):
+        workload = WORKLOADS["Triad"]
+        kernel = compile_kernel(workload.instance("tiny").kernel,
+                                "flame", wcdl=20).kernel
+        injector = FaultInjector(strike_cycles=[])
+        first = injector._address_defs(kernel)
+        assert injector._address_defs(kernel) is first
+
+    def test_stale_id_reuse_not_served(self):
+        """id() values are recycled after garbage collection; a cache
+        entry must only be served to the exact kernel object that
+        populated it."""
+        workload = WORKLOADS["Triad"]
+        kernel = compile_kernel(workload.instance("tiny").kernel,
+                                "flame", wcdl=20).kernel
+        other = compile_kernel(WORKLOADS["SGEMM"].instance("tiny").kernel,
+                               "flame", wcdl=20).kernel
+        injector = FaultInjector(strike_cycles=[])
+        poison = {123456}
+        import weakref
+        injector._addr_cache[id(kernel)] = (weakref.ref(other), poison)
+        assert injector._address_defs(kernel) != poison
+
+    def test_dead_referent_recomputed(self):
+        import gc
+        import weakref
+
+        workload = WORKLOADS["Triad"]
+        kernel = compile_kernel(workload.instance("tiny").kernel,
+                                "flame", wcdl=20).kernel
+        injector = FaultInjector(strike_cycles=[])
+        victim = compile_kernel(workload.instance("tiny").kernel,
+                                "flame", wcdl=20).kernel
+        injector._addr_cache[id(kernel)] = (weakref.ref(victim), {999})
+        del victim
+        gc.collect()
+        assert injector._address_defs(kernel) != {999}
+
+
+class TestRecoveryStorm:
+    """Satellite of the multi-site fault surface: a strike landing after
+    a detection but before its rollback completes must trigger its own
+    (coalesced) recovery, never be silently credited to the first."""
+
+    def _one_sm_config(self):
+        import dataclasses
+
+        return dataclasses.replace(GTX480, sim_sms=1)
+
+    def test_nested_detection_coalesces(self):
+        golden, faulty, injector, result = run_site(
+            "SGEMM", "dest_reg", [100, 102], seed=3, wcdl=1,
+            rollback_cycles=5, config=self._one_sm_config())
+        # wcdl=1 pins both detections (101, 103) inside the first
+        # rollback window [101, 106): the second coalesces.
+        assert [r.detect_cycle for r in injector.records] == [101, 103]
+        assert result.stats.recoveries == 1
+        assert result.stats.coalesced_recoveries == 1
+        assert result.stats.detected_errors == 2
+        assert np.allclose(faulty, golden)
+
+    def test_spaced_detections_recover_independently(self):
+        golden, faulty, injector, result = run_site(
+            "SGEMM", "dest_reg", [100, 150], seed=3, wcdl=1,
+            rollback_cycles=5, config=self._one_sm_config())
+        assert result.stats.recoveries == 2
+        assert result.stats.coalesced_recoveries == 0
+        assert result.stats.detected_errors == 2
+        assert np.allclose(faulty, golden)
+
+    def test_second_strike_not_credited_to_first_detection(self):
+        """The second record's own sensing delay must elapse before it
+        is marked recovered — it is never attributed to the rollback
+        already in flight when it struck."""
+        _, _, injector, _ = run_site(
+            "SGEMM", "dest_reg", [100, 102], seed=3, wcdl=1,
+            rollback_cycles=5, config=self._one_sm_config())
+        first, second = injector.records
+        assert second.detect_cycle > first.detect_cycle
+        assert first.recovered and second.recovered
+
+    def test_rollback_cycles_validated(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            FlameRuntime(wcdl=20, rollback_cycles=0)
+
+
 class _StubRuntime:
     def __init__(self):
         self.recoveries = []
