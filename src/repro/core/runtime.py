@@ -145,11 +145,12 @@ class FlameSmRuntime(ResilienceRuntime):
             return  # stale entry (warp recovered meanwhile)
         if entry.final:
             warp.state = WarpState.DONE
+            self.sm._note_warp_done(warp)
             self.sm._check_barrier_release(warp.block, cycle)
             return
         self.rpt.update(warp, entry.snapshot)
         warp.state = WarpState.ACTIVE
-        warp.wakeup_cycle = cycle
+        warp.wake(cycle)
         sm.skip_markers(warp, cycle)
 
     def next_event(self, sm: Sm) -> int:
@@ -186,7 +187,7 @@ class FlameSmRuntime(ResilienceRuntime):
                 continue
             self.rpt.recover(warp)
             warp.state = WarpState.ACTIVE
-            warp.wakeup_cycle = resume
+            warp.wake(resume)
             warp.pending.clear()
             warp.insts_since_boundary = 0
             # The rollback flushes the pipeline: nothing of the warp's

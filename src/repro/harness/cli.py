@@ -42,6 +42,9 @@ def main(argv: list[str] | None = None) -> int:
                              "discard the journal and start over)")
     parser.add_argument("--workers", type=int, default=None,
                         help="parallel simulation processes")
+    parser.add_argument("--profile", action="store_true",
+                        help="run under cProfile and print the top-20 "
+                             "cumulative-time hot spots afterwards")
     campaign = parser.add_argument_group(
         "campaign", "Monte Carlo fault-injection campaign options")
     campaign.add_argument("--trials", type=int, default=200,
@@ -77,6 +80,26 @@ def main(argv: list[str] | None = None) -> int:
                                "rerunning with the same journal resumes")
     args = parser.parse_args(argv)
 
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            status = _run(args)
+        finally:
+            profiler.disable()
+            stats = pstats.Stats(profiler, stream=sys.stderr)
+            stats.sort_stats("cumulative")
+            print("\n=== cProfile: top 20 by cumulative time ===",
+                  file=sys.stderr)
+            stats.print_stats(20)
+        return status
+    return _run(args)
+
+
+def _run(args: argparse.Namespace) -> int:
     if args.experiment == "campaign":
         from ..core.injection import ALL_FAULT_SITES
 

@@ -13,7 +13,7 @@ simulator executes.  Public surface:
 
 from .asmparser import parse_instruction, parse_kernel, parse_program
 from .builder import KernelBuilder
-from .cfg import BasicBlock, Cfg
+from .cfg import BasicBlock, Cfg, reconvergence_table_for
 from .instruction import Instruction
 from .opcodes import AtomOp, CmpOp, FuClass, Op, OP_INFO, OpInfo, Space
 from .operands import Imm, Operand, Pred, Reg, Special, as_operand
@@ -24,4 +24,5 @@ __all__ = [
     "Kernel", "KernelBuilder", "Op", "OP_INFO", "OpInfo", "Operand", "Pred",
     "Program", "Reg", "RegAllocator", "Space", "Special", "as_operand",
     "parse_instruction", "parse_kernel", "parse_program",
+    "reconvergence_table_for",
 ]

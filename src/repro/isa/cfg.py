@@ -184,3 +184,26 @@ class Cfg:
         order = list(nx.dfs_postorder_nodes(graph, source=0))
         order.reverse()
         return order
+
+
+def reconvergence_table_for(kernel: Kernel) -> dict[int, int]:
+    """Content-memoized ``Cfg(kernel).reconvergence_table()``.
+
+    ``Cfg`` memoizes per *instance*, but every launch used to build a
+    fresh ``Cfg`` — so campaign trials re-ran the whole dominator
+    analysis per launch of an unchanged kernel.  This helper caches the
+    table on the kernel object, keyed by the identities of its
+    instructions plus its labels; the cache entry holds strong
+    references to those instructions, keeping their ids stable, so any
+    in-place mutation of the instruction list or labels produces a
+    mismatching key and transparently recomputes.
+    """
+    cached = kernel.__dict__.get("_reconv_memo")
+    ids = tuple(map(id, kernel.instructions))
+    labels = tuple(sorted(kernel.labels.items()))
+    if cached is not None and cached[0] == ids and cached[1] == labels:
+        return cached[3]
+    table = Cfg(kernel).reconvergence_table()
+    kernel.__dict__["_reconv_memo"] = (ids, labels,
+                                       tuple(kernel.instructions), table)
+    return table

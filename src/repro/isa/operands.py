@@ -25,6 +25,14 @@ class Reg:
 
     index: int
 
+    def __post_init__(self) -> None:
+        # Registers are scoreboard dict keys on the simulator's issue
+        # path; cache the hash instead of recomputing it per lookup.
+        object.__setattr__(self, "_hash", hash((Reg, self.index)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
     def __repr__(self) -> str:
         return f"r{self.index}"
 
@@ -34,6 +42,12 @@ class Pred:
     """A predicate register ``p<index>`` holding one boolean per lane."""
 
     index: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((Pred, self.index)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __repr__(self) -> str:
         return f"p{self.index}"

@@ -7,12 +7,14 @@ Public surface:
 * :class:`Warp`, :class:`WarpState`, :class:`WarpSnapshot`
 * :data:`SCHEDULERS` (GTO / OLD / LRR / 2LV), :func:`make_scheduler`
 * :class:`SimStats`, :class:`Cache`
+* :class:`ExecPlan`, :func:`get_plan` — decode-once dispatch plans
 """
 
 from .caches import Cache
 from .functional import LaneContext, MemAccess, execute, guard_mask
 from .gpu import (Gpu, LaunchConfig, MAX_CYCLES, RunResult, occupancy_blocks,
                   run_kernel)
+from .plan import ExecPlan, PlannedInst, get_plan
 from .schedulers import (GtoScheduler, LrrScheduler, OldestScheduler,
                          SCHEDULERS, TwoLevelScheduler, WarpScheduler,
                          make_scheduler)
@@ -22,11 +24,12 @@ from .stats import SimStats
 from .warp import StackEntry, Warp, WarpSnapshot, WarpState
 
 __all__ = [
-    "Cache", "Gpu", "GtoScheduler", "LaneContext", "LaunchConfig",
+    "Cache", "ExecPlan", "Gpu", "GtoScheduler", "LaneContext", "LaunchConfig",
     "LrrScheduler", "MAX_CYCLES", "MemAccess", "NEVER", "NULL_RESILIENCE",
-    "OldestScheduler", "ResilienceRuntime", "RunResult", "SCHEDULERS",
+    "OldestScheduler", "PlannedInst", "ResilienceRuntime", "RunResult",
+    "SCHEDULERS",
     "Sanitizer", "SimStats", "Sm", "StackEntry", "ThreadBlock",
-    "TwoLevelScheduler",
+    "TwoLevelScheduler", "get_plan",
     "Warp", "WarpScheduler", "WarpSnapshot", "WarpState", "execute",
     "guard_mask", "make_scheduler", "occupancy_blocks", "run_kernel",
 ]

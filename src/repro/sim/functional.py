@@ -45,6 +45,9 @@ class LaneContext:
         self.regs = np.zeros((max(num_regs, 1), warp_size), dtype=np.float64)
         self.preds = np.zeros((max(num_preds, 1), warp_size), dtype=bool)
         self.specials = specials
+        # Positional view of the same arrays (Special declaration order),
+        # so plan fetchers index a list instead of hashing enum members.
+        self.special_rows = [specials.get(s) for s in Special]
         self.params = params
         self.warp_size = warp_size
 

@@ -9,7 +9,9 @@ import numpy as np
 from ..arch import GpuConfig, GTX480
 from ..errors import LaunchError, SimError, SimTimeout
 from ..isa import Cfg, Kernel, Special
+from ..isa.cfg import reconvergence_table_for
 from .caches import Cache
+from .plan import get_plan
 from .sm import NEVER, ResilienceRuntime, NULL_RESILIENCE, Sm, ThreadBlock
 from .stats import SimStats
 from .warp import Warp, WarpState
@@ -82,9 +84,14 @@ class Gpu:
 
     def __init__(self, config: GpuConfig = GTX480,
                  resilience: ResilienceRuntime = NULL_RESILIENCE,
-                 scheduler: str = "GTO", sanitizer=None) -> None:
+                 scheduler: str = "GTO", sanitizer=None,
+                 fast: bool = True) -> None:
         self.config = config
         self.scheduler = scheduler
+        #: Drive the SMs from decode-once execution plans (repro.sim.plan).
+        #: ``fast=False`` selects the reference interpreter; both paths
+        #: produce byte-identical cycles, stats, and memory.
+        self.fast = fast
         self.l2 = Cache(config.l2, name="l2")
         self.sms = [Sm(i, config, self.l2, resilience)
                     for i in range(config.sim_sms)]
@@ -121,50 +128,58 @@ class Gpu:
             raise LaunchError("global memory must be a float64 array")
         regs = regs_per_thread if regs_per_thread is not None else kernel.num_regs
         blocks_per_sm = occupancy_blocks(self.config, kernel, launch, regs)
-        reconv = Cfg(kernel).reconvergence_table()
+        reconv = reconvergence_table_for(kernel)
+        plan = get_plan(kernel, self.config) if self.fast else None
         params = np.asarray(launch.params, dtype=np.float64)
         for sm in self.sms:
-            sm.configure(kernel, global_mem, reconv, self.scheduler)
+            sm.configure(kernel, global_mem, reconv, self.scheduler,
+                         plan=plan)
         pending = list(self._make_blocks(kernel, launch, params))
         pending.reverse()  # pop() dispatches in grid order
         total_blocks = len(pending)
 
         cycle = 0
         age = 0
-        while True:
-            # Dispatch blocks into free slots.
-            for sm in self.sms:
-                while pending and sm.resident_blocks < blocks_per_sm:
-                    block = pending.pop()
-                    for warp in block.warps:
-                        warp.age = age
-                        age += 1
-                    sm.add_block(block, cycle)
-            # Detection must precede this cycle's conveyor pops: an error
-            # detected exactly WCDL cycles after a region end invalidates
-            # that region's verification (the tie goes to the detector).
-            if self.fault_injector is not None:
-                self.fault_injector.tick(self, cycle)
-            issued = 0
-            for sm in self.sms:
-                issued += sm.tick(cycle)
-            # Retire finished blocks.
-            for sm in self.sms:
-                for block in [b for b in sm.blocks if b.done]:
-                    sm.remove_block(block)
-            if self.sanitizer is not None:
-                self.sanitizer.check(self, cycle)
-            if not pending and all(not sm.busy for sm in self.sms):
-                break
-            if issued:
-                cycle += 1
-            else:
-                cycle = self._fast_forward(cycle)
-            if cycle > budget:
-                raise SimTimeout(
-                    f"kernel {kernel.name!r} exceeded its cycle budget of "
-                    f"{budget} cycles — likely hung or livelocked",
-                    cycles=cycle)
+        # FP exceptions are already value-handled per op (clamps, NaN
+        # scrubbing); silencing them once around the whole loop spares
+        # every ALU apply an errstate context switch.
+        with np.errstate(all="ignore"):
+            while True:
+                # Dispatch blocks into free slots.
+                for sm in self.sms:
+                    while pending and sm.resident_blocks < blocks_per_sm:
+                        block = pending.pop()
+                        for warp in block.warps:
+                            warp.age = age
+                            age += 1
+                        sm.add_block(block, cycle)
+                # Detection must precede this cycle's conveyor pops: an
+                # error detected exactly WCDL cycles after a region end
+                # invalidates that region's verification (the tie goes to
+                # the detector).
+                if self.fault_injector is not None:
+                    self.fault_injector.tick(self, cycle)
+                issued = 0
+                for sm in self.sms:
+                    issued += sm.tick(cycle)
+                # Retire finished blocks (live-warp counters hit zero).
+                for sm in self.sms:
+                    if sm._done_blocks:
+                        for block in sm.take_done_blocks():
+                            sm.remove_block(block)
+                if self.sanitizer is not None:
+                    self.sanitizer.check(self, cycle)
+                if not pending and all(not sm.busy for sm in self.sms):
+                    break
+                if issued:
+                    cycle += 1
+                else:
+                    cycle = self._fast_forward(cycle)
+                if cycle > budget:
+                    raise SimTimeout(
+                        f"kernel {kernel.name!r} exceeded its cycle budget "
+                        f"of {budget} cycles — likely hung or livelocked",
+                        cycles=cycle)
 
         stats = SimStats()
         per_sm = []
@@ -207,6 +222,10 @@ class Gpu:
         bx, by = launch.block
         threads = launch.threads_per_block
         warps_per_block = -(-threads // config.warp_size)
+        # num_regs/num_preds are O(instructions) scans: compute them once
+        # per launch, not once per warp.
+        num_regs = max(kernel.num_regs, 1)
+        num_preds = max(kernel.num_preds, 1)
         warp_counter = 0
         for block_id in range(launch.num_blocks):
             ctaid = (block_id % gx, block_id // gx)
@@ -218,40 +237,79 @@ class Gpu:
                 warp_counter += 1
                 specials = self._specials(ctaid, launch, w)
                 warp = Warp(warp_id, block, kernel,
-                            num_regs=max(kernel.num_regs, 1),
+                            num_regs=num_regs,
                             warp_size=config.warp_size,
-                            specials=specials, params=params, age=warp_id)
+                            specials=specials, params=params, age=warp_id,
+                            num_preds=num_preds)
                 block.warps.append(warp)
             yield block
 
     def _specials(self, ctaid: tuple[int, int], launch: LaunchConfig,
                   warp_in_block: int) -> dict[Special, np.ndarray]:
+        # Specials are launch-invariant per (geometry, warp slot) and only
+        # ever read (no op writes a Special), so every warp in the same
+        # slot across all blocks — and across launches — shares the same
+        # frozen arrays instead of re-deriving ten vectors per warp.
         config = self.config
         bx, by = launch.block
-        gx, gy = launch.grid
-        lanes = np.arange(config.warp_size, dtype=np.float64)
-        linear = warp_in_block * config.warp_size + lanes
-        full = np.full(config.warp_size, 0.0)
+        tid_x, tid_y, laneid = _lane_specials(config.warp_size, bx,
+                                              warp_in_block)
+        scalar = _scalar_special
+        ws = config.warp_size
         return {
-            Special.TID_X: np.mod(linear, bx),
-            Special.TID_Y: np.floor(linear / bx),
-            Special.NTID_X: full + bx,
-            Special.NTID_Y: full + by,
-            Special.CTAID_X: full + ctaid[0],
-            Special.CTAID_Y: full + ctaid[1],
-            Special.NCTAID_X: full + gx,
-            Special.NCTAID_Y: full + gy,
-            Special.LANEID: lanes.copy(),
-            Special.WARPID: full + warp_in_block,
+            Special.TID_X: tid_x,
+            Special.TID_Y: tid_y,
+            Special.NTID_X: scalar(ws, bx),
+            Special.NTID_Y: scalar(ws, by),
+            Special.CTAID_X: scalar(ws, ctaid[0]),
+            Special.CTAID_Y: scalar(ws, ctaid[1]),
+            Special.NCTAID_X: scalar(ws, launch.grid[0]),
+            Special.NCTAID_Y: scalar(ws, launch.grid[1]),
+            Special.LANEID: laneid,
+            Special.WARPID: scalar(ws, warp_in_block),
         }
+
+
+_LANE_SPECIALS: dict[tuple[int, int, int],
+                     tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+_SCALAR_SPECIALS: dict[tuple[int, float], np.ndarray] = {}
+
+
+def _lane_specials(warp_size: int, bx: int, warp_in_block: int):
+    key = (warp_size, bx, warp_in_block)
+    cached = _LANE_SPECIALS.get(key)
+    if cached is None:
+        lanes = np.arange(warp_size, dtype=np.float64)
+        linear = warp_in_block * warp_size + lanes
+        tid_x = np.mod(linear, bx)
+        tid_y = np.floor(linear / bx)
+        for arr in (tid_x, tid_y, lanes):
+            arr.flags.writeable = False
+        cached = _LANE_SPECIALS[key] = (tid_x, tid_y, lanes)
+    return cached
+
+
+def _scalar_special(warp_size: int, value: float) -> np.ndarray:
+    key = (warp_size, float(value))
+    arr = _SCALAR_SPECIALS.get(key)
+    if arr is None:
+        arr = np.full(warp_size, float(value))
+        arr.flags.writeable = False
+        _SCALAR_SPECIALS[key] = arr
+    return arr
 
 
 def run_kernel(kernel: Kernel, launch: LaunchConfig, global_mem: np.ndarray,
                config: GpuConfig = GTX480, scheduler: str = "GTO",
                resilience: ResilienceRuntime = NULL_RESILIENCE,
                regs_per_thread: int | None = None,
-               max_cycles: int | None = None, sanitizer=None) -> RunResult:
-    """Convenience one-shot: build a GPU, launch, return the result."""
-    gpu = Gpu(config, resilience, scheduler, sanitizer=sanitizer)
+               max_cycles: int | None = None, sanitizer=None,
+               fast: bool = True) -> RunResult:
+    """Convenience one-shot: build a GPU, launch, return the result.
+
+    ``fast=False`` runs the reference per-issue interpreter instead of
+    the decode-once execution plan; results are byte-identical.
+    """
+    gpu = Gpu(config, resilience, scheduler, sanitizer=sanitizer, fast=fast)
     return gpu.launch(kernel, launch, global_mem, regs_per_thread,
                       max_cycles=max_cycles)

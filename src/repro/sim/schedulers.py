@@ -8,8 +8,13 @@ the policies only differ in the order candidates are considered.
 
 from __future__ import annotations
 
+from bisect import insort
+
 from ..errors import ConfigError
 from .warp import Warp
+
+#: Sort key for age-ordered schedulers.
+_BY_AGE = lambda w: w.age  # noqa: E731
 
 
 class WarpScheduler:
@@ -37,7 +42,17 @@ class WarpScheduler:
         """Called when the previously running warp could not issue."""
 
 
-class GtoScheduler(WarpScheduler):
+class AgeSortedScheduler(WarpScheduler):
+    """Base for policies that consider warps oldest-first: keeps
+    ``self.warps`` age-sorted at attach time (ages are unique and
+    ``insort`` places equal keys last, matching a stable sort) so
+    ``pick`` iterates directly instead of re-sorting every cycle."""
+
+    def attach(self, warp: Warp) -> None:
+        insort(self.warps, warp, key=_BY_AGE)
+
+
+class GtoScheduler(AgeSortedScheduler):
     """Greedy-Then-Oldest: stick with the current warp until it stalls,
     then switch to the oldest ready warp (GPGPU-Sim's default)."""
 
@@ -56,7 +71,7 @@ class GtoScheduler(WarpScheduler):
         current = self._current
         if current is not None and current in self.warps and issuable(current):
             return current
-        for warp in sorted(self.warps, key=lambda w: w.age):
+        for warp in self.warps:
             if issuable(warp):
                 self._current = warp
                 return warp
@@ -64,13 +79,13 @@ class GtoScheduler(WarpScheduler):
         return None
 
 
-class OldestScheduler(WarpScheduler):
+class OldestScheduler(AgeSortedScheduler):
     """OLD: always pick the oldest ready warp."""
 
     name = "OLD"
 
     def pick(self, issuable, cycle: int) -> Warp | None:
-        for warp in sorted(self.warps, key=lambda w: w.age):
+        for warp in self.warps:
             if issuable(warp):
                 return warp
         return None

@@ -17,6 +17,7 @@ from ..errors import SimError
 from ..isa import FuClass, Instruction, Kernel, Op, Pred, Reg, Space
 from .caches import Cache
 from .functional import MemAccess, execute, guard_mask
+from .plan import ExecPlan, K_BAR, K_BRA, K_EXIT, K_VALUE, T_ATOMIC, T_SHARED
 from .schedulers import WarpScheduler, make_scheduler
 from .stats import SimStats
 from .warp import Warp, WarpState
@@ -79,6 +80,9 @@ class ThreadBlock:
         self.shared = np.zeros(max(shared_words, 1), dtype=np.float64)
         self.warps: list[Warp] = []
         self.at_barrier: int = 0
+        #: Warps not yet DONE; maintained by ``Sm`` so block retirement
+        #: is a counter decrement instead of a per-cycle all-warps scan.
+        self.live_warps: int = 0
 
     @property
     def done(self) -> bool:
@@ -103,25 +107,31 @@ class Sm:
         self.global_mem: np.ndarray | None = None
         self.kernel: Kernel | None = None
         self.reconv: dict[int, int] = {}
+        self.plan: ExecPlan | None = None
         self._lsu_free_at = 0
         self._next_sched = 0
+        #: Blocks whose live-warp counter hit zero (drained by Gpu.launch).
+        self._done_blocks: list[ThreadBlock] = []
 
     # ------------------------------------------------------------------
     # Launch-time setup
     # ------------------------------------------------------------------
     def configure(self, kernel: Kernel, global_mem: np.ndarray,
-                  reconv: dict[int, int], scheduler: str) -> None:
+                  reconv: dict[int, int], scheduler: str,
+                  plan: ExecPlan | None = None) -> None:
         self.kernel = kernel
         self.global_mem = global_mem
         self.reconv = reconv
+        self.plan = plan
         self.scheduler_name = scheduler
         self.schedulers = [make_scheduler(scheduler)
                            for _ in range(self.config.num_schedulers)]
 
     def add_block(self, block: ThreadBlock, cycle: int) -> None:
         self.blocks.append(block)
+        block.live_warps = len(block.warps)
         for warp in block.warps:
-            warp.wakeup_cycle = cycle
+            warp.wake(cycle)
             self.warps.append(warp)
             scheduler = self.schedulers[self._next_sched]
             self._next_sched = (self._next_sched + 1) % len(self.schedulers)
@@ -134,11 +144,34 @@ class Sm:
         self.stats.warps_launched += len(block.warps)
 
     def remove_block(self, block: ThreadBlock) -> None:
-        self.blocks.remove(block)
+        # Swap-pop: block order is unobservable (dispatch and retirement
+        # only need membership), so avoid the O(blocks) list.remove scan.
+        blocks = self.blocks
+        index = blocks.index(block)
+        last = blocks.pop()
+        if last is not block:
+            blocks[index] = last
         for warp in block.warps:
             warp.scheduler.detach(warp)
-            self.warps.remove(warp)
             self.resilience.on_warp_detached(self, warp)
+        # One order-preserving rebuild instead of per-warp list.remove:
+        # fault-site candidate selection iterates ``sm.warps``, so the
+        # surviving warps must keep their exact relative order.
+        self.warps = [w for w in self.warps if w.block is not block]
+
+    def _note_warp_done(self, warp: Warp) -> None:
+        """A warp reached DONE: decrement its block's live-warp counter."""
+        block = warp.block
+        block.live_warps -= 1
+        if block.live_warps == 0:
+            self._done_blocks.append(block)
+
+    def take_done_blocks(self) -> list[ThreadBlock]:
+        """Drain (and clear) the list of fully-retired blocks."""
+        done = self._done_blocks
+        if done:
+            self._done_blocks = []
+        return done
 
     @property
     def resident_blocks(self) -> int:
@@ -164,6 +197,18 @@ class Sm:
     def skip_markers(self, warp: Warp, cycle: int) -> None:
         """Deliver boundary markers at the warp's PC to the resilience
         runtime; in the null runtime they are consumed for free."""
+        plan = self.plan
+        if plan is not None:
+            rb_flags = plan.rb_flags
+            while (warp.state is WarpState.ACTIVE and not warp._finished
+                   and rb_flags[warp.stack[-1].pc]):
+                self.stats.boundary_instructions += 1
+                pc_before = warp.stack[-1].pc
+                self.resilience.on_reach_boundary(self, warp, cycle)
+                if (warp.state is not WarpState.ACTIVE
+                        or warp.stack[-1].pc == pc_before):
+                    break
+            return
         while (warp.state is WarpState.ACTIVE and not warp.finished
                and warp.next_instruction().op is Op.RB):
             self.stats.boundary_instructions += 1
@@ -179,11 +224,16 @@ class Sm:
         """Run one cycle; returns the number of instructions issued."""
         self.resilience.tick(self, cycle)
         issued = 0
+        if self.plan is None:
+            issuable, issue = self._issuable, self._issue
+        else:
+            issuable, issue = self._issuable_fast, self._issue_fast
+        check = lambda w: issuable(w, cycle)  # noqa: E731
         for scheduler in self.schedulers:
-            warp = scheduler.pick(lambda w: self._issuable(w, cycle), cycle)
+            warp = scheduler.pick(check, cycle)
             if warp is None:
                 continue
-            self._issue(warp, cycle)
+            issue(warp, cycle)
             issued += 1
         if self.busy:
             self.stats.issue_cycles += 1 if issued else 0
@@ -211,12 +261,97 @@ class Sm:
             return config.sfu_latency
         return config.alu_latency
 
+    def _issuable_fast(self, warp: Warp, cycle: int) -> bool:
+        """Plan-driven ``_issuable``: no isinstance chains, no per-issue
+        tuple construction — the scoreboard operand set, LSU usage, and
+        FU class come precomputed from the dispatch record.
+
+        Shares the version-validated ready cache with ``next_event``: a
+        stalled warp rescans its scoreboard once per state change rather
+        than once per scheduler pick.  A cached value that embeds a
+        since-expired scoreboard entry is at most that entry's expiry
+        cycle, so ``ready_cache > cycle`` agrees with a fresh scan."""
+        if warp.state is not WarpState.ACTIVE or warp.wakeup_cycle > cycle:
+            return False
+        if warp._finished:
+            return True  # issue slot used to retire the warp
+        if warp.ready_version != warp.version:
+            rec = self.plan.records[warp.stack[-1].pc]
+            ready = warp.wakeup_cycle
+            pending = warp.pending
+            if pending:
+                get = pending.get
+                for operand in rec.score_ops:
+                    at = get(operand, 0)
+                    if at > ready:
+                        ready = at
+            warp.ready_cache = ready
+            warp.ready_timed = rec.is_timed_mem
+            warp.ready_version = warp.version
+        if warp.ready_cache > cycle:
+            return False
+        if warp.ready_timed and self._lsu_free_at > cycle:
+            return False
+        return True
+
+    def _issue_fast(self, warp: Warp, cycle: int) -> None:
+        """Plan-driven ``_issue``: table dispatch over precomputed records."""
+        if warp._finished:
+            self._retire(warp, cycle)
+            return
+        plan = self.plan
+        rec = plan.records[warp.stack[-1].pc]
+        warp.wake(cycle + 1)
+        warp.insts_since_boundary += 1
+        self.stats.count_issue(rec.fu, rec.shadow, rec.ckpt)
+        kind = rec.kind
+
+        if kind == K_VALUE:
+            ctx = warp.ctx
+            active = warp.stack[-1].mask & warp._not_exited
+            mask = rec.guard(ctx, active)
+            access = rec.run(ctx, mask, self.global_mem, warp.block.shared)
+            if rec.track_reg_write:
+                warp.last_write = rec.dst
+                warp.last_write_pc = warp.stack[-1].pc
+                warp.last_write_mask = mask
+            elif rec.track_pred_write:
+                warp.last_pred_write = rec.dst
+                warp.last_pred_write_pc = warp.stack[-1].pc
+                # A predicate write that aliases its own guard changes
+                # the post-execution mask (which is what the reference
+                # path records); recompute only in that case.
+                warp.last_pred_write_mask = (rec.guard(ctx, active)
+                                             if rec.guard_recheck else mask)
+            if rec.track_shared_store and access is not None:
+                warp.last_shared_write = access.addresses
+            if rec.is_timed_mem:
+                self._time_memory_fast(warp, rec, access, cycle)
+            elif rec.dst is not None:
+                warp.pending[rec.dst] = cycle + rec.latency
+            warp.advance()
+            self._after_pc_change(warp, cycle)
+            return
+        if kind == K_BRA:
+            warp.take_branch_planned(rec)
+            self._after_pc_change(warp, cycle)
+            return
+        if kind == K_BAR:
+            self._arrive_barrier(warp, cycle)
+            return
+        # K_EXIT
+        warp.exit_lanes_planned(rec)
+        if warp._finished:
+            self._retire(warp, cycle)
+        else:
+            self._after_pc_change(warp, cycle)
+
     def _issue(self, warp: Warp, cycle: int) -> None:
         if warp.finished:
             self._retire(warp, cycle)
             return
         inst = warp.next_instruction()
-        warp.wakeup_cycle = cycle + 1
+        warp.wake(cycle + 1)
         warp.insts_since_boundary += 1
         self.stats.count_issue(inst.fu, inst.shadow, inst.ckpt)
 
@@ -278,6 +413,7 @@ class Sm:
             return
         if self.resilience.on_warp_exit(self, warp, cycle):
             warp.state = WarpState.DONE
+            self._note_warp_done(warp)
             self._check_barrier_release(warp.block, cycle)
 
     # ------------------------------------------------------------------
@@ -318,6 +454,49 @@ class Sm:
         if inst.info.is_load or inst.info.is_atomic:
             warp.mark_pending(inst.dst, cycle + latency)
 
+    def _time_memory_fast(self, warp: Warp, rec, access: MemAccess | None,
+                          cycle: int) -> None:
+        """Plan-driven ``_time_memory`` with coalescing fast paths for
+        the dominant (uniform / unit-stride) access patterns."""
+        config = self.config
+        if access is None:  # fully predicated-off memory op
+            if rec.dst is not None:
+                warp.pending[rec.dst] = cycle + 1
+            return
+        timing = rec.timing
+        if timing == T_ATOMIC:
+            lanes = len(access.addresses)
+            latency = config.atomic_latency + lanes
+            occupancy = max(1, lanes // 2)
+            self.stats.atomic_ops += lanes
+        elif timing == T_SHARED:
+            degree = _bank_degree(access.addresses)
+            latency = config.shared_latency + (degree - 1)
+            occupancy = degree
+            self.stats.shared_accesses += 1
+            self.stats.shared_bank_conflicts += degree - 1
+        else:
+            line_words = config.l1.line_words
+            segments = _coalesce_segments(access.addresses, line_words)
+            occupancy = len(segments)
+            latency = 0
+            is_store = access.is_store
+            l1, l2 = self.l1, self.l2
+            for segment in segments:
+                word = int(segment) * line_words
+                if l1.access(word, is_store=is_store):
+                    seg_latency = config.l1_latency
+                elif l2.access(word, is_store=is_store):
+                    seg_latency = config.l2_latency
+                else:
+                    seg_latency = config.dram_latency
+                if seg_latency > latency:
+                    latency = seg_latency
+            self.stats.global_transactions += occupancy
+        self._lsu_free_at = max(self._lsu_free_at, cycle) + occupancy
+        if rec.needs_writeback and rec.dst is not None:
+            warp.pending[rec.dst] = cycle + latency
+
     @staticmethod
     def _bank_conflict_degree(addresses: np.ndarray) -> int:
         unique = np.unique(addresses)
@@ -353,23 +532,118 @@ class Sm:
             if (warp.state is WarpState.AT_BARRIER
                     and warp.barrier_count <= reached):
                 warp.state = WarpState.ACTIVE
-                warp.wakeup_cycle = cycle + 1
+                warp.wake(cycle + 1)
                 self.skip_markers(warp, cycle + 1)
 
     # ------------------------------------------------------------------
     # Fast-forward support
     # ------------------------------------------------------------------
     def next_event(self, cycle: int) -> int:
-        """Earliest future cycle at which this SM might issue."""
+        """Earliest future cycle at which this SM might issue.
+
+        With a plan, each warp's ready cycle is cached and revalidated
+        against its ``version`` counter (bumped by ``Warp.wake`` and
+        scoreboard writes), so a long stall recomputes only the warps
+        whose state actually changed.  The LSU bound is applied at scan
+        time because ``_lsu_free_at`` is SM-global and changes without
+        touching warp versions.  Cached entries that embed since-expired
+        scoreboard values can only overestimate by amounts at or below
+        the current cycle, which the ``max(cycle + 1, ...)`` clamp in
+        ``Gpu._fast_forward`` makes indistinguishable from a fresh
+        computation.
+        """
         best = self.resilience.next_event(self)
+        plan = self.plan
+        if plan is None:
+            for warp in self.warps:
+                if warp.state is not WarpState.ACTIVE:
+                    continue
+                if warp.finished:
+                    return cycle + 1
+                inst = warp.next_instruction()
+                ready = max(warp.earliest_dep_cycle(inst), warp.wakeup_cycle)
+                if inst.fu is FuClass.MEM and inst.space is not Space.PARAM:
+                    ready = max(ready, self._lsu_free_at)
+                best = min(best, ready)
+            return best
+        records = plan.records
+        lsu_free_at = self._lsu_free_at
         for warp in self.warps:
             if warp.state is not WarpState.ACTIVE:
                 continue
-            if warp.finished:
+            if warp._finished:
                 return cycle + 1
-            inst = warp.next_instruction()
-            ready = max(warp.earliest_dep_cycle(inst), warp.wakeup_cycle)
-            if inst.fu is FuClass.MEM and inst.space is not Space.PARAM:
-                ready = max(ready, self._lsu_free_at)
-            best = min(best, ready)
+            if warp.ready_version == warp.version:
+                ready = warp.ready_cache
+                timed = warp.ready_timed
+            else:
+                rec = records[warp.stack[-1].pc]
+                ready = warp.wakeup_cycle
+                pending = warp.pending
+                if pending:
+                    get = pending.get
+                    for operand in rec.score_ops:
+                        at = get(operand, 0)
+                        if at > ready:
+                            ready = at
+                timed = rec.is_timed_mem
+                warp.ready_cache = ready
+                warp.ready_timed = timed
+                warp.ready_version = warp.version
+            if timed and lsu_free_at > ready:
+                ready = lsu_free_at
+            if ready < best:
+                best = ready
         return best
+
+
+def _coalesce_segments(addrs: np.ndarray, line_words: int) -> np.ndarray:
+    """Cache-line segments touched, ascending — ``np.unique`` semantics
+    with O(n) fast paths for the dominant patterns: a uniform (broadcast)
+    access is one segment; an ascending unit-stride access covers every
+    line between its endpoints exactly once."""
+    n = addrs.shape[0]
+    if n == 1:
+        return addrs // line_words
+    first = int(addrs[0])
+    last = int(addrs[-1])
+    if first == last:
+        if not (addrs != first).any():
+            return addrs[:1] // line_words
+    elif last - first == n - 1 and bool((np.diff(addrs) == 1).all()):
+        return np.arange(first // line_words, last // line_words + 1,
+                         dtype=np.int64)
+    return np.unique(addrs // line_words)
+
+
+def _bank_degree(addrs: np.ndarray) -> int:
+    """Shared-memory bank conflict degree — semantics of
+    ``Sm._bank_conflict_degree`` with conflict-free fast paths (uniform
+    accesses broadcast; at most 32 consecutive addresses hit 32 distinct
+    banks) and an O(lanes) bucket count instead of two ``np.unique``
+    sorts in the general case."""
+    n = addrs.shape[0]
+    if n == 1:
+        return 1
+    first = int(addrs[0])
+    last = int(addrs[-1])
+    if first == last:
+        if not (addrs != first).any():
+            return 1
+    elif (last - first == n - 1 and n <= 32
+            and bool((np.diff(addrs) == 1).all())):
+        return 1
+    # Degree = max count of distinct addresses per bank (addresses are
+    # bounds-checked non-negative, so ``& 31`` is ``% 32``).
+    distinct = set(addrs.tolist())
+    if len(distinct) <= 1:
+        return 1
+    counts = [0] * 32
+    best = 1
+    for addr in distinct:
+        bank = addr & 31
+        hits = counts[bank] + 1
+        counts[bank] = hits
+        if hits > best:
+            best = hits
+    return best

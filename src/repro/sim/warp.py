@@ -72,14 +72,17 @@ class Warp:
     def __init__(self, warp_id: int, block, kernel: Kernel,
                  num_regs: int, warp_size: int,
                  specials: dict[Special, np.ndarray],
-                 params: np.ndarray, age: int) -> None:
+                 params: np.ndarray, age: int,
+                 num_preds: int | None = None) -> None:
         self.id = warp_id
         self.block = block
         self.kernel = kernel
         self.warp_size = warp_size
         self.age = age                      # global dispatch order (for GTO/OLD)
         self.state = WarpState.ACTIVE
-        self.ctx = LaneContext(num_regs, max(kernel.num_preds, 1), warp_size,
+        if num_preds is None:
+            num_preds = max(kernel.num_preds, 1)
+        self.ctx = LaneContext(num_regs, num_preds, warp_size,
                                specials, params)
         full = np.ones(warp_size, dtype=bool)
         if block.num_threads < (warp_id - block.first_warp_id + 1) * warp_size:
@@ -91,6 +94,15 @@ class Warp:
         # Scoreboard: destination -> cycle the value becomes usable.
         self.pending: dict[Reg | Pred, int] = {}
         self.wakeup_cycle = 0               # earliest cycle the warp may issue
+        # Event-driven fast-forward support: ``version`` bumps on every
+        # state change that can affect readiness (wakeup, scoreboard
+        # write, recovery); ``Sm.next_event`` caches the computed ready
+        # cycle per warp and revalidates it against the version, so a
+        # long stall costs O(changed warps) instead of O(all warps).
+        self.version = 0
+        self.ready_version = -1             # version the cache was built at
+        self.ready_cache = 0                # cached earliest ready cycle
+        self.ready_timed = False            # cached "next inst uses the LSU"
         self.scheduler = None               # set when attached to an SM
         self.insts_since_boundary = 0       # dynamic region-size accounting
         self.barrier_count = 0              # monotonic barrier generation
@@ -128,12 +140,26 @@ class Warp:
         self.stack[-1].pc = value
 
     @property
+    def exited(self) -> np.ndarray:
+        return self._exited
+
+    @exited.setter
+    def exited(self, value: np.ndarray) -> None:
+        # ``~exited`` and the all-exited test are on the issue hot path;
+        # exits are rare, so recompute both once per assignment instead
+        # of per query.  (In-place mutation of the array bypasses this
+        # cache — all simulator code assigns, as does WarpSnapshot.)
+        self._exited = value
+        self._not_exited = ~value
+        self._finished = not bool(self._not_exited.any())
+
+    @property
     def active_mask(self) -> np.ndarray:
-        return self.stack[-1].mask & ~self.exited
+        return self.stack[-1].mask & self._not_exited
 
     @property
     def finished(self) -> bool:
-        return not bool((~self.exited).any())
+        return self._finished
 
     def next_instruction(self) -> Instruction:
         return self.kernel.instructions[self.pc]
@@ -166,12 +192,23 @@ class Warp:
 
     def retire_pending(self, cycle: int) -> None:
         """Drop scoreboard entries whose values are now available."""
-        if self.pending:
-            self.pending = {k: c for k, c in self.pending.items() if c > cycle}
+        pending = self.pending
+        if pending:
+            for ready in pending.values():
+                if ready <= cycle:
+                    self.pending = {k: c for k, c in pending.items()
+                                    if c > cycle}
+                    return
 
     def mark_pending(self, dst, ready_cycle: int) -> None:
         if dst is not None:
             self.pending[dst] = ready_cycle
+            self.version += 1
+
+    def wake(self, cycle: int) -> None:
+        """Set the earliest issue cycle and invalidate the ready cache."""
+        self.wakeup_cycle = cycle
+        self.version += 1
 
     # ------------------------------------------------------------------
     # Control flow
@@ -221,6 +258,55 @@ class Warp:
         mask = guard_mask(inst, self.ctx, self.active_mask)
         self.exited = self.exited | mask
         if inst.guard is not None:
+            self.advance()
+        self._pop_empty()
+
+    # ------------------------------------------------------------------
+    # Plan-driven control flow (semantics identical to the reference
+    # methods above; the branch target, reconvergence PC, and guard
+    # policy come pre-resolved from the PlannedInst record instead of
+    # being re-derived per dynamic issue).
+    # ------------------------------------------------------------------
+    def _planned_guard(self, rec, active: np.ndarray) -> np.ndarray:
+        index = rec.guard_index
+        if index is None:
+            return active
+        guard = self.ctx.preds[index]
+        if rec.guard_sense:
+            return active & guard
+        return active & ~guard
+
+    def take_branch_planned(self, rec) -> None:
+        entry = self.stack[-1]
+        target = rec.target
+        if rec.guard_index is None:
+            entry.pc = target
+            self._maybe_reconverge()
+            return
+        active = entry.mask & self._not_exited
+        taken = self._planned_guard(rec, active)
+        not_taken = active & ~taken
+        if not not_taken.any():
+            self.stack[-1].pc = target
+            self._maybe_reconverge()
+            return
+        if not taken.any():
+            self.advance()
+            return
+        reconv_pc = rec.reconv_pc
+        fallthrough = self.stack[-1].pc + 1
+        self.stack[-1].pc = reconv_pc
+        if fallthrough != reconv_pc:
+            self.stack.append(StackEntry(reconv_pc, fallthrough, not_taken))
+        if target != reconv_pc:
+            self.stack.append(StackEntry(reconv_pc, target, taken))
+        self._maybe_reconverge()
+
+    def exit_lanes_planned(self, rec) -> None:
+        active = self.stack[-1].mask & self._not_exited
+        mask = self._planned_guard(rec, active)
+        self.exited = self._exited | mask
+        if rec.guard_index is not None:
             self.advance()
         self._pop_empty()
 
