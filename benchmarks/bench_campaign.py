@@ -1,0 +1,116 @@
+"""Direct-vs-checkpointed campaign wall-clock comparison.
+
+Measures the end-to-end speedup of the checkpoint engine (golden-run
+snapshots + strike-cycle fast-start + convergence early-out) on the
+exact campaigns the CI smoke runs, and records the result in
+``benchmarks/BENCH_campaign.json``.
+
+Methodology — the box this runs on is noisy (identical work has been
+observed to vary >30% wall-clock between passes), so a single timed
+pass per mode is worthless.  Instead:
+
+* the two modes run in *alternating* passes (D C D C ...) so slow
+  phases of the machine hit both arms roughly equally;
+* each campaign reports the *best-of-N* per arm (minimum over passes),
+  the standard noise-robust estimator for a fixed workload;
+* the golden cache is cleared before every pass, so each pass pays the
+  full golden-run + checkpoint-recording cost — nothing is amortized
+  across passes that a real cold campaign would have to pay;
+* trials run inline (workers=1): process-pool dispatch overhead would
+  dilute both arms equally and measure the pool, not the engine.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_campaign.py [--reps 4] [--write]
+
+Without ``--write`` the JSON is printed but not saved.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.core import campaign as campaign_mod
+from repro.core.campaign import CampaignSpec, run_trial
+
+#: The two CI smoke campaigns (see .github/workflows/ci.yml).
+SMOKES = {
+    "SGEMM_smoke": dict(workloads=("SGEMM",), trials=10, seed=0,
+                        scale="tiny", sites=("dest_reg", "shared_mem"),
+                        sanitize=True),
+    "Triad_smoke": dict(workloads=("Triad",), trials=20, seed=0,
+                        scale="tiny"),
+}
+
+
+def time_pass(spec: CampaignSpec) -> float:
+    """One cold pass: cleared golden cache, inline trials, wall seconds."""
+    campaign_mod._GOLDEN_CACHE.clear()
+    start = time.perf_counter()
+    for trial in spec.trial_specs():
+        run_trial(trial)
+    return time.perf_counter() - start
+
+
+def measure(reps: int) -> dict:
+    results: dict[str, dict] = {}
+    for name, kwargs in SMOKES.items():
+        direct = CampaignSpec(checkpoint=False, **kwargs)
+        ckpt = CampaignSpec(checkpoint=True, **kwargs)
+        direct_times, ckpt_times = [], []
+        for rep in range(reps):
+            direct_times.append(time_pass(direct))
+            ckpt_times.append(time_pass(ckpt))
+            print(f"  {name} rep {rep}: direct {direct_times[-1]:.2f}s, "
+                  f"checkpointed {ckpt_times[-1]:.2f}s", flush=True)
+        best_d, best_c = min(direct_times), min(ckpt_times)
+        results[name] = {
+            "trials": 2 * kwargs["trials"],  # baseline + flame schemes
+            "direct_best_s": round(best_d, 3),
+            "checkpointed_best_s": round(best_c, 3),
+            "speedup": round(best_d / best_c, 2),
+            "reps": reps,
+        }
+        print(f"{name}: direct {best_d:.2f}s, checkpointed {best_c:.2f}s, "
+              f"speedup {best_d / best_c:.2f}x", flush=True)
+    total_d = sum(r["direct_best_s"] for r in results.values())
+    total_c = sum(r["checkpointed_best_s"] for r in results.values())
+    results["combined"] = {
+        "direct_best_s": round(total_d, 3),
+        "checkpointed_best_s": round(total_c, 3),
+        "speedup": round(total_d / total_c, 2),
+    }
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--reps", type=int, default=4,
+                        help="alternating passes per arm (best-of-N)")
+    parser.add_argument("--write", action="store_true",
+                        help="save to benchmarks/BENCH_campaign.json")
+    args = parser.parse_args(argv)
+
+    results = measure(args.reps)
+    payload = {
+        "schema": 1,
+        "note": ("best-of-N alternating direct/checkpointed passes of the "
+                 "CI smoke campaigns, cold golden cache every pass, "
+                 "workers=1; regenerate with benchmarks/bench_campaign.py "
+                 "--write whenever the campaign hot path changes"),
+        "campaigns": results,
+    }
+    text = json.dumps(payload, indent=2)
+    print(text)
+    if args.write:
+        out = Path(__file__).parent / "BENCH_campaign.json"
+        out.write_text(text + "\n")
+        print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

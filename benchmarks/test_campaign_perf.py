@@ -1,0 +1,33 @@
+"""Campaign-layer throughput: seeded Monte Carlo trials per second.
+
+The checkpoint engine's whole purpose is campaign wall-clock, so this
+guards the end-to-end path — golden memo, checkpoint fast-start,
+convergence early-out, trial classification — not just the simulator
+inner loop.  The golden run (and its checkpoint recording) is warmed
+outside the timed region: a real campaign amortizes it over hundreds
+of trials, so timing it inside a 50-trial round would overweight it.
+"""
+
+from repro.core.campaign import CampaignSpec, run_trial
+
+#: Fixed composition: 25 trials x {baseline, flame} on SGEMM, seed 42.
+_SPEC = CampaignSpec(workloads=("SGEMM",), trials=25, seed=42,
+                     scale="tiny", checkpoint=True)
+
+
+def test_campaign_trials_per_second(benchmark):
+    """50 checkpoint-accelerated trials, inline (workers=1)."""
+    trials = _SPEC.trial_specs()
+    run_trial(trials[0])  # warm the golden memo + checkpoint recording
+
+    def run():
+        return [run_trial(trial) for trial in trials]
+
+    results = benchmark.pedantic(run, rounds=3, iterations=1,
+                                 warmup_rounds=1)
+    assert len(results) == 50
+    assert all(r.outcome in ("masked", "recovered", "sdc")
+               for r in results)
+    benchmark.extra_info["trials"] = len(results)
+    benchmark.extra_info["trials_per_second"] = round(
+        len(results) / benchmark.stats.stats.min, 2)

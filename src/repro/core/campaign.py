@@ -38,6 +38,7 @@ import json
 import math
 import os
 import zlib
+from collections import OrderedDict
 from dataclasses import asdict, dataclass, field
 
 import numpy as np
@@ -57,6 +58,12 @@ OUTCOMES = (MASKED, SDC, DUE_HANG, DUE_CRASH, RECOVERED, INFRA_ERROR)
 #: Outcomes that falsify the resilience claim when seen under a
 #: sensor-protected scheme.
 UNRECOVERED = (SDC, DUE_HANG, DUE_CRASH)
+
+
+#: Spec fields that steer *how* trials are executed, not *what* they
+#: compute — excluded from :meth:`CampaignSpec.campaign_id` so direct
+#: and checkpointed runs share journals.
+_NON_IDENTITY_FIELDS = ("checkpoint", "checkpoint_interval")
 
 
 # ----------------------------------------------------------------------
@@ -92,6 +99,15 @@ class CampaignSpec:
     min_cycle_budget: int = 10_000
     #: Per-trial wall-clock budget (seconds); 0 disables the alarm.
     timeout_s: float = 120.0
+    #: Checkpoint-accelerated execution: fast-start each trial from the
+    #: golden checkpoint at/below its earliest strike cycle, and stop
+    #: early once the faulty machine state reconverges with the
+    #: golden run.  Pure execution strategy — per-trial classifications
+    #: and aggregates are byte-identical to direct mode.
+    checkpoint: bool = True
+    #: Golden checkpoint spacing in cycles (0 = adaptive, ~64 evenly
+    #: spaced checkpoints regardless of run length).
+    checkpoint_interval: int = 0
 
     def __post_init__(self) -> None:
         if not self.workloads:
@@ -113,10 +129,19 @@ class CampaignSpec:
             raise ConfigError("each trial needs at least one strike")
         if self.max_cycles_factor <= 0 or self.min_cycle_budget < 1:
             raise ConfigError("cycle budget parameters must be positive")
+        if self.checkpoint_interval < 0:
+            raise ConfigError("checkpoint interval must be >= 0 (0 = auto)")
 
     def campaign_id(self) -> str:
-        """Stable identifier for journaling / resume."""
-        ident = json.dumps(asdict(self), sort_keys=True)
+        """Stable identifier for journaling / resume.
+
+        Execution-strategy fields are excluded: a checkpointed campaign
+        produces byte-identical trials to a direct one, so both may
+        share (and resume) the same journal.
+        """
+        fields = {name: value for name, value in asdict(self).items()
+                  if name not in _NON_IDENTITY_FIELDS}
+        ident = json.dumps(fields, sort_keys=True)
         return f"{zlib.crc32(ident.encode()) & 0xFFFFFFFF:08x}"
 
     def cells(self) -> list[tuple[str, str, str]]:
@@ -137,7 +162,9 @@ class CampaignSpec:
                       harden_rbq=self.harden_rbq,
                       max_cycles_factor=self.max_cycles_factor,
                       min_cycle_budget=self.min_cycle_budget,
-                      timeout_s=self.timeout_s)
+                      timeout_s=self.timeout_s,
+                      checkpoint=self.checkpoint,
+                      checkpoint_interval=self.checkpoint_interval)
             for w, s, f in self.cells() for i in range(self.trials)
         ]
 
@@ -164,6 +191,8 @@ class TrialSpec:
     max_cycles_factor: float = 20.0
     min_cycle_budget: int = 10_000
     timeout_s: float = 120.0
+    checkpoint: bool = True
+    checkpoint_interval: int = 0
 
     @property
     def key(self) -> tuple[str, str, str, int]:
@@ -218,15 +247,34 @@ class TrialResult:
 # ----------------------------------------------------------------------
 #: Per-process memo of golden runs: compiling a workload and simulating
 #: it fault-free once per worker amortizes across that worker's trials.
-_GOLDEN_CACHE: dict[tuple, tuple] = {}
+#: Bounded LRU (``REPRO_GOLDEN_CACHE`` entries, default 8) — sweeping
+#: many (workload, scheme, scheduler) cells in one process no longer
+#: accumulates a golden memory image plus checkpoint set per cell.
+#: Entries are ``[launch_once, golden_cycles, golden_mem, recorder]``;
+#: ``recorder`` stays ``None`` until a checkpointed trial needs it, so
+#: direct-mode campaigns never pay for checkpoint recording.
+_GOLDEN_CACHE: "OrderedDict[tuple, list]" = OrderedDict()
+
+_GOLDEN_CACHE_DEFAULT = 8
 
 
-def _golden(trial: TrialSpec):
+def _golden_cache_limit() -> int:
+    raw = os.environ.get("REPRO_GOLDEN_CACHE", "")
+    try:
+        limit = int(raw)
+    except ValueError:
+        limit = _GOLDEN_CACHE_DEFAULT
+    return max(1, limit if raw else _GOLDEN_CACHE_DEFAULT)
+
+
+def _golden(trial: TrialSpec, with_checkpoints: bool = False) -> list:
     key = (trial.workload, trial.scheme, trial.scale, trial.gpu,
            trial.scheduler, trial.wcdl, trial.sanitize,
            trial.harden_rpt, trial.harden_rbq)
-    hit = _GOLDEN_CACHE.get(key)
-    if hit is None:
+    entry = _GOLDEN_CACHE.get(key)
+    if entry is not None:
+        _GOLDEN_CACHE.move_to_end(key)
+    else:
         from ..arch import gpu_by_name
         from ..compiler import (compile_kernel, prepare_launch,
                                 scheme_by_name)
@@ -240,7 +288,8 @@ def _golden(trial: TrialSpec):
         compiled = compile_kernel(instance.kernel, scheme, wcdl=trial.wcdl)
         config = gpu_by_name(trial.gpu)
 
-        def launch_once(injector=None, max_cycles=None):
+        def launch_once(injector=None, max_cycles=None, recorder=None,
+                        resume_from=None, monitor=None):
             runtime = (FlameRuntime(trial.wcdl,
                                     harden_rpt=trial.harden_rpt,
                                     harden_rbq=trial.harden_rbq)
@@ -259,13 +308,37 @@ def _golden(trial: TrialSpec):
                                   block=instance.launch.block, params=params)
             result = gpu.launch(compiled.kernel, launch, mem,
                                 regs_per_thread=compiled.regs_per_thread,
-                                max_cycles=max_cycles)
+                                max_cycles=max_cycles, recorder=recorder,
+                                resume_from=resume_from, monitor=monitor)
             return result, mem
 
-        result, golden_mem = launch_once()
-        hit = (launch_once, result.cycles, golden_mem)
-        _GOLDEN_CACHE[key] = hit
-    return hit
+        recorder = None
+        if with_checkpoints:
+            from ..sim import CheckpointRecorder
+
+            recorder = CheckpointRecorder(trial.checkpoint_interval)
+        result, golden_mem = launch_once(recorder=recorder)
+        entry = [launch_once, result.cycles, golden_mem, recorder]
+        _GOLDEN_CACHE[key] = entry
+        while len(_GOLDEN_CACHE) > _golden_cache_limit():
+            _GOLDEN_CACHE.popitem(last=False)
+    if with_checkpoints and entry[3] is None:
+        # A direct-mode trial populated this cell without checkpoints;
+        # replay the golden run once with a recorder attached.  The
+        # replay is deterministic, so its checkpoints (and the
+        # read/write liveness maps) describe the cached golden
+        # execution exactly.
+        from ..sim import CheckpointRecorder
+
+        recorder = CheckpointRecorder(trial.checkpoint_interval)
+        replay, _ = entry[0](recorder=recorder)
+        if replay.cycles != entry[1]:
+            raise ReproError(
+                "golden replay diverged while recording checkpoints "
+                f"({replay.cycles} cycles vs {entry[1]}); the simulator "
+                "is not deterministic")
+        entry[3] = recorder
+    return entry
 
 
 class _WallClockTimeout(Exception):
@@ -305,7 +378,8 @@ def run_trial(trial: TrialSpec) -> TrialResult:
     from ..arch import SensorModel
     from .injection import FaultInjector
 
-    launch_once, golden_cycles, golden_mem = _golden(trial)
+    launch_once, golden_cycles, golden_mem, recorder = _golden(
+        trial, with_checkpoints=trial.checkpoint)
     rng = trial.rng()
     # Strike cycles are sampled over the fault-free execution window so
     # every trial has a chance to land (a strike after kernel end is a
@@ -328,9 +402,25 @@ def run_trial(trial: TrialSpec) -> TrialResult:
     injector = FaultInjector(strike_cycles=list(strike_cycles),
                              wcdl=trial.wcdl, seed=injector_seed,
                              site=trial.site, sensor=sensor)
+    resume_from = monitor = None
+    if recorder is not None:
+        # Fast-start: any golden checkpoint at or below the earliest
+        # strike cycle is exactly this trial's state there (the injector
+        # is a no-op before its first strike), so the fault-free prefix
+        # need not be re-simulated.  Early out: once the faulty machine
+        # state matches golden at a checkpoint boundary (or diverges
+        # only in provably dead data) the suffix's outcome is known and
+        # the run stops immediately.
+        from ..sim import ConvergenceMonitor
+
+        resume_from = recorder.best_at_or_below(strike_cycles[0])
+        monitor = ConvergenceMonitor(recorder.checkpoints, golden_cycles,
+                                     liveness=recorder.liveness)
     disarm = _alarm_guard(trial.timeout_s)
     try:
-        sim_result, faulty_mem = launch_once(injector, max_cycles=budget)
+        sim_result, faulty_mem = launch_once(injector, max_cycles=budget,
+                                             resume_from=resume_from,
+                                             monitor=monitor)
     except SimTimeout as exc:
         result.outcome = DUE_HANG
         result.cycles = exc.cycles
@@ -353,7 +443,18 @@ def run_trial(trial: TrialSpec) -> TrialResult:
     # rollback is still answered by a (re-applied) rollback.
     result.recoveries = (sim_result.stats.recoveries
                          + sim_result.stats.coalesced_recoveries)
-    if not np.array_equal(faulty_mem, golden_mem):
+    # A converged run's final memory equality is proven, not simulated:
+    # True on a full state match (the suffix is byte-identical to
+    # golden), and decided by golden's write liveness on an
+    # inert-divergence match.  Landed and recovery counts were already
+    # final when convergence was checked (the injector was quiescent),
+    # so the classification below is exactly what a full run would
+    # produce.
+    if sim_result.converged:
+        memory_equal = monitor.memory_equal
+    else:
+        memory_equal = np.array_equal(faulty_mem, golden_mem)
+    if not memory_equal:
         result.outcome = SDC
     elif result.landed and result.recoveries:
         result.outcome = RECOVERED

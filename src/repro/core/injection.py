@@ -36,6 +36,7 @@ negative tests assert).
 
 from __future__ import annotations
 
+import dataclasses
 import weakref
 from dataclasses import dataclass, field
 
@@ -432,3 +433,31 @@ class FaultInjector:
     @property
     def undetected(self) -> int:
         return sum(1 for r in self.records if r.landed and not r.recovered)
+
+    def quiescent(self) -> bool:
+        """True once every strike has fired and every sensed detection
+        has been delivered — after this the injector can never perturb
+        the machine again (the precondition for early-outcome state
+        comparison against the golden run)."""
+        return (self._next_strike >= len(self.strike_cycles)
+                and not self._pending_detect)
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def capture_state(self) -> dict:
+        """Corruption tracking and the trial RNG stream, as plain data.
+        The address-def memo is derived (and keyed by object identity)
+        so it is rebuilt, not serialized."""
+        return {
+            "records": tuple(dataclasses.replace(r) for r in self.records),
+            "pending_detect": tuple(self._pending_detect),
+            "next_strike": self._next_strike,
+            "rng_state": self._rng.bit_generator.state,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.records = [dataclasses.replace(r) for r in state["records"]]
+        self._pending_detect = [tuple(p) for p in state["pending_detect"]]
+        self._next_strike = state["next_strike"]
+        self._rng.bit_generator.state = state["rng_state"]

@@ -84,6 +84,24 @@ class RegionBoundaryQueue:
     def __len__(self) -> int:
         return len(self._entries)
 
+    # -- checkpoint support --------------------------------------------
+    def capture_state(self) -> tuple:
+        """Plain-data conveyor state: warps become ids, snapshots become
+        :meth:`WarpSnapshot.to_state` tuples."""
+        return (self._last_enqueue_cycle,
+                tuple((e.warp.id, e.snapshot.to_state(), e.enqueued_at,
+                       e.final) for e in self._entries))
+
+    def restore_state(self, state: tuple, warp_map: dict) -> None:
+        from ..sim import WarpSnapshot
+
+        self._last_enqueue_cycle, entries = state
+        self._entries = deque(
+            RbqEntry(warp=warp_map[wid],
+                     snapshot=WarpSnapshot.from_state(snap),
+                     enqueued_at=enq, final=final)
+            for wid, snap, enq, final in entries)
+
     @property
     def storage_bits(self) -> int:
         """Hardware cost: WCDL entries x (5-bit warp id + valid)."""

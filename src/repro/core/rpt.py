@@ -50,6 +50,16 @@ class RecoveryPcTable:
     def drop(self, warp: "Warp") -> None:
         self.entries.pop(warp.id, None)
 
+    # -- checkpoint support --------------------------------------------
+    def capture_state(self) -> dict:
+        return {wid: snap.to_state() for wid, snap in self.entries.items()}
+
+    def restore_state(self, state: dict) -> None:
+        from ..sim import WarpSnapshot
+
+        self.entries = {wid: WarpSnapshot.from_state(data)
+                        for wid, data in state.items()}
+
     def storage_bits(self, max_warps: int = 32, pc_bits: int = 32) -> int:
         """Hardware cost of the PC portion (Section VI-A2)."""
         return max_warps * pc_bits

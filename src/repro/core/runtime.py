@@ -22,6 +22,7 @@ from __future__ import annotations
 from ..errors import ConfigError
 from ..sim import (NEVER, ResilienceRuntime, Sm, Warp, WarpSnapshot,
                    WarpState)
+from ..sim.snapshot import plain_equal
 from .rbq import RbqEntry, RegionBoundaryQueue
 from .rpt import RecoveryPcTable
 
@@ -160,6 +161,58 @@ class FlameSmRuntime(ResilienceRuntime):
             if pop is not None:
                 best = min(best, pop)
         return best
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def capture_state(self, sm: Sm) -> dict:
+        """Plain-data snapshot of the RPT, the per-scheduler conveyors
+        (keyed by scheduler *index* — ``id()`` keys don't survive a
+        restore onto a fresh GPU), the stalled-entry overflow list, and
+        the in-progress rollback window."""
+        sched_index = {id(s): i for i, s in enumerate(sm.schedulers)}
+        return {
+            "rpt": self.rpt.capture_state(),
+            "rbqs": {sched_index[key]: rbq.capture_state()
+                     for key, rbq in self._rbqs.items()},
+            "pending": tuple((e.warp.id, e.snapshot.to_state(),
+                              e.enqueued_at, e.final)
+                             for e in self._pending),
+            "rollback_until": self._rollback_until,
+        }
+
+    def restore_state(self, state: dict, sm: Sm, warp_map: dict) -> None:
+        from ..sim import WarpSnapshot
+
+        self.rpt.restore_state(state["rpt"])
+        self._rbqs = {}
+        for index, rbq_state in state["rbqs"].items():
+            rbq = RegionBoundaryQueue(self.wcdl, hardened=self.harden_rbq)
+            rbq.restore_state(rbq_state, warp_map)
+            self._rbqs[id(sm.schedulers[index])] = rbq
+        self._pending = [
+            RbqEntry(warp=warp_map[wid],
+                     snapshot=WarpSnapshot.from_state(snap),
+                     enqueued_at=enq, final=final)
+            for wid, snap, enq, final in state["pending"]]
+        self._rollback_until = state["rollback_until"]
+
+    def state_equals(self, sm: Sm, state) -> bool:
+        """Convergence-comparison equality against :meth:`capture_state`
+        data.
+
+        Excludes ``rollback_until``: the spent rollback window is read
+        only when a *later* sensor detection coalesces into a running
+        rollback (:meth:`recover`), and the convergence monitor only
+        compares at boundaries where the injector is quiescent — no
+        further detections exist, so a stale window value cannot
+        influence the continuation.
+        """
+        if not isinstance(state, dict):
+            return False
+        live = self.capture_state(sm)
+        return all(plain_equal(live[key], state[key])
+                   for key in ("rpt", "rbqs", "pending"))
 
     # ------------------------------------------------------------------
     # Error detection and recovery (Figure 9, example B)

@@ -260,6 +260,28 @@ class CampaignRunner:
                     break
 
 
+def write_aggregates(report: CampaignReport, path: str) -> None:
+    """Write a campaign's per-cell aggregates as canonical JSON.
+
+    Deterministic byte-for-byte for a given set of trial outcomes
+    (cells sorted, keys sorted, fixed separators), so two reports from
+    equivalent campaigns — e.g. one direct and one checkpoint-
+    accelerated — can be compared with a plain ``diff``.
+    """
+    import json
+
+    payload = {
+        "campaign_id": report.spec.campaign_id(),
+        "complete": report.complete,
+        "trials": len(report.results),
+        "cells": [cell.as_dict() for cell in report.cells],
+    }
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True, indent=2)
+        handle.write("\n")
+
+
 def run_campaign(spec: CampaignSpec, workers: int | None = None,
                  journal_path: str | None = None, progress: bool = False,
                  fresh: bool = False) -> CampaignReport:
@@ -269,4 +291,4 @@ def run_campaign(spec: CampaignSpec, workers: int | None = None,
 
 
 __all__ = ["CampaignReport", "CampaignRunner", "default_journal_path",
-           "run_campaign"]
+           "run_campaign", "write_aggregates"]

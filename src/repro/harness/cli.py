@@ -78,6 +78,22 @@ def main(argv: list[str] | None = None) -> int:
                           help="campaign journal path (default: derived "
                                "from the spec under the cache dir); "
                                "rerunning with the same journal resumes")
+    campaign.add_argument("--no-checkpoint", action="store_true",
+                          help="disable checkpoint acceleration and "
+                               "simulate every trial from cycle 0 to "
+                               "natural completion (results are "
+                               "byte-identical either way)")
+    campaign.add_argument("--checkpoint-interval", type=int, default=0,
+                          help="golden checkpoint spacing in cycles "
+                               "(0 = adaptive, ~64 evenly spaced)")
+    campaign.add_argument("--golden-cache", type=int, default=0,
+                          help="per-process golden-run LRU entries "
+                               "(0 = default 8); checkpoints are "
+                               "evicted with their entry")
+    campaign.add_argument("--aggregate-json", default="",
+                          help="also write per-cell aggregates to this "
+                               "path as canonical JSON (diff-able "
+                               "across runs)")
     args = parser.parse_args(argv)
 
     if args.profile:
@@ -101,8 +117,12 @@ def main(argv: list[str] | None = None) -> int:
 
 def _run(args: argparse.Namespace) -> int:
     if args.experiment == "campaign":
+        import os
+
         from ..core.injection import ALL_FAULT_SITES
 
+        if args.golden_cache:
+            os.environ["REPRO_GOLDEN_CACHE"] = str(args.golden_cache)
         benches = (tuple(args.benchmarks.split(","))
                    if args.benchmarks else exp.CAMPAIGN_BENCHMARKS)
         sites = (ALL_FAULT_SITES if args.sites == "all"
@@ -118,7 +138,13 @@ def _run(args: argparse.Namespace) -> int:
             harden_rbq=not args.no_harden_rbq,
             timeout_s=args.trial_timeout,
             workers=args.workers, journal_path=args.journal or None,
-            fresh=args.fresh, progress=True)
+            fresh=args.fresh, progress=True,
+            checkpoint=not args.no_checkpoint,
+            checkpoint_interval=args.checkpoint_interval)
+        if args.aggregate_json:
+            from .campaign import write_aggregates
+
+            write_aggregates(report, args.aggregate_json)
         print(rep.render_campaign(report))
         return 0
 

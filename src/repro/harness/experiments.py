@@ -283,7 +283,8 @@ def fault_coverage(scale: str = "tiny",
                    harden_rpt: bool = True, harden_rbq: bool = True,
                    timeout_s: float = 120.0, workers: int | None = None,
                    journal_path: str | None = None, fresh: bool = False,
-                   progress: bool = False):
+                   progress: bool = False, checkpoint: bool = True,
+                   checkpoint_interval: int = 0):
     """Run (or resume) an injection campaign and return its report."""
     from ..compiler import scheme_by_name
     from ..core.campaign import CampaignSpec
@@ -305,7 +306,9 @@ def fault_coverage(scale: str = "tiny",
                         sensor_miss_probability=sensor_miss_probability,
                         sensor_jitter_cycles=sensor_jitter_cycles,
                         sanitize=sanitize, harden_rpt=harden_rpt,
-                        harden_rbq=harden_rbq, timeout_s=timeout_s)
+                        harden_rbq=harden_rbq, timeout_s=timeout_s,
+                        checkpoint=checkpoint,
+                        checkpoint_interval=checkpoint_interval)
     return run_campaign(spec, workers=workers, journal_path=journal_path,
                         progress=progress, fresh=fresh)
 

@@ -20,16 +20,22 @@ from .schedulers import (GtoScheduler, LrrScheduler, OldestScheduler,
                          make_scheduler)
 from .sanitizer import Sanitizer
 from .sm import NEVER, NULL_RESILIENCE, ResilienceRuntime, Sm, ThreadBlock
+from .snapshot import (CheckpointRecorder, ConvergenceMonitor, GpuCheckpoint,
+                       MemoryLiveness, SNAPSHOT_VERSION, capture_gpu,
+                       machine_probe, plain_equal, restore_gpu)
 from .stats import SimStats
 from .warp import StackEntry, Warp, WarpSnapshot, WarpState
 
 __all__ = [
-    "Cache", "ExecPlan", "Gpu", "GtoScheduler", "LaneContext", "LaunchConfig",
-    "LrrScheduler", "MAX_CYCLES", "MemAccess", "NEVER", "NULL_RESILIENCE",
+    "Cache", "CheckpointRecorder", "ConvergenceMonitor", "ExecPlan", "Gpu",
+    "GpuCheckpoint", "GtoScheduler", "LaneContext", "LaunchConfig",
+    "LrrScheduler", "MAX_CYCLES", "MemAccess", "MemoryLiveness", "NEVER",
+    "NULL_RESILIENCE",
     "OldestScheduler", "PlannedInst", "ResilienceRuntime", "RunResult",
-    "SCHEDULERS",
+    "SCHEDULERS", "SNAPSHOT_VERSION",
     "Sanitizer", "SimStats", "Sm", "StackEntry", "ThreadBlock",
-    "TwoLevelScheduler", "get_plan",
+    "TwoLevelScheduler", "capture_gpu", "get_plan", "machine_probe",
     "Warp", "WarpScheduler", "WarpSnapshot", "WarpState", "execute",
-    "guard_mask", "make_scheduler", "occupancy_blocks", "run_kernel",
+    "guard_mask", "make_scheduler", "occupancy_blocks", "plain_equal",
+    "restore_gpu", "run_kernel",
 ]

@@ -45,6 +45,32 @@ class Cache:
         for ways in self._sets:
             ways.clear()
 
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def capture_state(self) -> tuple:
+        """Full replacement state: per-set tag lists (LRU order is the
+        replacement state, so order is preserved) plus the counters."""
+        return (tuple(tuple(ways) for ways in self._sets),
+                self.hits, self.misses)
+
+    def restore_state(self, state: tuple) -> None:
+        sets, hits, misses = state
+        self._sets = [list(ways) for ways in sets]
+        self.hits = hits
+        self.misses = misses
+
+    def state_equals(self, state: tuple) -> bool:
+        """Exact equality against a :meth:`capture_state` snapshot,
+        without capturing: short-circuits on the first differing set."""
+        sets, hits, misses = state
+        if self.hits != hits or self.misses != misses:
+            return False
+        if len(self._sets) != len(sets):
+            return False
+        return all(tuple(ways) == ref
+                   for ways, ref in zip(self._sets, sets))
+
     @property
     def accesses(self) -> int:
         return self.hits + self.misses

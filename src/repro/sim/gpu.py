@@ -47,12 +47,21 @@ class LaunchConfig:
 
 @dataclass
 class RunResult:
-    """Outcome of one simulated kernel launch."""
+    """Outcome of one simulated kernel launch.
+
+    ``converged`` marks a launch stopped early by a
+    :class:`~repro.sim.snapshot.ConvergenceMonitor`: the machine state
+    matched the golden run's state at a checkpoint boundary, so the
+    reported ``cycles`` are the golden final count and ``global_mem``
+    holds the (mid-execution, golden-identical-from-here) state at the
+    convergence point rather than the final image.
+    """
 
     cycles: int
     stats: SimStats
     global_mem: np.ndarray
     per_sm: list[SimStats] = field(default_factory=list)
+    converged: bool = False
 
 
 def occupancy_blocks(config: GpuConfig, kernel: Kernel,
@@ -105,7 +114,8 @@ class Gpu:
     def launch(self, kernel: Kernel, launch: LaunchConfig,
                global_mem: np.ndarray,
                regs_per_thread: int | None = None,
-               max_cycles: int | None = None) -> RunResult:
+               max_cycles: int | None = None,
+               recorder=None, resume_from=None, monitor=None) -> RunResult:
         """Run one kernel to completion and return timing + final memory.
 
         ``max_cycles`` bounds the simulated cycle count; exceeding it
@@ -113,6 +123,20 @@ class Gpu:
         kernel forever — callers running fault-injection trials pass a
         budget derived from the fault-free cycle count so a hung trial
         surfaces as a catchable DUE instead of wedging its worker).
+
+        Checkpoint hooks (all from :mod:`repro.sim.snapshot`):
+
+        * ``recorder`` — a :class:`CheckpointRecorder` capturing deep
+          machine snapshots at the top of the launch loop;
+        * ``resume_from`` — a :class:`GpuCheckpoint` to overlay after
+          setup: the loop resumes at the checkpoint's cycle with all
+          machine state restored (the kernel/launch/memory arguments
+          must match the capturing launch — setup re-derives the
+          deterministic parts, including the decode-once plan, which is
+          never serialized);
+        * ``monitor`` — a :class:`ConvergenceMonitor` holding golden
+          checkpoints; a state match at a boundary stops the run early
+          with ``converged=True`` and the golden final cycle count.
         """
         kernel.validate()
         if max_cycles is not None and max_cycles < 1:
@@ -134,21 +158,54 @@ class Gpu:
         for sm in self.sms:
             sm.configure(kernel, global_mem, reconv, self.scheduler,
                          plan=plan)
-        pending = list(self._make_blocks(kernel, launch, params))
-        pending.reverse()  # pop() dispatches in grid order
-        total_blocks = len(pending)
+        all_blocks = list(self._make_blocks(kernel, launch, params))
+        total_blocks = len(all_blocks)
+        if recorder is not None:
+            from .snapshot import MemoryLiveness
+
+            if recorder.liveness is None:
+                num_warps = 1 + max(
+                    (warp.id for block in all_blocks
+                     for warp in block.warps), default=-1)
+                num_regs = (all_blocks[0].warps[0].ctx.regs.shape[0]
+                            if all_blocks and all_blocks[0].warps else 0)
+                recorder.liveness = MemoryLiveness(
+                    global_mem.size, num_warps=num_warps, num_regs=num_regs)
+            for sm in self.sms:
+                sm.liveness = recorder.liveness
 
         cycle = 0
         age = 0
+        dispatched = 0
+        converged = False
+        if resume_from is not None:
+            from .snapshot import restore_gpu
+
+            cycle, age, dispatched = restore_gpu(self, resume_from,
+                                                 all_blocks, global_mem)
+        pending = all_blocks[dispatched:]
+        pending.reverse()  # pop() dispatches in grid order
         # FP exceptions are already value-handled per op (clamps, NaN
         # scrubbing); silencing them once around the whole loop spares
         # every ALU apply an errstate context switch.
         with np.errstate(all="ignore"):
             while True:
+                # Checkpoint/convergence hooks run at the loop top,
+                # before this cycle's dispatch and injector tick — the
+                # same point ``resume_from`` re-enters at, which is what
+                # makes a restored run byte-identical to a direct one.
+                if recorder is not None and cycle >= recorder.next_due:
+                    recorder.take(self, cycle, age, dispatched, global_mem)
+                if (monitor is not None and cycle >= monitor.next_cycle
+                        and monitor.check(self, cycle, age, dispatched,
+                                          global_mem)):
+                    converged = True
+                    break
                 # Dispatch blocks into free slots.
                 for sm in self.sms:
                     while pending and sm.resident_blocks < blocks_per_sm:
                         block = pending.pop()
+                        dispatched += 1
                         for warp in block.warps:
                             warp.age = age
                             age += 1
@@ -188,13 +245,17 @@ class Gpu:
             stats.merge(sm.stats)
             per_sm.append(sm.stats)
         stats.l2_hits, stats.l2_misses = self.l2.hits, self.l2.misses
-        stats.cycles = cycle + 1
+        # On convergence the continuation is byte-identical to the
+        # golden run, so the golden final cycle count *is* this run's.
+        final_cycles = monitor.final_cycles if converged else cycle + 1
+        stats.cycles = final_cycles
         stats.regs_per_thread = regs
         stats.occupancy_warps = blocks_per_sm * (
             -(-launch.threads_per_block // self.config.warp_size))
         stats.blocks_launched = total_blocks
-        return RunResult(cycles=cycle + 1, stats=stats,
-                         global_mem=global_mem, per_sm=per_sm)
+        return RunResult(cycles=final_cycles, stats=stats,
+                         global_mem=global_mem, per_sm=per_sm,
+                         converged=converged)
 
     def _fast_forward(self, cycle: int) -> int:
         nxt = NEVER

@@ -359,6 +359,7 @@ class PlannedInst:
         "is_timed_mem", "timing", "latency", "run",
         "track_reg_write", "track_pred_write", "track_shared_store",
         "needs_writeback", "target", "reconv_pc", "is_rb",
+        "src_reg_rows",
     )
 
     def __init__(self, index: int, inst: Instruction, kernel: Kernel,
@@ -382,6 +383,11 @@ class PlannedInst:
                               and inst.dst.index == guard.index)
         self.score_ops = inst.read_regs() + inst.read_preds() + (
             (inst.dst,) if inst.dst is not None else ())
+        # Register rows this instruction reads, precomputed for the
+        # golden run's read-liveness recording (None when it reads no
+        # registers, so the hot path pays a single attribute test).
+        rows = sorted({reg.index for reg in inst.read_regs()})
+        self.src_reg_rows = np.array(rows, dtype=np.intp) if rows else None
         self.is_timed_mem = (info.fu is FuClass.MEM
                              and inst.space is not Space.PARAM)
         if inst.space is None or not self.is_timed_mem:

@@ -41,6 +41,33 @@ class WarpScheduler:
     def notify_stall(self, warp: Warp) -> None:
         """Called when the previously running warp could not issue."""
 
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def capture_state(self) -> dict:
+        """Plain-data policy state: the managed warps (by id, in list
+        order — the order *is* scheduler state) plus policy extras."""
+        return {"warps": tuple(w.id for w in self.warps),
+                "extra": self._extra_state()}
+
+    def restore_state(self, state: dict, warp_map: dict[int, Warp]) -> None:
+        self.warps = [warp_map[wid] for wid in state["warps"]]
+        for warp in self.warps:
+            warp.scheduler = self
+        self._restore_extra(state["extra"], warp_map)
+
+    def state_equals(self, state: dict) -> bool:
+        """Exact equality against a :meth:`capture_state` snapshot
+        (policy extras are plain scalars/tuples on every policy)."""
+        return (tuple(w.id for w in self.warps) == state["warps"]
+                and self._extra_state() == state["extra"])
+
+    def _extra_state(self):
+        return None
+
+    def _restore_extra(self, extra, warp_map: dict[int, Warp]) -> None:
+        pass
+
 
 class AgeSortedScheduler(WarpScheduler):
     """Base for policies that consider warps oldest-first: keeps
@@ -78,6 +105,12 @@ class GtoScheduler(AgeSortedScheduler):
         self._current = None
         return None
 
+    def _extra_state(self):
+        return None if self._current is None else self._current.id
+
+    def _restore_extra(self, extra, warp_map) -> None:
+        self._current = None if extra is None else warp_map[extra]
+
 
 class OldestScheduler(AgeSortedScheduler):
     """OLD: always pick the oldest ready warp."""
@@ -110,6 +143,12 @@ class LrrScheduler(WarpScheduler):
                 self._next = (self._next + step + 1) % n
                 return warp
         return None
+
+    def _extra_state(self):
+        return self._next
+
+    def _restore_extra(self, extra, warp_map) -> None:
+        self._next = extra
 
 
 class TwoLevelScheduler(WarpScheduler):
@@ -166,6 +205,13 @@ class TwoLevelScheduler(WarpScheduler):
         if pending_ready:
             return self.pick(lambda w: issuable(w) and w in self._active, cycle)
         return None
+
+    def _extra_state(self):
+        return (tuple(w.id for w in self._active), self._next)
+
+    def _restore_extra(self, extra, warp_map) -> None:
+        active, self._next = extra
+        self._active = [warp_map[wid] for wid in active]
 
 
 SCHEDULERS: dict[str, type[WarpScheduler]] = {

@@ -63,6 +63,20 @@ class ResilienceRuntime:
     def next_event(self, sm: "Sm") -> int:
         return NEVER
 
+    def capture_state(self, sm: "Sm"):
+        """Plain-data snapshot of runtime state (None = stateless)."""
+        return None
+
+    def restore_state(self, state, sm: "Sm", warp_map: dict) -> None:
+        """Rebuild runtime state from :meth:`capture_state` data."""
+
+    def state_equals(self, sm: "Sm", state) -> bool:
+        """Convergence-comparison equality against :meth:`capture_state`
+        data.  Stateful runtimes override this; they may exclude pure
+        observers that provably cannot influence the continuation at a
+        quiescent boundary (see the flame runtime's rollback window)."""
+        return state is None
+
 
 NULL_RESILIENCE = ResilienceRuntime()
 
@@ -112,6 +126,9 @@ class Sm:
         self._next_sched = 0
         #: Blocks whose live-warp counter hit zero (drained by Gpu.launch).
         self._done_blocks: list[ThreadBlock] = []
+        #: Golden-run memory access tracker (set by Gpu.launch when a
+        #: checkpoint recorder is attached; None on ordinary runs).
+        self.liveness = None
 
     # ------------------------------------------------------------------
     # Launch-time setup
@@ -180,6 +197,102 @@ class Sm:
     @property
     def busy(self) -> bool:
         return bool(self.blocks)
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def capture_state(self) -> dict:
+        """Deep plain-data snapshot of all per-SM mutable state.  Blocks
+        and warps are referenced by id (they are re-materialized
+        deterministically on restore); the execution plan and kernel are
+        deliberately absent — they are launch configuration, re-attached
+        by ``configure`` on the restore target."""
+        return {
+            "l1": self.l1.capture_state(),
+            "stats": self.stats.clone(),
+            "lsu_free_at": self._lsu_free_at,
+            "next_sched": self._next_sched,
+            "blocks": tuple((b.id, b.shared.copy(), b.at_barrier,
+                             b.live_warps) for b in self.blocks),
+            "warp_order": tuple(w.id for w in self.warps),
+            "warps": {w.id: w.capture_state() for w in self.warps},
+            "schedulers": tuple(s.capture_state() for s in self.schedulers),
+            "done_blocks": tuple(b.id for b in self._done_blocks),
+            "resilience": self.resilience.capture_state(self),
+        }
+
+    def restore_state(self, state: dict, block_map: dict,
+                      warp_map: dict) -> None:
+        """Overlay checkpoint state onto a freshly configured SM whose
+        blocks/warps were re-created by the launch setup.  The
+        checkpoint itself is never mutated (every restore copies), so
+        one golden checkpoint can seed any number of trials."""
+        self.l1.restore_state(state["l1"])
+        self.stats = state["stats"].clone()
+        self._lsu_free_at = state["lsu_free_at"]
+        self._next_sched = state["next_sched"]
+        self.blocks = []
+        for bid, shared, at_barrier, live_warps in state["blocks"]:
+            block = block_map[bid]
+            np.copyto(block.shared, shared)
+            block.at_barrier = at_barrier
+            block.live_warps = live_warps
+            self.blocks.append(block)
+        self.warps = [warp_map[wid] for wid in state["warp_order"]]
+        for wid, wdata in state["warps"].items():
+            warp_map[wid].restore_state(wdata)
+        for scheduler, sstate in zip(self.schedulers, state["schedulers"]):
+            scheduler.restore_state(sstate, warp_map)
+        self._done_blocks = [block_map[bid] for bid in state["done_blocks"]]
+        if state["resilience"] is not None:
+            self.resilience.restore_state(state["resilience"], self, warp_map)
+
+    def state_equals(self, state: dict, include_data: bool = True) -> bool:
+        """Exact equality against a :meth:`capture_state` snapshot,
+        without capturing: every field is compared in place and the
+        walk short-circuits on the first difference.
+
+        Two deliberate exclusions give this convergence-comparison
+        semantics: the stats clone is a pure observer (its counters
+        cannot influence the continuation), and the resilience
+        runtime's equality is delegated to
+        :meth:`ResilienceRuntime.state_equals` (which excludes the
+        spent rollback window).  ``include_data=False`` additionally
+        skips data at rest — per-block shared memory and warp register
+        files — which the convergence monitor judges separately under
+        golden read-liveness.
+        """
+        if (self._lsu_free_at != state["lsu_free_at"]
+                or self._next_sched != state["next_sched"]):
+            return False
+        if tuple(w.id for w in self.warps) != state["warp_order"]:
+            return False
+        if tuple(b.id for b in self._done_blocks) != state["done_blocks"]:
+            return False
+        blocks = state["blocks"]
+        if len(self.blocks) != len(blocks):
+            return False
+        for block, (bid, shared, at_barrier, live_warps) in zip(self.blocks,
+                                                                blocks):
+            if (block.id != bid or block.at_barrier != at_barrier
+                    or block.live_warps != live_warps):
+                return False
+            if include_data and not np.array_equal(block.shared, shared):
+                return False
+        for scheduler, sched_state in zip(self.schedulers,
+                                          state["schedulers"]):
+            if not scheduler.state_equals(sched_state):
+                return False
+        warps = state["warps"]
+        if len(self.warps) != len(warps):
+            return False
+        for warp in self.warps:
+            if not warp.state_equals(warps[warp.id],
+                                     include_regs=include_data):
+                return False
+        if not self.l1.state_equals(state["l1"]):
+            return False
+        return self.resilience.state_equals(self, state["resilience"])
 
     # ------------------------------------------------------------------
     # Region accounting
@@ -325,6 +438,12 @@ class Sm:
                                              if rec.guard_recheck else mask)
             if rec.track_shared_store and access is not None:
                 warp.last_shared_write = access.addresses
+            liveness = self.liveness
+            if liveness is not None:
+                if rec.src_reg_rows is not None:
+                    liveness.reg_read[warp.id][rec.src_reg_rows] = cycle
+                if access is not None:
+                    liveness.note(access, warp.block, cycle)
             if rec.is_timed_mem:
                 self._time_memory_fast(warp, rec, access, cycle)
             elif rec.dst is not None:
@@ -394,6 +513,13 @@ class Sm:
             # Shared-memory words written through the (unprotected) store
             # datapath this region: the in-flight shared fault surface.
             warp.last_shared_write = access.addresses
+        liveness = self.liveness
+        if liveness is not None:
+            rows = [reg.index for reg in inst.read_regs()]
+            if rows:
+                liveness.reg_read[warp.id][rows] = cycle
+            if access is not None:
+                liveness.note(access, warp.block, cycle)
         if inst.fu is FuClass.MEM and inst.space is not Space.PARAM:
             self._time_memory(warp, inst, access, cycle)
         else:

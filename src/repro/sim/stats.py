@@ -90,3 +90,10 @@ class SimStats:
         data["avg_region_size"] = self.avg_region_size
         data["ipc"] = self.ipc
         return data
+
+    def clone(self) -> "SimStats":
+        """Independent deep copy (checkpoint/restore support)."""
+        dup = SimStats(**{k: v for k, v in self.__dict__.items()
+                          if k != "by_fu"})
+        dup.by_fu = Counter(self.by_fu)
+        return dup

@@ -65,6 +65,20 @@ class WarpSnapshot:
         warp.stack[-1].pc = self.pc
         warp.barrier_count = self.barrier_count
 
+    # -- checkpoint support (plain-data round trip) --------------------
+    def to_state(self) -> tuple:
+        return (self.pc,
+                tuple((e.reconv_pc, e.pc, e.mask.copy()) for e in self.stack),
+                self.exited.copy(), self.barrier_count)
+
+    @staticmethod
+    def from_state(state: tuple) -> "WarpSnapshot":
+        pc, stack, exited, barrier_count = state
+        return WarpSnapshot(
+            pc=pc,
+            stack=[StackEntry(r, p, m.copy()) for r, p, m in stack],
+            exited=exited.copy(), barrier_count=barrier_count)
+
 
 class Warp:
     """One warp: 32 lanes sharing a PC, plus scheduling metadata."""
@@ -320,3 +334,133 @@ class Warp:
             raise SimError(f"warp {self.id} lost its SIMT stack")
         if len(self.stack) > 64:
             raise SimError(f"warp {self.id} SIMT stack overflow")
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def capture_state(self) -> dict:
+        """Deep copy of every mutable field, as plain data keyed by
+        scoreboard-operand tags instead of Reg/Pred objects.  The
+        readiness memo (``version``/``ready_*``) is deliberately left
+        out: it is derived state, rebuilt on demand after restore."""
+        return {
+            "state": self.state.value,
+            "age": self.age,
+            "regs": self.ctx.regs.copy(),
+            "preds": self.ctx.preds.copy(),
+            "stack": tuple((e.reconv_pc, e.pc, e.mask.copy())
+                           for e in self.stack),
+            "exited": self.exited.copy(),
+            "pending": {_operand_tag(k): v for k, v in self.pending.items()},
+            "wakeup_cycle": self.wakeup_cycle,
+            "insts_since_boundary": self.insts_since_boundary,
+            "barrier_count": self.barrier_count,
+            "last_write": None if self.last_write is None
+                          else self.last_write.index,
+            "last_write_mask": None if self.last_write_mask is None
+                               else self.last_write_mask.copy(),
+            "last_write_pc": self.last_write_pc,
+            "last_shared_write": None if self.last_shared_write is None
+                                 else np.array(self.last_shared_write),
+            "last_pred_write": None if self.last_pred_write is None
+                               else self.last_pred_write.index,
+            "last_pred_write_mask": None if self.last_pred_write_mask is None
+                                    else self.last_pred_write_mask.copy(),
+            "last_pred_write_pc": self.last_pred_write_pc,
+        }
+
+    def restore_state(self, data: dict) -> None:
+        self.state = WarpState(data["state"])
+        self.age = data["age"]
+        np.copyto(self.ctx.regs, data["regs"])
+        np.copyto(self.ctx.preds, data["preds"])
+        self.stack = [StackEntry(r, p, m.copy())
+                      for r, p, m in data["stack"]]
+        self.exited = data["exited"].copy()
+        self.pending = {_operand_from_tag(tag): cycle
+                        for tag, cycle in data["pending"].items()}
+        self.wakeup_cycle = data["wakeup_cycle"]
+        self.insts_since_boundary = data["insts_since_boundary"]
+        self.barrier_count = data["barrier_count"]
+        lw = data["last_write"]
+        self.last_write = None if lw is None else Reg(lw)
+        lwm = data["last_write_mask"]
+        self.last_write_mask = None if lwm is None else lwm.copy()
+        self.last_write_pc = data["last_write_pc"]
+        lsw = data["last_shared_write"]
+        self.last_shared_write = None if lsw is None else np.array(lsw)
+        lp = data["last_pred_write"]
+        self.last_pred_write = None if lp is None else Pred(lp)
+        lpm = data["last_pred_write_mask"]
+        self.last_pred_write_mask = None if lpm is None else lpm.copy()
+        self.last_pred_write_pc = data["last_pred_write_pc"]
+        # Invalidate the readiness memo: it embeds pre-restore state.
+        self.version += 1
+        self.ready_version = -1
+
+    def state_equals(self, data: dict, include_regs: bool = True) -> bool:
+        """Exact equality against a :meth:`capture_state` snapshot,
+        without capturing (no copies; short-circuits on the first
+        differing field).  ``include_regs=False`` skips the general
+        register file — the convergence monitor compares data at rest
+        separately, under golden read-liveness."""
+        if (self.state.value != data["state"]
+                or self.age != data["age"]
+                or self.wakeup_cycle != data["wakeup_cycle"]
+                or self.insts_since_boundary != data["insts_since_boundary"]
+                or self.barrier_count != data["barrier_count"]
+                or self.last_write_pc != data["last_write_pc"]
+                or self.last_pred_write_pc != data["last_pred_write_pc"]):
+            return False
+        if (None if self.last_write is None
+                else self.last_write.index) != data["last_write"]:
+            return False
+        if (None if self.last_pred_write is None
+                else self.last_pred_write.index) != data["last_pred_write"]:
+            return False
+        stack = data["stack"]
+        if len(self.stack) != len(stack):
+            return False
+        for entry, (reconv_pc, pc, mask) in zip(self.stack, stack):
+            if (entry.reconv_pc != reconv_pc or entry.pc != pc
+                    or not np.array_equal(entry.mask, mask)):
+                return False
+        if {_operand_tag(op): c
+                for op, c in self.pending.items()} != data["pending"]:
+            return False
+        if not _optional_equal(self.last_write_mask,
+                               data["last_write_mask"]):
+            return False
+        if not _optional_equal(self.last_shared_write,
+                               data["last_shared_write"]):
+            return False
+        if not _optional_equal(self.last_pred_write_mask,
+                               data["last_pred_write_mask"]):
+            return False
+        if not np.array_equal(self.exited, data["exited"]):
+            return False
+        if not np.array_equal(self.ctx.preds, data["preds"]):
+            return False
+        return (not include_regs
+                or np.array_equal(self.ctx.regs, data["regs"]))
+
+
+def _optional_equal(live, ref) -> bool:
+    """Equality for None-able array fields of a warp snapshot."""
+    if live is None or ref is None:
+        return live is None and ref is None
+    return np.array_equal(live, ref)
+
+
+def _operand_tag(operand) -> tuple[str, int]:
+    """Stable plain-data key for a scoreboard operand."""
+    if isinstance(operand, Reg):
+        return ("r", operand.index)
+    if isinstance(operand, Pred):
+        return ("p", operand.index)
+    raise SimError(f"unsnapshotable scoreboard operand {operand!r}")
+
+
+def _operand_from_tag(tag: tuple[str, int]):
+    kind, index = tag
+    return Reg(index) if kind == "r" else Pred(index)

@@ -344,3 +344,57 @@ class TestMultiSiteAggregate:
         (loaded,) = CampaignJournal(str(path)).load()
         assert loaded.site == "dest_reg"
         assert loaded.outcome == SDC
+
+
+class TestCheckpointAcceleration:
+    """Checkpoint fast-start + convergence early-out is an execution
+    strategy: it must be invisible in every journaled field."""
+
+    def test_modes_share_campaign_id(self):
+        direct = spec_for("flame", checkpoint=False)
+        accelerated = spec_for("flame", checkpoint=True,
+                               checkpoint_interval=64)
+        assert direct.campaign_id() == accelerated.campaign_id()
+
+    def test_trial_specs_carry_checkpoint_knobs(self):
+        trial = spec_for("flame", checkpoint=True,
+                         checkpoint_interval=128).trial_specs()[0]
+        assert trial.checkpoint
+        assert trial.checkpoint_interval == 128
+
+    def test_interval_validation(self):
+        with pytest.raises(ConfigError):
+            spec_for("flame", checkpoint_interval=-1)
+
+    @pytest.mark.parametrize("scheme", ["baseline", "flame"])
+    def test_trials_byte_identical_to_direct(self, scheme):
+        """Per-trial records must match field-for-field across modes,
+        on both campaign workloads."""
+        import dataclasses
+
+        from repro.core import campaign as campaign_module
+
+        spec = CampaignSpec(workloads=("Triad", "SGEMM"),
+                            schemes=(scheme,), trials=5, seed=3,
+                            scale="tiny", checkpoint=False)
+        direct = [run_trial(t) for t in spec.trial_specs()]
+        campaign_module._GOLDEN_CACHE.clear()
+        accelerated_spec = dataclasses.replace(spec, checkpoint=True)
+        accelerated = [run_trial(t)
+                       for t in accelerated_spec.trial_specs()]
+        for a, b in zip(direct, accelerated):
+            assert a.as_dict() == b.as_dict()
+
+    def test_golden_cache_is_bounded_lru(self, monkeypatch):
+        from repro.core import campaign as campaign_module
+
+        campaign_module._GOLDEN_CACHE.clear()
+        monkeypatch.setenv("REPRO_GOLDEN_CACHE", "1")
+        spec = CampaignSpec(workloads=("Triad",),
+                            schemes=("baseline", "flame"), trials=1,
+                            seed=0, scale="tiny")
+        for trial in spec.trial_specs():
+            run_trial(trial)
+        assert len(campaign_module._GOLDEN_CACHE) == 1
+        monkeypatch.delenv("REPRO_GOLDEN_CACHE")
+        campaign_module._GOLDEN_CACHE.clear()
