@@ -228,13 +228,28 @@ class TrialResult:
     recoveries: int = 0
     detail: str = ""
     attempts: int = 1
+    # Telemetry (heartbeat metrics; not part of outcome classification).
+    # Excluded from as_dict so journal records stay deterministic and
+    # byte-identical across execution strategies (direct vs
+    # checkpoint-accelerated, cold vs warm golden cache).
+    wall_time_s: float = 0.0
+    fast_start: bool = False
+    converged: bool = False
+    golden_cache_hit: bool = False
+
+    #: Attribute names carrying run-environment telemetry, not outcome.
+    TELEMETRY_FIELDS = ("wall_time_s", "fast_start", "converged",
+                        "golden_cache_hit")
 
     @property
     def key(self) -> tuple[str, str, str, int]:
         return (self.workload, self.scheme, self.site, self.index)
 
     def as_dict(self) -> dict:
-        return asdict(self)
+        data = asdict(self)
+        for name in self.TELEMETRY_FIELDS:
+            del data[name]
+        return data
 
     @staticmethod
     def from_dict(data: dict) -> "TrialResult":
@@ -267,11 +282,14 @@ def _golden_cache_limit() -> int:
     return max(1, limit if raw else _GOLDEN_CACHE_DEFAULT)
 
 
-def _golden(trial: TrialSpec, with_checkpoints: bool = False) -> list:
+def _golden(trial: TrialSpec,
+            with_checkpoints: bool = False) -> tuple[list, bool]:
+    """Return ``(cache entry, cache_hit)`` for the trial's golden run."""
     key = (trial.workload, trial.scheme, trial.scale, trial.gpu,
            trial.scheduler, trial.wcdl, trial.sanitize,
            trial.harden_rpt, trial.harden_rbq)
     entry = _GOLDEN_CACHE.get(key)
+    cache_hit = entry is not None
     if entry is not None:
         _GOLDEN_CACHE.move_to_end(key)
     else:
@@ -338,7 +356,7 @@ def _golden(trial: TrialSpec, with_checkpoints: bool = False) -> list:
                 f"({replay.cycles} cycles vs {entry[1]}); the simulator "
                 "is not deterministic")
         entry[3] = recorder
-    return entry
+    return entry, cache_hit
 
 
 class _WallClockTimeout(Exception):
@@ -375,11 +393,15 @@ def run_trial(trial: TrialSpec) -> TrialResult:
     exceptions escaping this function are infrastructure faults (import
     errors, worker death), which the pool layer retries.
     """
+    import time
+
     from ..arch import SensorModel
     from .injection import FaultInjector
 
-    launch_once, golden_cycles, golden_mem, recorder = _golden(
-        trial, with_checkpoints=trial.checkpoint)
+    started = time.perf_counter()
+    entry, golden_cache_hit = _golden(trial,
+                                      with_checkpoints=trial.checkpoint)
+    launch_once, golden_cycles, golden_mem, recorder = entry
     rng = trial.rng()
     # Strike cycles are sampled over the fault-free execution window so
     # every trial has a chance to land (a strike after kernel end is a
@@ -395,7 +417,8 @@ def run_trial(trial: TrialSpec) -> TrialResult:
                          site=trial.site,
                          strike_cycles=strike_cycles,
                          injector_seed=injector_seed,
-                         golden_cycles=golden_cycles)
+                         golden_cycles=golden_cycles,
+                         golden_cache_hit=golden_cache_hit)
     sensor = SensorModel(wcdl=trial.wcdl,
                          miss_probability=trial.sensor_miss_probability,
                          jitter_cycles=trial.sensor_jitter_cycles)
@@ -416,6 +439,7 @@ def run_trial(trial: TrialSpec) -> TrialResult:
         resume_from = recorder.best_at_or_below(strike_cycles[0])
         monitor = ConvergenceMonitor(recorder.checkpoints, golden_cycles,
                                      liveness=recorder.liveness)
+        result.fast_start = resume_from is not None
     disarm = _alarm_guard(trial.timeout_s)
     try:
         sim_result, faulty_mem = launch_once(injector, max_cycles=budget,
@@ -436,7 +460,9 @@ def run_trial(trial: TrialSpec) -> TrialResult:
         return result
     finally:
         disarm()
+        result.wall_time_s = time.perf_counter() - started
 
+    result.converged = sim_result.converged
     result.cycles = sim_result.cycles
     result.landed = sum(1 for r in injector.records if r.landed)
     # Coalesced recoveries count: a strike landing during an in-progress

@@ -44,7 +44,7 @@ import numpy as np
 
 from ..arch import SensorModel
 from ..errors import ConfigError
-from ..sim import Gpu, Sm, WarpState
+from ..sim import CONTROL_TID, Gpu, Sm, WarpState
 
 _ACTIVE_STATES = (WarpState.ACTIVE, WarpState.IN_RBQ)
 
@@ -355,6 +355,10 @@ class FaultInjector:
                                  sm_id=sm.id, site=self.site)
         self.records.append(record)
         self._site.inject(self, gpu, sm, record, self._rng)
+        tracer = getattr(gpu, "tracer", None)
+        if tracer is not None:
+            tracer.event("strike", cycle, sm.id, CONTROL_TID,
+                         {"site": self.site, "landed": record.landed})
         delay = self.sensor.sample_delay(self._rng)
         if delay is None:
             record.missed = True
@@ -418,6 +422,10 @@ class FaultInjector:
         sm = next(s for s in gpu.sms if s.id == sm_id)
         runtime = sm.resilience
         recover = getattr(runtime, "recover", None)
+        tracer = getattr(gpu, "tracer", None)
+        if tracer is not None:
+            tracer.event("detection", cycle, sm_id, CONTROL_TID,
+                         {"recoverable": recover is not None})
         for record in self.records:
             # Only credit records whose own sensing delay has elapsed:
             # with overlapping strikes on one SM, a later strike must

@@ -20,8 +20,8 @@ into the simulator's resilience hooks:
 from __future__ import annotations
 
 from ..errors import ConfigError
-from ..sim import (NEVER, ResilienceRuntime, Sm, Warp, WarpSnapshot,
-                   WarpState)
+from ..sim import (CONTROL_TID, NEVER, ResilienceRuntime, Sm, Warp,
+                   WarpSnapshot, WarpState)
 from ..sim.snapshot import plain_equal
 from .rbq import RbqEntry, RegionBoundaryQueue
 from .rpt import RecoveryPcTable
@@ -120,9 +120,14 @@ class FlameSmRuntime(ResilienceRuntime):
         if rbq.can_enqueue(cycle):
             rbq.enqueue(entry, cycle)
             sm.stats.rbq_enqueues += 1
+            stalled = False
         else:
             self._pending.append(entry)
             sm.stats.rbq_full_stalls += 1
+            stalled = True
+        if sm.tracer is not None:
+            sm.tracer.event("rbq_enqueue", cycle, sm.id, warp.id,
+                            {"final": final, "stalled": stalled})
 
     def tick(self, sm: Sm, cycle: int) -> None:
         for rbq in self._rbqs.values():
@@ -144,6 +149,10 @@ class FlameSmRuntime(ResilienceRuntime):
         warp = entry.warp
         if warp.state is not WarpState.IN_RBQ:
             return  # stale entry (warp recovered meanwhile)
+        if sm.tracer is not None:
+            sm.tracer.event("region_verify", cycle, sm.id, warp.id,
+                            {"final": entry.final,
+                             "wait": cycle - entry.enqueued_at})
         if entry.final:
             warp.state = WarpState.DONE
             self.sm._note_warp_done(warp)
@@ -152,6 +161,8 @@ class FlameSmRuntime(ResilienceRuntime):
         self.rpt.update(warp, entry.snapshot)
         warp.state = WarpState.ACTIVE
         warp.wake(cycle)
+        if sm.tracer is not None:
+            sm.tracer.event("warp_wake", cycle, sm.id, warp.id)
         sm.skip_markers(warp, cycle)
 
     def next_event(self, sm: Sm) -> int:
@@ -161,6 +172,18 @@ class FlameSmRuntime(ResilienceRuntime):
             if pop is not None:
                 best = min(best, pop)
         return best
+
+    def stall_cause(self, sm: Sm, cycle: int) -> str | None:
+        """SM-level attribution: an in-progress rollback window claims
+        the cycle outright; a boundary blocked on a full conveyor is an
+        RBQ-capacity stall (the structural hazard Flame sizes the
+        conveyor to avoid)."""
+        until = self._rollback_until
+        if until is not None and cycle < until:
+            return "rollback"
+        if self._pending:
+            return "rbq_full"
+        return None
 
     # ------------------------------------------------------------------
     # Checkpoint support
@@ -242,6 +265,7 @@ class FlameSmRuntime(ResilienceRuntime):
             warp.state = WarpState.ACTIVE
             warp.wake(resume)
             warp.pending.clear()
+            warp.pending_mem.clear()
             warp.insts_since_boundary = 0
             # The rollback flushes the pipeline: nothing of the warp's
             # doomed in-flight work can be struck anymore.
@@ -255,3 +279,7 @@ class FlameSmRuntime(ResilienceRuntime):
         else:
             sm.stats.recoveries += 1
         sm.stats.detected_errors += 1
+        if sm.tracer is not None:
+            sm.tracer.event("rollback", cycle, sm.id, CONTROL_TID,
+                            {"resume": resume, "coalesced": nested},
+                            ph="X", dur=resume - cycle)

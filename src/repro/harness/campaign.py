@@ -88,10 +88,13 @@ class CampaignRunner:
         self.epoch_slack_s = epoch_slack_s
         #: Trial executor — an attribute so tests can inject failures.
         self._execute = run_trial
+        #: Live telemetry sink while ``run`` is active (else ``None``).
+        self._heartbeat = None
 
     # ------------------------------------------------------------------
     def run(self, spec: CampaignSpec, journal_path: str | None = None,
-            progress: bool = False, fresh: bool = False) -> CampaignReport:
+            progress: bool = False, fresh: bool = False,
+            metrics_path: str | None = None) -> CampaignReport:
         path = journal_path or default_journal_path(spec)
         journal = CampaignJournal(path)
         if fresh and os.path.exists(path):
@@ -107,6 +110,13 @@ class CampaignRunner:
                   flush=True)
         completed = len(done)
         infra = 0
+        heartbeat = None
+        if metrics_path is not None:
+            from ..obs import CampaignHeartbeat
+            heartbeat = CampaignHeartbeat(metrics_path, total).start()
+            if done:
+                heartbeat.note_resumed(len(done))
+        self._heartbeat = heartbeat
 
         def record(result: TrialResult) -> None:
             nonlocal completed, infra
@@ -114,15 +124,22 @@ class CampaignRunner:
             completed += 1
             if result.outcome == INFRA_ERROR:
                 infra += 1
+            if heartbeat is not None:
+                heartbeat.note_trial(result)
             if progress and (completed % 25 == 0 or completed == total):
                 print(f"  [{completed}/{total}] trials journaled",
                       flush=True)
 
-        if pending:
-            if self.workers > 1 and len(pending) > 1:
-                self._run_pool(spec, pending, record)
-            else:
-                self._run_inline(pending, record)
+        try:
+            if pending:
+                if self.workers > 1 and len(pending) > 1:
+                    self._run_pool(spec, pending, record)
+                else:
+                    self._run_inline(pending, record)
+        finally:
+            if heartbeat is not None:
+                heartbeat.stop()
+            self._heartbeat = None
 
         results = journal.load(spec)
         keys = {r.key for r in results}
@@ -217,6 +234,8 @@ class CampaignRunner:
             if broken:
                 suspects.extend(futures.values())
                 pool.shutdown(wait=False, cancel_futures=True)
+                if self._heartbeat is not None:
+                    self._heartbeat.note_worker_restart()
             else:
                 pool.shutdown(wait=True)
         if suspects:
@@ -249,6 +268,8 @@ class CampaignRunner:
                     break
                 except Exception as exc:
                     pool.shutdown(wait=False, cancel_futures=True)
+                    if self._heartbeat is not None:
+                        self._heartbeat.note_worker_restart()
                     if attempt > self.max_retries:
                         record(self._infra_result(trial, attempt, exc))
                         break
@@ -284,10 +305,12 @@ def write_aggregates(report: CampaignReport, path: str) -> None:
 
 def run_campaign(spec: CampaignSpec, workers: int | None = None,
                  journal_path: str | None = None, progress: bool = False,
-                 fresh: bool = False) -> CampaignReport:
+                 fresh: bool = False,
+                 metrics_path: str | None = None) -> CampaignReport:
     """Convenience one-shot used by the CLI and the experiments module."""
     return CampaignRunner(workers=workers).run(
-        spec, journal_path=journal_path, progress=progress, fresh=fresh)
+        spec, journal_path=journal_path, progress=progress, fresh=fresh,
+        metrics_path=metrics_path)
 
 
 __all__ = ["CampaignReport", "CampaignRunner", "default_journal_path",

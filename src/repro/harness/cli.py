@@ -19,7 +19,7 @@ from .runner import Runner
 
 EXPERIMENTS = ("table1", "figure12", "table2", "figure13", "figure15",
                "figure16", "figure17", "figure18", "figure19", "section4",
-               "hwcost", "ablation", "campaign", "all")
+               "hwcost", "ablation", "campaign", "trace", "all")
 
 
 def _benchmarks(args) -> tuple[str, ...]:
@@ -45,6 +45,24 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--profile", action="store_true",
                         help="run under cProfile and print the top-20 "
                              "cumulative-time hot spots afterwards")
+    parser.add_argument("--profile-out", default="",
+                        help="also dump raw cProfile stats to this path "
+                             "(pstats format, for snakeviz/pstats; "
+                             "implies --profile)")
+    trace = parser.add_argument_group(
+        "trace", "cycle-level tracing options (experiment 'trace')")
+    trace.add_argument("--scheme", default="flame",
+                       help="scheme to trace (default: flame)")
+    trace.add_argument("--scheduler", default="GTO",
+                       help="warp scheduler to trace under")
+    trace.add_argument("--trace-out", default="",
+                       help="write Chrome-trace/Perfetto JSON here")
+    trace.add_argument("--trace-jsonl", default="",
+                       help="write the compact per-event JSONL here")
+    trace.add_argument("--stall-report", action="store_true",
+                       help="print the stall-cause breakdown table")
+    trace.add_argument("--no-inject", action="store_true",
+                       help="trace a clean run (no mid-kernel strike)")
     campaign = parser.add_argument_group(
         "campaign", "Monte Carlo fault-injection campaign options")
     campaign.add_argument("--trials", type=int, default=200,
@@ -94,9 +112,12 @@ def main(argv: list[str] | None = None) -> int:
                           help="also write per-cell aggregates to this "
                                "path as canonical JSON (diff-able "
                                "across runs)")
+    campaign.add_argument("--metrics-json", default="",
+                          help="append periodic campaign telemetry "
+                               "heartbeats (JSONL) to this path")
     args = parser.parse_args(argv)
 
-    if args.profile:
+    if args.profile or args.profile_out:
         import cProfile
         import pstats
 
@@ -111,11 +132,51 @@ def main(argv: list[str] | None = None) -> int:
             print("\n=== cProfile: top 20 by cumulative time ===",
                   file=sys.stderr)
             stats.print_stats(20)
+            if args.profile_out:
+                stats.dump_stats(args.profile_out)
+                print(f"raw profile written to {args.profile_out}",
+                      file=sys.stderr)
         return status
     return _run(args)
 
 
 def _run(args: argparse.Namespace) -> int:
+    if args.experiment == "trace":
+        from ..obs import write_chrome_trace, write_jsonl
+        from .trace import run_traced
+
+        workload = (args.benchmarks.split(",")[0]
+                    if args.benchmarks else "SGEMM")
+        traced = run_traced(
+            workload, scheme=args.scheme, scheduler=args.scheduler,
+            scale=args.scale, wcdl=args.wcdl, seed=args.seed,
+            inject=not args.no_inject)
+        line = (f"traced {traced.workload}/{traced.scheme}/"
+                f"{traced.scheduler} scale={traced.scale}: "
+                f"{traced.cycles} cycles, "
+                f"{traced.tracer.emitted} events emitted "
+                f"({traced.tracer.dropped} dropped), "
+                f"verified={traced.verified}")
+        if traced.strike_cycle is not None:
+            line += f", strike@{traced.strike_cycle}"
+        print(line)
+        if args.trace_out:
+            write_chrome_trace(traced.tracer, args.trace_out,
+                               workload=traced.workload)
+            print(f"chrome trace written to {args.trace_out} "
+                  f"(load in https://ui.perfetto.dev)")
+        if args.trace_jsonl:
+            count = write_jsonl(traced.tracer, args.trace_jsonl)
+            print(f"{count} events written to {args.trace_jsonl}")
+        if args.stall_report:
+            print()
+            print(rep.render_stall_breakdown(
+                traced.stats,
+                title=(f"Stall-cause breakdown: {traced.workload}/"
+                       f"{traced.scheme}/{traced.scheduler} "
+                       f"(scale={traced.scale})")))
+        return 0
+
     if args.experiment == "campaign":
         import os
 
@@ -140,7 +201,8 @@ def _run(args: argparse.Namespace) -> int:
             workers=args.workers, journal_path=args.journal or None,
             fresh=args.fresh, progress=True,
             checkpoint=not args.no_checkpoint,
-            checkpoint_interval=args.checkpoint_interval)
+            checkpoint_interval=args.checkpoint_interval,
+            metrics_path=args.metrics_json or None)
         if args.aggregate_json:
             from .campaign import write_aggregates
 

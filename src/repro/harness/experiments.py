@@ -284,7 +284,8 @@ def fault_coverage(scale: str = "tiny",
                    timeout_s: float = 120.0, workers: int | None = None,
                    journal_path: str | None = None, fresh: bool = False,
                    progress: bool = False, checkpoint: bool = True,
-                   checkpoint_interval: int = 0):
+                   checkpoint_interval: int = 0,
+                   metrics_path: str | None = None):
     """Run (or resume) an injection campaign and return its report."""
     from ..compiler import scheme_by_name
     from ..core.campaign import CampaignSpec
@@ -310,7 +311,8 @@ def fault_coverage(scale: str = "tiny",
                         checkpoint=checkpoint,
                         checkpoint_interval=checkpoint_interval)
     return run_campaign(spec, workers=workers, journal_path=journal_path,
-                        progress=progress, fresh=fresh)
+                        progress=progress, fresh=fresh,
+                        metrics_path=metrics_path)
 
 
 # ----------------------------------------------------------------------

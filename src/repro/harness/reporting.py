@@ -156,6 +156,27 @@ def render_campaign(report: "CampaignReport") -> str:
         rows, title=title)
 
 
+def render_stall_breakdown(stats, title: str = "") -> str:
+    """Normalized where-the-cycles-went table for one run's merged
+    :class:`~repro.sim.stats.SimStats` (Fig. 13-style breakdown: each
+    active cycle is either an issue or exactly one attributed stall
+    cause, so the percentages sum to 100)."""
+    from ..sim.stats import STALL_CAUSES
+
+    active = max(stats.active_cycles, 1)
+    rows = [["issue", stats.issue_cycles,
+             f"{100.0 * stats.issue_cycles / active:.2f}%"]]
+    for cause in STALL_CAUSES:
+        cycles = stats.stall_cycles.get(cause, 0)
+        if cycles:
+            rows.append([cause, cycles,
+                         f"{100.0 * cycles / active:.2f}%"])
+    rows.append(["TOTAL (active)", stats.active_cycles, "100.00%"])
+    return render_table(
+        ["Cause", "Cycles", "Share"], rows,
+        title=title or "Stall-cause breakdown (per-SM active cycles)")
+
+
 def render_hwcost(rows: list[dict]) -> str:
     body = [[r["gpu"], r["wcdl"], r["rbq_bits"], r["rpt_bits"],
              r["sensors_per_sm"], f"{r['sensor_area_overhead']:.4%}"]

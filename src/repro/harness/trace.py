@@ -1,0 +1,111 @@
+"""Traced single runs: one workload, full event timeline, stall ledger.
+
+``run_traced`` is :func:`repro.harness.runner.execute` with the
+observability stack attached: a :class:`~repro.obs.Tracer` collects the
+cycle-level event stream and, when injection is enabled, a single
+strike is scheduled mid-kernel so the trace also exhibits the
+detection/recovery machinery (strike, detection, rollback, region
+verification).  The strike cycle is sampled from an untraced golden
+pre-run, which guarantees it lands while the kernel is still live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..arch import gpu_by_name
+from ..compiler import compile_kernel, prepare_launch, scheme_by_name
+from ..core import FlameRuntime
+from ..core.injection import FaultInjector
+from ..errors import ReproError
+from ..obs import Tracer
+from ..sim import Gpu, LaunchConfig, NULL_RESILIENCE
+from ..workloads import workload_by_name
+
+
+@dataclass
+class TracedRun:
+    """Everything the trace CLI renders: timeline + stall ledger."""
+
+    workload: str
+    scheme: str
+    scheduler: str
+    scale: str
+    cycles: int
+    verified: bool
+    tracer: Tracer
+    stats: object  # merged SimStats of the traced run
+    strike_cycle: int | None = None
+    injections: list = field(default_factory=list)
+
+
+def _launch_once(workload_name: str, scheme_name: str, scheduler: str,
+                 scale: str, gpu_name: str, wcdl: int, tracer=None,
+                 injector=None):
+    """Compile, assemble a fresh GPU, and run one launch."""
+    workload = workload_by_name(workload_name)
+    instance = workload.instance(scale)
+    scheme = scheme_by_name(scheme_name)
+    compiled = compile_kernel(instance.kernel, scheme, wcdl=wcdl)
+    config = gpu_by_name(gpu_name)
+    runtime = (FlameRuntime(wcdl) if scheme.uses_sensor_runtime
+               else NULL_RESILIENCE)
+    gpu = Gpu(config, resilience=runtime, scheduler=scheduler,
+              tracer=tracer)
+    if injector is not None:
+        gpu.fault_injector = injector
+    mem = instance.fresh_memory()
+    params, mem = prepare_launch(
+        compiled, instance.launch.params, mem,
+        instance.launch.num_blocks, instance.launch.threads_per_block,
+        warp_size=config.warp_size)
+    launch = LaunchConfig(grid=instance.launch.grid,
+                          block=instance.launch.block, params=params)
+    result = gpu.launch(compiled.kernel, launch, mem,
+                        regs_per_thread=compiled.regs_per_thread)
+    return instance, gpu, mem, result
+
+
+def run_traced(workload: str, scheme: str = "flame",
+               scheduler: str = "GTO", scale: str = "tiny",
+               gpu: str = "GTX480", wcdl: int = 20, seed: int = 0,
+               inject: bool = True, site: str = "dest_reg",
+               capacity: int = 1 << 20) -> TracedRun:
+    """Run one configuration with the tracer attached.
+
+    With ``inject=True`` (the default) an untraced golden pre-run first
+    measures the kernel's cycle count, then the traced run takes one
+    strike at a seeded cycle in ``[1, golden_cycles // 2]`` — early
+    enough that its detection and recovery land inside the trace.
+    Injection requires a sensor-equipped scheme; it is skipped (not an
+    error) for unprotected ``baseline`` runs.
+    """
+    inject = inject and scheme_by_name(scheme).uses_sensor_runtime
+    strike_cycle = None
+    injector = None
+    if inject:
+        _, _, _, golden = _launch_once(workload, scheme, scheduler,
+                                       scale, gpu, wcdl)
+        rng = np.random.default_rng(seed)
+        strike_cycle = int(rng.integers(1, max(2, golden.cycles // 2)))
+        injector = FaultInjector(strike_cycles=[strike_cycle], wcdl=wcdl,
+                                 seed=seed, site=site)
+
+    tracer = Tracer(capacity=capacity)
+    instance, _, mem, result = _launch_once(
+        workload, scheme, scheduler, scale, gpu, wcdl,
+        tracer=tracer, injector=injector)
+    verified = instance.verify(mem)
+    if not verified and not inject:
+        raise ReproError(
+            f"{workload} produced wrong output under {scheme}")
+    return TracedRun(
+        workload=workload, scheme=scheme, scheduler=scheduler,
+        scale=scale, cycles=result.cycles, verified=verified,
+        tracer=tracer, stats=result.stats, strike_cycle=strike_cycle,
+        injections=list(injector.records) if injector is not None else [])
+
+
+__all__ = ["TracedRun", "run_traced"]

@@ -1,0 +1,20 @@
+"""Observability: event tracing, trace export, and campaign telemetry.
+
+Always compiled, zero-overhead when off: the simulator's hot paths pay a
+single truthiness check against a ``None`` tracer; attach a
+:class:`Tracer` (``Gpu(..., tracer=Tracer())``) to record structured
+events from every layer — warp issue/stall/wake, region
+begin/verify/rollback, RBQ traffic, cache misses, barriers, block
+dispatch/retire, and fault strike/detection/recovery — then export them
+as Chrome-trace/Perfetto JSON or compact JSONL.
+"""
+
+from .export import (chrome_trace, validate_chrome_trace,
+                     write_chrome_trace, write_jsonl)
+from .heartbeat import CampaignHeartbeat
+from .tracer import TraceEvent, Tracer
+
+__all__ = [
+    "CampaignHeartbeat", "TraceEvent", "Tracer", "chrome_trace",
+    "validate_chrome_trace", "write_chrome_trace", "write_jsonl",
+]

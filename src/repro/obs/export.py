@@ -1,0 +1,122 @@
+"""Trace exporters: Chrome-trace/Perfetto JSON and compact JSONL.
+
+Chrome trace format (the JSON Object Format variant): load the output in
+Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.  ``pid`` is
+the SM, ``tid`` the warp, and one simulated cycle maps to one
+microsecond of trace time.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .tracer import TraceEvent, Tracer
+
+#: Trace tid used for SM-level events; mirrored from repro.sim.sm
+#: (duplicated here so the obs package never imports the simulator).
+CONTROL_TID = 1_000_000
+
+
+def chrome_trace(tracer: Tracer, workload: str = "kernel") -> dict:
+    """Render the tracer's buffered events as a Chrome-trace object."""
+    trace_events: list[dict] = []
+    tracks: set[tuple[int, int]] = set()
+    for evt in tracer.events:
+        tracks.add((evt.pid, evt.tid))
+        entry = {"name": evt.name, "ph": evt.ph, "ts": evt.ts,
+                 "pid": evt.pid, "tid": evt.tid}
+        if evt.ph == "X":
+            entry["dur"] = evt.dur
+        elif evt.ph == "i":
+            entry["s"] = "t"  # thread-scoped instant
+        if evt.args:
+            entry["args"] = evt.args
+        trace_events.append(entry)
+    # Spans are closed retroactively (emitted at flush with the start
+    # cycle as ts), so emission order is not ts order; a stable sort
+    # restores per-track monotonicity without reordering same-cycle
+    # events.
+    trace_events.sort(key=lambda entry: entry["ts"])
+    metadata: list[dict] = []
+    for pid in sorted({pid for pid, _ in tracks}):
+        metadata.append({"name": "process_name", "ph": "M", "pid": pid,
+                         "tid": 0, "args": {"name": f"SM {pid}"}})
+    for pid, tid in sorted(tracks):
+        name = "SM control" if tid >= CONTROL_TID else f"warp {tid}"
+        metadata.append({"name": "thread_name", "ph": "M", "pid": pid,
+                         "tid": tid, "args": {"name": name}})
+    return {
+        "traceEvents": metadata + trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"workload": workload, "emitted": tracer.emitted,
+                      "dropped": tracer.dropped, "clock": "cycles"},
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path: str,
+                       workload: str = "kernel") -> dict:
+    """Write :func:`chrome_trace` output to ``path``; returns the dict."""
+    data = chrome_trace(tracer, workload=workload)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, separators=(",", ":"))
+    return data
+
+
+def write_jsonl(tracer: Tracer, path: str) -> int:
+    """Write one compact JSON object per event; returns the line count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for evt in tracer.events:
+            fh.write(json.dumps(event_dict(evt), separators=(",", ":")))
+            fh.write("\n")
+            count += 1
+    return count
+
+
+def event_dict(evt: TraceEvent) -> dict:
+    """Compact plain-dict form of one event (JSONL schema)."""
+    data = {"name": evt.name, "ph": evt.ph, "cycle": evt.ts,
+            "sm": evt.pid, "warp": evt.tid}
+    if evt.ph == "X":
+        data["dur"] = evt.dur
+    if evt.args:
+        data["args"] = evt.args
+    return data
+
+
+def validate_chrome_trace(data: dict) -> list[str]:
+    """Schema check used by tests and the CI trace-smoke job.
+
+    Returns a list of problems (empty = valid): required top-level and
+    per-event keys, and per-(pid, tid) track ``ts`` monotonicity
+    (non-decreasing — events are emitted in cycle order).
+    """
+    problems: list[str] = []
+    if not isinstance(data, dict):
+        return ["trace is not a JSON object"]
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list traceEvents"]
+    last_ts: dict[tuple[int, int], int] = {}
+    for index, evt in enumerate(events):
+        if not isinstance(evt, dict):
+            problems.append(f"event {index} is not an object")
+            continue
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in evt:
+                problems.append(f"event {index} missing {key!r}")
+        ph = evt.get("ph")
+        if ph == "M":
+            continue
+        if "ts" not in evt:
+            problems.append(f"event {index} missing 'ts'")
+            continue
+        if ph == "X" and "dur" not in evt:
+            problems.append(f"event {index} ph=X missing 'dur'")
+        track = (evt.get("pid"), evt.get("tid"))
+        ts = evt["ts"]
+        if track in last_ts and ts < last_ts[track]:
+            problems.append(
+                f"event {index} ts={ts} goes backwards on track {track}")
+        last_ts[track] = ts
+    return problems

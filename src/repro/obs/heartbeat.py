@@ -1,0 +1,133 @@
+"""Campaign telemetry heartbeat: periodic JSONL metrics next to the journal.
+
+A tiny daemon thread samples the campaign's shared counters every
+``interval`` seconds and appends one JSON object per sample to a metrics
+file — progress, throughput, acceleration hit rates, worker restarts,
+and an ETA extrapolated from the observed trial rate.  ``stop()`` always
+writes one final record, so even sub-interval campaigns emit at least
+one heartbeat.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+
+class CampaignHeartbeat:
+    """Thread-safe counter block plus the writer thread.
+
+    Counters are bumped from the result-recording path (one process;
+    worker processes report through the pool's result queue, so no
+    cross-process locking is needed beyond this object's lock).
+    """
+
+    def __init__(self, path: str, total_trials: int,
+                 interval: float = 5.0) -> None:
+        self.path = path
+        self.total_trials = total_trials
+        self.interval = interval
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._started_at = 0.0
+        # Counters (guarded by _lock).
+        self.completed = 0
+        self.resumed = 0          # trials satisfied from the journal
+        self.fast_starts = 0      # trials seeded from a golden checkpoint
+        self.converged = 0        # trials cut short by convergence match
+        self.golden_cache_hits = 0
+        self.worker_restarts = 0
+        self.infra_failures = 0
+        self.sim_cycles = 0
+        self.wall_time_s = 0.0    # summed per-trial simulation wall time
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def note_resumed(self, count: int) -> None:
+        with self._lock:
+            self.resumed += count
+
+    def note_trial(self, result) -> None:
+        """Record one finished trial (a ``TrialResult``)."""
+        with self._lock:
+            self.completed += 1
+            if result.fast_start:
+                self.fast_starts += 1
+            if result.converged:
+                self.converged += 1
+            if result.golden_cache_hit:
+                self.golden_cache_hits += 1
+            # Mirrors repro.core.campaign.INFRA_ERROR (obs stays
+            # import-free of the campaign layer).
+            if result.outcome == "infra_error":
+                self.infra_failures += 1
+            self.sim_cycles += result.cycles
+            self.wall_time_s += result.wall_time_s
+
+    def note_worker_restart(self) -> None:
+        with self._lock:
+            self.worker_restarts += 1
+
+    # ------------------------------------------------------------------
+    # Writer side
+    # ------------------------------------------------------------------
+    def start(self) -> "CampaignHeartbeat":
+        self._started_at = time.monotonic()
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="campaign-heartbeat")
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the thread and flush a final record."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=self.interval + 5.0)
+            self._thread = None
+        self._write(final=True)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self._write(final=False)
+
+    def snapshot(self, final: bool = False) -> dict:
+        """One metrics record (the JSONL schema)."""
+        elapsed = max(time.monotonic() - self._started_at, 1e-9)
+        with self._lock:
+            completed = self.completed
+            rate = completed / elapsed
+            remaining = max(self.total_trials - self.resumed - completed, 0)
+            denominator = completed or 1
+            record = {
+                "kind": "campaign_heartbeat",
+                "final": final,
+                "elapsed_s": round(elapsed, 3),
+                "total_trials": self.total_trials,
+                "resumed_from_journal": self.resumed,
+                "completed": completed,
+                "remaining": remaining,
+                "trials_per_sec": round(rate, 4),
+                "eta_s": (round(remaining / rate, 1) if rate > 0
+                          else None),
+                "fast_start_hit_rate": self.fast_starts / denominator,
+                "convergence_early_exit_rate": self.converged / denominator,
+                "golden_cache_hits": self.golden_cache_hits,
+                "worker_restarts": self.worker_restarts,
+                "infra_failures": self.infra_failures,
+                "sim_cycles": self.sim_cycles,
+                "sim_wall_time_s": round(self.wall_time_s, 3),
+            }
+        return record
+
+    def _write(self, final: bool) -> None:
+        record = self.snapshot(final=final)
+        record["time"] = time.time()
+        try:
+            with open(self.path, "a", encoding="utf-8") as fh:
+                fh.write(json.dumps(record, separators=(",", ":")))
+                fh.write("\n")
+        except OSError:
+            pass  # telemetry must never kill a campaign

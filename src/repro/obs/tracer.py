@@ -1,0 +1,94 @@
+"""Bounded ring-buffer event tracer.
+
+The tracer is a pure observer: attaching one never changes simulated
+cycles, stats, or memory.  Events are recorded into a ``deque`` with a
+maximum length, so a long run keeps the most recent window instead of
+growing without bound; ``dropped`` reports how many events fell off the
+front.  Export lives in :mod:`repro.obs.export`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import NamedTuple
+
+
+class TraceEvent(NamedTuple):
+    """One structured simulator event (cycle-stamped, Chrome-trace-able).
+
+    ``ph`` follows the Chrome trace format: ``"i"`` instant, ``"X"``
+    complete (with ``dur``), ``"C"`` counter.  ``pid`` is the SM id and
+    ``tid`` the global warp id (``repro.sim.CONTROL_TID`` marks SM-level
+    events).
+    """
+
+    name: str
+    ph: str
+    ts: int
+    dur: int
+    pid: int
+    tid: int
+    args: dict | None
+
+
+class Tracer:
+    """Record :class:`TraceEvent` objects into a bounded ring buffer.
+
+    ``capacity`` bounds retained events (oldest dropped first); pass
+    ``None`` for an unbounded buffer (small workloads / tests).
+    Exporters registered via :meth:`add_exporter` see every event at
+    emission time, before ring eviction can drop it.
+    """
+
+    def __init__(self, capacity: int | None = 1 << 20) -> None:
+        self.events: deque[TraceEvent] = deque(maxlen=capacity)
+        self.capacity = capacity
+        self.emitted = 0
+        #: Current simulated cycle, maintained by the launch loop while
+        #: tracing so emission points without a cycle argument (e.g.
+        #: region accounting) can still stamp events.
+        self.now = 0
+        self._exporters: list = []
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted from the ring by newer ones."""
+        return self.emitted - len(self.events)
+
+    def add_exporter(self, exporter) -> None:
+        """Register a callable invoked with each event as it is emitted
+        (streaming export; exceptions propagate to the simulation)."""
+        self._exporters.append(exporter)
+
+    def event(self, name: str, cycle: int, pid: int, tid: int,
+              args: dict | None = None, ph: str = "i",
+              dur: int = 0) -> None:
+        """Emit one event.  ``cycle`` becomes the Chrome ``ts``."""
+        evt = TraceEvent(name, ph, cycle, dur, pid, tid, args)
+        self.events.append(evt)
+        self.emitted += 1
+        for exporter in self._exporters:
+            exporter(evt)
+
+    def counter(self, name: str, cycle: int, pid: int,
+                values: dict) -> None:
+        """Emit a Chrome counter event (stacked-area track)."""
+        self.event(name, cycle, pid, 0, dict(values), ph="C")
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.emitted = 0
+
+    # ------------------------------------------------------------------
+    # Checkpoint support (pure observer: the simulator never includes
+    # tracer state in machine snapshots, but callers that checkpoint a
+    # traced run can round-trip the buffer explicitly).
+    # ------------------------------------------------------------------
+    def capture_state(self) -> tuple:
+        return (self.emitted, self.now, tuple(self.events))
+
+    def restore_state(self, state: tuple) -> None:
+        emitted, now, events = state
+        self.emitted = emitted
+        self.now = now
+        self.events = deque(events, maxlen=self.capacity)

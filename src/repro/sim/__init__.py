@@ -19,7 +19,8 @@ from .schedulers import (GtoScheduler, LrrScheduler, OldestScheduler,
                          SCHEDULERS, TwoLevelScheduler, WarpScheduler,
                          make_scheduler)
 from .sanitizer import Sanitizer
-from .sm import NEVER, NULL_RESILIENCE, ResilienceRuntime, Sm, ThreadBlock
+from .sm import (CONTROL_TID, NEVER, NULL_RESILIENCE, ResilienceRuntime, Sm,
+                 ThreadBlock)
 from .snapshot import (CheckpointRecorder, ConvergenceMonitor, GpuCheckpoint,
                        MemoryLiveness, SNAPSHOT_VERSION, capture_gpu,
                        machine_probe, plain_equal, restore_gpu)
@@ -27,6 +28,7 @@ from .stats import SimStats
 from .warp import StackEntry, Warp, WarpSnapshot, WarpState
 
 __all__ = [
+    "CONTROL_TID",
     "Cache", "CheckpointRecorder", "ConvergenceMonitor", "ExecPlan", "Gpu",
     "GpuCheckpoint", "GtoScheduler", "LaneContext", "LaunchConfig",
     "LrrScheduler", "MAX_CYCLES", "MemAccess", "MemoryLiveness", "NEVER",

@@ -94,7 +94,7 @@ class Gpu:
     def __init__(self, config: GpuConfig = GTX480,
                  resilience: ResilienceRuntime = NULL_RESILIENCE,
                  scheduler: str = "GTO", sanitizer=None,
-                 fast: bool = True) -> None:
+                 fast: bool = True, tracer=None) -> None:
         self.config = config
         self.scheduler = scheduler
         #: Drive the SMs from decode-once execution plans (repro.sim.plan).
@@ -107,6 +107,11 @@ class Gpu:
         self.fault_injector = None  # set by repro.core.injection
         #: Opt-in per-cycle invariant checker (repro.sim.sanitizer).
         self.sanitizer = sanitizer
+        #: Opt-in event tracer (``repro.obs.Tracer``); None disables all
+        #: emission at the cost of one truthiness check per SM tick.
+        self.tracer = tracer
+        for sm in self.sms:
+            sm.tracer = tracer
 
     # ------------------------------------------------------------------
     # Launch
@@ -216,6 +221,8 @@ class Gpu:
                 # the detector).
                 if self.fault_injector is not None:
                     self.fault_injector.tick(self, cycle)
+                if self.tracer is not None:
+                    self.tracer.now = cycle
                 issued = 0
                 for sm in self.sms:
                     issued += sm.tick(cycle)
@@ -223,7 +230,7 @@ class Gpu:
                 for sm in self.sms:
                     if sm._done_blocks:
                         for block in sm.take_done_blocks():
-                            sm.remove_block(block)
+                            sm.remove_block(block, cycle)
                 if self.sanitizer is not None:
                     self.sanitizer.check(self, cycle)
                 if not pending and all(not sm.busy for sm in self.sms):
@@ -231,13 +238,24 @@ class Gpu:
                 if issued:
                     cycle += 1
                 else:
-                    cycle = self._fast_forward(cycle)
+                    nxt = self._fast_forward(cycle)
+                    skipped = nxt - cycle - 1
+                    if skipped > 0:
+                        # The elided cycles inherit the stall cause each
+                        # busy SM recorded this cycle (nothing changes
+                        # while no SM issues), keeping attribution exact.
+                        for sm in self.sms:
+                            sm.account_stall_skip(skipped)
+                    cycle = nxt
                 if cycle > budget:
                     raise SimTimeout(
                         f"kernel {kernel.name!r} exceeded its cycle budget "
                         f"of {budget} cycles — likely hung or livelocked",
                         cycles=cycle)
 
+        if self.tracer is not None:
+            for sm in self.sms:
+                sm.trace_flush(cycle)
         stats = SimStats()
         per_sm = []
         for sm in self.sms:
@@ -365,12 +383,13 @@ def run_kernel(kernel: Kernel, launch: LaunchConfig, global_mem: np.ndarray,
                resilience: ResilienceRuntime = NULL_RESILIENCE,
                regs_per_thread: int | None = None,
                max_cycles: int | None = None, sanitizer=None,
-               fast: bool = True) -> RunResult:
+               fast: bool = True, tracer=None) -> RunResult:
     """Convenience one-shot: build a GPU, launch, return the result.
 
     ``fast=False`` runs the reference per-issue interpreter instead of
     the decode-once execution plan; results are byte-identical.
     """
-    gpu = Gpu(config, resilience, scheduler, sanitizer=sanitizer, fast=fast)
+    gpu = Gpu(config, resilience, scheduler, sanitizer=sanitizer, fast=fast,
+              tracer=tracer)
     return gpu.launch(kernel, launch, global_mem, regs_per_thread,
                       max_cycles=max_cycles)

@@ -359,7 +359,7 @@ class PlannedInst:
         "is_timed_mem", "timing", "latency", "run",
         "track_reg_write", "track_pred_write", "track_shared_store",
         "needs_writeback", "target", "reconv_pc", "is_rb",
-        "src_reg_rows",
+        "src_reg_rows", "label",
     )
 
     def __init__(self, index: int, inst: Instruction, kernel: Kernel,
@@ -368,6 +368,10 @@ class PlannedInst:
         self.inst = inst
         self.op = inst.op
         self.fu = info.fu
+        # Human-readable trace label, e.g. "ld.global" — precomputed so
+        # traced issue only fetches an attribute.
+        self.label = (inst.op.value if inst.space is None
+                      else f"{inst.op.value}.{inst.space.value}")
         self.shadow = inst.shadow
         self.ckpt = inst.ckpt
         self.dst = inst.dst

@@ -21,7 +21,11 @@ simulated cycle it walks each SM and verifies:
   the WCDL conveyor length;
 * **RPT entries at region starts** — every recovery PC is the kernel
   entry or the instruction following a region-boundary marker, so a
-  rollback can only ever resume at an idempotent re-execution point.
+  rollback can only ever resume at an idempotent re-execution point;
+* **stall-ledger conservation** — per SM, issued plus cause-attributed
+  idle cycles exactly cover the active cycles, and the per-warp ledger
+  partitions the per-cause one (no idle cycle unattributed or counted
+  twice).
 
 A violation raises :class:`~repro.errors.SanitizerError` with the SM,
 warp, cycle, and invariant name.  Fault-injection campaigns run with
@@ -57,6 +61,7 @@ class Sanitizer:
             self._check_sm(sm, cycle)
 
     def _check_sm(self, sm, cycle: int) -> None:
+        self._check_stalls(sm, cycle)
         for warp in sm.warps:
             self._check_scoreboard(sm, warp, cycle)
             self._check_stack(sm, warp, cycle)
@@ -72,6 +77,27 @@ class Sanitizer:
     # ------------------------------------------------------------------
     # Invariants
     # ------------------------------------------------------------------
+    def _check_stalls(self, sm, cycle: int) -> None:
+        stats = sm.stats
+        attributed = sum(stats.stall_cycles.values())
+        if stats.issue_cycles + attributed != stats.active_cycles:
+            self._fail("stall-conservation", sm, None, cycle,
+                       f"issue ({stats.issue_cycles}) + attributed stalls "
+                       f"({attributed}) != active cycles "
+                       f"({stats.active_cycles})")
+        if stats.idle_cycles != attributed:
+            self._fail("stall-conservation", sm, None, cycle,
+                       f"idle cycles ({stats.idle_cycles}) != attributed "
+                       f"stalls ({attributed})")
+        per_warp: dict[str, int] = {}
+        for ledger in stats.warp_stalls.values():
+            for cause, count in ledger.items():
+                per_warp[cause] = per_warp.get(cause, 0) + count
+        if per_warp != stats.stall_cycles:
+            self._fail("stall-conservation", sm, None, cycle,
+                       f"per-warp ledger {per_warp} does not partition "
+                       f"the per-cause ledger {stats.stall_cycles}")
+
     def _check_scoreboard(self, sm, warp, cycle: int) -> None:
         num_regs = warp.ctx.regs.shape[0]
         num_preds = warp.ctx.preds.shape[0]

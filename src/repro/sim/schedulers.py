@@ -34,12 +34,11 @@ class WarpScheduler:
     def pick(self, issuable, cycle: int) -> Warp | None:
         """Choose a warp among this scheduler's warps.
 
-        ``issuable(warp)`` tells whether a warp can issue this cycle.
+        ``issuable(warp, cycle)`` tells whether a warp can issue this
+        cycle (two-argument so the SM can pass a bound method directly
+        instead of allocating a closure every tick).
         """
         raise NotImplementedError
-
-    def notify_stall(self, warp: Warp) -> None:
-        """Called when the previously running warp could not issue."""
 
     # ------------------------------------------------------------------
     # Checkpoint support
@@ -96,10 +95,11 @@ class GtoScheduler(AgeSortedScheduler):
 
     def pick(self, issuable, cycle: int) -> Warp | None:
         current = self._current
-        if current is not None and current in self.warps and issuable(current):
+        if (current is not None and current in self.warps
+                and issuable(current, cycle)):
             return current
         for warp in self.warps:
-            if issuable(warp):
+            if issuable(warp, cycle):
                 self._current = warp
                 return warp
         self._current = None
@@ -119,7 +119,7 @@ class OldestScheduler(AgeSortedScheduler):
 
     def pick(self, issuable, cycle: int) -> Warp | None:
         for warp in self.warps:
-            if issuable(warp):
+            if issuable(warp, cycle):
                 return warp
         return None
 
@@ -139,7 +139,7 @@ class LrrScheduler(WarpScheduler):
             return None
         for step in range(n):
             warp = self.warps[(self._next + step) % n]
-            if issuable(warp):
+            if issuable(warp, cycle):
                 self._next = (self._next + step + 1) % n
                 return warp
         return None
@@ -170,7 +170,7 @@ class TwoLevelScheduler(WarpScheduler):
         if warp in self._active:
             self._active.remove(warp)
 
-    def _refill(self, issuable) -> None:
+    def _refill(self, issuable, cycle: int) -> None:
         if len(self._active) >= min(self.active_size, len(self.warps)):
             return
         pending = [w for w in self.warps if w not in self._active]
@@ -182,28 +182,29 @@ class TwoLevelScheduler(WarpScheduler):
                     return
                 if warp in self._active:
                     continue
-                if wanted_ready and not issuable(warp):
+                if wanted_ready and not issuable(warp, cycle):
                     continue
                 self._active.append(warp)
 
     def pick(self, issuable, cycle: int) -> Warp | None:
-        self._refill(issuable)
+        self._refill(issuable, cycle)
         n = len(self._active)
         for step in range(n):
             warp = self._active[(self._next + step) % n]
-            if issuable(warp):
+            if issuable(warp, cycle):
                 self._next = (self._next + step + 1) % n
                 return warp
         # Whole active set stalled: demote stalled warps so the next
         # refill can promote pending ready ones.
-        stalled = [w for w in self._active if not issuable(w)]
+        stalled = [w for w in self._active if not issuable(w, cycle)]
         pending_ready = [w for w in self.warps
-                         if w not in self._active and issuable(w)]
+                         if w not in self._active and issuable(w, cycle)]
         for warp, replacement in zip(stalled, pending_ready):
             self._active.remove(warp)
             self._active.append(replacement)
         if pending_ready:
-            return self.pick(lambda w: issuable(w) and w in self._active, cycle)
+            return self.pick(
+                lambda w, c: issuable(w, c) and w in self._active, cycle)
         return None
 
     def _extra_state(self):

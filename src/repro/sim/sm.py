@@ -19,11 +19,20 @@ from .caches import Cache
 from .functional import MemAccess, execute, guard_mask
 from .plan import ExecPlan, K_BAR, K_BRA, K_EXIT, K_VALUE, T_ATOMIC, T_SHARED
 from .schedulers import WarpScheduler, make_scheduler
-from .stats import SimStats
+from .stats import STALL_CAUSES, SimStats
 from .warp import Warp, WarpState
 
 #: Big sentinel for "no next event".
 NEVER = 1 << 62
+
+#: Attribution priority: when several stall causes hold simultaneously,
+#: the lowest rank wins (see ``stats.STALL_CAUSES`` ordering).
+_CAUSE_RANK = {cause: rank for rank, cause in enumerate(STALL_CAUSES)}
+_NO_READY_RANK = _CAUSE_RANK["no_ready_warp"]
+
+#: Trace thread id for SM-level events (stall spans, block dispatch):
+#: warp ids are globally small, so this cannot collide within a pid.
+CONTROL_TID = 1_000_000
 
 
 class ResilienceRuntime:
@@ -59,6 +68,12 @@ class ResilienceRuntime:
 
     def tick(self, sm: "Sm", cycle: int) -> None:
         """Per-cycle maintenance (RBQ conveyor movement)."""
+
+    def stall_cause(self, sm: "Sm", cycle: int) -> str | None:
+        """SM-level stall cause that overrides per-warp attribution
+        (e.g. an in-progress rollback window), or None to defer to the
+        per-warp classification."""
+        return None
 
     def next_event(self, sm: "Sm") -> int:
         return NEVER
@@ -129,6 +144,21 @@ class Sm:
         #: Golden-run memory access tracker (set by Gpu.launch when a
         #: checkpoint recorder is attached; None on ordinary runs).
         self.liveness = None
+        #: Event tracer (``repro.obs.Tracer``) or None.  The None case
+        #: costs a single truthiness check per tick: the traced tick is
+        #: a separate method, so the hot path stays branch-free.
+        self.tracer = None
+        #: Stall cause recorded at the most recent idle cycle, consumed
+        #: by ``account_stall_skip`` when the event-driven fast-forward
+        #: elides the following cycles (the cause provably holds for
+        #: the whole skipped span: no machine state changes while no SM
+        #: issues, and the jump lands on the earliest next event).
+        self._stall_cause: str | None = None
+        self._stall_warp = -1
+        # Open stall span for the tracer (start cycle + cause).
+        self._trace_stall_cause: str | None = None
+        self._trace_stall_warp = -1
+        self._trace_stall_start = 0
 
     # ------------------------------------------------------------------
     # Launch-time setup
@@ -159,8 +189,12 @@ class Sm:
             self.skip_markers(warp, cycle)
         self.stats.blocks_launched += 1
         self.stats.warps_launched += len(block.warps)
+        if self.tracer is not None:
+            self.tracer.event("block_dispatch", cycle, self.id, CONTROL_TID,
+                              {"block": block.id, "ctaid": list(block.ctaid),
+                               "warps": len(block.warps)})
 
-    def remove_block(self, block: ThreadBlock) -> None:
+    def remove_block(self, block: ThreadBlock, cycle: int = 0) -> None:
         # Swap-pop: block order is unobservable (dispatch and retirement
         # only need membership), so avoid the O(blocks) list.remove scan.
         blocks = self.blocks
@@ -175,6 +209,9 @@ class Sm:
         # fault-site candidate selection iterates ``sm.warps``, so the
         # surviving warps must keep their exact relative order.
         self.warps = [w for w in self.warps if w.block is not block]
+        if self.tracer is not None:
+            self.tracer.event("block_retire", cycle, self.id, CONTROL_TID,
+                              {"block": block.id})
 
     def _note_warp_done(self, warp: Warp) -> None:
         """A warp reached DONE: decrement its block's live-warp counter."""
@@ -246,6 +283,10 @@ class Sm:
         self._done_blocks = [block_map[bid] for bid in state["done_blocks"]]
         if state["resilience"] is not None:
             self.resilience.restore_state(state["resilience"], self, warp_map)
+        # Per-cycle stall transients describe the cycle being simulated
+        # when the snapshot was taken, not the restore target's.
+        self._stall_cause = None
+        self._trace_stall_cause = None
 
     def state_equals(self, state: dict, include_data: bool = True) -> bool:
         """Exact equality against a :meth:`capture_state` snapshot,
@@ -301,6 +342,10 @@ class Sm:
         """Record region-size statistics when a warp crosses a boundary."""
         self.stats.verified_regions += 1
         self.stats.region_instructions += warp.insts_since_boundary
+        if self.tracer is not None:
+            self.tracer.event("region_end", self.tracer.now, self.id,
+                              warp.id,
+                              {"instructions": warp.insts_since_boundary})
         warp.insts_since_boundary = 0
         # Once descheduled, the warp has nothing in flight: strikes can
         # no longer corrupt its (ECC-protected, at-rest) registers,
@@ -336,22 +381,182 @@ class Sm:
     def tick(self, cycle: int) -> int:
         """Run one cycle; returns the number of instructions issued."""
         self.resilience.tick(self, cycle)
-        issued = 0
         if self.plan is None:
             issuable, issue = self._issuable, self._issue
         else:
             issuable, issue = self._issuable_fast, self._issue_fast
-        check = lambda w: issuable(w, cycle)  # noqa: E731
+        if self.tracer is not None:
+            return self._tick_traced(cycle, issuable, issue, self.tracer)
+        issued = 0
         for scheduler in self.schedulers:
-            warp = scheduler.pick(check, cycle)
+            warp = scheduler.pick(issuable, cycle)
             if warp is None:
                 continue
             issue(warp, cycle)
             issued += 1
         if self.busy:
-            self.stats.issue_cycles += 1 if issued else 0
-            self.stats.idle_cycles += 0 if issued else 1
+            stats = self.stats
+            stats.active_cycles += 1
+            if issued:
+                stats.issue_cycles += 1
+                self._stall_cause = None
+            else:
+                stats.idle_cycles += 1
+                cause, culprit = self._classify_stall(cycle)
+                stats.count_stall(cause, culprit)
+                self._stall_cause = cause
+                self._stall_warp = culprit
         return issued
+
+    def _tick_traced(self, cycle: int, issuable, issue, tracer) -> int:
+        """``tick`` with event emission; kept out of line so the
+        untraced hot path pays only the tracer truthiness check."""
+        issued = 0
+        plan = self.plan
+        for scheduler in self.schedulers:
+            warp = scheduler.pick(issuable, cycle)
+            if warp is None:
+                continue
+            pc = warp.stack[-1].pc
+            retiring = warp.finished
+            issue(warp, cycle)
+            issued += 1
+            if retiring:
+                tracer.event("warp_retire", cycle, self.id, warp.id)
+            else:
+                if plan is not None:
+                    label = plan.records[pc].label
+                else:
+                    label = self.kernel.instructions[pc].op.value
+                tracer.event("issue", cycle, self.id, warp.id,
+                             {"pc": pc, "op": label})
+        if self.busy:
+            stats = self.stats
+            stats.active_cycles += 1
+            if issued:
+                stats.issue_cycles += 1
+                self._stall_cause = None
+                self.trace_flush(cycle)
+            else:
+                stats.idle_cycles += 1
+                cause, culprit = self._classify_stall(cycle)
+                stats.count_stall(cause, culprit)
+                self._stall_cause = cause
+                self._stall_warp = culprit
+                if self._trace_stall_cause != cause:
+                    self.trace_flush(cycle)
+                    self._trace_stall_cause = cause
+                    self._trace_stall_warp = culprit
+                    self._trace_stall_start = cycle
+        else:
+            self._stall_cause = None
+            self.trace_flush(cycle)
+        return issued
+
+    def trace_flush(self, cycle: int) -> None:
+        """Close the open stall span (if any) as a Chrome complete
+        event; called when issue resumes, the cause changes, the SM
+        drains, or the launch ends."""
+        cause = self._trace_stall_cause
+        if cause is None:
+            return
+        self._trace_stall_cause = None
+        if self.tracer is not None:
+            start = self._trace_stall_start
+            self.tracer.event("stall", start, self.id, CONTROL_TID,
+                              {"cause": cause,
+                               "warp": self._trace_stall_warp},
+                              ph="X", dur=max(cycle - start, 1))
+
+    # ------------------------------------------------------------------
+    # Stall-cause attribution
+    # ------------------------------------------------------------------
+    def account_stall_skip(self, skipped: int) -> None:
+        """Attribute cycles elided by the event-driven fast-forward.
+
+        The fast-forward fires only when no SM issued, so every busy SM
+        just recorded a stall cause; that cause holds for the entire
+        skipped span because no machine state changes while nothing
+        issues and the jump target is the earliest next event on any SM.
+        """
+        if skipped <= 0 or not self.busy:
+            return
+        stats = self.stats
+        stats.active_cycles += skipped
+        stats.idle_cycles += skipped
+        if self._stall_cause is not None:
+            stats.count_stall(self._stall_cause, self._stall_warp, skipped)
+
+    def _classify_stall(self, cycle: int) -> tuple[str, int]:
+        """Why this busy SM failed to issue at ``cycle``: the
+        highest-priority cause across resident warps, plus the id of the
+        first warp exhibiting it (-1 when the cause is SM-level or the
+        catch-all)."""
+        runtime_cause = self.resilience.stall_cause(self, cycle)
+        if runtime_cause is not None:
+            return runtime_cause, -1
+        best_cause = "no_ready_warp"
+        best_rank = _NO_READY_RANK
+        best_warp = -1
+        for warp in self.warps:
+            cause = self._warp_stall_cause(warp, cycle)
+            if cause is None:
+                continue
+            rank = _CAUSE_RANK[cause]
+            if rank < best_rank:
+                best_rank = rank
+                best_cause = cause
+                best_warp = warp.id
+        return best_cause, best_warp
+
+    def _warp_stall_cause(self, warp: Warp, cycle: int) -> str | None:
+        """This warp's reason for not issuing, or None (DONE warps).
+
+        Computed from the instruction's operand set directly — never
+        from the fast-path ready cache — so the plan-driven and
+        reference paths attribute identically.
+        """
+        state = warp.state
+        if state is WarpState.IN_RBQ:
+            return "verify_wait"
+        if state is WarpState.AT_BARRIER:
+            return "barrier"
+        if state is not WarpState.ACTIVE:
+            return None
+        if warp._finished:
+            # Issuable as soon as its wakeup passes (retirement slot).
+            return "no_ready_warp"
+        if self.plan is not None:
+            rec = self.plan.records[warp.stack[-1].pc]
+            score_ops = rec.score_ops
+            timed = rec.is_timed_mem
+        else:
+            inst = warp.next_instruction()
+            score_ops = list(inst.read_regs()) + list(inst.read_preds())
+            if inst.dst is not None:
+                score_ops.append(inst.dst)
+            timed = (inst.fu is FuClass.MEM
+                     and inst.space is not Space.PARAM)
+        pending = warp.pending
+        blocker = None
+        blocked_at = cycle
+        if pending:
+            get = pending.get
+            for operand in score_ops:
+                at = get(operand, 0)
+                if at > blocked_at:
+                    blocked_at = at
+                    blocker = operand
+        if blocker is not None:
+            # A scoreboard entry is an in-flight *load* exactly when the
+            # memory-side ledger agrees on the ready cycle (see
+            # Warp.pending_mem for why stale entries can never match).
+            if warp.pending_mem.get(blocker) == pending[blocker]:
+                return "memory_latency"
+            return "scoreboard_raw"
+        if timed and self._lsu_free_at > cycle:
+            return "memory_latency"
+        return "no_ready_warp"
 
     def _issuable(self, warp: Warp, cycle: int) -> bool:
         if warp.state is not WarpState.ACTIVE or warp.wakeup_cycle > cycle:
@@ -576,9 +781,15 @@ class Sm:
                     seg_latency = config.dram_latency
                 latency = max(latency, seg_latency)
             self.stats.global_transactions += occupancy
+            if self.tracer is not None and latency > config.l1_latency:
+                self.tracer.event("mem_miss", cycle, self.id, warp.id,
+                                  {"latency": latency,
+                                   "segments": occupancy})
         self._lsu_free_at = max(self._lsu_free_at, cycle) + occupancy
         if inst.info.is_load or inst.info.is_atomic:
             warp.mark_pending(inst.dst, cycle + latency)
+            if inst.dst is not None:
+                warp.pending_mem[inst.dst] = cycle + latency
 
     def _time_memory_fast(self, warp: Warp, rec, access: MemAccess | None,
                           cycle: int) -> None:
@@ -619,9 +830,14 @@ class Sm:
                 if seg_latency > latency:
                     latency = seg_latency
             self.stats.global_transactions += occupancy
+            if self.tracer is not None and latency > config.l1_latency:
+                self.tracer.event("mem_miss", cycle, self.id, warp.id,
+                                  {"latency": latency,
+                                   "segments": occupancy})
         self._lsu_free_at = max(self._lsu_free_at, cycle) + occupancy
         if rec.needs_writeback and rec.dst is not None:
             warp.pending[rec.dst] = cycle + latency
+            warp.pending_mem[rec.dst] = cycle + latency
 
     @staticmethod
     def _bank_conflict_degree(addresses: np.ndarray) -> int:
@@ -647,6 +863,9 @@ class Sm:
         warp.barrier_count += 1
         warp.state = WarpState.AT_BARRIER
         warp.advance()
+        if self.tracer is not None:
+            self.tracer.event("barrier_arrive", cycle, self.id, warp.id,
+                              {"generation": warp.barrier_count})
         self._check_barrier_release(warp.block, cycle)
 
     def _check_barrier_release(self, block: ThreadBlock, cycle: int) -> None:
@@ -659,6 +878,10 @@ class Sm:
                     and warp.barrier_count <= reached):
                 warp.state = WarpState.ACTIVE
                 warp.wake(cycle + 1)
+                if self.tracer is not None:
+                    self.tracer.event("barrier_release", cycle, self.id,
+                                      warp.id,
+                                      {"generation": warp.barrier_count})
                 self.skip_markers(warp, cycle + 1)
 
     # ------------------------------------------------------------------

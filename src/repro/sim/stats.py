@@ -3,9 +3,32 @@
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from ..isa import FuClass
+
+#: Stall causes, highest attribution priority first.  When several causes
+#: apply to an idle SM cycle the earliest entry wins, so the ledger is a
+#: partition of idle cycles (conservation: issue + stalls == active cycles).
+STALL_CAUSES = (
+    "rollback",        # re-execution window after a detected error
+    "rbq_full",        # region boundary blocked on a full RBQ conveyor
+    "memory_latency",  # scoreboard wait whose producer is an in-flight load
+    "scoreboard_raw",  # scoreboard wait on an ALU/SFU producer (RAW)
+    "barrier",         # all resident warps waiting at a CTA barrier
+    "reconvergence",   # SIMT divergence bookkeeping (structurally 0 in
+                       # this stack model: reconvergence is same-cycle)
+    "verify_wait",     # warp parked in RBQ awaiting region verification
+    "no_ready_warp",   # nothing else blocks, scheduler found no candidate
+)
+
+#: Counters that take the max rather than the sum when merging per-SM
+#: blocks into a per-GPU block: wall-clock cycles are shared, and the
+#: launch-shape policy numbers describe the kernel, not one SM.
+_MERGE_MAX = ("cycles", "occupancy_warps", "regs_per_thread")
+
+#: Dict-valued counters deep-merged key-wise.
+_MERGE_DICT = ("stall_cycles", "warp_stalls")
 
 
 @dataclass
@@ -20,6 +43,13 @@ class SimStats:
     by_fu: Counter = field(default_factory=Counter)
     idle_cycles: int = 0
     issue_cycles: int = 0
+    #: Cycles this SM had at least one resident block (issue + idle).
+    active_cycles: int = 0
+    #: Idle cycles partitioned by cause (keys drawn from STALL_CAUSES).
+    stall_cycles: dict = field(default_factory=dict)
+    #: Per-warp view of the same ledger: warp id -> {cause: cycles}.
+    #: SM-level causes with no single culprit warp book under id -1.
+    warp_stalls: dict = field(default_factory=dict)
     # Memory system.
     global_transactions: int = 0
     shared_accesses: int = 0
@@ -52,6 +82,13 @@ class SimStats:
         if ckpt:
             self.ckpt_instructions += 1
 
+    def count_stall(self, cause: str, warp_id: int, cycles: int = 1) -> None:
+        """Book ``cycles`` idle cycles against ``cause`` (and the warp
+        that best represents it; -1 when no single warp is to blame)."""
+        self.stall_cycles[cause] = self.stall_cycles.get(cause, 0) + cycles
+        ledger = self.warp_stalls.setdefault(warp_id, {})
+        ledger[cause] = ledger.get(cause, 0) + cycles
+
     @property
     def avg_region_size(self) -> float:
         """Average dynamic instructions per verified idempotent region."""
@@ -69,31 +106,59 @@ class SimStats:
         return self.l1_misses / total if total else 0.0
 
     def merge(self, other: "SimStats") -> None:
-        """Accumulate another stats block (e.g. per-SM into per-GPU)."""
-        for name in ("instructions", "shadow_instructions",
-                     "ckpt_instructions", "boundary_instructions",
-                     "idle_cycles", "issue_cycles", "global_transactions",
-                     "shared_accesses", "shared_bank_conflicts", "l1_hits",
-                     "l1_misses", "l2_hits", "l2_misses", "atomic_ops",
-                     "rbq_enqueues", "rbq_full_stalls", "verified_regions",
-                     "region_instructions", "recoveries",
-                     "coalesced_recoveries", "reexecuted_instructions",
-                     "detected_errors",
-                     "blocks_launched", "warps_launched"):
-            setattr(self, name, getattr(self, name) + getattr(other, name))
-        self.by_fu.update(other.by_fu)
-        self.cycles = max(self.cycles, other.cycles)
+        """Accumulate another stats block (e.g. per-SM into per-GPU).
+
+        Driven by the dataclass field list so a new counter cannot be
+        silently dropped: every field is either summed, maxed, dict-merged,
+        or Counter-updated — exactly once.
+        """
+        for f in fields(self):
+            name = f.name
+            if name == "by_fu":
+                self.by_fu.update(other.by_fu)
+            elif name in _MERGE_MAX:
+                setattr(self, name, max(getattr(self, name),
+                                        getattr(other, name)))
+            elif name in _MERGE_DICT:
+                _merge_dict(getattr(self, name), getattr(other, name))
+            else:
+                setattr(self, name,
+                        getattr(self, name) + getattr(other, name))
 
     def as_dict(self) -> dict:
-        data = {k: v for k, v in self.__dict__.items() if k != "by_fu"}
-        data["by_fu"] = {fu.value: n for fu, n in self.by_fu.items()}
+        data = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "by_fu":
+                value = {fu.value: n for fu, n in value.items()}
+            elif f.name == "stall_cycles":
+                value = dict(value)
+            elif f.name == "warp_stalls":
+                value = {wid: dict(ledger) for wid, ledger in value.items()}
+            data[f.name] = value
         data["avg_region_size"] = self.avg_region_size
         data["ipc"] = self.ipc
         return data
 
     def clone(self) -> "SimStats":
         """Independent deep copy (checkpoint/restore support)."""
-        dup = SimStats(**{k: v for k, v in self.__dict__.items()
-                          if k != "by_fu"})
-        dup.by_fu = Counter(self.by_fu)
+        dup = SimStats()
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "by_fu":
+                value = Counter(value)
+            elif f.name == "stall_cycles":
+                value = dict(value)
+            elif f.name == "warp_stalls":
+                value = {wid: dict(ledger) for wid, ledger in value.items()}
+            setattr(dup, f.name, value)
         return dup
+
+
+def _merge_dict(into: dict, other: dict) -> None:
+    """Recursive key-wise sum of (possibly nested) int-valued dicts."""
+    for key, value in other.items():
+        if isinstance(value, dict):
+            _merge_dict(into.setdefault(key, {}), value)
+        else:
+            into[key] = into.get(key, 0) + value

@@ -107,6 +107,13 @@ class Warp:
         self.exited = ~full
         # Scoreboard: destination -> cycle the value becomes usable.
         self.pending: dict[Reg | Pred, int] = {}
+        # Stall attribution: destination -> ready cycle, written only by
+        # timed memory loads.  An entry is *live* (the blocking producer
+        # is an in-flight load) exactly when it equals the ``pending``
+        # entry for the same operand: WAW is blocked by the scoreboard,
+        # so a stale entry always names an earlier cycle than any newer
+        # producer's.  Never cleaned on the hot path; cleared on rollback.
+        self.pending_mem: dict[Reg | Pred, int] = {}
         self.wakeup_cycle = 0               # earliest cycle the warp may issue
         # Event-driven fast-forward support: ``version`` bumps on every
         # state change that can affect readiness (wakeup, scoreboard
@@ -352,6 +359,8 @@ class Warp:
                            for e in self.stack),
             "exited": self.exited.copy(),
             "pending": {_operand_tag(k): v for k, v in self.pending.items()},
+            "pending_mem": {_operand_tag(k): v
+                            for k, v in self.pending_mem.items()},
             "wakeup_cycle": self.wakeup_cycle,
             "insts_since_boundary": self.insts_since_boundary,
             "barrier_count": self.barrier_count,
@@ -379,6 +388,8 @@ class Warp:
         self.exited = data["exited"].copy()
         self.pending = {_operand_from_tag(tag): cycle
                         for tag, cycle in data["pending"].items()}
+        self.pending_mem = {_operand_from_tag(tag): cycle
+                            for tag, cycle in data.get("pending_mem", {}).items()}
         self.wakeup_cycle = data["wakeup_cycle"]
         self.insts_since_boundary = data["insts_since_boundary"]
         self.barrier_count = data["barrier_count"]
@@ -403,7 +414,9 @@ class Warp:
         without capturing (no copies; short-circuits on the first
         differing field).  ``include_regs=False`` skips the general
         register file — the convergence monitor compares data at rest
-        separately, under golden read-liveness."""
+        separately, under golden read-liveness.  ``pending_mem`` is
+        excluded: its stale entries are execution-history bookkeeping
+        that never affect architectural behaviour."""
         if (self.state.value != data["state"]
                 or self.age != data["age"]
                 or self.wakeup_cycle != data["wakeup_cycle"]

@@ -191,7 +191,8 @@ def interpret_kernel(kernel: Kernel, launch: LaunchConfig,
 # ----------------------------------------------------------------------
 def run_compiled(instance, scheme_name: str, wcdl: int = 20,
                  scheduler: str = "GTO", gpu_config=None,
-                 injector=None):
+                 injector=None, sanitizer=None, fast: bool = True,
+                 tracer=None, **launch_kwargs):
     """Compile a workload instance under a scheme and simulate it.
 
     Returns (RunResult, final_memory, verified).
@@ -202,7 +203,8 @@ def run_compiled(instance, scheme_name: str, wcdl: int = 20,
     scheme = scheme_by_name(scheme_name)
     runtime = FlameRuntime(wcdl) if scheme.uses_sensor_runtime \
         else NULL_RESILIENCE
-    gpu = Gpu(gpu_config or GTX480, resilience=runtime, scheduler=scheduler)
+    gpu = Gpu(gpu_config or GTX480, resilience=runtime, scheduler=scheduler,
+              sanitizer=sanitizer, fast=fast, tracer=tracer)
     if injector is not None:
         gpu.fault_injector = injector
     mem = instance.fresh_memory()
@@ -212,7 +214,8 @@ def run_compiled(instance, scheme_name: str, wcdl: int = 20,
     launch = LaunchConfig(grid=instance.launch.grid,
                           block=instance.launch.block, params=params)
     result = gpu.launch(compiled.kernel, launch, mem,
-                        regs_per_thread=compiled.regs_per_thread)
+                        regs_per_thread=compiled.regs_per_thread,
+                        **launch_kwargs)
     return result, mem, instance.verify(mem)
 
 

@@ -51,6 +51,66 @@ class TestCli:
         assert first[first.index("Workload"):] == \
             second[second.index("Workload"):]
 
+    def test_campaign_metrics_json(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        metrics = tmp_path / "metrics.jsonl"
+        assert main(["campaign", "--scale", "tiny", "--benchmarks",
+                     "Triad", "--schemes", "flame", "--trials", "2",
+                     "--workers", "1",
+                     "--metrics-json", str(metrics)]) == 0
+        capsys.readouterr()
+        import json
+
+        records = [json.loads(line)
+                   for line in metrics.read_text().splitlines()]
+        assert records and records[-1]["final"] is True
+        assert records[-1]["completed"] == 2
+        assert "trials_per_sec" in records[-1]
+        assert "eta_s" in records[-1]
+        assert "fast_start_hit_rate" in records[-1]
+
+    def test_trace(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        out = tmp_path / "trace.json"
+        jsonl = tmp_path / "trace.jsonl"
+        assert main(["trace", "--scale", "tiny", "--benchmarks", "Triad",
+                     "--trace-out", str(out), "--trace-jsonl", str(jsonl),
+                     "--stall-report"]) == 0
+        printed = capsys.readouterr().out
+        assert "Stall-cause breakdown" in printed
+        assert "issue" in printed
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        data = json.loads(out.read_text())
+        assert validate_chrome_trace(data) == []
+        names = {e["name"] for e in data["traceEvents"]
+                 if e.get("ph") != "M"}
+        assert {"issue", "stall", "region_verify", "strike"} <= names
+        assert jsonl.read_text().count("\n") == len(data["traceEvents"]) \
+            - sum(1 for e in data["traceEvents"] if e.get("ph") == "M")
+
+    def test_trace_no_inject_baseline(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["trace", "--scale", "tiny", "--benchmarks", "Triad",
+                     "--scheme", "baseline", "--stall-report"]) == 0
+        printed = capsys.readouterr().out
+        assert "verified=True" in printed
+        assert "strike@" not in printed
+
+    def test_profile_out(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        out = tmp_path / "prof.pstats"
+        assert main(["trace", "--scale", "tiny", "--benchmarks", "Triad",
+                     "--scheme", "baseline", "--no-inject",
+                     "--profile-out", str(out)]) == 0
+        capsys.readouterr()
+        import pstats
+
+        stats = pstats.Stats(str(out))  # parses => valid pstats dump
+        assert stats.total_calls > 0
+
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["figure99"])
@@ -58,3 +118,4 @@ class TestCli:
     def test_experiment_list(self):
         assert "all" in EXPERIMENTS
         assert "ablation" in EXPERIMENTS
+        assert "trace" in EXPERIMENTS

@@ -1,0 +1,94 @@
+"""Chrome-trace/JSONL exporters and the schema validator."""
+
+import json
+
+from repro.obs import (Tracer, chrome_trace, validate_chrome_trace,
+                       write_chrome_trace, write_jsonl)
+from repro.obs.export import event_dict
+
+
+def _sample_tracer() -> Tracer:
+    tracer = Tracer()
+    tracer.event("issue", 1, 0, 0, {"pc": 0})
+    tracer.event("issue", 2, 0, 1)
+    tracer.event("stall", 0, 0, 1_000_000, {"cause": "memory_latency"},
+                 ph="X", dur=3)  # closed retroactively: ts < last emit
+    tracer.counter("l1", 3, 0, {"hits": 5, "misses": 1})
+    return tracer
+
+
+class TestChromeTrace:
+    def test_valid_and_sorted(self):
+        data = chrome_trace(_sample_tracer(), workload="toy")
+        assert validate_chrome_trace(data) == []
+        assert data["otherData"]["workload"] == "toy"
+        assert data["otherData"]["dropped"] == 0
+
+    def test_metadata_tracks(self):
+        data = chrome_trace(_sample_tracer())
+        meta = [e for e in data["traceEvents"] if e["ph"] == "M"]
+        names = {(e["name"], e["tid"]): e["args"]["name"] for e in meta}
+        assert names[("process_name", 0)] == "SM 0"
+        assert names[("thread_name", 0)] == "warp 0"
+        assert names[("thread_name", 1_000_000)] == "SM control"
+
+    def test_complete_events_carry_dur(self):
+        data = chrome_trace(_sample_tracer())
+        spans = [e for e in data["traceEvents"] if e["ph"] == "X"]
+        assert spans and all("dur" in e for e in spans)
+
+    def test_write_round_trips(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(_sample_tracer(), str(path))
+        data = json.loads(path.read_text())
+        assert validate_chrome_trace(data) == []
+
+
+class TestJsonl:
+    def test_write_jsonl(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        count = write_jsonl(_sample_tracer(), str(path))
+        lines = path.read_text().splitlines()
+        assert count == len(lines) == 4
+        first = json.loads(lines[0])
+        assert first == {"name": "issue", "ph": "i", "cycle": 1,
+                         "sm": 0, "warp": 0, "args": {"pc": 0}}
+
+    def test_event_dict_span(self):
+        tracer = _sample_tracer()
+        span = next(e for e in tracer.events if e.ph == "X")
+        assert event_dict(span)["dur"] == 3
+
+
+class TestValidator:
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([]) == ["trace is not a JSON object"]
+
+    def test_rejects_missing_events(self):
+        assert validate_chrome_trace({}) == ["missing or non-list "
+                                             "traceEvents"]
+
+    def test_flags_missing_keys(self):
+        problems = validate_chrome_trace(
+            {"traceEvents": [{"ph": "i", "ts": 1}]})
+        assert any("missing 'name'" in p for p in problems)
+
+    def test_flags_backwards_ts(self):
+        events = [
+            {"name": "a", "ph": "i", "ts": 5, "pid": 0, "tid": 0},
+            {"name": "b", "ph": "i", "ts": 3, "pid": 0, "tid": 0},
+        ]
+        problems = validate_chrome_trace({"traceEvents": events})
+        assert any("goes backwards" in p for p in problems)
+
+    def test_other_track_unaffected(self):
+        events = [
+            {"name": "a", "ph": "i", "ts": 5, "pid": 0, "tid": 0},
+            {"name": "b", "ph": "i", "ts": 3, "pid": 0, "tid": 1},
+        ]
+        assert validate_chrome_trace({"traceEvents": events}) == []
+
+    def test_x_requires_dur(self):
+        events = [{"name": "a", "ph": "X", "ts": 1, "pid": 0, "tid": 0}]
+        problems = validate_chrome_trace({"traceEvents": events})
+        assert any("missing 'dur'" in p for p in problems)

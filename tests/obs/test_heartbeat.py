@@ -1,0 +1,85 @@
+"""Campaign heartbeat: record schema, rates, and fault tolerance."""
+
+import json
+from dataclasses import dataclass
+
+from repro.obs import CampaignHeartbeat
+
+
+@dataclass
+class FakeResult:
+    outcome: str = "masked"
+    cycles: int = 1000
+    wall_time_s: float = 0.25
+    fast_start: bool = False
+    converged: bool = False
+    golden_cache_hit: bool = False
+
+
+def _records(path) -> list[dict]:
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+class TestHeartbeat:
+    def test_final_record_always_written(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        hb = CampaignHeartbeat(str(path), total_trials=4, interval=60.0)
+        hb.start()
+        hb.note_trial(FakeResult(fast_start=True, converged=True,
+                                 golden_cache_hit=True))
+        hb.note_trial(FakeResult())
+        hb.stop()
+        records = _records(path)
+        assert records and records[-1]["final"] is True
+        last = records[-1]
+        assert last["kind"] == "campaign_heartbeat"
+        assert last["completed"] == 2
+        assert last["remaining"] == 2
+        assert last["trials_per_sec"] > 0
+        assert last["eta_s"] is not None
+        assert last["fast_start_hit_rate"] == 0.5
+        assert last["convergence_early_exit_rate"] == 0.5
+        assert last["golden_cache_hits"] == 1
+        assert last["sim_cycles"] == 2000
+        assert last["sim_wall_time_s"] == 0.5
+
+    def test_resumed_trials_shrink_remaining(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        hb = CampaignHeartbeat(str(path), total_trials=10, interval=60.0)
+        hb.start()
+        hb.note_resumed(7)
+        hb.note_trial(FakeResult())
+        hb.stop()
+        last = _records(path)[-1]
+        assert last["resumed_from_journal"] == 7
+        assert last["remaining"] == 2
+
+    def test_counts_infra_failures_and_restarts(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        hb = CampaignHeartbeat(str(path), total_trials=2, interval=60.0)
+        hb.start()
+        hb.note_trial(FakeResult(outcome="infra_error"))
+        hb.note_worker_restart()
+        hb.stop()
+        last = _records(path)[-1]
+        assert last["infra_failures"] == 1
+        assert last["worker_restarts"] == 1
+
+    def test_periodic_records(self, tmp_path):
+        import time
+
+        path = tmp_path / "metrics.jsonl"
+        hb = CampaignHeartbeat(str(path), total_trials=1, interval=0.05)
+        hb.start()
+        time.sleep(0.25)
+        hb.stop()
+        records = _records(path)
+        assert len(records) >= 2  # several periodic + one final
+        assert records[0]["final"] is False
+
+    def test_unwritable_path_never_raises(self):
+        hb = CampaignHeartbeat("/nonexistent-dir/metrics.jsonl",
+                               total_trials=1, interval=60.0)
+        hb.start()
+        hb.note_trial(FakeResult())
+        hb.stop()  # OSError swallowed: telemetry must not kill campaigns

@@ -1,0 +1,74 @@
+"""Tracer ring buffer, exporters, and state round-trip."""
+
+from repro.obs import Tracer
+
+
+class TestRing:
+    def test_bounded_ring_drops_oldest(self):
+        tracer = Tracer(capacity=4)
+        for cycle in range(10):
+            tracer.event("tick", cycle, 0, 0)
+        assert tracer.emitted == 10
+        assert len(tracer.events) == 4
+        assert tracer.dropped == 6
+        assert [evt.ts for evt in tracer.events] == [6, 7, 8, 9]
+
+    def test_unbounded_keeps_everything(self):
+        tracer = Tracer(capacity=None)
+        for cycle in range(100):
+            tracer.event("tick", cycle, 0, 0)
+        assert tracer.dropped == 0
+        assert len(tracer.events) == 100
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.event("tick", 1, 0, 0)
+        tracer.clear()
+        assert tracer.emitted == 0
+        assert not tracer.events
+
+
+class TestEvents:
+    def test_event_fields(self):
+        tracer = Tracer()
+        tracer.event("stall", 7, 2, 3, {"cause": "barrier"}, ph="X", dur=5)
+        evt = tracer.events[0]
+        assert (evt.name, evt.ph, evt.ts, evt.dur) == ("stall", "X", 7, 5)
+        assert (evt.pid, evt.tid) == (2, 3)
+        assert evt.args == {"cause": "barrier"}
+
+    def test_counter_event(self):
+        tracer = Tracer()
+        tracer.counter("l1", 9, 1, {"hits": 10, "misses": 2})
+        evt = tracer.events[0]
+        assert evt.ph == "C"
+        assert evt.args == {"hits": 10, "misses": 2}
+
+    def test_exporter_sees_every_event_before_eviction(self):
+        tracer = Tracer(capacity=2)
+        seen = []
+        tracer.add_exporter(seen.append)
+        for cycle in range(5):
+            tracer.event("tick", cycle, 0, 0)
+        assert len(seen) == 5          # streaming: nothing lost
+        assert len(tracer.events) == 2  # ring: only the newest retained
+
+
+class TestStateRoundTrip:
+    def test_capture_restore(self):
+        tracer = Tracer(capacity=8)
+        for cycle in range(5):
+            tracer.event("tick", cycle, 0, 0)
+        tracer.now = 42
+        state = tracer.capture_state()
+        for cycle in range(5, 12):
+            tracer.event("tick", cycle, 0, 0)
+        tracer.now = 99
+        tracer.restore_state(state)
+        assert tracer.emitted == 5
+        assert tracer.now == 42
+        assert [evt.ts for evt in tracer.events] == [0, 1, 2, 3, 4]
+        # The restored ring keeps its bound.
+        for cycle in range(20):
+            tracer.event("tick", cycle, 0, 0)
+        assert len(tracer.events) == 8

@@ -23,7 +23,7 @@ def attach(sched, n):
     return warps
 
 
-def ready(w):
+def ready(w, cycle):
     return w.ready
 
 

@@ -1,7 +1,13 @@
 """SimStats accounting and merging."""
 
+from dataclasses import fields
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
 from repro.isa import FuClass
 from repro.sim import SimStats
+from repro.sim.stats import _MERGE_DICT, _MERGE_MAX, STALL_CAUSES
 
 
 class TestCounters:
@@ -52,3 +58,107 @@ class TestMerge:
         assert data["instructions"] == 5
         assert data["by_fu"] == {"sfu": 5}
         assert "avg_region_size" in data and "ipc" in data
+
+    def test_merge_policies_name_real_fields(self):
+        names = {f.name for f in fields(SimStats)}
+        assert set(_MERGE_MAX) <= names
+        assert set(_MERGE_DICT) <= names
+
+    def test_every_field_merged_exactly_once(self):
+        """Exhaustive audit over the dataclass field list: ints sum
+        (or max for wall-clock-like fields), dicts merge key-wise,
+        by_fu Counter-updates — no counter silently dropped."""
+        a, b = SimStats(), SimStats()
+        expected = {}
+        for offset, f in enumerate(fields(SimStats)):
+            if f.name == "by_fu":
+                a.by_fu[FuClass.ALU] = 3
+                b.by_fu[FuClass.ALU] = 4
+                b.by_fu[FuClass.MEM] = 5
+                expected[f.name] = {FuClass.ALU: 7, FuClass.MEM: 5}
+            elif f.name in _MERGE_DICT:
+                setattr(a, f.name, {"x": {"k": 1}} if f.name ==
+                        "warp_stalls" else {"k": 1})
+                setattr(b, f.name, {"x": {"k": 2}} if f.name ==
+                        "warp_stalls" else {"k": 2, "m": 3})
+                expected[f.name] = ({"x": {"k": 3}} if f.name ==
+                                    "warp_stalls" else {"k": 3, "m": 3})
+            else:
+                # Distinct per-field values so a swapped assignment in
+                # merge() cannot cancel out.
+                lo, hi = 10 + offset, 1000 + offset * 7
+                setattr(a, f.name, hi)
+                setattr(b, f.name, lo)
+                expected[f.name] = (hi if f.name in _MERGE_MAX
+                                    else hi + lo)
+        a.merge(b)
+        for f in fields(SimStats):
+            assert getattr(a, f.name) == expected[f.name], f.name
+
+
+class TestStallLedger:
+    def test_count_stall_books_both_ledgers(self):
+        stats = SimStats()
+        stats.count_stall("barrier", 3)
+        stats.count_stall("barrier", 3, cycles=4)
+        stats.count_stall("memory_latency", -1)
+        assert stats.stall_cycles == {"barrier": 5, "memory_latency": 1}
+        assert stats.warp_stalls == {3: {"barrier": 5},
+                                     -1: {"memory_latency": 1}}
+
+    def test_clone_is_deep(self):
+        stats = SimStats()
+        stats.count_stall("barrier", 0)
+        stats.by_fu[FuClass.ALU] = 1
+        dup = stats.clone()
+        dup.count_stall("barrier", 0)
+        dup.count_stall("rollback", 1)
+        dup.by_fu[FuClass.ALU] += 1
+        assert stats.stall_cycles == {"barrier": 1}
+        assert stats.warp_stalls == {0: {"barrier": 1}}
+        assert stats.by_fu[FuClass.ALU] == 1
+
+
+_ledgers = st.dictionaries(
+    st.sampled_from(STALL_CAUSES), st.integers(0, 1 << 20), max_size=4)
+_warp_ledgers = st.dictionaries(
+    st.integers(-1, 7), _ledgers, max_size=4)
+
+
+class TestMergeProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(xs=st.lists(_warp_ledgers, min_size=1, max_size=4))
+    def test_merge_preserves_totals(self, xs):
+        """Merging per-SM blocks in any grouping preserves every
+        (warp, cause) total, and clone/as_dict round-trip the ledgers."""
+        blocks = []
+        for ledger in xs:
+            stats = SimStats()
+            for warp_id, causes in ledger.items():
+                for cause, cycles in causes.items():
+                    stats.count_stall(cause, warp_id, cycles)
+            blocks.append(stats)
+        total = SimStats()
+        for block in blocks:
+            total.merge(block.clone())   # merge must not alias sources
+        expected: dict = {}
+        for ledger in xs:
+            for warp_id, causes in ledger.items():
+                for cause, cycles in causes.items():
+                    bucket = expected.setdefault(warp_id, {})
+                    bucket[cause] = bucket.get(cause, 0) + cycles
+        assert total.warp_stalls == expected
+        flat: dict = {}
+        for causes in expected.values():
+            for cause, cycles in causes.items():
+                flat[cause] = flat.get(cause, 0) + cycles
+        assert total.stall_cycles == flat
+        # Round-trip: clone and as_dict expose identical ledgers, and
+        # mutating the clone leaves the original untouched.
+        dup = total.clone()
+        assert dup.as_dict() == total.as_dict()
+        dup.count_stall("rollback", 99)
+        assert 99 not in total.warp_stalls
+        for block in blocks:   # sources never aliased into the merge
+            for warp_id, causes in block.warp_stalls.items():
+                assert causes is not total.warp_stalls.get(warp_id)
