@@ -543,16 +543,42 @@ def _rates_from_counts(counts: dict[str, int],
     return rates
 
 
+def dedupe_results(results: list[TrialResult]) -> list[TrialResult]:
+    """Collapse duplicate trial records into one representative per key,
+    deterministically under ANY input ordering.
+
+    Duplicates arise from resumed campaigns and from shards re-executed
+    after a lost lease.  Because trials are pure functions of their
+    coordinates, duplicates are normally byte-identical — but a trial
+    that failed as ``infra_error`` on one worker and succeeded on a
+    reclaiming worker yields two *different* rows.  The winner is chosen
+    by value, not by arrival order: prefer a measured outcome over
+    ``infra_error``, then the smallest canonical JSON encoding, so every
+    merge of the same record set picks the same representative.
+    """
+    best: dict[tuple[str, str, str, int], tuple] = {}
+    order: list[tuple[str, str, str, int]] = []
+    for r in results:
+        rank = (r.outcome == INFRA_ERROR,
+                json.dumps(r.as_dict(), sort_keys=True))
+        held = best.get(r.key)
+        if held is None:
+            order.append(r.key)
+            best[r.key] = (rank, r)
+        elif rank < held[0]:
+            best[r.key] = (rank, r)
+    return [best[k][1] for k in order]
+
+
 def aggregate(results: list[TrialResult]) -> list[CellAggregate]:
     """Collapse trial results into per-cell aggregates.
 
     Deterministic and order-independent: duplicates (a trial journaled
-    by both a killed and a resumed campaign) keep the first-by-index
-    record, and cells render in sorted order.
+    by both a killed and a resumed campaign, or by overlapping shard
+    re-executions) collapse via :func:`dedupe_results`, and cells render
+    in sorted order.
     """
-    unique: dict[tuple[str, str, str, int], TrialResult] = {}
-    for r in results:
-        unique.setdefault(r.key, r)
+    unique = {r.key: r for r in dedupe_results(results)}
     cells: dict[tuple[str, str, str], list[TrialResult]] = {}
     for r in sorted(unique.values(), key=lambda r: r.key):
         cells.setdefault((r.workload, r.scheme, r.site), []).append(r)
@@ -595,29 +621,61 @@ class CampaignJournal:
     """Append-only JSONL trial journal with crash-safe records.
 
     Each completed trial is one ``json.dumps`` line written with a
-    single ``write`` + flush + fsync, so a killed campaign can leave at
-    most one truncated *final* line — which ``load`` skips — and every
-    fully written record survives.  A header line pins the campaign
-    spec; resuming against a journal from a different spec is refused
-    rather than silently mixing incompatible trials.
+    single ``write`` + flush, fsynced on a configurable cadence
+    (``fsync_interval`` appends; default every append), so a killed
+    campaign loses at most the un-synced window plus one truncated
+    *final* line — which ``load`` skips — and every synced record
+    survives.  A header line pins the campaign spec; resuming against a
+    journal from a different spec is refused rather than silently
+    mixing incompatible trials.
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, fsync_interval: int = 1) -> None:
+        if fsync_interval < 1:
+            raise ConfigError("fsync interval must be >= 1 append")
         self.path = path
+        self.fsync_interval = fsync_interval
+        self._handle = None
+        self._unsynced = 0
 
     # -- writing -------------------------------------------------------
     def _append_line(self, record: dict) -> None:
-        os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+        if self._handle is None:
+            os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
         line = json.dumps(record, sort_keys=True) + "\n"
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(line)
-            handle.flush()
-            os.fsync(handle.fileno())
+        self._handle.write(line)
+        self._handle.flush()
+        self._unsynced += 1
+        if self._unsynced >= self.fsync_interval:
+            self.sync()
+
+    def sync(self) -> None:
+        """Force outstanding appends to stable storage (the durability
+        checkpoint between interval fsyncs)."""
+        if self._handle is not None and self._unsynced:
+            os.fsync(self._handle.fileno())
+        self._unsynced = 0
+
+    def close(self) -> None:
+        """Sync and release the append handle (safe to append again —
+        the handle reopens lazily)."""
+        if self._handle is not None:
+            self.sync()
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def repair(self) -> None:
         """Drop a torn final line left by a killed writer, so records
         appended on resume start on a fresh line instead of gluing onto
         the partial one."""
+        self.close()
         if not os.path.exists(self.path):
             return
         with open(self.path, "rb+") as handle:
@@ -675,6 +733,6 @@ class CampaignJournal:
 __all__ = [
     "CampaignJournal", "CampaignSpec", "CellAggregate", "DUE_CRASH",
     "DUE_HANG", "INFRA_ERROR", "MASKED", "OUTCOMES", "RECOVERED", "SDC",
-    "TrialResult", "TrialSpec", "UNRECOVERED", "aggregate", "merge_cells",
-    "run_trial", "wilson_interval",
+    "TrialResult", "TrialSpec", "UNRECOVERED", "aggregate",
+    "dedupe_results", "merge_cells", "run_trial", "wilson_interval",
 ]

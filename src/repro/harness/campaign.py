@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from ..core.campaign import (CampaignJournal, CampaignSpec, CellAggregate,
                              DUE_HANG, INFRA_ERROR, TrialResult, TrialSpec,
                              aggregate, merge_cells, run_trial)
+from ..service.backoff import backoff_delay
 from .runner import _DEFAULT_CACHE_DIR
 
 
@@ -79,12 +80,13 @@ class CampaignRunner:
     """Dispatches a campaign's trials through a hardened process pool."""
 
     def __init__(self, workers: int | None = None, max_retries: int = 2,
-                 backoff_s: float = 0.5,
+                 backoff_s: float = 0.5, backoff_cap_s: float = 30.0,
                  epoch_slack_s: float = 60.0) -> None:
         self.workers = workers if workers is not None else \
             max(1, (os.cpu_count() or 1))
         self.max_retries = max_retries
         self.backoff_s = backoff_s
+        self.backoff_cap_s = backoff_cap_s
         self.epoch_slack_s = epoch_slack_s
         #: Trial executor — an attribute so tests can inject failures.
         self._execute = run_trial
@@ -137,6 +139,7 @@ class CampaignRunner:
                 else:
                     self._run_inline(pending, record)
         finally:
+            journal.close()
             if heartbeat is not None:
                 heartbeat.stop()
             self._heartbeat = None
@@ -158,9 +161,22 @@ class CampaignRunner:
                            detail=f"{type(error).__name__}: {error}",
                            attempts=attempts)
 
-    def _backoff(self, attempt: int) -> None:
-        if self.backoff_s > 0:
-            time.sleep(self.backoff_s * (2 ** (attempt - 1)))
+    def _backoff(self, attempt: int, trial: TrialSpec | None = None) -> None:
+        """Capped exponential backoff with deterministic seeded jitter:
+        delays double from ``backoff_s`` up to ``backoff_cap_s`` (a
+        retry storm can never sleep unboundedly), and the jitter stream
+        is keyed by the trial's coordinates so concurrent retries
+        de-synchronise reproducibly."""
+        if self.backoff_s <= 0:
+            return
+        time.sleep(backoff_delay(
+            attempt, base_s=self.backoff_s, cap_s=self.backoff_cap_s,
+            seed=trial.campaign_seed if trial is not None else 0,
+            key=trial.key if trial is not None else ()))
+
+    def _note_retry(self) -> None:
+        if self._heartbeat is not None:
+            self._heartbeat.note_retry()
 
     def _run_inline(self, pending: deque, record) -> None:
         """Single-process path: same capture + bounded-retry semantics,
@@ -177,7 +193,8 @@ class CampaignRunner:
                     if attempt > self.max_retries:  # classified in-trial
                         record(self._infra_result(trial, attempt, exc))
                         break
-                    self._backoff(attempt)
+                    self._note_retry()
+                    self._backoff(attempt, trial)
 
     def _run_pool(self, spec: CampaignSpec, pending: deque, record) -> None:
         from concurrent.futures import (ProcessPoolExecutor, TimeoutError,
@@ -273,7 +290,8 @@ class CampaignRunner:
                     if attempt > self.max_retries:
                         record(self._infra_result(trial, attempt, exc))
                         break
-                    self._backoff(attempt)
+                    self._note_retry()
+                    self._backoff(attempt, trial)
                 else:
                     pool.shutdown(wait=True)
                     result.attempts = attempt

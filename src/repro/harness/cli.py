@@ -19,7 +19,7 @@ from .runner import Runner
 
 EXPERIMENTS = ("table1", "figure12", "table2", "figure13", "figure15",
                "figure16", "figure17", "figure18", "figure19", "section4",
-               "hwcost", "ablation", "campaign", "trace", "all")
+               "hwcost", "ablation", "campaign", "worker", "trace", "all")
 
 
 def _benchmarks(args) -> tuple[str, ...]:
@@ -115,6 +115,55 @@ def main(argv: list[str] | None = None) -> int:
     campaign.add_argument("--metrics-json", default="",
                           help="append periodic campaign telemetry "
                                "heartbeats (JSONL) to this path")
+    service = parser.add_argument_group(
+        "service", "distributed campaign service (sharded coordinator "
+                   "+ worker backends)")
+    service.add_argument("--backend", default="pool",
+                         choices=("pool", "inline", "subprocess", "http"),
+                         help="campaign execution backend: 'pool' is the "
+                              "classic single-host worker pool; the rest "
+                              "run the sharded coordinator service "
+                              "(default: pool, or subprocess when "
+                              "--shards is given)")
+    service.add_argument("--shards", type=int, default=0,
+                         help="split the campaign into this many seeded "
+                              "trial shards (0 = one per worker); "
+                              "implies --backend subprocess unless a "
+                              "backend is named")
+    service.add_argument("--shard-dir", default="",
+                         help="directory for shard + coordinator "
+                              "journals (default: <journal>.shards)")
+    service.add_argument("--fsync-interval", type=int, default=1,
+                         help="fsync shard journals every N appended "
+                              "trials (a SIGKILL loses at most this "
+                              "window; default 1 = every trial)")
+    service.add_argument("--lease-ttl", type=float, default=600.0,
+                         help="shard lease time-to-live in seconds")
+    service.add_argument("--heartbeat-timeout", type=float, default=30.0,
+                         help="requeue a shard whose worker missed "
+                              "heartbeats for this long")
+    service.add_argument("--shard-fail-limit", type=int, default=3,
+                         help="quarantine a shard after this many failed "
+                              "leases (its unmeasured trials degrade to "
+                              "infra_error)")
+    service.add_argument("--max-worker-restarts", type=int, default=16,
+                         help="http backend: respawn budget for dead "
+                              "workers before abandoning pending shards")
+    worker = parser.add_argument_group(
+        "worker", "shard worker options (experiment 'worker')")
+    worker.add_argument("--shard-json", default="",
+                        help="one-shot mode: run the shard assignment "
+                             "serialized at this path, then exit")
+    worker.add_argument("--coordinator", default="",
+                        help="polling mode: lease shards from this "
+                             "coordinator URL until the campaign "
+                             "finishes")
+    worker.add_argument("--worker-id", default="",
+                        help="stable worker identity (default: pid-<n>)")
+    worker.add_argument("--poll-interval", type=float, default=0.5,
+                        help="seconds between lease polls when idle")
+    worker.add_argument("--heartbeat-interval", type=float, default=1.0,
+                        help="seconds between worker liveness beats")
     args = parser.parse_args(argv)
 
     if args.profile or args.profile_out:
@@ -141,6 +190,42 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def _run(args: argparse.Namespace) -> int:
+    if args.experiment == "worker":
+        import os
+
+        if bool(args.shard_json) == bool(args.coordinator):
+            print("worker needs exactly one of --shard-json (one-shot) "
+                  "or --coordinator (polling)", file=sys.stderr)
+            return 2
+        worker_id = args.worker_id or f"pid-{os.getpid()}"
+        if args.coordinator:
+            from ..service.api import run_polling_worker
+
+            return run_polling_worker(
+                args.coordinator, worker_id,
+                poll_interval_s=args.poll_interval,
+                heartbeat_interval_s=args.heartbeat_interval,
+                fsync_interval=args.fsync_interval)
+        from ..service.worker import (ShardAssignment, run_shard,
+                                      shard_complete)
+
+        assignment = ShardAssignment.load(args.shard_json)
+        heartbeat = None
+        if assignment.heartbeat_path:
+            from ..obs import CampaignHeartbeat
+
+            heartbeat = CampaignHeartbeat(
+                assignment.heartbeat_path, assignment.shard.trials,
+                interval=assignment.heartbeat_interval_s,
+                shard_id=assignment.shard.shard_id,
+                worker_id=worker_id).start()
+        try:
+            run_shard(assignment, heartbeat=heartbeat)
+        finally:
+            if heartbeat is not None:
+                heartbeat.stop()
+        return 0 if shard_complete(assignment) else 3
+
     if args.experiment == "trace":
         from ..obs import write_chrome_trace, write_jsonl
         from .trace import run_traced
@@ -188,6 +273,9 @@ def _run(args: argparse.Namespace) -> int:
                    if args.benchmarks else exp.CAMPAIGN_BENCHMARKS)
         sites = (ALL_FAULT_SITES if args.sites == "all"
                  else tuple(args.sites.split(",")))
+        backend = args.backend
+        if backend == "pool" and args.shards:
+            backend = "subprocess"
         report = exp.fault_coverage(
             scale=args.scale, benchmarks=benches,
             schemes=tuple(args.schemes.split(",")), trials=args.trials,
@@ -202,7 +290,14 @@ def _run(args: argparse.Namespace) -> int:
             fresh=args.fresh, progress=True,
             checkpoint=not args.no_checkpoint,
             checkpoint_interval=args.checkpoint_interval,
-            metrics_path=args.metrics_json or None)
+            metrics_path=args.metrics_json or None,
+            backend=backend, shards=args.shards,
+            shard_dir=args.shard_dir or None,
+            fsync_interval=args.fsync_interval,
+            lease_ttl_s=args.lease_ttl,
+            heartbeat_timeout_s=args.heartbeat_timeout,
+            fail_limit=args.shard_fail_limit,
+            max_worker_restarts=args.max_worker_restarts)
         if args.aggregate_json:
             from .campaign import write_aggregates
 

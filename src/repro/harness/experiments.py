@@ -285,8 +285,20 @@ def fault_coverage(scale: str = "tiny",
                    journal_path: str | None = None, fresh: bool = False,
                    progress: bool = False, checkpoint: bool = True,
                    checkpoint_interval: int = 0,
-                   metrics_path: str | None = None):
-    """Run (or resume) an injection campaign and return its report."""
+                   metrics_path: str | None = None,
+                   backend: str = "pool", shards: int = 0,
+                   shard_dir: str | None = None, fsync_interval: int = 1,
+                   lease_ttl_s: float = 600.0,
+                   heartbeat_timeout_s: float = 30.0, fail_limit: int = 3,
+                   max_worker_restarts: int = 16):
+    """Run (or resume) an injection campaign and return its report.
+
+    ``backend="pool"`` (default) keeps the classic single-host worker
+    pool; any other backend routes through the sharded campaign service
+    (:func:`repro.service.runner.run_sharded_campaign`), splitting the
+    campaign into ``shards`` seeded shards (0 = one per worker).
+    Results are byte-identical either way.
+    """
     from ..compiler import scheme_by_name
     from ..core.campaign import CampaignSpec
     from ..core.injection import fault_site_by_name
@@ -310,6 +322,20 @@ def fault_coverage(scale: str = "tiny",
                         harden_rbq=harden_rbq, timeout_s=timeout_s,
                         checkpoint=checkpoint,
                         checkpoint_interval=checkpoint_interval)
+    if backend != "pool":
+        import os
+
+        from ..service.runner import run_sharded_campaign
+
+        num_shards = shards or max(1, workers or os.cpu_count() or 1)
+        return run_sharded_campaign(
+            spec, shards=num_shards, backend=backend, workers=workers,
+            journal_path=journal_path, shard_dir=shard_dir, fresh=fresh,
+            progress=progress, metrics_path=metrics_path,
+            fsync_interval=fsync_interval, lease_ttl_s=lease_ttl_s,
+            heartbeat_timeout_s=heartbeat_timeout_s,
+            fail_limit=fail_limit,
+            max_worker_restarts=max_worker_restarts)
     return run_campaign(spec, workers=workers, journal_path=journal_path,
                         progress=progress, fresh=fresh,
                         metrics_path=metrics_path)

@@ -24,10 +24,16 @@ class CampaignHeartbeat:
     """
 
     def __init__(self, path: str, total_trials: int,
-                 interval: float = 5.0) -> None:
+                 interval: float = 5.0, shard_id: int | None = None,
+                 worker_id: str | None = None) -> None:
         self.path = path
         self.total_trials = total_trials
         self.interval = interval
+        #: Identity stamped on every record (shard workers in the
+        #: distributed campaign service set both; a whole-campaign
+        #: heartbeat leaves them ``None`` and omits the fields).
+        self.shard_id = shard_id
+        self.worker_id = worker_id
         self._lock = threading.Lock()
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
@@ -39,9 +45,14 @@ class CampaignHeartbeat:
         self.converged = 0        # trials cut short by convergence match
         self.golden_cache_hits = 0
         self.worker_restarts = 0
+        self.retries = 0          # trial executions retried after a fault
         self.infra_failures = 0
         self.sim_cycles = 0
         self.wall_time_s = 0.0    # summed per-trial simulation wall time
+        self.shards_done = 0
+        # Last observed liveness signal per shard (monotonic seconds);
+        # the coordinator-side heartbeat reports these as staleness.
+        self._shard_seen: dict[int, float] = {}
 
     # ------------------------------------------------------------------
     # Producer side
@@ -70,6 +81,27 @@ class CampaignHeartbeat:
     def note_worker_restart(self) -> None:
         with self._lock:
             self.worker_restarts += 1
+
+    def note_retry(self) -> None:
+        """One trial execution is being retried after an infrastructure
+        fault (worker death, lost result)."""
+        with self._lock:
+            self.retries += 1
+
+    def note_shard_heartbeat(self, shard_id: int) -> None:
+        """A liveness signal arrived for ``shard_id``'s current worker
+        (HTTP heartbeat, heartbeat-file advance, or an in-process trial
+        completion)."""
+        with self._lock:
+            self._shard_seen[shard_id] = time.monotonic()
+
+    def note_shard_done(self, shard_id: int, trials: int) -> None:
+        """A whole shard completed and verified; its trials count as
+        completed work for throughput/ETA purposes."""
+        with self._lock:
+            self.shards_done += 1
+            self.completed += trials
+            self._shard_seen[shard_id] = time.monotonic()
 
     # ------------------------------------------------------------------
     # Writer side
@@ -116,10 +148,22 @@ class CampaignHeartbeat:
                 "convergence_early_exit_rate": self.converged / denominator,
                 "golden_cache_hits": self.golden_cache_hits,
                 "worker_restarts": self.worker_restarts,
+                "retries": self.retries,
                 "infra_failures": self.infra_failures,
                 "sim_cycles": self.sim_cycles,
                 "sim_wall_time_s": round(self.wall_time_s, 3),
             }
+            if self.shard_id is not None:
+                record["shard_id"] = self.shard_id
+            if self.worker_id is not None:
+                record["worker_id"] = self.worker_id
+            if self.shards_done or self._shard_seen:
+                record["shards_done"] = self.shards_done
+            if self._shard_seen:
+                now = time.monotonic()
+                record["shard_staleness_s"] = {
+                    str(sid): round(now - seen, 3)
+                    for sid, seen in sorted(self._shard_seen.items())}
         return record
 
     def _write(self, final: bool) -> None:

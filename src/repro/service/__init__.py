@@ -1,0 +1,50 @@
+"""Fault-tolerant distributed campaign service.
+
+Lifts the single-host campaign engine behind a coordinator/worker
+split: a :class:`~repro.service.coordinator.Coordinator` deterministically
+splits a campaign into seeded trial shards, launcher backends
+(``inline`` / ``subprocess`` / ``http``) fan them out to workers, and
+:func:`~repro.service.runner.run_sharded_campaign` merges the per-shard
+crash-safe journals into aggregates byte-identical to a single-process
+run.  Shard leases carry heartbeat-driven liveness; dead or wedged
+workers requeue their shard with capped seeded backoff; shards that
+keep killing workers are quarantined so the campaign terminates with
+``infra_error`` accounting instead of hanging.
+
+Submodules are imported lazily (the harness imports
+:mod:`repro.service.backoff` without pulling in the HTTP stack).
+"""
+
+from __future__ import annotations
+
+_EXPORTS = {
+    "backoff_delay": "backoff",
+    "ShardSpec": "shard",
+    "split_campaign": "shard",
+    "merge_shard_results": "shard",
+    "write_merged_journal": "shard",
+    "Coordinator": "coordinator",
+    "CoordinatorJournal": "coordinator",
+    "ShardAssignment": "worker",
+    "run_shard": "worker",
+    "CoordinatorClient": "api",
+    "CoordinatorServer": "api",
+    "run_polling_worker": "api",
+    "BACKENDS": "backends",
+    "BackendOptions": "backends",
+    "backend_by_name": "backends",
+    "run_sharded_campaign": "runner",
+    "default_shard_dir": "runner",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module 'repro.service' has no attribute "
+                             f"{name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(f".{module}", __name__), name)

@@ -1,0 +1,269 @@
+"""HTTP transport for the campaign coordinator (stdlib only).
+
+The coordinator is exposed as a tiny JSON-over-HTTP API so workers can
+run in separate processes (or, with a shared filesystem for shard
+journals, separate hosts) and poll for shard leases::
+
+    POST /v1/lease      {"worker_id": ...} -> {"lease": {...}|null,
+                                               "finished": bool,
+                                               "retry_after_s": float}
+    POST /v1/heartbeat  {"lease_id": ...}  -> {"ok": bool}
+    POST /v1/complete   {"lease_id": ...}  -> {"ok": bool}
+    POST /v1/fail       {"lease_id": ..., "reason": ...} -> {"ok": true}
+    GET  /v1/status                        -> coordinator status dict
+
+``heartbeat -> {"ok": false}`` is the revocation signal: the lease was
+expired (missed heartbeats, TTL) or the coordinator restarted; the
+worker must stop executing the shard and lease again.  Every mutating
+coordinator call runs under one lock, so the threaded server imposes
+the same single-writer discipline the in-process backends get for free.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..errors import ReproError
+from .coordinator import Coordinator
+from .shard import ShardSpec
+from .worker import ShardAssignment, run_shard
+
+
+class CoordinatorUnreachable(ReproError):
+    """The coordinator did not answer within the client's retry budget."""
+
+
+class CoordinatorServer:
+    """Threaded HTTP front-end over a :class:`Coordinator`.
+
+    ``port=0`` binds an ephemeral port (tests, single-host campaigns);
+    ``on_heartbeat(shard_id)`` lets the service runner mirror worker
+    liveness into its metrics heartbeat.
+    """
+
+    def __init__(self, coordinator: Coordinator, host: str = "127.0.0.1",
+                 port: int = 0, on_heartbeat=None) -> None:
+        self.coordinator = coordinator
+        self.lock = threading.Lock()
+        self.on_heartbeat = on_heartbeat
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, *args) -> None:  # silence per-request log
+                pass
+
+            def _reply(self, payload: dict, status: int = 200) -> None:
+                body = json.dumps(payload).encode()
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def do_GET(self) -> None:
+                if self.path != "/v1/status":
+                    self._reply({"error": "not found"}, 404)
+                    return
+                with server.lock:
+                    self._reply(server.coordinator.status())
+
+            def do_POST(self) -> None:
+                length = int(self.headers.get("Content-Length") or 0)
+                try:
+                    body = json.loads(self.rfile.read(length) or b"{}")
+                except json.JSONDecodeError:
+                    self._reply({"error": "bad json"}, 400)
+                    return
+                with server.lock:
+                    self._reply(server._handle(self.path, body))
+
+        self._http = ThreadingHTTPServer((host, port), Handler)
+        self._http.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    # -- request routing (called under self.lock) -----------------------
+    def _handle(self, path: str, body: dict) -> dict:
+        coordinator = self.coordinator
+        if path == "/v1/lease":
+            lease = coordinator.lease(str(body.get("worker_id", "?")))
+            delay = coordinator.next_ready_delay()
+            return {"lease": lease, "finished": coordinator.finished,
+                    "retry_after_s": delay if delay is not None else 0.5}
+        if path == "/v1/heartbeat":
+            ok = coordinator.heartbeat(str(body.get("lease_id", "")))
+            if ok and self.on_heartbeat is not None:
+                lease = coordinator.leases.get(str(body.get("lease_id")))
+                if lease is not None:
+                    self.on_heartbeat(lease.shard_id)
+            return {"ok": ok}
+        if path == "/v1/complete":
+            return {"ok": coordinator.complete(
+                str(body.get("lease_id", "")))}
+        if path == "/v1/fail":
+            coordinator.fail(str(body.get("lease_id", "")),
+                             str(body.get("reason", "")))
+            return {"ok": True}
+        return {"error": "not found"}
+
+    # -- lifecycle -------------------------------------------------------
+    @property
+    def url(self) -> str:
+        host, port = self._http.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "CoordinatorServer":
+        self._thread = threading.Thread(target=self._http.serve_forever,
+                                        name="coordinator-http",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._http.shutdown()
+        self._http.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+
+class CoordinatorClient:
+    """Minimal JSON client with a bounded connect-retry budget (the
+    coordinator may be restarting between a worker's polls)."""
+
+    def __init__(self, url: str, timeout_s: float = 10.0,
+                 retries: int = 5, retry_delay_s: float = 0.2) -> None:
+        self.url = url.rstrip("/")
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.retry_delay_s = retry_delay_s
+
+    def _call(self, path: str, payload: dict | None = None) -> dict:
+        data = None if payload is None else json.dumps(payload).encode()
+        last: Exception | None = None
+        for attempt in range(self.retries + 1):
+            request = urllib.request.Request(
+                self.url + path, data=data,
+                headers={"Content-Type": "application/json"},
+                method="POST" if data is not None else "GET")
+            try:
+                with urllib.request.urlopen(
+                        request, timeout=self.timeout_s) as response:
+                    return json.loads(response.read())
+            except (urllib.error.URLError, OSError,
+                    json.JSONDecodeError) as exc:
+                last = exc
+                time.sleep(self.retry_delay_s * (attempt + 1))
+        raise CoordinatorUnreachable(
+            f"coordinator at {self.url} unreachable after "
+            f"{self.retries + 1} attempts: {last}")
+
+    def lease(self, worker_id: str) -> dict:
+        return self._call("/v1/lease", {"worker_id": worker_id})
+
+    def heartbeat(self, lease_id: str) -> bool:
+        return bool(self._call("/v1/heartbeat",
+                               {"lease_id": lease_id}).get("ok"))
+
+    def complete(self, lease_id: str) -> bool:
+        return bool(self._call("/v1/complete",
+                               {"lease_id": lease_id}).get("ok"))
+
+    def fail(self, lease_id: str, reason: str = "") -> None:
+        self._call("/v1/fail", {"lease_id": lease_id, "reason": reason})
+
+    def status(self) -> dict:
+        return self._call("/v1/status")
+
+
+def run_polling_worker(url: str, worker_id: str, *,
+                       poll_interval_s: float = 0.5,
+                       heartbeat_interval_s: float = 1.0,
+                       fsync_interval: int = 1,
+                       max_idle_polls: int | None = None,
+                       progress: bool = False) -> int:
+    """Worker main loop for the HTTP backend: poll for a lease, run the
+    shard (heartbeating in the background), report completion/failure;
+    exit 0 once the coordinator reports the campaign finished.
+
+    A revoked lease (heartbeat answered ``ok: false``) aborts the shard
+    mid-flight — the journal keeps what was measured and whichever
+    worker reclaims the shard resumes from it.
+    """
+    client = CoordinatorClient(url)
+    idle = 0
+    while True:
+        reply = client.lease(worker_id)
+        lease = reply.get("lease")
+        if lease is None:
+            if reply.get("finished"):
+                return 0
+            idle += 1
+            if max_idle_polls is not None and idle >= max_idle_polls:
+                return 0
+            time.sleep(min(float(reply.get("retry_after_s") or 0.0)
+                           or poll_interval_s, poll_interval_s * 4))
+            continue
+        idle = 0
+        assignment = ShardAssignment(
+            shard=ShardSpec.from_dict(lease["shard"]),
+            journal_path=lease["journal_path"],
+            lease_id=lease["lease_id"],
+            heartbeat_path=lease.get("heartbeat_path"),
+            fsync_interval=fsync_interval,
+            heartbeat_interval_s=heartbeat_interval_s)
+        if progress:
+            print(f"[{worker_id}] leased shard "
+                  f"{assignment.shard.shard_id} "
+                  f"({assignment.shard.trials} trials)", flush=True)
+        revoked = threading.Event()
+        stop = threading.Event()
+
+        def beat(lease_id=assignment.lease_id) -> None:
+            while not stop.wait(heartbeat_interval_s):
+                try:
+                    if not client.heartbeat(lease_id):
+                        revoked.set()
+                        return
+                except CoordinatorUnreachable:
+                    revoked.set()
+                    return
+
+        beater = threading.Thread(target=beat, daemon=True,
+                                  name=f"heartbeat-{assignment.lease_id}")
+        beater.start()
+        heartbeat = None
+        if assignment.heartbeat_path:
+            from ..obs import CampaignHeartbeat
+
+            heartbeat = CampaignHeartbeat(
+                assignment.heartbeat_path, assignment.shard.trials,
+                interval=heartbeat_interval_s,
+                shard_id=assignment.shard.shard_id,
+                worker_id=worker_id).start()
+        try:
+            run_shard(assignment, should_abort=revoked.is_set)
+        except Exception as exc:  # infra fault: report and keep polling
+            stop.set()
+            beater.join(timeout=heartbeat_interval_s + 1.0)
+            try:
+                client.fail(assignment.lease_id,
+                            f"{type(exc).__name__}: {exc}")
+            except CoordinatorUnreachable:
+                pass
+            continue
+        finally:
+            stop.set()
+            beater.join(timeout=heartbeat_interval_s + 1.0)
+            if heartbeat is not None:
+                heartbeat.stop()
+        if not revoked.is_set():
+            client.complete(assignment.lease_id)
+
+
+__all__ = ["CoordinatorClient", "CoordinatorServer",
+           "CoordinatorUnreachable", "run_polling_worker"]

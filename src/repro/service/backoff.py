@@ -1,0 +1,42 @@
+"""Capped exponential backoff with deterministic seeded jitter.
+
+Every retry path in the campaign stack (worker-pool retries, shard
+lease requeues) shares this schedule: delays double from ``base_s`` up
+to ``cap_s``, and each delay is scaled by a jitter factor in
+``[0.5, 1.0]`` drawn from a generator seeded by the retry's identity —
+so concurrent retries de-synchronise (no thundering herd on a shared
+coordinator) while any given retry's delay is reproducible, which keeps
+chaos tests and campaign replays deterministic.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+
+def backoff_delay(attempt: int, *, base_s: float = 0.5,
+                  cap_s: float = 30.0, seed: int = 0,
+                  key: tuple = ()) -> float:
+    """Delay in seconds before retry ``attempt`` (1-based).
+
+    ``key`` identifies the retrying entity (e.g. a trial key or a shard
+    id) so distinct entities jitter independently under one seed.
+    """
+    if attempt < 1:
+        raise ValueError("attempt is 1-based")
+    if base_s <= 0:
+        return 0.0
+    # Clamp the exponent so arbitrarily large attempt counts (a shard
+    # requeued hundreds of times) can't overflow the float multiply;
+    # any sane cap saturates long before 2**63 anyway.
+    base = min(cap_s, base_s * (2.0 ** min(attempt - 1, 63)))
+    words = [seed & 0xFFFFFFFF, attempt]
+    for part in key:
+        words.append(zlib.crc32(str(part).encode()))
+    jitter = 0.5 + 0.5 * float(np.random.default_rng(words).random())
+    return base * jitter
+
+
+__all__ = ["backoff_delay"]

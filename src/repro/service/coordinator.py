@@ -1,0 +1,374 @@
+"""Campaign coordinator: shard leases, liveness, quarantine, resume.
+
+The coordinator owns the shard state machine::
+
+    pending --lease--> leased --complete--> done
+       ^                  |
+       |                  +--fail / lease expiry / missed heartbeats
+       +--(requeue, capped seeded backoff)--+
+                          |
+                          +--after ``fail_limit`` failed leases
+                                     --> quarantined
+
+and applies the paper's fail-stop recovery discipline to our own
+infrastructure: any worker may die (or wedge) at any point and the
+campaign still terminates with every shard either *done* — its journal
+complete and verified — or *quarantined*, its unmeasured trials
+degraded to ``infra_error`` rows instead of hanging the campaign.
+
+Every state transition is appended to a crash-safe JSONL journal of its
+own (same torn-tail discipline as trial journals), so a coordinator
+that is SIGKILLed mid-campaign resumes exactly: done shards stay done,
+failure counts persist, and leases that were open at the crash are
+reconciled against the shard journals on disk — a shard whose journal
+is already complete is recognised as done without re-running anything.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from ..core.campaign import CampaignJournal, CampaignSpec
+from ..errors import ConfigError
+from .backoff import backoff_delay
+from .shard import ShardSpec, split_campaign
+
+#: Shard states.
+PENDING = "pending"
+LEASED = "leased"
+DONE = "done"
+QUARANTINED = "quarantined"
+
+
+class Lease:
+    """One worker's claim on one shard."""
+
+    __slots__ = ("lease_id", "shard_id", "worker_id", "granted_at",
+                 "last_heartbeat")
+
+    def __init__(self, lease_id: str, shard_id: int, worker_id: str,
+                 now: float) -> None:
+        self.lease_id = lease_id
+        self.shard_id = shard_id
+        self.worker_id = worker_id
+        self.granted_at = now
+        self.last_heartbeat = now
+
+
+class CoordinatorJournal:
+    """Append-only JSONL journal of shard-state transitions.
+
+    Events are tiny and rare relative to trials, so every event is
+    fsynced; the torn-tail rule matches trial journals (a killed
+    coordinator leaves at most one truncated final line, dropped on
+    repair)."""
+
+    def __init__(self, path: str) -> None:
+        self._journal = CampaignJournal(path)
+        self.path = path
+
+    def append(self, event: dict) -> None:
+        event = dict(event)
+        event["time"] = time.time()
+        self._journal._append_line(event)
+
+    def close(self) -> None:
+        self._journal.close()
+
+    def load(self) -> list[dict]:
+        self._journal.repair()
+        events: list[dict] = []
+        if not os.path.exists(self.path):
+            return events
+        with open(self.path, encoding="utf-8") as handle:
+            for line in handle:
+                if not line.endswith("\n"):
+                    break
+                try:
+                    events.append(json.loads(line))
+                except json.JSONDecodeError:
+                    continue
+        return events
+
+
+class Coordinator:
+    """Deterministic shard scheduler with heartbeat-driven liveness.
+
+    Time is injectable (``clock``) so lease expiry, missed-heartbeat
+    requeue, and backoff windows are unit-testable without sleeping.
+    All mutating entry points are single-threaded from the caller's
+    perspective; the HTTP layer wraps them in one lock.
+    """
+
+    def __init__(self, spec: CampaignSpec, shard_dir: str,
+                 num_shards: int, *, journal_path: str | None = None,
+                 lease_ttl_s: float = 600.0,
+                 heartbeat_timeout_s: float = 60.0, fail_limit: int = 3,
+                 backoff_base_s: float = 0.25, backoff_cap_s: float = 30.0,
+                 clock=time.monotonic) -> None:
+        if fail_limit < 1:
+            raise ConfigError("shard fail limit must be >= 1")
+        if lease_ttl_s <= 0 or heartbeat_timeout_s <= 0:
+            raise ConfigError("lease ttl and heartbeat timeout must be > 0")
+        self.spec = spec
+        self.shard_dir = shard_dir
+        self.shards = split_campaign(spec, num_shards)
+        self.lease_ttl_s = lease_ttl_s
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.fail_limit = fail_limit
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.clock = clock
+        self.journal = CoordinatorJournal(
+            journal_path or os.path.join(shard_dir, "coordinator.jsonl"))
+
+        self.state: dict[int, str] = {s.shard_id: PENDING
+                                      for s in self.shards}
+        self.failures: dict[int, int] = {s.shard_id: 0 for s in self.shards}
+        self.not_before: dict[int, float] = {s.shard_id: 0.0
+                                             for s in self.shards}
+        self.quarantine_reason: dict[int, str] = {}
+        self.leases: dict[str, Lease] = {}
+        self._lease_counter = 0
+        self._resume()
+
+    # ------------------------------------------------------------------
+    # Crash-resume
+    # ------------------------------------------------------------------
+    def _resume(self) -> None:
+        events = self.journal.load()
+        open_leases: dict[int, str] = {}
+        for event in events:
+            kind = event.get("type")
+            if kind == "campaign":
+                if event.get("campaign_id") != self.spec.campaign_id():
+                    raise ConfigError(
+                        f"coordinator journal {self.journal.path} belongs "
+                        f"to campaign {event.get('campaign_id')}, not "
+                        f"{self.spec.campaign_id()}; use a fresh shard "
+                        "directory")
+                if event.get("num_shards") != len(self.shards):
+                    raise ConfigError(
+                        "coordinator journal was written with "
+                        f"{event.get('num_shards')} shards, not "
+                        f"{len(self.shards)}; resume with the same "
+                        "--shards or use a fresh shard directory")
+            elif kind == "lease":
+                shard_id = event["shard"]
+                open_leases[shard_id] = event["lease"]
+                self._lease_counter = max(self._lease_counter,
+                                          int(event["lease"][1:]))
+            elif kind == "done":
+                self.state[event["shard"]] = DONE
+                open_leases.pop(event["shard"], None)
+            elif kind == "failed":
+                self.failures[event["shard"]] += 1
+                open_leases.pop(event["shard"], None)
+            elif kind == "quarantined":
+                self.state[event["shard"]] = QUARANTINED
+                self.quarantine_reason[event["shard"]] = \
+                    event.get("reason", "")
+        if not events:
+            self.journal.append({"type": "campaign",
+                                 "campaign_id": self.spec.campaign_id(),
+                                 "num_shards": len(self.shards)})
+        # Reconcile: a lease open at the crash is lost, but the shard's
+        # journal survives — a complete journal means the worker finished
+        # even though the coordinator never heard; anything else requeues
+        # (not counted against fail_limit: the coordinator died, not the
+        # shard).  Quarantine still wins over a lost lease.
+        for shard in self.shards:
+            if self.state[shard.shard_id] in (DONE, QUARANTINED):
+                continue
+            if self._shard_complete(shard):
+                self.state[shard.shard_id] = DONE
+                self.journal.append({"type": "done",
+                                     "shard": shard.shard_id,
+                                     "lease": open_leases.get(
+                                         shard.shard_id, ""),
+                                     "recovered": True})
+            else:
+                self.state[shard.shard_id] = PENDING
+
+    def _shard_complete(self, shard: ShardSpec) -> bool:
+        journal = CampaignJournal(shard.journal_path(self.shard_dir))
+        have = {r.key for r in journal.load(self.spec)}
+        return all(t.key in have for t in shard.trial_specs())
+
+    # ------------------------------------------------------------------
+    # Worker-facing API
+    # ------------------------------------------------------------------
+    def lease(self, worker_id: str) -> dict | None:
+        """Grant the lowest-numbered ready shard, or ``None`` when
+        nothing is ready (backoff window, all leased, or finished)."""
+        self.expire_stale()
+        now = self.clock()
+        for shard in self.shards:
+            sid = shard.shard_id
+            if self.state[sid] != PENDING or self.not_before[sid] > now:
+                continue
+            self._lease_counter += 1
+            lease_id = f"L{self._lease_counter:06d}"
+            self.leases[lease_id] = Lease(lease_id, sid, worker_id, now)
+            self.state[sid] = LEASED
+            self.journal.append({"type": "lease", "shard": sid,
+                                 "lease": lease_id, "worker": worker_id})
+            return {"lease_id": lease_id,
+                    "shard": shard.as_dict(),
+                    "journal_path": shard.journal_path(self.shard_dir),
+                    "heartbeat_path": self.heartbeat_path(sid),
+                    "attempt": self.failures[sid] + 1}
+        return None
+
+    def heartbeat(self, lease_id: str) -> bool:
+        """Refresh a lease's liveness; ``False`` means the lease was
+        revoked (expired / coordinator restarted) and the worker must
+        stop writing and re-lease."""
+        lease = self.leases.get(lease_id)
+        if lease is None:
+            return False
+        lease.last_heartbeat = self.clock()
+        return True
+
+    def complete(self, lease_id: str) -> bool:
+        """Worker claims its shard finished.  The claim is verified
+        against the shard journal on disk — trust, but verify: a
+        completion with missing rows is a failure, not a success."""
+        lease = self.leases.pop(lease_id, None)
+        if lease is None:
+            return False
+        shard = self.shards[lease.shard_id]
+        if not self._shard_complete(shard):
+            self._record_failure(lease.shard_id, lease_id,
+                                 "completion claimed but shard journal "
+                                 "is incomplete")
+            return False
+        self.state[lease.shard_id] = DONE
+        self.journal.append({"type": "done", "shard": lease.shard_id,
+                             "lease": lease_id})
+        return True
+
+    def fail(self, lease_id: str, reason: str = "") -> None:
+        lease = self.leases.pop(lease_id, None)
+        if lease is None:
+            return
+        self._record_failure(lease.shard_id, lease_id,
+                             reason or "worker reported failure")
+
+    # ------------------------------------------------------------------
+    # Liveness and scheduling
+    # ------------------------------------------------------------------
+    def expire_stale(self) -> list[str]:
+        """Revoke leases whose worker missed its heartbeat window or
+        overstayed the lease TTL; their shards requeue with backoff."""
+        now = self.clock()
+        expired = []
+        for lease_id, lease in list(self.leases.items()):
+            if now - lease.last_heartbeat > self.heartbeat_timeout_s:
+                reason = (f"missed heartbeats for "
+                          f"{now - lease.last_heartbeat:.1f}s "
+                          f"(worker {lease.worker_id} presumed dead)")
+            elif now - lease.granted_at > self.lease_ttl_s:
+                reason = (f"lease TTL {self.lease_ttl_s:g}s exceeded "
+                          f"(worker {lease.worker_id} presumed wedged)")
+            else:
+                continue
+            del self.leases[lease_id]
+            self._record_failure(lease.shard_id, lease_id, reason)
+            expired.append(lease_id)
+        return expired
+
+    def _record_failure(self, shard_id: int, lease_id: str,
+                        reason: str) -> None:
+        self.failures[shard_id] += 1
+        self.journal.append({"type": "failed", "shard": shard_id,
+                             "lease": lease_id, "reason": reason,
+                             "failures": self.failures[shard_id]})
+        if self.failures[shard_id] >= self.fail_limit:
+            self._quarantine(shard_id,
+                             f"{self.failures[shard_id]} failed leases; "
+                             f"last: {reason}")
+        else:
+            self.state[shard_id] = PENDING
+            self.not_before[shard_id] = self.clock() + backoff_delay(
+                self.failures[shard_id], base_s=self.backoff_base_s,
+                cap_s=self.backoff_cap_s, seed=self.spec.seed,
+                key=("shard", shard_id))
+
+    def _quarantine(self, shard_id: int, reason: str) -> None:
+        self.state[shard_id] = QUARANTINED
+        self.quarantine_reason[shard_id] = reason
+        self.journal.append({"type": "quarantined", "shard": shard_id,
+                             "reason": reason})
+
+    def abandon_pending(self, reason: str) -> list[int]:
+        """Quarantine every shard that is not done — the backend ran out
+        of workers (or restarts), and a terminating campaign with
+        ``infra_error`` rows beats a hung one."""
+        abandoned = []
+        for lease_id in list(self.leases):
+            self.fail(lease_id, reason)
+        for shard in self.shards:
+            if self.state[shard.shard_id] == PENDING:
+                self._quarantine(shard.shard_id, reason)
+                abandoned.append(shard.shard_id)
+        return abandoned
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        return all(s in (DONE, QUARANTINED) for s in self.state.values())
+
+    @property
+    def quarantined(self) -> list[int]:
+        return [sid for sid, s in self.state.items() if s == QUARANTINED]
+
+    def heartbeat_path(self, shard_id: int) -> str:
+        return os.path.join(self.shard_dir,
+                            f"shard_{shard_id:04d}.heartbeat.jsonl")
+
+    def next_ready_delay(self) -> float | None:
+        """Seconds until the earliest pending shard leaves its backoff
+        window (0.0 = one is ready now; ``None`` = nothing pending)."""
+        now = self.clock()
+        delays = [self.not_before[s.shard_id] - now for s in self.shards
+                  if self.state[s.shard_id] == PENDING]
+        if not delays:
+            return None
+        return max(0.0, min(delays))
+
+    def status(self) -> dict:
+        """Machine-readable snapshot (HTTP /status and metrics)."""
+        now = self.clock()
+        lease_by_shard = {l.shard_id: l for l in self.leases.values()}
+        shards = {}
+        for shard in self.shards:
+            sid = shard.shard_id
+            entry = {"state": self.state[sid],
+                     "failures": self.failures[sid]}
+            lease = lease_by_shard.get(sid)
+            if lease is not None:
+                entry["worker"] = lease.worker_id
+                entry["lease_id"] = lease.lease_id
+                entry["heartbeat_age_s"] = round(
+                    now - lease.last_heartbeat, 3)
+            if sid in self.quarantine_reason:
+                entry["reason"] = self.quarantine_reason[sid]
+            shards[str(sid)] = entry
+        counts: dict[str, int] = {}
+        for state in self.state.values():
+            counts[state] = counts.get(state, 0) + 1
+        return {"campaign_id": self.spec.campaign_id(),
+                "num_shards": len(self.shards), "finished": self.finished,
+                "counts": counts, "shards": shards}
+
+    def close(self) -> None:
+        self.journal.close()
+
+
+__all__ = ["Coordinator", "CoordinatorJournal", "DONE", "LEASED",
+           "PENDING", "QUARANTINED"]

@@ -1,0 +1,173 @@
+"""Deterministic shard math: split a campaign, merge shard journals.
+
+A *shard* is a contiguous, seeded slice of a campaign's canonical trial
+sequence (``CampaignSpec.trial_specs()`` order).  Because each trial's
+RNG is a pure function of ``(campaign seed, trial coordinates)``, a
+shard is self-contained: any worker, on any host, at any time, produces
+exactly the rows an inline run would have produced for those indices.
+The merge direction therefore holds byte-for-byte — concatenating
+(and deduplicating) shard journals in canonical order reconstructs the
+single-process journal exactly, no matter how the shards were
+partitioned, ordered, or re-executed.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from ..core.campaign import (CampaignJournal, CampaignSpec, INFRA_ERROR,
+                             TrialResult, TrialSpec, dedupe_results)
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard: trials ``[start, stop)`` of the campaign's canonical
+    trial sequence, journaled to its own crash-safe JSONL file."""
+
+    shard_id: int
+    num_shards: int
+    start: int
+    stop: int
+    spec: CampaignSpec = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.shard_id < self.num_shards:
+            raise ConfigError("shard id out of range")
+        if not 0 <= self.start < self.stop:
+            raise ConfigError("shard slice must be non-empty and ordered")
+
+    @property
+    def trials(self) -> int:
+        return self.stop - self.start
+
+    def trial_specs(self) -> list[TrialSpec]:
+        return self.spec.trial_specs()[self.start:self.stop]
+
+    def journal_name(self) -> str:
+        return f"shard_{self.shard_id:04d}.jsonl"
+
+    def journal_path(self, shard_dir: str) -> str:
+        return os.path.join(shard_dir, self.journal_name())
+
+    def as_dict(self) -> dict:
+        from dataclasses import asdict
+
+        return {"shard_id": self.shard_id, "num_shards": self.num_shards,
+                "start": self.start, "stop": self.stop,
+                "spec": asdict(self.spec)}
+
+    @staticmethod
+    def from_dict(data: dict) -> "ShardSpec":
+        spec = data["spec"]
+        if isinstance(spec, dict):
+            spec = dict(spec)
+            for name in ("workloads", "schemes", "sites"):
+                spec[name] = tuple(spec[name])
+            spec = CampaignSpec(**spec)
+        return ShardSpec(shard_id=data["shard_id"],
+                         num_shards=data["num_shards"],
+                         start=data["start"], stop=data["stop"], spec=spec)
+
+
+def split_campaign(spec: CampaignSpec, num_shards: int) -> list[ShardSpec]:
+    """Split ``spec`` into at most ``num_shards`` contiguous, balanced,
+    non-empty shards over the canonical trial order.
+
+    Deterministic in ``(spec, num_shards)``: shard ``i`` always covers
+    the same trial indices, so a restarted coordinator re-derives the
+    identical partition and shard journals stay valid across crashes.
+    """
+    if num_shards < 1:
+        raise ConfigError("campaign needs at least one shard")
+    total = len(spec.trial_specs())
+    num_shards = min(num_shards, total)
+    base, extra = divmod(total, num_shards)
+    shards, start = [], 0
+    for shard_id in range(num_shards):
+        stop = start + base + (1 if shard_id < extra else 0)
+        shards.append(ShardSpec(shard_id=shard_id, num_shards=num_shards,
+                                start=start, stop=stop, spec=spec))
+        start = stop
+    return shards
+
+
+def canonical_order(spec: CampaignSpec) -> dict[tuple, int]:
+    """Trial key -> position in the canonical (inline) journal order."""
+    return {t.key: i for i, t in enumerate(spec.trial_specs())}
+
+
+def merge_shard_results(spec: CampaignSpec,
+                        results: list[TrialResult]) -> list[TrialResult]:
+    """Dedup and reorder shard rows into the canonical journal order.
+
+    Rows whose key does not belong to ``spec`` are dropped (a stale
+    shard directory from another campaign cannot pollute the merge);
+    duplicates collapse deterministically via
+    :func:`repro.core.campaign.dedupe_results` regardless of the order
+    shards are read in.
+    """
+    order = canonical_order(spec)
+    rows = [r for r in dedupe_results(results) if r.key in order]
+    rows.sort(key=lambda r: order[r.key])
+    return rows
+
+
+def missing_keys(spec: CampaignSpec,
+                 results: list[TrialResult]) -> list[tuple]:
+    """Trial keys of ``spec`` with no row in ``results``, in canonical
+    order."""
+    have = {r.key for r in results}
+    return [k for k, _ in sorted(canonical_order(spec).items(),
+                                 key=lambda kv: kv[1]) if k not in have]
+
+
+def infra_placeholder(trial: TrialSpec, detail: str,
+                      attempts: int = 1) -> TrialResult:
+    """The row a quarantined shard contributes for a trial it never
+    managed to measure — campaigns degrade to ``infra_error`` cells
+    instead of hanging or dropping rows."""
+    return TrialResult(workload=trial.workload, scheme=trial.scheme,
+                       index=trial.index, outcome=INFRA_ERROR,
+                       site=trial.site, detail=detail, attempts=attempts)
+
+
+def load_shard_results(spec: CampaignSpec, shard_dir: str,
+                       shards: list[ShardSpec]) -> list[TrialResult]:
+    """Read every intact row from every shard journal (torn tails and
+    foreign records are skipped by the journal loader)."""
+    rows: list[TrialResult] = []
+    for shard in shards:
+        journal = CampaignJournal(shard.journal_path(shard_dir))
+        rows.extend(journal.load(spec))
+    return rows
+
+
+def write_merged_journal(spec: CampaignSpec, results: list[TrialResult],
+                         path: str) -> None:
+    """Write the canonical merged journal for ``spec`` atomically.
+
+    Byte-identical to the journal an uninterrupted single-process run
+    of the same spec+seed would have produced (header first, rows in
+    canonical order, one sorted-keys JSON object per line), provided
+    every trial measured — placeholder rows for quarantined shards are
+    the only divergence, and only in campaigns that lost shards.
+    """
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    tmp = path + ".tmp"
+    journal = CampaignJournal(tmp)
+    try:
+        if os.path.exists(tmp):
+            os.remove(tmp)
+        journal.write_header(spec)
+        for row in merge_shard_results(spec, results):
+            journal.append(row)
+    finally:
+        journal.close()
+    os.replace(tmp, path)
+
+
+__all__ = ["ShardSpec", "canonical_order", "infra_placeholder",
+           "load_shard_results", "merge_shard_results", "missing_keys",
+           "split_campaign", "write_merged_journal"]

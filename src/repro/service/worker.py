@@ -1,0 +1,168 @@
+"""Shard worker: executes one leased shard with a crash-safe journal.
+
+A worker is deliberately dumb — it runs its shard's trials in order,
+appends each row to the shard journal, and emits heartbeats.  All
+fault-tolerance intelligence lives in the coordinator; the worker's
+only obligations are:
+
+* **repair before write** — a reclaimed shard journal may end in a torn
+  line from the previous worker's death; it is repaired before any
+  append so resumed records start on a fresh line;
+* **idempotent resume** — rows already journaled (by this worker or a
+  dead predecessor) are skipped, so re-execution after a lost lease
+  costs only the missing suffix, and any duplicate rows that do land
+  (two workers racing one shard across a coordinator restart) are
+  deduplicated deterministically at merge;
+* **bounded durability** — appends fsync every ``fsync_interval`` rows,
+  so a SIGKILL loses at most that window (the trials are re-run on
+  reclaim; nothing is lost but time).
+
+The ``REPRO_CHAOS_KILL`` hook (``"<shard_id>:<after>:<sentinel>"``)
+SIGKILLs the worker once ``after`` fresh trials have been appended,
+just before the next execution (``after=0`` = before any progress at
+all), the first time the sentinel file does not exist (sentinel ``-`` =
+kill on *every* lease, the poison-shard case) — the chaos lever used by
+the e2e tests and the CI kill-a-worker smoke job.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+
+from ..core.campaign import CampaignJournal, TrialResult, run_trial
+from ..errors import ConfigError
+from .shard import ShardSpec
+
+
+class ShardAssignment:
+    """Everything a worker process needs to run one leased shard;
+    serializable so the subprocess backend can hand it over a file."""
+
+    def __init__(self, shard: ShardSpec, journal_path: str,
+                 lease_id: str = "", heartbeat_path: str | None = None,
+                 fsync_interval: int = 1,
+                 heartbeat_interval_s: float = 1.0) -> None:
+        self.shard = shard
+        self.journal_path = journal_path
+        self.lease_id = lease_id
+        self.heartbeat_path = heartbeat_path
+        self.fsync_interval = fsync_interval
+        self.heartbeat_interval_s = heartbeat_interval_s
+
+    def as_dict(self) -> dict:
+        return {"shard": self.shard.as_dict(),
+                "journal_path": self.journal_path,
+                "lease_id": self.lease_id,
+                "heartbeat_path": self.heartbeat_path,
+                "fsync_interval": self.fsync_interval,
+                "heartbeat_interval_s": self.heartbeat_interval_s}
+
+    @staticmethod
+    def from_dict(data: dict) -> "ShardAssignment":
+        return ShardAssignment(
+            shard=ShardSpec.from_dict(data["shard"]),
+            journal_path=data["journal_path"],
+            lease_id=data.get("lease_id", ""),
+            heartbeat_path=data.get("heartbeat_path"),
+            fsync_interval=data.get("fsync_interval", 1),
+            heartbeat_interval_s=data.get("heartbeat_interval_s", 1.0))
+
+    def save(self, path: str) -> None:
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.as_dict(), handle, sort_keys=True)
+
+    @staticmethod
+    def load(path: str) -> "ShardAssignment":
+        with open(path, encoding="utf-8") as handle:
+            return ShardAssignment.from_dict(json.load(handle))
+
+
+def _chaos_kill_plan(shard_id: int):
+    """Parse REPRO_CHAOS_KILL; returns (after_trials, sentinel) when the
+    hook targets this shard and has not fired yet, else ``None``."""
+    raw = os.environ.get("REPRO_CHAOS_KILL", "")
+    if not raw:
+        return None
+    try:
+        target, after, sentinel = raw.split(":", 2)
+        target, after = int(target), int(after)
+    except ValueError as exc:
+        raise ConfigError(f"bad REPRO_CHAOS_KILL {raw!r}: expected "
+                          "'<shard_id>:<after_trials>:<sentinel>'") from exc
+    if target != shard_id:
+        return None
+    if sentinel != "-" and os.path.exists(sentinel):
+        return None  # already fired once
+    return after, sentinel
+
+
+def _chaos_fire(shard_id: int, appended: int, sentinel: str,
+                journal: CampaignJournal) -> None:
+    """SIGKILL the worker process mid-shard (chaos hook trigger)."""
+    if sentinel != "-":  # "-" = fire on every lease (poison shard)
+        with open(sentinel, "w", encoding="utf-8") as handle:
+            handle.write(f"killed shard {shard_id} after "
+                         f"{appended} trials\n")
+    journal.close()
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def run_shard(assignment: ShardAssignment, *, execute=run_trial,
+              heartbeat=None, should_abort=None,
+              on_trial=None) -> list[TrialResult]:
+    """Run (or resume) one shard to completion; returns every row the
+    shard journal now holds, in shard order.
+
+    ``heartbeat`` is an optional :class:`repro.obs.CampaignHeartbeat`
+    already started by the caller; ``should_abort()`` is polled between
+    trials so a revoked lease stops the worker promptly; ``on_trial``
+    observes each fresh row (HTTP workers piggyback liveness on it).
+    """
+    shard = assignment.shard
+    spec = shard.spec
+    journal = CampaignJournal(assignment.journal_path,
+                              fsync_interval=assignment.fsync_interval)
+    journal.repair()
+    done = {r.key for r in journal.load(spec)}
+    if not journal.has_header():
+        journal.write_header(spec)
+    chaos = _chaos_kill_plan(shard.shard_id)
+    appended = 0
+    try:
+        for trial in shard.trial_specs():
+            if trial.key in done:
+                continue
+            if should_abort is not None and should_abort():
+                break
+            if chaos is not None and appended >= chaos[0]:
+                _chaos_fire(shard.shard_id, appended, chaos[1], journal)
+            result = execute(trial)
+            result.attempts = 1
+            journal.append(result)
+            done.add(trial.key)
+            appended += 1
+            if heartbeat is not None:
+                heartbeat.note_trial(result)
+            if on_trial is not None:
+                on_trial(result)
+    finally:
+        journal.close()
+    rows = journal.load(spec)
+    order = {t.key: i for i, t in enumerate(shard.trial_specs())}
+    rows = [r for r in rows if r.key in order]
+    rows.sort(key=lambda r: order[r.key])
+    return rows
+
+
+def shard_complete(assignment: ShardAssignment) -> bool:
+    """Does the shard journal hold every row the shard owns?"""
+    journal = CampaignJournal(assignment.journal_path)
+    have = {r.key for r in journal.load(assignment.shard.spec)}
+    return all(t.key in have
+               for t in assignment.shard.trial_specs())
+
+
+__all__ = ["ShardAssignment", "run_shard", "shard_complete"]

@@ -12,9 +12,10 @@ import os
 import pytest
 
 from repro.core.campaign import (CampaignJournal, CampaignSpec, DUE_CRASH,
-                                 DUE_HANG, MASKED, OUTCOMES, RECOVERED, SDC,
-                                 TrialResult, aggregate, merge_cells,
-                                 run_trial, wilson_interval)
+                                 DUE_HANG, INFRA_ERROR, MASKED, OUTCOMES,
+                                 RECOVERED, SDC, TrialResult, aggregate,
+                                 dedupe_results, merge_cells, run_trial,
+                                 wilson_interval)
 from repro.errors import ConfigError
 
 
@@ -398,3 +399,71 @@ class TestCheckpointAcceleration:
         assert len(campaign_module._GOLDEN_CACHE) == 1
         monkeypatch.delenv("REPRO_GOLDEN_CACHE")
         campaign_module._GOLDEN_CACHE.clear()
+
+
+class TestDedupe:
+    def test_identical_duplicates_collapse_in_first_seen_order(self):
+        rows = [_result(0), _result(1), _result(0), _result(1), _result(2)]
+        assert [r.index for r in dedupe_results(rows)] == [0, 1, 2]
+
+    def test_measured_outcome_beats_infra_error_any_order(self):
+        measured = _result(0, SDC)
+        infra = _result(0, INFRA_ERROR)
+        assert dedupe_results([infra, measured])[0].outcome == SDC
+        assert dedupe_results([measured, infra])[0].outcome == SDC
+
+    def test_representative_is_order_independent(self):
+        # Two *different* measured rows for one key (should not happen
+        # for pure trials, but the merge must still be deterministic).
+        a = _result(0, MASKED)
+        b = _result(0, RECOVERED)
+        pick_ab = dedupe_results([a, b])[0].as_dict()
+        pick_ba = dedupe_results([b, a])[0].as_dict()
+        assert pick_ab == pick_ba
+
+
+class TestJournalDurability:
+    def test_fsync_interval_must_be_positive(self, tmp_path):
+        with pytest.raises(ConfigError):
+            CampaignJournal(str(tmp_path / "j.jsonl"), fsync_interval=0)
+
+    def test_fsync_interval_batches_syncs(self, tmp_path, monkeypatch):
+        syncs = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(os, "fsync",
+                            lambda fd: syncs.append(fd) or real_fsync(fd))
+        journal = CampaignJournal(str(tmp_path / "j.jsonl"),
+                                  fsync_interval=2)
+        for index in range(5):
+            journal.append(_result(index))
+        assert len(syncs) == 2  # after the 2nd and 4th append
+        journal.close()
+        assert len(syncs) == 3  # close drains the residual window
+        journal.close()
+        assert len(syncs) == 3  # idempotent: nothing left to sync
+
+    def test_every_append_synced_by_default(self, tmp_path, monkeypatch):
+        syncs = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(os, "fsync",
+                            lambda fd: syncs.append(fd) or real_fsync(fd))
+        journal = CampaignJournal(str(tmp_path / "j.jsonl"))
+        for index in range(3):
+            journal.append(_result(index))
+        journal.close()
+        assert len(syncs) == 3
+
+    def test_journal_appends_after_close_reopen_lazily(self, tmp_path):
+        journal = CampaignJournal(str(tmp_path / "j.jsonl"))
+        journal.append(_result(0))
+        journal.close()
+        journal.append(_result(1))
+        journal.close()
+        assert [r.index for r in journal.load()] == [0, 1]
+
+    def test_context_manager_closes(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with CampaignJournal(path) as journal:
+            journal.append(_result(0))
+        assert journal._handle is None
+        assert [r.index for r in CampaignJournal(path).load()] == [0]

@@ -190,3 +190,64 @@ class TestFaultCoverageEntry:
         text = render_campaign(report)
         assert "SDC rate" in text and "Unrecovered" in text
         assert "baseline" in text and "flame" in text
+
+
+class TestBackoffPolicy:
+    def _sleeps(self, monkeypatch):
+        import time as time_module
+
+        recorded = []
+        monkeypatch.setattr(time_module, "sleep",
+                            lambda s: recorded.append(s))
+        return recorded
+
+    def test_backoff_is_capped_exponential(self, tmp_path, monkeypatch):
+        sleeps = self._sleeps(monkeypatch)
+        runner = CampaignRunner(workers=1, backoff_s=1.0,
+                                backoff_cap_s=4.0)
+        trial = small_spec(trials=1).trial_specs()[0]
+        for attempt in range(1, 8):
+            runner._backoff(attempt, trial)
+        # Envelope: min(cap, base * 2^(attempt-1)), jitter in [0.5, 1].
+        for attempt, slept in enumerate(sleeps, start=1):
+            envelope = min(4.0, 1.0 * 2 ** (attempt - 1))
+            assert 0.5 * envelope <= slept <= envelope
+        assert max(sleeps) <= 4.0
+
+    def test_backoff_is_deterministic_per_trial(self, tmp_path,
+                                                monkeypatch):
+        sleeps = self._sleeps(monkeypatch)
+        runner = CampaignRunner(workers=1, backoff_s=0.5)
+        trials = small_spec(trials=2).trial_specs()
+        runner._backoff(2, trials[0])
+        runner._backoff(2, trials[0])
+        runner._backoff(2, trials[1])
+        assert sleeps[0] == sleeps[1]  # same trial, same delay
+        assert sleeps[0] != sleeps[2]  # different trials de-synchronise
+
+    def test_zero_base_disables_backoff(self, monkeypatch):
+        sleeps = self._sleeps(monkeypatch)
+        runner = CampaignRunner(workers=1, backoff_s=0.0)
+        runner._backoff(3, small_spec(trials=1).trial_specs()[0])
+        assert sleeps == []
+
+    def test_retries_surface_in_heartbeat_metrics(self, tmp_path):
+        spec = small_spec(trials=2, schemes=("baseline",))
+        failures = {"left": 2}
+
+        def flaky(trial):
+            if trial.index == 0 and failures["left"] > 0:
+                failures["left"] -= 1
+                raise OSError("worker died")
+            return run_trial(trial)
+
+        runner = CampaignRunner(workers=1, max_retries=2,
+                                backoff_s=0.001)
+        runner._execute = flaky
+        metrics = tmp_path / "metrics.jsonl"
+        report = runner.run(spec, journal_path=str(tmp_path / "j.jsonl"),
+                            metrics_path=str(metrics))
+        assert report.complete
+        final = json.loads(metrics.read_text().splitlines()[-1])
+        assert final["retries"] == 2
+        assert final["infra_failures"] == 0

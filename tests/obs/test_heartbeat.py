@@ -83,3 +83,58 @@ class TestHeartbeat:
         hb.start()
         hb.note_trial(FakeResult())
         hb.stop()  # OSError swallowed: telemetry must not kill campaigns
+
+
+class TestShardTelemetry:
+    def test_retries_counter(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        hb = CampaignHeartbeat(str(path), total_trials=4, interval=60.0)
+        hb.start()
+        hb.note_retry()
+        hb.note_retry()
+        hb.stop()
+        assert _records(path)[-1]["retries"] == 2
+
+    def test_identity_fields_omitted_for_whole_campaign_heartbeats(
+            self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        hb = CampaignHeartbeat(str(path), total_trials=1, interval=60.0)
+        hb.start()
+        hb.stop()
+        last = _records(path)[-1]
+        assert "shard_id" not in last
+        assert "worker_id" not in last
+        assert "shard_staleness_s" not in last
+
+    def test_worker_heartbeats_carry_shard_identity(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        hb = CampaignHeartbeat(str(path), total_trials=3, interval=60.0,
+                               shard_id=2, worker_id="subproc-7")
+        hb.start()
+        hb.note_trial(FakeResult())
+        hb.stop()
+        last = _records(path)[-1]
+        assert last["shard_id"] == 2
+        assert last["worker_id"] == "subproc-7"
+
+    def test_shard_liveness_reported_as_staleness(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        hb = CampaignHeartbeat(str(path), total_trials=8, interval=60.0)
+        hb.start()
+        hb.note_shard_heartbeat(0)
+        hb.note_shard_heartbeat(3)
+        hb.stop()
+        staleness = _records(path)[-1]["shard_staleness_s"]
+        assert set(staleness) == {"0", "3"}
+        assert all(age >= 0 for age in staleness.values())
+
+    def test_shard_done_counts_trials_as_completed(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        hb = CampaignHeartbeat(str(path), total_trials=10, interval=60.0)
+        hb.start()
+        hb.note_shard_done(1, trials=5)
+        hb.stop()
+        last = _records(path)[-1]
+        assert last["shards_done"] == 1
+        assert last["completed"] == 5
+        assert last["remaining"] == 5

@@ -1,0 +1,1 @@
+"""Distributed campaign service tests."""

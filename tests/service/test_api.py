@@ -1,0 +1,95 @@
+"""HTTP coordinator API: JSON round-trips and the polling worker loop."""
+
+import pytest
+
+from repro.core.campaign import CampaignJournal, CampaignSpec, MASKED, \
+    TrialResult
+from repro.service.api import (CoordinatorClient, CoordinatorServer,
+                               CoordinatorUnreachable, run_polling_worker)
+from repro.service.coordinator import Coordinator, DONE
+from repro.service.shard import ShardSpec
+
+
+def fake_spec(trials=2, schemes=("baseline",)):
+    return CampaignSpec(workloads=("Triad",), schemes=schemes,
+                        trials=trials, seed=11, scale="tiny")
+
+
+@pytest.fixture
+def served(tmp_path):
+    coordinator = Coordinator(fake_spec(), str(tmp_path / "shards"), 2,
+                              heartbeat_timeout_s=30.0)
+    server = CoordinatorServer(coordinator).start()
+    try:
+        yield coordinator, server, CoordinatorClient(server.url)
+    finally:
+        server.stop()
+        coordinator.close()
+
+
+def fill_shard(coordinator, lease):
+    shard = ShardSpec.from_dict(lease["shard"])
+    journal = CampaignJournal(lease["journal_path"])
+    journal.write_header(coordinator.spec)
+    for trial in shard.trial_specs():
+        journal.append(TrialResult(workload=trial.workload,
+                                   scheme=trial.scheme, index=trial.index,
+                                   outcome=MASKED, site=trial.site))
+    journal.close()
+
+
+class TestHttpRoundTrips:
+    def test_lease_heartbeat_complete_over_http(self, served):
+        coordinator, _, client = served
+        reply = client.lease("http-w0")
+        lease = reply["lease"]
+        assert lease["shard"]["shard_id"] == 0
+        assert not reply["finished"]
+        assert client.heartbeat(lease["lease_id"])
+        fill_shard(coordinator, lease)
+        assert client.complete(lease["lease_id"])
+        assert coordinator.state[0] == DONE
+        status = client.status()
+        assert status["counts"][DONE] == 1
+
+    def test_fail_over_http_requeues_the_shard(self, served):
+        coordinator, _, client = served
+        lease = client.lease("http-w0")["lease"]
+        client.fail(lease["lease_id"], "chaos")
+        assert coordinator.failures[0] == 1
+        assert not client.heartbeat(lease["lease_id"])  # revoked
+
+    def test_lease_reply_carries_backoff_hint(self, served):
+        coordinator, _, client = served
+        for worker in ("w0", "w1"):
+            lease = client.lease(worker)["lease"]
+            client.fail(lease["lease_id"], "chaos")
+        reply = client.lease("w2")
+        if reply["lease"] is None:  # both shards inside backoff windows
+            assert reply["retry_after_s"] > 0
+
+    def test_unreachable_coordinator_raises_after_retries(self):
+        client = CoordinatorClient("http://127.0.0.1:1", timeout_s=0.2,
+                                   retries=1, retry_delay_s=0.01)
+        with pytest.raises(CoordinatorUnreachable):
+            client.status()
+
+
+class TestPollingWorker:
+    def test_polling_worker_drains_a_real_campaign(self, tmp_path):
+        # One real (tiny) trial per shard; the worker loop runs in this
+        # process and must exit 0 once the coordinator says finished.
+        spec = fake_spec(trials=1)
+        coordinator = Coordinator(spec, str(tmp_path / "shards"), 1,
+                                  heartbeat_timeout_s=30.0)
+        server = CoordinatorServer(coordinator).start()
+        try:
+            code = run_polling_worker(server.url, "poller-0",
+                                      poll_interval_s=0.05,
+                                      heartbeat_interval_s=0.1)
+        finally:
+            server.stop()
+            coordinator.close()
+        assert code == 0
+        assert coordinator.finished
+        assert coordinator.state[0] == DONE

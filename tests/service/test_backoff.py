@@ -1,0 +1,49 @@
+"""Capped exponential backoff with deterministic seeded jitter."""
+
+import pytest
+
+from repro.service.backoff import backoff_delay
+
+
+class TestBackoffDelay:
+    def test_deterministic_for_same_arguments(self):
+        args = dict(base_s=0.5, cap_s=30.0, seed=42, key=("shard", 3))
+        assert backoff_delay(2, **args) == backoff_delay(2, **args)
+
+    def test_jitter_stays_within_half_to_full_base(self):
+        for attempt in range(1, 10):
+            base = min(30.0, 0.5 * 2 ** (attempt - 1))
+            delay = backoff_delay(attempt, base_s=0.5, cap_s=30.0,
+                                  seed=1, key=("t",))
+            assert 0.5 * base <= delay <= base
+
+    def test_envelope_doubles_until_cap(self):
+        # The jitter-free envelope is min(cap, base * 2^(attempt-1));
+        # sample widely to confirm growth then saturation.
+        caps = [min(30.0, 0.5 * 2 ** (a - 1)) for a in range(1, 12)]
+        delays = [backoff_delay(a, base_s=0.5, cap_s=30.0, seed=9,
+                                key=()) for a in range(1, 12)]
+        for delay, cap in zip(delays, caps):
+            assert delay <= cap
+
+    def test_never_exceeds_cap_even_for_huge_attempts(self):
+        # 2**499 would overflow a float multiply if the cap were
+        # applied after exponentiation carelessly.
+        assert backoff_delay(500, base_s=1.0, cap_s=5.0, seed=0,
+                             key=()) <= 5.0
+
+    def test_distinct_keys_desynchronise(self):
+        delays = {backoff_delay(3, base_s=0.5, cap_s=30.0, seed=7,
+                                key=("shard", sid)) for sid in range(8)}
+        assert len(delays) > 1
+
+    def test_distinct_seeds_desynchronise(self):
+        assert backoff_delay(3, base_s=0.5, cap_s=30.0, seed=1, key=()) \
+            != backoff_delay(3, base_s=0.5, cap_s=30.0, seed=2, key=())
+
+    def test_attempts_are_one_based(self):
+        with pytest.raises(ValueError):
+            backoff_delay(0)
+
+    def test_zero_base_disables_backoff(self):
+        assert backoff_delay(5, base_s=0.0) == 0.0

@@ -1,0 +1,159 @@
+"""Chaos end-to-end: kill workers and the coordinator, converge anyway.
+
+Uses the ``REPRO_CHAOS_KILL`` hook to SIGKILL real worker subprocesses
+mid-shard, and SIGKILLs a real CLI coordinator process mid-campaign.
+The invariant in every scenario: the campaign terminates, and — unless
+a shard was deliberately poisoned to quarantine — the merged journal
+and aggregates are byte-identical to an undisturbed single-process run.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.core.campaign import CampaignSpec, INFRA_ERROR
+from repro.harness.campaign import run_campaign, write_aggregates
+from repro.service.runner import run_sharded_campaign
+from repro.service.shard import split_campaign
+
+
+def chaos_spec():
+    return CampaignSpec(workloads=("Triad",),
+                        schemes=("baseline", "flame"), trials=3, seed=1,
+                        scale="tiny")
+
+
+def read_bytes(path):
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+@pytest.fixture(scope="module")
+def oracle(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("chaos-oracle")
+    journal = str(tmp / "inline.jsonl")
+    report = run_campaign(chaos_spec(), workers=1, journal_path=journal)
+    aggregates = str(tmp / "agg.json")
+    write_aggregates(report, aggregates)
+    return {"journal": read_bytes(journal),
+            "aggregates": read_bytes(aggregates)}
+
+
+class TestWorkerKill:
+    def test_sigkilled_worker_requeues_and_converges(self, tmp_path,
+                                                     oracle, monkeypatch):
+        # Shard 1's first worker is SIGKILLed after journaling one
+        # trial; the reclaiming worker must resume the shard and the
+        # merged journal must still match the oracle byte-for-byte.
+        sentinel = tmp_path / "killed"
+        monkeypatch.setenv("REPRO_CHAOS_KILL", f"1:1:{sentinel}")
+        metrics = tmp_path / "metrics.jsonl"
+        journal = str(tmp_path / "merged.jsonl")
+        report = run_sharded_campaign(
+            chaos_spec(), shards=3, backend="subprocess", workers=2,
+            journal_path=journal, shard_dir=str(tmp_path / "shards"),
+            metrics_path=str(metrics), backoff_base_s=0.05,
+            poll_interval_s=0.1, heartbeat_interval_s=0.2)
+        assert sentinel.exists()  # the kill actually fired
+        assert report.complete
+        assert report.infra_failures == 0
+        assert read_bytes(journal) == oracle["journal"]
+        final = json.loads(metrics.read_text().splitlines()[-1])
+        assert final["worker_restarts"] >= 1
+        assert final["shards_done"] == 3
+
+    def test_poison_shard_quarantines_with_infra_rows(self, tmp_path,
+                                                      monkeypatch):
+        # Shard 2's worker dies before measuring anything, on every
+        # lease.  After fail_limit leases the shard is quarantined and
+        # its trials degrade to infra_error placeholders — the campaign
+        # terminates instead of hanging.
+        monkeypatch.setenv("REPRO_CHAOS_KILL", "2:0:-")
+        spec = chaos_spec()
+        report = run_sharded_campaign(
+            spec, shards=3, backend="subprocess", workers=2,
+            journal_path=str(tmp_path / "merged.jsonl"),
+            shard_dir=str(tmp_path / "shards"),
+            fail_limit=2, backoff_base_s=0.05,
+            poll_interval_s=0.1, heartbeat_interval_s=0.2)
+        poisoned = {t.key for t in split_campaign(spec, 3)[2].trial_specs()}
+        infra = [r for r in report.results if r.outcome == INFRA_ERROR]
+        assert {r.key for r in infra} == poisoned
+        assert report.infra_failures == len(poisoned)
+        assert report.complete  # degraded, never dropped
+        for row in infra:
+            assert "quarantined" in row.detail
+            assert row.attempts == 2
+
+
+class TestCoordinatorKill:
+    def test_coordinator_sigkill_and_restart_converges(self, tmp_path,
+                                                       oracle):
+        # Run the real CLI, SIGKILL the whole coordinator process once
+        # shard journals show progress, rerun the identical command, and
+        # demand byte-identical journal + aggregates vs the oracle.
+        journal = tmp_path / "merged.jsonl"
+        shard_dir = tmp_path / "shards"
+        aggregates = tmp_path / "agg.json"
+        command = [
+            sys.executable, "-m", "repro.harness", "campaign",
+            "--scale", "tiny", "--benchmarks", "Triad",
+            "--schemes", "baseline,flame", "--trials", "3", "--seed", "1",
+            "--backend", "subprocess", "--shards", "3", "--workers", "2",
+            "--journal", str(journal), "--shard-dir", str(shard_dir),
+            "--aggregate-json", str(aggregates),
+            "--heartbeat-timeout", "10",
+        ]
+        env = dict(os.environ)
+        env.pop("REPRO_CHAOS_KILL", None)
+        proc = subprocess.Popen(command, env=env,
+                                stdout=subprocess.DEVNULL,
+                                stderr=subprocess.DEVNULL)
+        try:
+            deadline = time.monotonic() + 120.0
+            while time.monotonic() < deadline:
+                if self._journaled_trials(shard_dir) >= 2:
+                    break
+                if proc.poll() is not None:
+                    pytest.fail("campaign finished before it could be "
+                                "killed; slow the spec down")
+                time.sleep(0.05)
+            else:
+                pytest.fail("no shard progress within 120s")
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        # Orphaned workers may still be draining their shards; the
+        # restarted coordinator must reconcile whatever they leave.
+        rerun = subprocess.run(command, env=env, timeout=300,
+                               stdout=subprocess.PIPE,
+                               stderr=subprocess.STDOUT)
+        assert rerun.returncode == 0, rerun.stdout.decode()
+        assert read_bytes(str(journal)) == oracle["journal"]
+        assert read_bytes(str(aggregates)) == oracle["aggregates"]
+
+    @staticmethod
+    def _journaled_trials(shard_dir) -> int:
+        count = 0
+        if not shard_dir.is_dir():
+            return 0
+        for name in os.listdir(shard_dir):
+            if not name.startswith("shard_") or ".heartbeat" in name \
+                    or not name.endswith(".jsonl"):
+                continue
+            try:
+                with open(shard_dir / name, encoding="utf-8") as handle:
+                    count += sum(1 for line in handle
+                                 if '"type": "trial"' in line
+                                 and line.endswith("\n"))
+            except OSError:
+                continue
+        return count

@@ -1,0 +1,307 @@
+"""Coordinator state machine: leases, liveness, quarantine, resume.
+
+Time is injected, so lease TTLs, heartbeat windows, and backoff
+schedules are exercised without sleeping; shard journals are fabricated
+on disk, so completion verification runs against real files.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.campaign import CampaignJournal, CampaignSpec, MASKED, \
+    TrialResult
+from repro.errors import ConfigError
+from repro.service.backoff import backoff_delay
+from repro.service.coordinator import (Coordinator, DONE, LEASED, PENDING,
+                                       QUARANTINED)
+from repro.service.shard import ShardSpec
+
+
+def fake_spec(trials=4, seed=3):
+    return CampaignSpec(workloads=("Triad",), schemes=("baseline",),
+                        trials=trials, seed=seed, scale="tiny")
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def make(tmp_path, trials=4, shards=2, **kwargs):
+    kwargs.setdefault("lease_ttl_s", 60.0)
+    kwargs.setdefault("heartbeat_timeout_s", 5.0)
+    kwargs.setdefault("fail_limit", 3)
+    clock = kwargs.pop("clock", FakeClock())
+    coordinator = Coordinator(fake_spec(trials=trials),
+                              str(tmp_path / "shards"), shards,
+                              clock=clock, **kwargs)
+    return coordinator, clock
+
+
+def fill_shard(coordinator, lease, keep_last=0):
+    """Write the leased shard's journal (all rows but ``keep_last``)."""
+    shard = ShardSpec.from_dict(lease["shard"])
+    journal = CampaignJournal(lease["journal_path"])
+    if not journal.has_header():
+        journal.write_header(coordinator.spec)
+    trials = shard.trial_specs()
+    for trial in trials[:len(trials) - keep_last]:
+        journal.append(TrialResult(workload=trial.workload,
+                                   scheme=trial.scheme, index=trial.index,
+                                   outcome=MASKED, site=trial.site))
+    journal.close()
+
+
+class TestLeaseLifecycle:
+    def test_leases_grant_lowest_pending_shard(self, tmp_path):
+        coordinator, _ = make(tmp_path)
+        first = coordinator.lease("w0")
+        second = coordinator.lease("w1")
+        assert first["shard"]["shard_id"] == 0
+        assert second["shard"]["shard_id"] == 1
+        assert coordinator.lease("w2") is None  # everything leased
+        assert coordinator.state == {0: LEASED, 1: LEASED}
+        assert first["attempt"] == 1
+
+    def test_complete_verifies_shard_journal(self, tmp_path):
+        coordinator, _ = make(tmp_path)
+        lease = coordinator.lease("w0")
+        fill_shard(coordinator, lease)
+        assert coordinator.complete(lease["lease_id"])
+        assert coordinator.state[0] == DONE
+        assert not coordinator.finished  # shard 1 still pending
+
+    def test_incomplete_completion_claim_is_a_failure(self, tmp_path):
+        coordinator, _ = make(tmp_path)
+        lease = coordinator.lease("w0")
+        fill_shard(coordinator, lease, keep_last=1)
+        assert not coordinator.complete(lease["lease_id"])
+        assert coordinator.state[0] == PENDING
+        assert coordinator.failures[0] == 1
+
+    def test_fail_requeues_with_backoff_window(self, tmp_path):
+        coordinator, clock = make(tmp_path, backoff_base_s=2.0,
+                                  backoff_cap_s=30.0)
+        lease = coordinator.lease("w0")
+        coordinator.fail(lease["lease_id"], "worker crashed")
+        # Shard 0 sits out its backoff window; shard 1 is still ready.
+        assert coordinator.lease("w1")["shard"]["shard_id"] == 1
+        assert coordinator.lease("w2") is None
+        delay = coordinator.next_ready_delay()
+        assert delay == pytest.approx(backoff_delay(
+            1, base_s=2.0, cap_s=30.0, seed=coordinator.spec.seed,
+            key=("shard", 0)))
+        clock.advance(delay + 0.001)
+        retry = coordinator.lease("w2")
+        assert retry["shard"]["shard_id"] == 0
+        assert retry["attempt"] == 2
+
+    def test_fail_unknown_lease_is_a_no_op(self, tmp_path):
+        coordinator, _ = make(tmp_path)
+        coordinator.fail("L999999", "stale")
+        assert coordinator.failures == {0: 0, 1: 0}
+
+    def test_finished_when_all_done(self, tmp_path):
+        coordinator, _ = make(tmp_path)
+        for worker in ("w0", "w1"):
+            lease = coordinator.lease(worker)
+            fill_shard(coordinator, lease)
+            assert coordinator.complete(lease["lease_id"])
+        assert coordinator.finished
+        assert coordinator.quarantined == []
+        assert coordinator.next_ready_delay() is None
+
+
+class TestLiveness:
+    def test_missed_heartbeats_expire_the_lease(self, tmp_path):
+        coordinator, clock = make(tmp_path, heartbeat_timeout_s=5.0,
+                                  backoff_base_s=0.0)
+        lease = coordinator.lease("w0")
+        clock.advance(6.0)
+        expired = coordinator.expire_stale()
+        assert expired == [lease["lease_id"]]
+        assert coordinator.state[0] == PENDING
+        assert coordinator.failures[0] == 1
+        assert not coordinator.heartbeat(lease["lease_id"])  # revoked
+
+    def test_heartbeats_keep_the_lease_alive(self, tmp_path):
+        coordinator, clock = make(tmp_path, heartbeat_timeout_s=5.0)
+        lease = coordinator.lease("w0")
+        for _ in range(4):
+            clock.advance(3.0)
+            assert coordinator.heartbeat(lease["lease_id"])
+        assert coordinator.expire_stale() == []
+        assert coordinator.state[0] == LEASED
+
+    def test_lease_ttl_expires_even_a_beating_worker(self, tmp_path):
+        coordinator, clock = make(tmp_path, lease_ttl_s=60.0,
+                                  heartbeat_timeout_s=5.0,
+                                  backoff_base_s=0.0)
+        lease = coordinator.lease("w0")
+        for _ in range(16):  # 64s of dutiful heartbeats
+            clock.advance(4.0)
+            coordinator.heartbeat(lease["lease_id"])
+        assert coordinator.expire_stale() == [lease["lease_id"]]
+        assert "TTL" in coordinator.journal.load()[-1]["reason"]
+
+    def test_lease_itself_expires_stale_predecessors(self, tmp_path):
+        coordinator, clock = make(tmp_path, shards=1,
+                                  heartbeat_timeout_s=5.0,
+                                  backoff_base_s=0.0)
+        coordinator.lease("w0")
+        clock.advance(10.0)
+        release = coordinator.lease("w1")  # reclaims without expire_stale
+        assert release is not None
+        assert release["attempt"] == 2
+
+
+class TestQuarantine:
+    def test_quarantined_after_fail_limit(self, tmp_path):
+        coordinator, clock = make(tmp_path, shards=1, fail_limit=3,
+                                  backoff_base_s=0.01)
+        for attempt in range(1, 4):
+            clock.advance(1.0)
+            lease = coordinator.lease(f"w{attempt}")
+            assert lease["attempt"] == attempt
+            coordinator.fail(lease["lease_id"], "worker crashed")
+        assert coordinator.state[0] == QUARANTINED
+        assert coordinator.quarantined == [0]
+        assert "3 failed leases" in coordinator.quarantine_reason[0]
+        assert coordinator.finished  # terminates, never hangs
+        clock.advance(100.0)
+        assert coordinator.lease("w9") is None
+
+    def test_abandon_pending_quarantines_everything_open(self, tmp_path):
+        coordinator, _ = make(tmp_path, shards=2, fail_limit=1)
+        coordinator.lease("w0")  # shard 0 leased, shard 1 pending
+        abandoned = coordinator.abandon_pending("no workers left")
+        assert coordinator.state == {0: QUARANTINED, 1: QUARANTINED}
+        assert abandoned == [1]  # shard 0 went through fail()
+        assert coordinator.finished
+
+    def test_constructor_validation(self, tmp_path):
+        with pytest.raises(ConfigError):
+            make(tmp_path, fail_limit=0)
+        with pytest.raises(ConfigError):
+            make(tmp_path, lease_ttl_s=0.0)
+        with pytest.raises(ConfigError):
+            make(tmp_path, heartbeat_timeout_s=-1.0)
+
+
+class TestCrashResume:
+    def test_resume_restores_done_failures_and_lease_counter(
+            self, tmp_path):
+        coordinator, _ = make(tmp_path)
+        done = coordinator.lease("w0")
+        fill_shard(coordinator, done)
+        coordinator.complete(done["lease_id"])
+        failed = coordinator.lease("w1")
+        coordinator.fail(failed["lease_id"], "crashed")
+        coordinator.close()  # simulated coordinator SIGKILL + restart
+
+        revived, clock = make(tmp_path)
+        clock.advance(1000.0)  # past any backoff window
+        assert revived.state[0] == DONE
+        assert revived.state[1] == PENDING
+        assert revived.failures == {0: 0, 1: 1}
+        lease = revived.lease("w2")
+        assert lease["shard"]["shard_id"] == 1
+        # Lease ids keep increasing across the restart.
+        assert int(lease["lease_id"][1:]) > int(failed["lease_id"][1:])
+
+    def test_open_lease_with_complete_journal_recovers_as_done(
+            self, tmp_path):
+        coordinator, _ = make(tmp_path)
+        lease = coordinator.lease("w0")
+        fill_shard(coordinator, lease)  # worker finished...
+        coordinator.close()  # ...but the coordinator died unnotified
+
+        revived, _ = make(tmp_path)
+        assert revived.state[0] == DONE
+        assert revived.failures[0] == 0
+        events = revived.journal.load()
+        assert any(e.get("type") == "done" and e.get("recovered")
+                   for e in events)
+
+    def test_open_lease_with_partial_journal_requeues_without_blame(
+            self, tmp_path):
+        coordinator, _ = make(tmp_path)
+        lease = coordinator.lease("w0")
+        fill_shard(coordinator, lease, keep_last=1)
+        coordinator.close()
+
+        revived, _ = make(tmp_path)
+        assert revived.state[0] == PENDING
+        # The coordinator died, not the shard: no failure charged.
+        assert revived.failures[0] == 0
+        assert revived.lease("w1")["shard"]["shard_id"] == 0
+
+    def test_resume_preserves_quarantine(self, tmp_path):
+        coordinator, _ = make(tmp_path, shards=1, fail_limit=1)
+        lease = coordinator.lease("w0")
+        coordinator.fail(lease["lease_id"], "poison")
+        assert coordinator.state[0] == QUARANTINED
+        coordinator.close()
+
+        revived, _ = make(tmp_path, shards=1, fail_limit=1)
+        assert revived.state[0] == QUARANTINED
+        assert "poison" in revived.quarantine_reason[0]
+        assert revived.finished
+
+    def test_torn_journal_tail_is_repaired_on_resume(self, tmp_path):
+        coordinator, _ = make(tmp_path)
+        lease = coordinator.lease("w0")
+        coordinator.fail(lease["lease_id"], "crashed")
+        coordinator.close()
+        with open(coordinator.journal.path, "a") as handle:
+            handle.write('{"type": "lease", "shard')  # torn mid-write
+
+        revived, _ = make(tmp_path)
+        assert revived.failures[0] == 1
+        with open(revived.journal.path, "rb") as handle:
+            assert handle.read().endswith(b"\n")
+
+    def test_refuses_foreign_campaign_journal(self, tmp_path):
+        coordinator, _ = make(tmp_path, trials=4)
+        coordinator.close()
+        with pytest.raises(ConfigError, match="belongs to campaign"):
+            Coordinator(fake_spec(trials=5), str(tmp_path / "shards"), 2)
+
+    def test_refuses_mismatched_shard_count(self, tmp_path):
+        coordinator, _ = make(tmp_path, shards=2)
+        coordinator.close()
+        with pytest.raises(ConfigError, match="--shards"):
+            Coordinator(fake_spec(), str(tmp_path / "shards"), 4)
+
+
+class TestStatus:
+    def test_status_snapshot(self, tmp_path):
+        coordinator, clock = make(tmp_path, shards=2, fail_limit=1)
+        lease = coordinator.lease("w0")
+        clock.advance(2.0)
+        coordinator.heartbeat(lease["lease_id"])
+        clock.advance(1.0)
+        status = coordinator.status()
+        assert status["campaign_id"] == coordinator.spec.campaign_id()
+        assert status["num_shards"] == 2
+        assert not status["finished"]
+        assert status["counts"] == {LEASED: 1, PENDING: 1}
+        entry = status["shards"]["0"]
+        assert entry["worker"] == "w0"
+        assert entry["lease_id"] == lease["lease_id"]
+        assert entry["heartbeat_age_s"] == pytest.approx(1.0)
+
+    def test_heartbeat_path_is_per_shard(self, tmp_path):
+        coordinator, _ = make(tmp_path)
+        assert coordinator.heartbeat_path(1).endswith(
+            "shard_0001.heartbeat.jsonl")
+        lease = coordinator.lease("w0")
+        assert lease["heartbeat_path"] == coordinator.heartbeat_path(0)

@@ -1,0 +1,230 @@
+"""Shard math and merge determinism.
+
+The service's central invariant under test: because trials are pure
+functions of their coordinates, merging shard journals — however the
+campaign was partitioned, in whatever order the rows are read, with
+however many overlapping re-executions — reconstructs the inline
+single-process journal byte-for-byte.
+"""
+
+import json
+import os
+import tempfile
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.campaign import (CampaignJournal, CampaignSpec, DUE_HANG,
+                                 INFRA_ERROR, MASKED, RECOVERED, SDC,
+                                 TrialResult, aggregate, merge_cells)
+from repro.errors import ConfigError
+from repro.service.shard import (ShardSpec, canonical_order,
+                                 infra_placeholder, load_shard_results,
+                                 merge_shard_results, missing_keys,
+                                 split_campaign, write_merged_journal)
+
+
+def fake_spec(trials=3, schemes=("baseline", "flame"), seed=7):
+    return CampaignSpec(workloads=("Triad",), schemes=schemes,
+                        trials=trials, seed=seed, scale="tiny")
+
+
+_CYCLE = (MASKED, SDC, RECOVERED, DUE_HANG)
+
+
+def fake_result(trial, outcome=None):
+    """Deterministic synthetic row for ``trial`` (no simulation)."""
+    if outcome is None:
+        outcome = _CYCLE[(trial.index + len(trial.scheme)) % len(_CYCLE)]
+    return TrialResult(workload=trial.workload, scheme=trial.scheme,
+                       index=trial.index, outcome=outcome, site=trial.site,
+                       strike_cycles=[trial.index + 1],
+                       injector_seed=trial.index * 13,
+                       golden_cycles=100 + trial.index,
+                       cycles=100 + 2 * trial.index,
+                       landed=1, recoveries=int(outcome == RECOVERED))
+
+
+def fake_rows(spec):
+    return [fake_result(t) for t in spec.trial_specs()]
+
+
+def journal_bytes(spec, rows, path):
+    """The bytes an inline run journaling ``rows`` in order would leave."""
+    journal = CampaignJournal(path)
+    journal.write_header(spec)
+    for row in rows:
+        journal.append(row)
+    journal.close()
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+class TestSplitCampaign:
+    def test_partition_is_exact_and_contiguous(self):
+        spec = fake_spec(trials=5)  # 10 trials over 2 cells
+        shards = split_campaign(spec, 3)
+        assert [s.shard_id for s in shards] == [0, 1, 2]
+        assert shards[0].start == 0
+        assert shards[-1].stop == len(spec.trial_specs())
+        for before, after in zip(shards, shards[1:]):
+            assert before.stop == after.start
+        covered = [t.key for s in shards for t in s.trial_specs()]
+        assert covered == [t.key for t in spec.trial_specs()]
+
+    def test_partition_is_balanced(self):
+        spec = fake_spec(trials=5)
+        sizes = [s.trials for s in split_campaign(spec, 4)]
+        assert sum(sizes) == 10
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_partition_is_deterministic(self):
+        spec = fake_spec(trials=4)
+        assert split_campaign(spec, 3) == split_campaign(spec, 3)
+
+    def test_clamps_to_trial_count(self):
+        spec = fake_spec(trials=1)  # 2 trials total
+        shards = split_campaign(spec, 8)
+        assert len(shards) == 2
+        assert all(s.trials == 1 for s in shards)
+
+    def test_needs_at_least_one_shard(self):
+        with pytest.raises(ConfigError):
+            split_campaign(fake_spec(), 0)
+
+    def test_shard_validation(self):
+        spec = fake_spec()
+        with pytest.raises(ConfigError):
+            ShardSpec(shard_id=2, num_shards=2, start=0, stop=1, spec=spec)
+        with pytest.raises(ConfigError):
+            ShardSpec(shard_id=0, num_shards=1, start=3, stop=3, spec=spec)
+
+    def test_dict_round_trip_restores_spec(self):
+        shard = split_campaign(fake_spec(trials=4), 3)[1]
+        clone = ShardSpec.from_dict(
+            json.loads(json.dumps(shard.as_dict())))
+        assert clone == shard
+        assert isinstance(clone.spec.workloads, tuple)
+        assert clone.journal_name() == "shard_0001.jsonl"
+
+
+#: One fixed campaign for the merge properties: 2 cells x 3 trials.
+SPEC = fake_spec(trials=3)
+ROWS = fake_rows(SPEC)
+CANONICAL = [r.as_dict() for r in ROWS]
+
+
+class TestMergeProperties:
+    """Hypothesis: merge is invariant under partition, order, overlap."""
+
+    @settings(deadline=None)
+    @given(num_shards=st.integers(min_value=1, max_value=9),
+           rerun=st.sets(st.integers(min_value=0, max_value=8)),
+           rng=st.randoms(use_true_random=False))
+    def test_any_partition_order_and_overlap_merges_canonically(
+            self, num_shards, rerun, rng):
+        shards = split_campaign(SPEC, num_shards)
+        rows = [fake_result(t) for s in shards for t in s.trial_specs()]
+        # Overlapping re-executions: some shards contribute their rows
+        # twice (a lease lost after journaling, then reclaimed).
+        for sid in rerun:
+            if sid < len(shards):
+                rows.extend(fake_result(t)
+                            for t in shards[sid].trial_specs())
+        rng.shuffle(rows)
+        merged = merge_shard_results(SPEC, rows)
+        assert [r.as_dict() for r in merged] == CANONICAL
+
+    @settings(deadline=None, max_examples=25)
+    @given(num_shards=st.integers(min_value=1, max_value=6),
+           rng=st.randoms(use_true_random=False))
+    def test_merged_journal_bytes_match_inline_journal(self, num_shards,
+                                                       rng):
+        shards = split_campaign(SPEC, num_shards)
+        rows = [fake_result(t) for s in shards for t in s.trial_specs()]
+        rng.shuffle(rows)
+        with tempfile.TemporaryDirectory() as tmp:
+            expected = journal_bytes(SPEC, ROWS,
+                                     os.path.join(tmp, "inline.jsonl"))
+            merged_path = os.path.join(tmp, "merged.jsonl")
+            write_merged_journal(SPEC, rows, merged_path)
+            with open(merged_path, "rb") as handle:
+                assert handle.read() == expected
+
+    @settings(deadline=None)
+    @given(rng=st.randoms(use_true_random=False))
+    def test_measured_row_beats_infra_duplicate_any_order(self, rng):
+        trials = SPEC.trial_specs()
+        rows = [fake_result(t) for t in trials]
+        # A first lease died mid-shard and left infra rows; the
+        # reclaiming worker measured the same trials.
+        rows.extend(infra_placeholder(t, detail="first lease died")
+                    for t in trials[:3])
+        rng.shuffle(rows)
+        merged = merge_shard_results(SPEC, rows)
+        assert [r.as_dict() for r in merged] == CANONICAL
+        assert not any(r.outcome == INFRA_ERROR for r in merged)
+
+    def test_foreign_rows_are_dropped(self):
+        stray = fake_result(fake_spec(trials=9).trial_specs()[-1])
+        merged = merge_shard_results(SPEC, ROWS + [stray])
+        assert [r.as_dict() for r in merged] == CANONICAL
+
+    @settings(deadline=None)
+    @given(outcomes=st.lists(st.sampled_from(_CYCLE + (INFRA_ERROR,)),
+                             min_size=3, max_size=24),
+           split_at=st.integers(min_value=0, max_value=3))
+    def test_merge_cells_is_associative(self, outcomes, split_at):
+        # Rows for one (workload, scheme) spread over three sites.
+        sites = ("dest_reg", "src_reg", "rpt")
+        rows = [TrialResult(workload="Triad", scheme="flame", index=i,
+                            outcome=o, site=sites[i % len(sites)])
+                for i, o in enumerate(outcomes)]
+        cells = aggregate(rows)
+        direct = merge_cells(cells, "Triad", "flame")
+        partial = merge_cells(cells[:split_at], "Triad", "flame")
+        regrouped = ([partial] if partial is not None else []) \
+            + cells[split_at:]
+        combined = merge_cells(regrouped, "Triad", "flame")
+        assert combined.counts == direct.counts
+        assert combined.trials == direct.trials
+        assert combined.rates == direct.rates
+
+
+class TestMergeHelpers:
+    def test_canonical_order_indexes_every_trial(self):
+        order = canonical_order(SPEC)
+        assert sorted(order.values()) == list(range(len(ROWS)))
+
+    def test_missing_keys_in_canonical_order(self):
+        missing = missing_keys(SPEC, ROWS[:2] + ROWS[4:])
+        assert missing == [r.key for r in ROWS[2:4]]
+
+    def test_infra_placeholder_carries_detail_and_attempts(self):
+        trial = SPEC.trial_specs()[0]
+        row = infra_placeholder(trial, detail="shard 0 quarantined",
+                                attempts=3)
+        assert row.key == trial.key
+        assert row.outcome == INFRA_ERROR
+        assert row.attempts == 3
+        assert "quarantined" in row.detail
+
+    def test_load_shard_results_skips_torn_tail(self, tmp_path):
+        shards = split_campaign(SPEC, 2)
+        for shard in shards:
+            journal = CampaignJournal(shard.journal_path(str(tmp_path)))
+            journal.write_header(SPEC)
+            for trial in shard.trial_specs():
+                journal.append(fake_result(trial))
+            journal.close()
+        # Tear the final line of shard 1 mid-record.
+        torn = shards[1].journal_path(str(tmp_path))
+        with open(torn, "rb+") as handle:
+            data = handle.read()
+            handle.seek(len(data) - 17)
+            handle.truncate()
+        rows = load_shard_results(SPEC, str(tmp_path), shards)
+        assert len(rows) == len(ROWS) - 1
+        merged = merge_shard_results(SPEC, rows)
+        assert [r.key for r in merged] == \
+            [r.key for r in ROWS if r.key != ROWS[-1].key]

@@ -1,0 +1,156 @@
+"""Shard worker: crash-safe shard journals, idempotent resume, chaos hook."""
+
+import os
+
+import pytest
+
+from repro.core.campaign import CampaignJournal, CampaignSpec, MASKED, \
+    TrialResult
+from repro.errors import ConfigError
+from repro.service.shard import split_campaign
+from repro.service.worker import (ShardAssignment, _chaos_kill_plan,
+                                  run_shard, shard_complete)
+
+
+def fake_spec(trials=3):
+    return CampaignSpec(workloads=("Triad",), schemes=("baseline", "flame"),
+                        trials=trials, seed=5, scale="tiny")
+
+
+def fake_execute(trial):
+    return TrialResult(workload=trial.workload, scheme=trial.scheme,
+                       index=trial.index, outcome=MASKED, site=trial.site,
+                       cycles=100 + trial.index)
+
+
+def assignment_for(tmp_path, shard_id=0, num_shards=2, trials=3, **kwargs):
+    spec = fake_spec(trials=trials)
+    shard = split_campaign(spec, num_shards)[shard_id]
+    return ShardAssignment(shard=shard,
+                           journal_path=str(tmp_path / shard.journal_name()),
+                           lease_id="L000001", **kwargs)
+
+
+class TestShardAssignment:
+    def test_save_load_round_trip(self, tmp_path):
+        original = assignment_for(tmp_path, heartbeat_path="hb.jsonl",
+                                  fsync_interval=4,
+                                  heartbeat_interval_s=0.25)
+        path = str(tmp_path / "assignment.json")
+        original.save(path)
+        loaded = ShardAssignment.load(path)
+        assert loaded.shard == original.shard
+        assert loaded.journal_path == original.journal_path
+        assert loaded.lease_id == "L000001"
+        assert loaded.heartbeat_path == "hb.jsonl"
+        assert loaded.fsync_interval == 4
+        assert loaded.heartbeat_interval_s == 0.25
+
+
+class TestRunShard:
+    def test_runs_exactly_the_shards_trials_in_order(self, tmp_path):
+        assignment = assignment_for(tmp_path, shard_id=1)
+        executed = []
+
+        def execute(trial):
+            executed.append(trial.key)
+            return fake_execute(trial)
+
+        rows = run_shard(assignment, execute=execute)
+        expected = [t.key for t in assignment.shard.trial_specs()]
+        assert executed == expected
+        assert [r.key for r in rows] == expected
+        assert all(r.attempts == 1 for r in rows)
+        assert shard_complete(assignment)
+
+    def test_rerun_is_idempotent(self, tmp_path):
+        assignment = assignment_for(tmp_path)
+        first = run_shard(assignment, execute=fake_execute)
+        executed = []
+        second = run_shard(assignment, execute=lambda t: executed.append(t)
+                           or fake_execute(t))
+        assert executed == []  # everything came from the journal
+        assert [r.as_dict() for r in second] == \
+            [r.as_dict() for r in first]
+
+    def test_resumes_past_a_torn_journal_tail(self, tmp_path):
+        assignment = assignment_for(tmp_path)
+        run_shard(assignment, execute=fake_execute)
+        with open(assignment.journal_path, "rb+") as handle:
+            data = handle.read()
+            handle.seek(len(data) - 19)  # tear the final record mid-line
+            handle.truncate()
+        executed = []
+        rows = run_shard(assignment, execute=lambda t: executed.append(t)
+                         or fake_execute(t))
+        assert len(executed) == 1  # only the torn trial re-ran
+        assert [r.key for r in rows] == \
+            [t.key for t in assignment.shard.trial_specs()]
+        with open(assignment.journal_path, "rb") as handle:
+            assert handle.read().endswith(b"\n")
+        assert shard_complete(assignment)
+
+    def test_should_abort_stops_between_trials(self, tmp_path):
+        assignment = assignment_for(tmp_path)
+        calls = []
+
+        def execute(trial):
+            calls.append(trial)
+            return fake_execute(trial)
+
+        rows = run_shard(assignment, execute=execute,
+                         should_abort=lambda: len(calls) >= 1)
+        assert len(calls) == 1
+        assert len(rows) == 1
+        assert not shard_complete(assignment)
+
+    def test_on_trial_observes_fresh_rows_only(self, tmp_path):
+        assignment = assignment_for(tmp_path)
+        run_shard(assignment, execute=fake_execute)
+        observed = []
+        run_shard(assignment, execute=fake_execute,
+                  on_trial=observed.append)
+        assert observed == []  # resumed rows are not re-announced
+
+    def test_fsync_interval_batches_syncs(self, tmp_path, monkeypatch):
+        syncs = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(os, "fsync",
+                            lambda fd: syncs.append(fd) or real_fsync(fd))
+        eager = assignment_for(tmp_path, shard_id=0, fsync_interval=1)
+        run_shard(eager, execute=fake_execute)
+        eager_syncs = len(syncs)
+        syncs.clear()
+        lazy = assignment_for(tmp_path, shard_id=1, fsync_interval=100)
+        run_shard(lazy, execute=fake_execute)
+        assert len(syncs) < eager_syncs
+        assert len(syncs) == 1  # one residual sync at close
+        assert shard_complete(lazy)
+
+
+class TestChaosHook:
+    def test_plan_targets_only_the_named_shard(self, tmp_path,
+                                               monkeypatch):
+        sentinel = str(tmp_path / "fired")
+        monkeypatch.setenv("REPRO_CHAOS_KILL", f"2:1:{sentinel}")
+        assert _chaos_kill_plan(0) is None
+        assert _chaos_kill_plan(2) == (1, sentinel)
+
+    def test_plan_fires_once_per_sentinel(self, tmp_path, monkeypatch):
+        sentinel = tmp_path / "fired"
+        monkeypatch.setenv("REPRO_CHAOS_KILL", f"0:1:{sentinel}")
+        assert _chaos_kill_plan(0) is not None
+        sentinel.write_text("fired")
+        assert _chaos_kill_plan(0) is None  # already fired
+
+    def test_dash_sentinel_fires_on_every_lease(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS_KILL", "0:0:-")
+        assert _chaos_kill_plan(0) == (0, "-")
+        assert _chaos_kill_plan(0) == (0, "-")
+
+    def test_unset_and_malformed_hooks(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHAOS_KILL", raising=False)
+        assert _chaos_kill_plan(0) is None
+        monkeypatch.setenv("REPRO_CHAOS_KILL", "not-a-plan")
+        with pytest.raises(ConfigError):
+            _chaos_kill_plan(0)
