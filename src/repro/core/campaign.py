@@ -119,6 +119,27 @@ class CampaignSpec:
         from .injection import fault_site_by_name
         for site in self.sites:
             fault_site_by_name(site)  # fail fast on unknown sites
+        from .schemes import runtime_scheme_by_name
+        seen = set()
+        for name in self.schemes:
+            scheme = runtime_scheme_by_name(name)  # unknown -> ConfigError
+            if name in seen:
+                raise ConfigError(
+                    f"scheme {name!r} appears more than once in the "
+                    f"campaign spec")
+            seen.add(name)
+            if not scheme.campaign:
+                from .schemes import campaign_schemes
+                raise ConfigError(
+                    f"scheme {name!r} is compile-only and cannot be "
+                    f"campaigned; campaign-runnable schemes: "
+                    f"{', '.join(campaign_schemes())}")
+            for workload in self.workloads:
+                if not scheme.supports_workload(workload):
+                    raise ConfigError(
+                        f"scheme {name!r} only supports workloads "
+                        f"{', '.join(scheme.workloads)}; campaign names "
+                        f"{workload!r}")
         if not 0.0 <= self.sensor_miss_probability < 1.0:
             raise ConfigError("sensor miss probability must be in [0, 1)")
         if self.sensor_jitter_cycles < 0:
@@ -296,22 +317,22 @@ def _golden(trial: TrialSpec,
         from ..arch import gpu_by_name
         from ..compiler import (compile_kernel, prepare_launch,
                                 scheme_by_name)
-        from ..sim import Gpu, LaunchConfig, NULL_RESILIENCE, Sanitizer
+        from ..sim import Gpu, LaunchConfig, Sanitizer
         from ..workloads import workload_by_name
-        from .runtime import FlameRuntime
+        from .schemes import runtime_scheme_by_name
 
         workload = workload_by_name(trial.workload)
         instance = workload.instance(trial.scale)
-        scheme = scheme_by_name(trial.scheme)
+        rscheme = runtime_scheme_by_name(trial.scheme)
+        scheme = scheme_by_name(rscheme.compile_scheme)
         compiled = compile_kernel(instance.kernel, scheme, wcdl=trial.wcdl)
         config = gpu_by_name(trial.gpu)
 
         def launch_once(injector=None, max_cycles=None, recorder=None,
                         resume_from=None, monitor=None):
-            runtime = (FlameRuntime(trial.wcdl,
+            runtime = rscheme.build(wcdl=trial.wcdl,
                                     harden_rpt=trial.harden_rpt,
                                     harden_rbq=trial.harden_rbq)
-                       if scheme.uses_sensor_runtime else NULL_RESILIENCE)
             sanitizer = Sanitizer() if trial.sanitize else None
             gpu = Gpu(config, resilience=runtime, scheduler=trial.scheduler,
                       sanitizer=sanitizer)

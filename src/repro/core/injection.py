@@ -355,6 +355,13 @@ class FaultInjector:
                                  sm_id=sm.id, site=self.site)
         self.records.append(record)
         self._site.inject(self, gpu, sm, record, self._rng)
+        if record.landed:
+            # Compare/checksum runtimes observe corruption of a warp's
+            # architectural work (the acoustic sensor below is a separate,
+            # always-on channel that only the flame runtime consumes).
+            notify = getattr(sm.resilience, "on_strike", None)
+            if notify is not None:
+                notify(sm, record, cycle)
         tracer = getattr(gpu, "tracer", None)
         if tracer is not None:
             tracer.event("strike", cycle, sm.id, CONTROL_TID,

@@ -13,19 +13,58 @@ from __future__ import annotations
 import argparse
 import sys
 
+from ..core.schemes import (RUNTIME_SCHEMES, campaign_schemes,
+                            default_campaign_schemes,
+                            runtime_scheme_by_name)
+from ..errors import ConfigError
 from . import experiments as exp
 from . import reporting as rep
 from .runner import Runner
 
 EXPERIMENTS = ("table1", "figure12", "table2", "figure13", "figure15",
                "figure16", "figure17", "figure18", "figure19", "section4",
-               "hwcost", "ablation", "campaign", "worker", "trace", "all")
+               "hwcost", "ablation", "campaign", "worker", "trace",
+               "schemes", "all")
 
 
 def _benchmarks(args) -> tuple[str, ...]:
     if args.benchmarks:
         return tuple(args.benchmarks.split(","))
     return exp.ALL_BENCHMARKS
+
+
+def _scheme_arg(value: str) -> str:
+    """argparse type for a single scheme name: registry-validated so a
+    typo fails at parse time, not mid-run."""
+    name = value.strip()
+    try:
+        runtime_scheme_by_name(name)
+    except ConfigError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return name
+
+
+def _scheme_list(value: str) -> tuple[str, ...]:
+    """argparse type for ``--schemes``: splits, rejects empty/unknown/
+    duplicate/compile-only names against the registry at parse time."""
+    names = tuple(part.strip() for part in value.split(","))
+    seen = set()
+    for name in names:
+        if not name:
+            raise argparse.ArgumentTypeError(
+                f"empty scheme name in {value!r}")
+        try:
+            scheme = runtime_scheme_by_name(name)
+        except ConfigError as exc:
+            raise argparse.ArgumentTypeError(str(exc)) from None
+        if not scheme.campaign:
+            raise argparse.ArgumentTypeError(
+                f"scheme {name!r} is compile-only; campaign-runnable "
+                f"schemes: {', '.join(campaign_schemes())}")
+        if name in seen:
+            raise argparse.ArgumentTypeError(f"duplicate scheme {name!r}")
+        seen.add(name)
+    return names
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -51,8 +90,9 @@ def main(argv: list[str] | None = None) -> int:
                              "implies --profile)")
     trace = parser.add_argument_group(
         "trace", "cycle-level tracing options (experiment 'trace')")
-    trace.add_argument("--scheme", default="flame",
-                       help="scheme to trace (default: flame)")
+    trace.add_argument("--scheme", default="flame", type=_scheme_arg,
+                       help="scheme to trace, validated against the "
+                            "registry (default: flame)")
     trace.add_argument("--scheduler", default="GTO",
                        help="warp scheduler to trace under")
     trace.add_argument("--trace-out", default="",
@@ -67,8 +107,12 @@ def main(argv: list[str] | None = None) -> int:
         "campaign", "Monte Carlo fault-injection campaign options")
     campaign.add_argument("--trials", type=int, default=200,
                           help="trials per (workload, scheme) cell")
-    campaign.add_argument("--schemes", default="baseline,flame",
-                          help="comma-separated schemes to campaign over")
+    campaign.add_argument("--schemes", type=_scheme_list,
+                          default=default_campaign_schemes(),
+                          help="comma-separated schemes to campaign over, "
+                               "validated against the registry (default: "
+                               f"{','.join(default_campaign_schemes())}; "
+                               "see the 'schemes' subcommand)")
     campaign.add_argument("--seed", type=int, default=0,
                           help="campaign master seed")
     campaign.add_argument("--wcdl", type=int, default=20,
@@ -226,6 +270,23 @@ def _run(args: argparse.Namespace) -> int:
                 heartbeat.stop()
         return 0 if shard_complete(assignment) else 3
 
+    if args.experiment == "schemes":
+        rows = []
+        for scheme in RUNTIME_SCHEMES.values():
+            rows.append([
+                scheme.name,
+                scheme.compile_scheme,
+                "yes" if scheme.campaign else "no",
+                "yes" if scheme.detects else "no",
+                ",".join(scheme.workloads) if scheme.workloads else "any",
+                scheme.description,
+            ])
+        print(rep.render_table(
+            ["scheme", "compile scheme", "campaign", "detects",
+             "workloads", "description"],
+            rows, title="Registered resilience schemes"))
+        return 0
+
     if args.experiment == "trace":
         from ..obs import write_chrome_trace, write_jsonl
         from .trace import run_traced
@@ -278,7 +339,7 @@ def _run(args: argparse.Namespace) -> int:
             backend = "subprocess"
         report = exp.fault_coverage(
             scale=args.scale, benchmarks=benches,
-            schemes=tuple(args.schemes.split(",")), trials=args.trials,
+            schemes=tuple(args.schemes), trials=args.trials,
             seed=args.seed, wcdl=args.wcdl, sites=sites,
             sensor_miss_probability=args.sensor_miss,
             sensor_jitter_cycles=args.sensor_jitter,

@@ -274,7 +274,7 @@ CAMPAIGN_BENCHMARKS = ("SGEMM", "Triad")
 
 def fault_coverage(scale: str = "tiny",
                    benchmarks: tuple[str, ...] = CAMPAIGN_BENCHMARKS,
-                   schemes: tuple[str, ...] = ("baseline", "flame"),
+                   schemes: tuple[str, ...] | None = None,
                    trials: int = 200, seed: int = 0, wcdl: int = 20,
                    gpu: str = "GTX480", scheduler: str = "GTO",
                    sites: tuple[str, ...] = ("dest_reg",),
@@ -299,17 +299,20 @@ def fault_coverage(scale: str = "tiny",
     campaign into ``shards`` seeded shards (0 = one per worker).
     Results are byte-identical either way.
     """
-    from ..compiler import scheme_by_name
     from ..core.campaign import CampaignSpec
     from ..core.injection import fault_site_by_name
+    from ..core.schemes import (default_campaign_schemes,
+                                runtime_scheme_by_name)
     from .campaign import run_campaign
 
+    if schemes is None:
+        schemes = default_campaign_schemes()
     # Fail fast on typos: otherwise every trial of an unknown workload or
     # scheme burns its retry budget in a worker and lands as infra_error.
     for name in benchmarks:
         workload_by_name(name)
     for name in schemes:
-        scheme_by_name(name)
+        runtime_scheme_by_name(name)
     for name in sites:
         fault_site_by_name(name)
     spec = CampaignSpec(workloads=tuple(benchmarks), schemes=tuple(schemes),

@@ -149,11 +149,52 @@ def render_campaign(report: "CampaignReport") -> str:
              f"{spec.scheduler}, WCDL={spec.wcdl}, seed={spec.seed}"
              f"{knobs}\n"
              f"journal: {report.journal_path}")
-    return render_table(
+    rendered = render_table(
         ["Workload", "Scheme", "Site", "Trials", "Masked", "Recovered",
          "SDC", "DUE-hang", "DUE-crash", "Infra", "SDC rate [95% CI]",
          "Unrecovered"],
         rows, title=title)
+    head_to_head = render_campaign_head_to_head(report)
+    if head_to_head:
+        rendered += "\n\n" + head_to_head
+    return rendered
+
+
+def render_campaign_head_to_head(report: "CampaignReport") -> str:
+    """Coverage-vs-overhead comparison per (workload, fault site).
+
+    *Coverage* is the fraction of measured trials whose output stayed
+    bit-exact (masked + recovered); *overhead* is the scheme's fault-free
+    golden cycle count relative to the campaign's ``baseline`` scheme on
+    the same workload ("n/a" when baseline is not in the campaign).
+    This is the paper's comparative axis — Flame's sub-percent overhead
+    against the 15-45% duplication band — per fault site.
+    """
+    from ..core.campaign import INFRA_ERROR, MASKED, RECOVERED, SDC
+
+    golden: dict = {}
+    for result in report.results:
+        if result.golden_cycles:
+            golden.setdefault((result.workload, result.scheme),
+                              result.golden_cycles)
+    if not golden:
+        return ""
+    rows = []
+    for cell in sorted(report.cells,
+                       key=lambda c: (c.workload, c.site, c.scheme)):
+        measured = cell.trials - cell.counts[INFRA_ERROR]
+        covered = cell.counts[MASKED] + cell.counts[RECOVERED]
+        coverage = f"{covered / measured:.3f}" if measured else "n/a"
+        base = golden.get((cell.workload, "baseline"))
+        mine = golden.get((cell.workload, cell.scheme))
+        overhead = (f"{100.0 * (mine / base - 1.0):+.2f}%"
+                    if base and mine else "n/a")
+        rows.append([cell.workload, cell.site, cell.scheme, coverage,
+                     overhead, cell.counts[SDC], cell.unrecovered])
+    return render_table(
+        ["Workload", "Site", "Scheme", "Coverage", "Overhead", "SDC",
+         "Unrecovered"],
+        rows, title="Head-to-head: coverage vs overhead per fault site")
 
 
 def render_stall_breakdown(stats, title: str = "") -> str:

@@ -14,9 +14,9 @@ from dataclasses import asdict, dataclass
 
 from ..arch import gpu_by_name
 from ..compiler import compile_kernel, prepare_launch, scheme_by_name
-from ..core import FlameRuntime
+from ..core import runtime_scheme_by_name
 from ..errors import ReproError
-from ..sim import Gpu, LaunchConfig, NULL_RESILIENCE
+from ..sim import Gpu, LaunchConfig
 from ..workloads import workload_by_name
 
 #: Bump to invalidate cached results after behaviour-changing edits.
@@ -79,11 +79,11 @@ def execute(spec: RunSpec) -> RunOutcome:
     """Compile and simulate one configuration (no caching)."""
     workload = workload_by_name(spec.workload)
     instance = workload.instance(spec.scale)
-    scheme = scheme_by_name(spec.scheme)
+    rscheme = runtime_scheme_by_name(spec.scheme)
+    scheme = scheme_by_name(rscheme.compile_scheme)
     compiled = compile_kernel(instance.kernel, scheme, wcdl=spec.wcdl)
     config = gpu_by_name(spec.gpu)
-    runtime = (FlameRuntime(spec.wcdl) if scheme.uses_sensor_runtime
-               else NULL_RESILIENCE)
+    runtime = rscheme.build(wcdl=spec.wcdl)
     gpu = Gpu(config, resilience=runtime, scheduler=spec.scheduler)
     mem = instance.fresh_memory()
     params, mem = prepare_launch(

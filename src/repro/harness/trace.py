@@ -17,11 +17,11 @@ import numpy as np
 
 from ..arch import gpu_by_name
 from ..compiler import compile_kernel, prepare_launch, scheme_by_name
-from ..core import FlameRuntime
+from ..core import runtime_scheme_by_name
 from ..core.injection import FaultInjector
-from ..errors import ReproError
+from ..errors import ConfigError, ReproError
 from ..obs import Tracer
-from ..sim import Gpu, LaunchConfig, NULL_RESILIENCE
+from ..sim import Gpu, LaunchConfig
 from ..workloads import workload_by_name
 
 
@@ -47,11 +47,11 @@ def _launch_once(workload_name: str, scheme_name: str, scheduler: str,
     """Compile, assemble a fresh GPU, and run one launch."""
     workload = workload_by_name(workload_name)
     instance = workload.instance(scale)
-    scheme = scheme_by_name(scheme_name)
+    rscheme = runtime_scheme_by_name(scheme_name)
+    scheme = scheme_by_name(rscheme.compile_scheme)
     compiled = compile_kernel(instance.kernel, scheme, wcdl=wcdl)
     config = gpu_by_name(gpu_name)
-    runtime = (FlameRuntime(wcdl) if scheme.uses_sensor_runtime
-               else NULL_RESILIENCE)
+    runtime = rscheme.build(wcdl=wcdl)
     gpu = Gpu(config, resilience=runtime, scheduler=scheduler,
               tracer=tracer)
     if injector is not None:
@@ -79,10 +79,15 @@ def run_traced(workload: str, scheme: str = "flame",
     measures the kernel's cycle count, then the traced run takes one
     strike at a seeded cycle in ``[1, golden_cycles // 2]`` — early
     enough that its detection and recovery land inside the trace.
-    Injection requires a sensor-equipped scheme; it is skipped (not an
-    error) for unprotected ``baseline`` runs.
+    Injection requires a scheme whose runtime detects strikes; it is
+    skipped (not an error) for unprotected ``baseline`` runs.
     """
-    inject = inject and scheme_by_name(scheme).uses_sensor_runtime
+    rscheme = runtime_scheme_by_name(scheme)
+    if not rscheme.supports_workload(workload):
+        raise ConfigError(
+            f"scheme {scheme!r} only supports workloads "
+            f"{', '.join(rscheme.workloads)}; cannot trace {workload!r}")
+    inject = inject and rscheme.detects
     strike_cycle = None
     injector = None
     if inject:

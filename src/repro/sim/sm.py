@@ -45,6 +45,12 @@ class ResilienceRuntime:
 
     needs_boundaries = False
 
+    #: Stall cause booked for warps parked in ``IN_RBQ`` (drawn from
+    #: ``STALL_CAUSES``); schemes that park warps for a different kind of
+    #: end-of-region check (DMR compare, ABFT checksum) override this so
+    #: the ledger attributes their verification latency distinctly.
+    verify_cause = "verify_wait"
+
     def bind(self, sm: "Sm") -> "ResilienceRuntime":
         """Create/attach the per-SM runtime state.  Returns the instance
         serving this SM (the null runtime is stateless and shared)."""
@@ -518,7 +524,7 @@ class Sm:
         """
         state = warp.state
         if state is WarpState.IN_RBQ:
-            return "verify_wait"
+            return self.resilience.verify_cause
         if state is WarpState.AT_BARRIER:
             return "barrier"
         if state is not WarpState.ACTIVE:

@@ -19,6 +19,8 @@ STALL_CAUSES = (
     "reconvergence",   # SIMT divergence bookkeeping (structurally 0 in
                        # this stack model: reconvergence is same-cycle)
     "verify_wait",     # warp parked in RBQ awaiting region verification
+    "verify_dmr",      # warp parked for a DMR compare at a region end
+    "abft_check",      # warp parked for an ABFT checksum verification
     "no_ready_warp",   # nothing else blocks, scheduler found no candidate
 )
 
@@ -68,6 +70,12 @@ class SimStats:
     coalesced_recoveries: int = 0
     reexecuted_instructions: int = 0
     detected_errors: int = 0
+    # Competitor runtimes (repro.core.competitors).
+    dmr_compares: int = 0
+    partial_protected_regions: int = 0
+    partial_unprotected_regions: int = 0
+    abft_checks: int = 0
+    abft_corrections: int = 0
     # Launch shape.
     blocks_launched: int = 0
     warps_launched: int = 0

@@ -2,9 +2,9 @@
 with NumPy references for functional verification."""
 
 from .base import SCALES, Workload, WorkloadInstance, pick, rng_for
-from .suite import WORKLOADS, table1_rows, workload_by_name
+from .suite import VARIANTS, WORKLOADS, table1_rows, workload_by_name
 
 __all__ = [
-    "SCALES", "WORKLOADS", "Workload", "WorkloadInstance", "pick",
-    "rng_for", "table1_rows", "workload_by_name",
+    "SCALES", "VARIANTS", "WORKLOADS", "Workload", "WorkloadInstance",
+    "pick", "rng_for", "table1_rows", "workload_by_name",
 ]

@@ -16,14 +16,28 @@ for _module in _MODULES:
             raise ConfigError(f"duplicate workload {_workload.abbr!r}")
         WORKLOADS[_workload.abbr] = _workload
 
+#: Workload *variants* — scheme-study derivatives of Table-I kernels
+#: (e.g. the checksum-augmented ``SGEMM_ABFT``).  Name-resolvable like
+#: any workload, but excluded from Table I / ``ALL_BENCHMARKS`` so the
+#: paper's 34-benchmark roster stays exact.
+VARIANTS: dict[str, Workload] = {}
+for _module in _MODULES:
+    for _workload in getattr(_module, "VARIANTS", ()):
+        if _workload.abbr in WORKLOADS or _workload.abbr in VARIANTS:
+            raise ConfigError(f"duplicate workload {_workload.abbr!r}")
+        VARIANTS[_workload.abbr] = _workload
+
 
 def workload_by_name(abbr: str) -> Workload:
-    try:
-        return WORKLOADS[abbr]
-    except KeyError:
+    workload = WORKLOADS.get(abbr)
+    if workload is None:
+        workload = VARIANTS.get(abbr)
+    if workload is None:
         raise ConfigError(
-            f"unknown workload {abbr!r}; choose from {sorted(WORKLOADS)}"
+            f"unknown workload {abbr!r}; choose from "
+            f"{sorted(WORKLOADS)} or the variants {sorted(VARIANTS)}"
         ) from None
+    return workload
 
 
 def table1_rows() -> list[tuple[str, str, str]]:

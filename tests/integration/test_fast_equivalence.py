@@ -7,19 +7,19 @@ import numpy as np
 import pytest
 
 from repro.arch import GTX480
-from repro.compiler import compile_kernel, prepare_launch, scheme_by_name
-from repro.core import FlameRuntime
-from repro.sim import Gpu, LaunchConfig, NULL_RESILIENCE
+from repro.compiler import compile_kernel, prepare_launch
+from repro.core import runtime_scheme_by_name
+from repro.sim import Gpu, LaunchConfig
 from repro.workloads import WORKLOADS, workload_by_name
 
 
 def run_scheme(instance, scheme_name: str, scheduler: str, fast: bool,
                wcdl: int = 20):
     """Compile + launch one instance; return (cycles, stats dict, bytes)."""
-    compiled = compile_kernel(instance.kernel, scheme_name, wcdl=wcdl)
-    scheme = scheme_by_name(scheme_name)
-    runtime = FlameRuntime(wcdl) if scheme.uses_sensor_runtime \
-        else NULL_RESILIENCE
+    rscheme = runtime_scheme_by_name(scheme_name)
+    compiled = compile_kernel(instance.kernel, rscheme.compile_scheme,
+                              wcdl=wcdl)
+    runtime = rscheme.build(wcdl=wcdl)
     gpu = Gpu(GTX480, resilience=runtime, scheduler=scheduler, fast=fast)
     mem = instance.fresh_memory()
     params, mem = prepare_launch(
@@ -48,18 +48,32 @@ def test_every_workload_tiny(name):
 
 
 @pytest.mark.parametrize("scheduler", ["GTO", "OLD", "LRR", "2LV"])
-@pytest.mark.parametrize("scheme", ["baseline", "flame"])
+@pytest.mark.parametrize("scheme",
+                         ["baseline", "flame", "dmr", "partial_thread"])
 def test_scheduler_scheme_matrix(scheduler, scheme):
-    """All four schedulers under both the baseline and the full Flame
-    runtime (boundary markers, RBQ descheduling, deferred retirement)."""
+    """All four schedulers under every campaign-runnable runtime that
+    works on arbitrary workloads: baseline, the full Flame runtime
+    (boundary markers, RBQ descheduling, deferred retirement), the DMR
+    strawman (compare-park at every region end), and partial thread
+    protection (only the ranked vulnerable warps park)."""
     for name in ("LBM", "Histogram"):
         instance = workload_by_name(name).instance("tiny")
         assert_paths_identical(instance, scheme, scheduler)
 
 
+@pytest.mark.parametrize("scheduler", ["GTO", "OLD", "LRR", "2LV"])
+def test_abft_sgemm_matrix(scheduler):
+    """The ABFT runtime on its checksum-augmented workload variant,
+    across all four schedulers."""
+    instance = workload_by_name("SGEMM_ABFT").instance("tiny")
+    assert_paths_identical(instance, "abft_sgemm", scheduler)
+
+
 def test_barrier_workload_matrix():
-    """A shared-memory + barrier workload through the Flame runtime on
-    the age-based schedulers (the ones with the insort attach path)."""
+    """A shared-memory + barrier workload through the Flame and DMR
+    runtimes on the age-based schedulers (the ones with the insort
+    attach path)."""
     instance = workload_by_name("Transpose").instance("tiny")
     for scheduler in ("GTO", "OLD"):
-        assert_paths_identical(instance, "flame", scheduler)
+        for scheme in ("flame", "dmr"):
+            assert_paths_identical(instance, scheme, scheduler)

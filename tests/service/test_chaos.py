@@ -28,6 +28,15 @@ def chaos_spec():
                         scale="tiny")
 
 
+def competitor_spec():
+    """Three detecting runtimes from the scheme registry in one campaign:
+    sharded recovery must replay DMR compare-parks and partial-thread
+    vulnerability ranking deterministically, not just the Flame RBQ."""
+    return CampaignSpec(workloads=("Triad",),
+                        schemes=("flame", "dmr", "partial_thread"),
+                        trials=2, seed=5, scale="tiny")
+
+
 def read_bytes(path):
     with open(path, "rb") as handle:
         return handle.read()
@@ -42,6 +51,14 @@ def oracle(tmp_path_factory):
     write_aggregates(report, aggregates)
     return {"journal": read_bytes(journal),
             "aggregates": read_bytes(aggregates)}
+
+
+@pytest.fixture(scope="module")
+def competitor_oracle(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("chaos-competitor-oracle")
+    journal = str(tmp / "inline.jsonl")
+    run_campaign(competitor_spec(), workers=1, journal_path=journal)
+    return {"journal": read_bytes(journal)}
 
 
 class TestWorkerKill:
@@ -66,6 +83,27 @@ class TestWorkerKill:
         final = json.loads(metrics.read_text().splitlines()[-1])
         assert final["worker_restarts"] >= 1
         assert final["shards_done"] == 3
+
+    def test_sigkilled_worker_on_competitor_campaign(self, tmp_path,
+                                                     competitor_oracle,
+                                                     monkeypatch):
+        # Same worker-kill scenario over a three-scheme competitor
+        # campaign (flame, dmr, partial_thread): the reclaimed shard's
+        # replayed trials exercise every runtime's checkpoint/restore
+        # path, and the merged journal must still be byte-identical to
+        # the undisturbed inline run.
+        sentinel = tmp_path / "killed"
+        monkeypatch.setenv("REPRO_CHAOS_KILL", f"1:1:{sentinel}")
+        journal = str(tmp_path / "merged.jsonl")
+        report = run_sharded_campaign(
+            competitor_spec(), shards=3, backend="subprocess", workers=2,
+            journal_path=journal, shard_dir=str(tmp_path / "shards"),
+            backoff_base_s=0.05, poll_interval_s=0.1,
+            heartbeat_interval_s=0.2)
+        assert sentinel.exists()  # the kill actually fired
+        assert report.complete
+        assert report.infra_failures == 0
+        assert read_bytes(journal) == competitor_oracle["journal"]
 
     def test_poison_shard_quarantines_with_infra_rows(self, tmp_path,
                                                       monkeypatch):
