@@ -19,9 +19,17 @@ pass per mode is worthless.  Instead:
 * trials run inline (workers=1): process-pool dispatch overhead would
   dilute both arms equally and measure the pool, not the engine.
 
+A separate ``workers`` section measures the process-pool path
+(``run_campaign(workers=N)`` with shared-memory golden publication)
+against the same campaign inline — the multi-worker number includes
+pool spawn + golden export overhead, so on a single-core box it is
+expected to be *slower* than inline and is pinned for honesty, not as
+a target.
+
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_campaign.py [--reps 4] [--write]
+    PYTHONPATH=src python benchmarks/bench_campaign.py [--reps 4]
+        [--workloads SGEMM,Triad] [--workers 2] [--write]
 
 Without ``--write`` the JSON is printed but not saved.
 """
@@ -30,6 +38,8 @@ from __future__ import annotations
 
 import argparse
 import json
+import shutil
+import tempfile
 import time
 from pathlib import Path
 
@@ -55,9 +65,66 @@ def time_pass(spec: CampaignSpec) -> float:
     return time.perf_counter() - start
 
 
-def measure(reps: int) -> dict:
+def select_smokes(workloads: str | None) -> dict[str, dict]:
+    """The smoke campaigns touching the requested workloads (comma
+    separated, e.g. ``SGEMM,Triad``); all of them by default."""
+    if not workloads:
+        return dict(SMOKES)
+    wanted = {w.strip() for w in workloads.split(",") if w.strip()}
+    known = {w for kwargs in SMOKES.values() for w in kwargs["workloads"]}
+    unknown = wanted - known
+    if unknown:
+        raise SystemExit(f"unknown workloads {sorted(unknown)}; "
+                         f"smoke campaigns cover {sorted(known)}")
+    return {name: kwargs for name, kwargs in SMOKES.items()
+            if set(kwargs["workloads"]) & wanted}
+
+
+def measure_workers(reps: int, workers: int, smokes: dict) -> dict:
+    """Best-of-N inline vs process-pool wall time per smoke campaign.
+
+    The pool arm is the production multi-worker path: fresh journal,
+    golden derivation exported to shared memory, trials dispatched to
+    ``workers`` subprocesses.  Alternating passes, cold cache each pass.
+    """
+    from repro.harness.campaign import run_campaign
+
     results: dict[str, dict] = {}
-    for name, kwargs in SMOKES.items():
+    for name, kwargs in smokes.items():
+        spec = CampaignSpec(checkpoint=True, **kwargs)
+        inline_times, pool_times = [], []
+        for rep in range(reps):
+            for arm, times in (("inline", inline_times),
+                               ("pool", pool_times)):
+                campaign_mod._GOLDEN_CACHE.clear()
+                tmp = tempfile.mkdtemp(prefix="bench_campaign_")
+                try:
+                    start = time.perf_counter()
+                    run_campaign(spec,
+                                 workers=1 if arm == "inline" else workers,
+                                 journal_path=f"{tmp}/journal.jsonl")
+                    times.append(time.perf_counter() - start)
+                finally:
+                    shutil.rmtree(tmp, ignore_errors=True)
+            print(f"  {name} workers rep {rep}: inline "
+                  f"{inline_times[-1]:.2f}s, pool({workers}) "
+                  f"{pool_times[-1]:.2f}s", flush=True)
+        best_i, best_p = min(inline_times), min(pool_times)
+        results[name] = {
+            "workers": workers,
+            "inline_best_s": round(best_i, 3),
+            "pool_best_s": round(best_p, 3),
+            "pool_over_inline": round(best_p / best_i, 2),
+            "reps": reps,
+        }
+        print(f"{name}: inline {best_i:.2f}s, pool({workers}) "
+              f"{best_p:.2f}s (x{best_p / best_i:.2f})", flush=True)
+    return results
+
+
+def measure(reps: int, smokes: dict | None = None) -> dict:
+    results: dict[str, dict] = {}
+    for name, kwargs in (smokes or SMOKES).items():
         direct = CampaignSpec(checkpoint=False, **kwargs)
         ckpt = CampaignSpec(checkpoint=True, **kwargs)
         direct_times, ckpt_times = [], []
@@ -90,19 +157,32 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--reps", type=int, default=4,
                         help="alternating passes per arm (best-of-N)")
+    parser.add_argument("--workloads", default=None,
+                        help="comma-separated workload filter "
+                             "(e.g. SGEMM,Triad); default: all smokes")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="pool width for the workers section "
+                             "(0 skips the pool measurement)")
     parser.add_argument("--write", action="store_true",
                         help="save to benchmarks/BENCH_campaign.json")
     args = parser.parse_args(argv)
 
-    results = measure(args.reps)
+    smokes = select_smokes(args.workloads)
+    results = measure(args.reps, smokes)
     payload = {
-        "schema": 1,
+        "schema": 2,
         "note": ("best-of-N alternating direct/checkpointed passes of the "
                  "CI smoke campaigns, cold golden cache every pass, "
-                 "workers=1; regenerate with benchmarks/bench_campaign.py "
-                 "--write whenever the campaign hot path changes"),
+                 "workers=1; the workers section times the process-pool "
+                 "path (spawn + shared-golden export included) against "
+                 "inline on the same campaign; regenerate with "
+                 "benchmarks/bench_campaign.py --write whenever the "
+                 "campaign hot path changes"),
         "campaigns": results,
     }
+    if args.workers > 0:
+        payload["workers"] = measure_workers(args.reps, args.workers,
+                                             smokes)
     text = json.dumps(payload, indent=2)
     print(text)
     if args.write:

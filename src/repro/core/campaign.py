@@ -257,10 +257,18 @@ class TrialResult:
     fast_start: bool = False
     converged: bool = False
     golden_cache_hit: bool = False
+    #: Golden data came from the cross-worker shared-memory segment
+    #: (repro.core.goldens) instead of a local simulation.
+    golden_shared: bool = False
+    #: Superblock batching counters of the faulty run (fast-path
+    #: bookkeeping — the trial's outcome is independent of batching).
+    superblocks_executed: int = 0
+    superblock_fallbacks: dict = field(default_factory=dict)
 
     #: Attribute names carrying run-environment telemetry, not outcome.
     TELEMETRY_FIELDS = ("wall_time_s", "fast_start", "converged",
-                        "golden_cache_hit")
+                        "golden_cache_hit", "golden_shared",
+                        "superblocks_executed", "superblock_fallbacks")
 
     @property
     def key(self) -> tuple[str, str, str, int]:
@@ -303,61 +311,88 @@ def _golden_cache_limit() -> int:
     return max(1, limit if raw else _GOLDEN_CACHE_DEFAULT)
 
 
+def golden_key(trial: TrialSpec) -> tuple:
+    """Cache/sharing identity of a trial's golden run: every spec field
+    that steers the fault-free simulation (and nothing that doesn't)."""
+    return (trial.workload, trial.scheme, trial.scale, trial.gpu,
+            trial.scheduler, trial.wcdl, trial.sanitize,
+            trial.harden_rpt, trial.harden_rbq)
+
+
+def _build_launch_once(trial: TrialSpec):
+    """Compile the trial's workload and return the launch closure every
+    golden/faulty execution of its cell goes through."""
+    from ..arch import gpu_by_name
+    from ..compiler import compile_kernel, prepare_launch, scheme_by_name
+    from ..sim import Gpu, LaunchConfig, Sanitizer
+    from ..workloads import workload_by_name
+    from .schemes import runtime_scheme_by_name
+
+    workload = workload_by_name(trial.workload)
+    instance = workload.instance(trial.scale)
+    rscheme = runtime_scheme_by_name(trial.scheme)
+    scheme = scheme_by_name(rscheme.compile_scheme)
+    compiled = compile_kernel(instance.kernel, scheme, wcdl=trial.wcdl)
+    config = gpu_by_name(trial.gpu)
+
+    def launch_once(injector=None, max_cycles=None, recorder=None,
+                    resume_from=None, monitor=None):
+        runtime = rscheme.build(wcdl=trial.wcdl,
+                                harden_rpt=trial.harden_rpt,
+                                harden_rbq=trial.harden_rbq)
+        sanitizer = Sanitizer() if trial.sanitize else None
+        gpu = Gpu(config, resilience=runtime, scheduler=trial.scheduler,
+                  sanitizer=sanitizer)
+        gpu.fault_injector = injector
+        mem = instance.fresh_memory()
+        params, mem = prepare_launch(
+            compiled, instance.launch.params, mem,
+            instance.launch.num_blocks,
+            instance.launch.threads_per_block,
+            warp_size=config.warp_size)
+        launch = LaunchConfig(grid=instance.launch.grid,
+                              block=instance.launch.block, params=params)
+        result = gpu.launch(compiled.kernel, launch, mem,
+                            regs_per_thread=compiled.regs_per_thread,
+                            max_cycles=max_cycles, recorder=recorder,
+                            resume_from=resume_from, monitor=monitor)
+        return result, mem
+
+    return launch_once
+
+
 def _golden(trial: TrialSpec,
             with_checkpoints: bool = False) -> tuple[list, bool]:
-    """Return ``(cache entry, cache_hit)`` for the trial's golden run."""
-    key = (trial.workload, trial.scheme, trial.scale, trial.gpu,
-           trial.scheduler, trial.wcdl, trial.sanitize,
-           trial.harden_rpt, trial.harden_rbq)
+    """Return ``(cache entry, cache_hit)`` for the trial's golden run.
+
+    Entries are ``[launch_once, golden_cycles, golden_mem, recorder,
+    shared]`` where ``shared`` records that the golden data was adopted
+    from the cross-worker shared-memory segment rather than simulated
+    here (telemetry only — the data is byte-identical either way).
+    """
+    key = golden_key(trial)
     entry = _GOLDEN_CACHE.get(key)
     cache_hit = entry is not None
     if entry is not None:
         _GOLDEN_CACHE.move_to_end(key)
     else:
-        from ..arch import gpu_by_name
-        from ..compiler import (compile_kernel, prepare_launch,
-                                scheme_by_name)
-        from ..sim import Gpu, LaunchConfig, Sanitizer
-        from ..workloads import workload_by_name
-        from .schemes import runtime_scheme_by_name
+        launch_once = _build_launch_once(trial)
+        from .goldens import shared_entry
 
-        workload = workload_by_name(trial.workload)
-        instance = workload.instance(trial.scale)
-        rscheme = runtime_scheme_by_name(trial.scheme)
-        scheme = scheme_by_name(rscheme.compile_scheme)
-        compiled = compile_kernel(instance.kernel, scheme, wcdl=trial.wcdl)
-        config = gpu_by_name(trial.gpu)
+        shared = shared_entry(key)
+        if shared is not None:
+            golden_cycles, golden_mem, recorder = shared
+            entry = [launch_once, golden_cycles, golden_mem, recorder,
+                     True]
+        else:
+            recorder = None
+            if with_checkpoints:
+                from ..sim import CheckpointRecorder
 
-        def launch_once(injector=None, max_cycles=None, recorder=None,
-                        resume_from=None, monitor=None):
-            runtime = rscheme.build(wcdl=trial.wcdl,
-                                    harden_rpt=trial.harden_rpt,
-                                    harden_rbq=trial.harden_rbq)
-            sanitizer = Sanitizer() if trial.sanitize else None
-            gpu = Gpu(config, resilience=runtime, scheduler=trial.scheduler,
-                      sanitizer=sanitizer)
-            gpu.fault_injector = injector
-            mem = instance.fresh_memory()
-            params, mem = prepare_launch(
-                compiled, instance.launch.params, mem,
-                instance.launch.num_blocks,
-                instance.launch.threads_per_block,
-                warp_size=config.warp_size)
-            launch = LaunchConfig(grid=instance.launch.grid,
-                                  block=instance.launch.block, params=params)
-            result = gpu.launch(compiled.kernel, launch, mem,
-                                regs_per_thread=compiled.regs_per_thread,
-                                max_cycles=max_cycles, recorder=recorder,
-                                resume_from=resume_from, monitor=monitor)
-            return result, mem
-
-        recorder = None
-        if with_checkpoints:
-            from ..sim import CheckpointRecorder
-
-            recorder = CheckpointRecorder(trial.checkpoint_interval)
-        result, golden_mem = launch_once(recorder=recorder)
-        entry = [launch_once, result.cycles, golden_mem, recorder]
+                recorder = CheckpointRecorder(trial.checkpoint_interval)
+            result, golden_mem = launch_once(recorder=recorder)
+            entry = [launch_once, result.cycles, golden_mem, recorder,
+                     False]
         _GOLDEN_CACHE[key] = entry
         while len(_GOLDEN_CACHE) > _golden_cache_limit():
             _GOLDEN_CACHE.popitem(last=False)
@@ -422,7 +457,7 @@ def run_trial(trial: TrialSpec) -> TrialResult:
     started = time.perf_counter()
     entry, golden_cache_hit = _golden(trial,
                                       with_checkpoints=trial.checkpoint)
-    launch_once, golden_cycles, golden_mem, recorder = entry
+    launch_once, golden_cycles, golden_mem, recorder = entry[:4]
     rng = trial.rng()
     # Strike cycles are sampled over the fault-free execution window so
     # every trial has a chance to land (a strike after kernel end is a
@@ -439,7 +474,8 @@ def run_trial(trial: TrialSpec) -> TrialResult:
                          strike_cycles=strike_cycles,
                          injector_seed=injector_seed,
                          golden_cycles=golden_cycles,
-                         golden_cache_hit=golden_cache_hit)
+                         golden_cache_hit=golden_cache_hit,
+                         golden_shared=entry[4])
     sensor = SensorModel(wcdl=trial.wcdl,
                          miss_probability=trial.sensor_miss_probability,
                          jitter_cycles=trial.sensor_jitter_cycles)
@@ -484,6 +520,8 @@ def run_trial(trial: TrialSpec) -> TrialResult:
         result.wall_time_s = time.perf_counter() - started
 
     result.converged = sim_result.converged
+    result.superblocks_executed = sim_result.stats.superblocks_executed
+    result.superblock_fallbacks = dict(sim_result.stats.superblock_fallbacks)
     result.cycles = sim_result.cycles
     result.landed = sum(1 for r in injector.records if r.landed)
     # Coalesced recoveries count: a strike landing during an in-progress
@@ -755,5 +793,6 @@ __all__ = [
     "CampaignJournal", "CampaignSpec", "CellAggregate", "DUE_CRASH",
     "DUE_HANG", "INFRA_ERROR", "MASKED", "OUTCOMES", "RECOVERED", "SDC",
     "TrialResult", "TrialSpec", "UNRECOVERED", "aggregate",
-    "dedupe_results", "merge_cells", "run_trial", "wilson_interval",
+    "dedupe_results", "golden_key", "merge_cells", "run_trial",
+    "wilson_interval",
 ]

@@ -1,0 +1,319 @@
+"""Zero-copy golden sharing across campaign worker processes.
+
+Every worker of a multi-process campaign needs the same golden data per
+(workload, scheme, ...) cell: the fault-free memory image, the golden
+cycle count, and — in checkpoint-accelerated mode — the recorded
+checkpoint set with its liveness maps.  Without sharing, each worker
+re-simulates every golden run it touches; with N workers sweeping the
+same cells that is N-fold duplicated work and N resident copies.
+
+This module moves the array payload of those goldens into one
+:mod:`multiprocessing.shared_memory` segment:
+
+* the parent derives each distinct golden once (:func:`export_goldens`),
+  pickles the object skeleton with every ``ndarray`` leaf swapped for a
+  ``(offset, dtype, shape)`` descriptor (a ``persistent_id`` hook, so
+  arbitrarily nested arrays — checkpoint register files, liveness maps,
+  the memory image itself — are all caught), and lays the array bytes
+  into the segment;
+* a manifest file pins the segment name and the per-key descriptors;
+  its path travels to workers through ``REPRO_GOLDEN_MANIFEST`` — the
+  one handshake that works identically for ``--workers N`` process
+  pools (inherited environment) and the subprocess/HTTP shard backends
+  (``worker_env`` copies ``os.environ``);
+* workers attach the segment once and hydrate entries on demand
+  (:func:`shared_entry`) as **read-only** NumPy views — zero copies,
+  zero re-simulation.  Read-only is sound because every consumer of
+  golden data copies on restore (the snapshot protocol is deep) and
+  merely reads for comparison; it is also load-bearing: an accidental
+  write raises instead of silently corrupting every sibling worker.
+
+Sharing is a pure acceleration: entries are byte-identical to what the
+worker would have computed (the golden run is deterministic), so trial
+outcomes and journals cannot change.  Any failure here — no manifest,
+a missing key, a torn segment — degrades to local derivation.
+``REPRO_SHARED_GOLDENS=0`` disables the mechanism outright.
+"""
+
+from __future__ import annotations
+
+import atexit
+import io
+import os
+import pickle
+import tempfile
+
+import numpy as np
+
+#: Environment handshake: path of the manifest file (parent -> workers).
+MANIFEST_ENV = "REPRO_GOLDEN_MANIFEST"
+
+#: Kill switch: set to "0" to disable sharing end to end.
+ENABLE_ENV = "REPRO_SHARED_GOLDENS"
+
+_ALIGN = 64
+
+
+def sharing_enabled() -> bool:
+    return os.environ.get(ENABLE_ENV, "1") != "0"
+
+
+# ----------------------------------------------------------------------
+# Array-extracting (un)pickling
+# ----------------------------------------------------------------------
+class _ArrayPickler(pickle.Pickler):
+    """Pickle everything except ``ndarray`` leaves, which are collected
+    into :attr:`arrays` and replaced by their index (object-dtype
+    arrays, which have no flat byte image, stay inline)."""
+
+    def __init__(self, file) -> None:
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self.arrays: list[np.ndarray] = []
+
+    def persistent_id(self, obj):
+        if isinstance(obj, np.ndarray) and obj.dtype != object:
+            self.arrays.append(np.ascontiguousarray(obj))
+            return len(self.arrays) - 1
+        return None
+
+
+class _ArrayUnpickler(pickle.Unpickler):
+    def __init__(self, file, views: list[np.ndarray]) -> None:
+        super().__init__(file)
+        self._views = views
+
+    def persistent_load(self, pid):
+        return self._views[pid]
+
+
+def _pack(payload) -> tuple[bytes, list[np.ndarray]]:
+    buf = io.BytesIO()
+    pickler = _ArrayPickler(buf)
+    pickler.dump(payload)
+    return buf.getvalue(), pickler.arrays
+
+
+def _hydrate(blob: bytes, descriptors: list[tuple], shm_buf):
+    views = []
+    for offset, dtype_str, shape in descriptors:
+        dtype = np.dtype(dtype_str)
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        view = np.frombuffer(shm_buf, dtype=dtype, count=count,
+                             offset=offset).reshape(shape)
+        view.flags.writeable = False
+        views.append(view)
+    return _ArrayUnpickler(io.BytesIO(blob), views).load()
+
+
+# ----------------------------------------------------------------------
+# Parent side: derive + export
+# ----------------------------------------------------------------------
+#: Parent-held handles for cleanup (segment + manifest we created).
+_EXPORTED: dict | None = None
+
+
+def export_goldens(trials, manifest_dir: str | None = None) -> str | None:
+    """Derive every distinct golden the given trials need and publish
+    them in a fresh shared-memory segment.
+
+    Returns the manifest path (also placed in ``os.environ`` under
+    :data:`MANIFEST_ENV`) or ``None`` when sharing is disabled, there
+    is nothing to share, or the platform refuses shared memory — all
+    non-fatal: workers simply derive goldens locally.
+    """
+    global _EXPORTED
+    if not sharing_enabled() or _EXPORTED is not None:
+        return None
+    try:
+        from multiprocessing import shared_memory
+    except ImportError:                       # pragma: no cover
+        return None
+    from .campaign import _golden, golden_key
+
+    wants: dict[tuple, tuple] = {}
+    for trial in trials:
+        key = golden_key(trial)
+        if key not in wants or trial.checkpoint:
+            wants[key] = (trial, trial.checkpoint)
+    if not wants:
+        return None
+
+    entries: dict[tuple, dict] = {}
+    packed: list[tuple[tuple, bytes, list[np.ndarray]]] = []
+    for key, (trial, with_checkpoints) in wants.items():
+        entry, _ = _golden(trial, with_checkpoints=with_checkpoints)
+        blob, arrays = _pack((entry[1], entry[2], entry[3]))
+        packed.append((key, blob, arrays))
+
+    total = 0
+    layouts: list[list[tuple[int, str, tuple]]] = []
+    for _, _, arrays in packed:
+        layout = []
+        for array in arrays:
+            total = (total + _ALIGN - 1) // _ALIGN * _ALIGN
+            layout.append((total, array.dtype.str, array.shape))
+            total += array.nbytes
+        layouts.append(layout)
+
+    try:
+        segment = shared_memory.SharedMemory(create=True, size=max(total, 1))
+    except OSError:                           # pragma: no cover
+        return None
+    for (key, blob, arrays), layout in zip(packed, layouts):
+        for array, (offset, dtype_str, shape) in zip(arrays, layout):
+            if array.nbytes:
+                dst = np.frombuffer(segment.buf, dtype=array.dtype,
+                                    count=array.size,
+                                    offset=offset).reshape(shape)
+                dst[...] = array
+        entries[key] = {"payload": blob, "arrays": layout}
+    del packed
+
+    manifest = {"version": 1, "shm": segment.name, "entries": entries}
+    directory = manifest_dir or tempfile.gettempdir()
+    os.makedirs(directory, exist_ok=True)
+    fd, path = tempfile.mkstemp(prefix="repro_goldens_", suffix=".manifest",
+                                dir=directory)
+    with os.fdopen(fd, "wb") as handle:
+        pickle.dump(manifest, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+    _EXPORTED = {"segment": segment, "path": path,
+                 "previous": os.environ.get(MANIFEST_ENV)}
+    os.environ[MANIFEST_ENV] = path
+    return path
+
+
+def release_goldens() -> None:
+    """Tear down what :func:`export_goldens` published (parent only).
+
+    Safe after workers exit: attached views die with their processes;
+    unlinking just drops the name and frees the pages.
+    """
+    global _EXPORTED
+    if _EXPORTED is None:
+        return
+    exported, _EXPORTED = _EXPORTED, None
+    previous = exported["previous"]
+    if previous is None:
+        os.environ.pop(MANIFEST_ENV, None)
+    else:
+        os.environ[MANIFEST_ENV] = previous
+    try:
+        os.remove(exported["path"])
+    except OSError:
+        pass
+    segment = exported["segment"]
+    try:
+        segment.unlink()
+    except OSError:                           # pragma: no cover
+        pass
+    try:
+        segment.close()
+    except (OSError, BufferError):
+        # Hydrated views (an inline consumer in this very process)
+        # still reference the mapping; the kernel frees it when the
+        # last view dies.  The name is already unlinked — nothing
+        # outlives the processes — so silence the destructor's retry.
+        segment.close = lambda: None
+
+
+# ----------------------------------------------------------------------
+# Worker side: attach + hydrate
+# ----------------------------------------------------------------------
+#: Per-process attachment: {"path", "entries", "shm"} or False after a
+#: failed attach (so a dead manifest is probed once, not per trial).
+_ATTACHED = None
+
+
+def _attach():
+    global _ATTACHED
+    path = os.environ.get(MANIFEST_ENV)
+    if not path or not sharing_enabled():
+        return None
+    if _ATTACHED is not None:
+        if _ATTACHED is False or _ATTACHED["path"] != path:
+            return _ATTACHED or None
+        return _ATTACHED
+    try:
+        from multiprocessing import shared_memory
+
+        with open(path, "rb") as handle:
+            manifest = pickle.load(handle)
+        if (_EXPORTED is not None
+                and _EXPORTED["segment"].name == manifest["shm"]):
+            # Exporter and consumer are the same process (inline
+            # backend, single-process tests): reuse the exporter's
+            # handle instead of opening — and later closing — a second
+            # one on the segment we own.
+            shm, owned = _EXPORTED["segment"], True
+        else:
+            shm, owned = shared_memory.SharedMemory(name=manifest["shm"]), \
+                False
+            # Python < 3.13 registers *attached* segments with the
+            # resource tracker, which would unlink them when this worker
+            # exits and tear the goldens out from under every sibling.
+            # The parent owns the segment's lifetime; untrack ours.
+            try:
+                from multiprocessing import resource_tracker
+
+                resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:                 # pragma: no cover
+                pass
+    except Exception:
+        _ATTACHED = False
+        return None
+    _ATTACHED = {"path": path, "entries": manifest["entries"], "shm": shm,
+                 "owned": owned}
+    return _ATTACHED
+
+
+def shared_entry(key: tuple):
+    """Hydrate ``(golden_cycles, golden_mem, recorder)`` for one golden
+    key from the published segment, or ``None`` when unavailable."""
+    attached = _attach()
+    if not attached:
+        return None
+    entry = attached["entries"].get(key)
+    if entry is None:
+        return None
+    try:
+        return _hydrate(entry["payload"], entry["arrays"],
+                        attached["shm"].buf)
+    except Exception:                         # pragma: no cover
+        return None
+
+
+def _reset_attachment() -> None:
+    """Forget this process's attachment state (tests, worker exit).
+
+    ``close`` legitimately fails with :class:`BufferError` while
+    hydrated views are still alive (e.g. parked in the golden cache);
+    the mapping then simply lives until the last view dies.
+    """
+    global _ATTACHED
+    attached, _ATTACHED = _ATTACHED, None
+    if attached and not attached.get("owned"):
+        shm = attached["shm"]
+        try:
+            shm.close()
+        except (OSError, BufferError):
+            shm.close = lambda: None  # views outlive us; OS reclaims
+
+
+def _drop_views_at_exit() -> None:          # pragma: no cover
+    """Release golden-cache views before interpreter teardown so the
+    segment's ``SharedMemory.__del__`` can close its mapping quietly."""
+    try:
+        from .campaign import _GOLDEN_CACHE
+
+        _GOLDEN_CACHE.clear()
+    except Exception:
+        pass
+    _reset_attachment()
+
+
+atexit.register(_drop_views_at_exit)
+
+
+__all__ = ["ENABLE_ENV", "MANIFEST_ENV", "export_goldens",
+           "release_goldens", "shared_entry", "sharing_enabled"]

@@ -135,7 +135,18 @@ class CampaignRunner:
         try:
             if pending:
                 if self.workers > 1 and len(pending) > 1:
-                    self._run_pool(spec, pending, record)
+                    # Publish the goldens once, in shared memory, so the
+                    # pool's workers adopt instead of re-simulating them
+                    # (repro.core.goldens; non-fatal if unavailable).
+                    from ..core.goldens import (export_goldens,
+                                                release_goldens)
+                    export_goldens(
+                        pending,
+                        manifest_dir=os.path.dirname(path) or ".")
+                    try:
+                        self._run_pool(spec, pending, record)
+                    finally:
+                        release_goldens()
                 else:
                     self._run_inline(pending, record)
         finally:

@@ -44,11 +44,16 @@ class CampaignHeartbeat:
         self.fast_starts = 0      # trials seeded from a golden checkpoint
         self.converged = 0        # trials cut short by convergence match
         self.golden_cache_hits = 0
+        self.golden_shared_hits = 0   # goldens adopted from shared memory
         self.worker_restarts = 0
         self.retries = 0          # trial executions retried after a fault
         self.infra_failures = 0
         self.sim_cycles = 0
         self.wall_time_s = 0.0    # summed per-trial simulation wall time
+        # Superblock batching effectiveness across the faulty runs:
+        # total batched windows plus per-reason fallback counts.
+        self.superblocks_executed = 0
+        self.superblock_fallbacks: dict[str, int] = {}
         self.shards_done = 0
         # Last observed liveness signal per shard (monotonic seconds);
         # the coordinator-side heartbeat reports these as staleness.
@@ -71,12 +76,20 @@ class CampaignHeartbeat:
                 self.converged += 1
             if result.golden_cache_hit:
                 self.golden_cache_hits += 1
+            if getattr(result, "golden_shared", False):
+                self.golden_shared_hits += 1
             # Mirrors repro.core.campaign.INFRA_ERROR (obs stays
             # import-free of the campaign layer).
             if result.outcome == "infra_error":
                 self.infra_failures += 1
             self.sim_cycles += result.cycles
             self.wall_time_s += result.wall_time_s
+            self.superblocks_executed += getattr(
+                result, "superblocks_executed", 0)
+            for reason, count in getattr(result, "superblock_fallbacks",
+                                         {}).items():
+                self.superblock_fallbacks[reason] = \
+                    self.superblock_fallbacks.get(reason, 0) + count
 
     def note_worker_restart(self) -> None:
         with self._lock:
@@ -147,11 +160,15 @@ class CampaignHeartbeat:
                 "fast_start_hit_rate": self.fast_starts / denominator,
                 "convergence_early_exit_rate": self.converged / denominator,
                 "golden_cache_hits": self.golden_cache_hits,
+                "golden_shared_hits": self.golden_shared_hits,
                 "worker_restarts": self.worker_restarts,
                 "retries": self.retries,
                 "infra_failures": self.infra_failures,
                 "sim_cycles": self.sim_cycles,
                 "sim_wall_time_s": round(self.wall_time_s, 3),
+                "superblocks_executed": self.superblocks_executed,
+                "superblock_fallbacks": dict(
+                    sorted(self.superblock_fallbacks.items())),
             }
             if self.shard_id is not None:
                 record["shard_id"] = self.shard_id

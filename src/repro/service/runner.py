@@ -107,7 +107,16 @@ def run_sharded_campaign(spec: CampaignSpec, *, shards: int,
             print(f"  dispatching {len(coordinator.shards)} shards to "
                   f"backend '{backend}' ({options.workers} workers)",
                   flush=True)
-        launcher.run(coordinator, options)
+        # Derive each distinct golden once and publish it in shared
+        # memory; shard workers (subprocess/HTTP — they inherit the
+        # environment via worker_env, inline — same process) adopt the
+        # goldens instead of re-simulating them per worker.
+        from ..core.goldens import export_goldens, release_goldens
+        export_goldens(spec.trial_specs(), manifest_dir=sdir)
+        try:
+            launcher.run(coordinator, options)
+        finally:
+            release_goldens()
     finally:
         if heartbeat is not None:
             heartbeat.stop()

@@ -1,0 +1,285 @@
+"""Exec-compiled per-kernel execution code: the codegen tier of the
+decode-once fast path.
+
+:mod:`repro.sim.plan` lowers each instruction into closures — an operand
+fetcher per source, an op-specific apply function, and a ``run`` wrapper.
+That removes the interpreter's per-issue decoding, but every dynamic
+issue still pays a chain of 3–6 Python closure calls.  This module goes
+one step further: it *generates Python source* for every ``K_VALUE``
+record with the operand rows, immediates, memory offsets, and space
+selection inlined as literals, compiles the whole kernel's worth in one
+``exec``, and swaps each generated function into ``PlannedInst.run``.
+
+A generated function is a drop-in for the closure it replaces — same
+``run(ctx, mask, global_mem, shared_mem)`` signature, same NumPy
+expressions in the same order (each template below mirrors its
+``plan._build_run`` / ``plan._build_alu`` branch verbatim), so results
+stay bit-identical and the A/B equivalence suite covers both tiers.
+The superblock batcher calls the same ``run`` with stacked ``(k, 32)``
+contexts, so generated code serves the batched path too.
+
+Generated code is cached with the plan itself (``ExecPlan`` construction
+invokes :func:`specialize_plan` once), which ties its lifetime to the
+``_exec_plans`` LRU on the kernel: mutating the kernel's instructions or
+launching under a different ``GpuConfig`` builds a fresh plan and hence
+fresh code.  Ops without a template (a custom ``Op`` added by tests)
+simply keep their closure ``run`` — codegen is an optimization layer,
+never a semantic gate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa import Imm, Op, Pred, Reg, Space, Special
+from .functional import MemAccess, _atom_apply, _check_bounds, _CMP_FNS
+
+#: Positional index of each special register (LaneContext.special_rows).
+_SPECIAL_INDEX = {special: i for i, special in enumerate(Special)}
+
+#: Binary/unary ALU templates: ``{0}``/``{1}``/``{2}`` are operand
+#: expressions.  Each mirrors the corresponding ``plan._build_alu``
+#: branch exactly (same NumPy calls, same clamping, same order).
+_EXPR = {
+    Op.ADD: "{0} + {1}",
+    Op.SUB: "{0} - {1}",
+    Op.MUL: "{0} * {1}",
+    Op.MAD: "{0} * {1} + {2}",
+    Op.MIN: "np.minimum({0}, {1})",
+    Op.MAX: "np.maximum({0}, {1})",
+    Op.ABS: "np.abs({0})",
+    Op.NEG: "-{0}",
+    Op.FLOOR: "np.floor({0})",
+    Op.AND: "({0}.astype(np.int64) & {1}.astype(np.int64))"
+            ".astype(np.float64)",
+    Op.OR: "({0}.astype(np.int64) | {1}.astype(np.int64))"
+           ".astype(np.float64)",
+    Op.XOR: "({0}.astype(np.int64) ^ {1}.astype(np.int64))"
+            ".astype(np.float64)",
+    Op.NOT: "(~{0}.astype(np.int64)).astype(np.float64)",
+    Op.MOV: "{0}.astype(np.float64)",
+    Op.SELP: "np.where({2}, {0}, {1})",
+    Op.SQRT: "np.sqrt(np.maximum({0}, 0.0))",
+    Op.RSQRT: "1.0 / np.sqrt(np.maximum({0}, 1e-300))",
+    Op.EXP: "np.exp(np.clip({0}, -700.0, 700.0))",
+    Op.LOG: "np.log(np.maximum({0}, 1e-300))",
+    Op.SIN: "np.sin({0})",
+    Op.COS: "np.cos({0})",
+}
+
+#: Multi-statement ALU templates ({d} = destination row; the final
+#: masked copyto is part of the template).
+_STMT = {
+    Op.DIV: (
+        "    denom = {1}\n"
+        "    out = {0} / np.where(denom == 0.0, np.nan, denom)\n"
+        "    np.copyto(ctx.regs[{d}], np.nan_to_num(out, nan=0.0,"
+        " posinf=0.0, neginf=0.0), where=mask)\n"
+    ),
+    Op.REM: (
+        "    denom = {1}.astype(np.int64)\n"
+        "    safe = np.where(denom == 0, 1, denom)\n"
+        "    out = np.remainder({0}.astype(np.int64), safe)\n"
+        "    np.copyto(ctx.regs[{d}], np.where(denom == 0, 0,"
+        " out).astype(np.float64), where=mask)\n"
+    ),
+    Op.SHL: (
+        "    shift = np.clip({1}.astype(np.int64), 0, 62)\n"
+        "    np.copyto(ctx.regs[{d}], ({0}.astype(np.int64)"
+        " << shift).astype(np.float64), where=mask)\n"
+    ),
+    Op.SHR: (
+        "    shift = np.clip({1}.astype(np.int64), 0, 62)\n"
+        "    np.copyto(ctx.regs[{d}], ({0}.astype(np.int64)"
+        " >> shift).astype(np.float64), where=mask)\n"
+    ),
+}
+
+
+class _SourceBuilder:
+    """Accumulates function sources plus the namespace of shared
+    constants (immediate vectors, Space/AtomOp values, comparison
+    functions, bound instruction objects) the sources refer to."""
+
+    def __init__(self) -> None:
+        self.namespace = {"np": np, "MemAccess": MemAccess,
+                          "_check_bounds": _check_bounds,
+                          "_atom_apply": _atom_apply}
+        self.parts: list[str] = []
+        self._imm_names: dict = {}
+
+    def const(self, prefix: str, value) -> str:
+        """Bind ``value`` into the namespace under a fresh name."""
+        name = f"{prefix}{len(self.namespace)}"
+        self.namespace[name] = value
+        return name
+
+    def operand(self, operand, warp_size: int) -> str:
+        """Inline expression reading one operand — mirrors
+        ``plan._fetcher`` without the closure indirection."""
+        if isinstance(operand, Reg):
+            return f"ctx.regs[{operand.index}]"
+        if isinstance(operand, Pred):
+            return f"ctx.preds[{operand.index}]"
+        if isinstance(operand, Imm):
+            from .plan import _imm_vector
+
+            key = (warp_size, float(operand.value))
+            name = self._imm_names.get(key)
+            if name is None:
+                name = self.const("K", _imm_vector(warp_size,
+                                                   operand.value))
+                self._imm_names[key] = name
+            return name
+        if isinstance(operand, Special):
+            return f"ctx.special_rows[{_SPECIAL_INDEX[operand]}]"
+        raise TypeError(f"unreadable operand {operand!r}")
+
+
+def _gen_record(builder: _SourceBuilder, pc: int, rec,
+                warp_size: int) -> str | None:
+    """Source for one K_VALUE record's ``run``, or None when the op has
+    no template.  Every template mirrors its ``plan._build_run`` branch
+    statement-for-statement."""
+    inst = rec.inst
+    info = inst.info
+    op = inst.op
+    name = f"run_{pc}"
+    head = f"def {name}(ctx, mask, global_mem, shared_mem):\n"
+    dst = inst.dst
+    d = dst.index if dst is not None else None
+
+    if info.is_load:
+        if inst.space is Space.PARAM:
+            idx = int(inst.srcs[0].value)
+            return (head
+                    + f"    value = np.full(ctx.warp_size,"
+                      f" ctx.params[{idx}])\n"
+                    + f"    np.copyto(ctx.regs[{d}], value, where=mask)\n"
+                    + "    return None\n")
+        addr = builder.operand(inst.srcs[0], warp_size)
+        mem = "global_mem" if inst.space is Space.GLOBAL else "shared_mem"
+        iname = builder.const("I", inst)
+        sp = builder.const("S", inst.space)
+        return (head
+                + f"    addrs = {addr}.astype(np.int64) + {inst.offset}\n"
+                + "    if mask.any():\n"
+                + "        lane_addrs = addrs[mask]\n"
+                + f"        _check_bounds(lane_addrs, {mem}, {iname})\n"
+                + "        values = np.zeros(ctx.warp_size)\n"
+                + f"        values[mask] = {mem}[lane_addrs]\n"
+                + f"        np.copyto(ctx.regs[{d}], values, where=mask)\n"
+                + f"        return MemAccess({sp}, lane_addrs,"
+                  " is_store=False)\n"
+                + "    return None\n")
+
+    if info.is_store:
+        addr = builder.operand(inst.srcs[0], warp_size)
+        value = builder.operand(inst.srcs[1], warp_size)
+        mem = "global_mem" if inst.space is Space.GLOBAL else "shared_mem"
+        iname = builder.const("I", inst)
+        sp = builder.const("S", inst.space)
+        return (head
+                + f"    addrs = {addr}.astype(np.int64) + {inst.offset}\n"
+                + "    if mask.any():\n"
+                + "        lane_addrs = addrs[mask]\n"
+                + f"        _check_bounds(lane_addrs, {mem}, {iname})\n"
+                + f"        {mem}[lane_addrs] = {value}[mask]\n"
+                + f"        return MemAccess({sp}, lane_addrs,"
+                  " is_store=True)\n"
+                + "    return None\n")
+
+    if info.is_atomic:
+        addr = builder.operand(inst.srcs[0], warp_size)
+        operand = builder.operand(inst.srcs[1], warp_size)
+        mem = "global_mem" if inst.space is Space.GLOBAL else "shared_mem"
+        iname = builder.const("I", inst)
+        sp = builder.const("S", inst.space)
+        ao = builder.const("A", inst.atom_op)
+        write_old = ("" if d is None else
+                     f"        np.copyto(ctx.regs[{d}], old,"
+                     " where=mask)\n")
+        return (head
+                + f"    addrs = {addr}.astype(np.int64) + {inst.offset}\n"
+                + "    if mask.any():\n"
+                + "        lane_addrs = addrs[mask]\n"
+                + f"        _check_bounds(lane_addrs, {mem}, {iname})\n"
+                + f"        operand = {operand}\n"
+                + "        old = np.zeros(ctx.warp_size)\n"
+                + "        for lane in np.flatnonzero(mask):\n"
+                + "            addr = addrs[lane]\n"
+                + f"            old[lane] = {mem}[addr]\n"
+                + f"            {mem}[addr] = _atom_apply({ao},"
+                  f" {mem}[addr], operand[lane])\n"
+                + write_old
+                + f"        return MemAccess({sp}, lane_addrs,"
+                  " is_store=True, is_atomic=True)\n"
+                + "    return None\n")
+
+    if op is Op.SETP:
+        cmp = builder.const("C", _CMP_FNS[inst.cmp])
+        s0 = builder.operand(inst.srcs[0], warp_size)
+        s1 = builder.operand(inst.srcs[1], warp_size)
+        return (head
+                + f"    np.copyto(ctx.preds[{d}], {cmp}({s0}, {s1}),"
+                  " where=mask)\n"
+                + "    return None\n")
+    if op in (Op.PAND, Op.POR, Op.PNOT):
+        s0 = builder.operand(inst.srcs[0], warp_size)
+        if op is Op.PNOT:
+            expr = f"~{s0}"
+        else:
+            s1 = builder.operand(inst.srcs[1], warp_size)
+            expr = f"{s0} & {s1}" if op is Op.PAND else f"{s0} | {s1}"
+        return (head
+                + f"    np.copyto(ctx.preds[{d}], {expr}, where=mask)\n"
+                + "    return None\n")
+
+    srcs = [builder.operand(s, warp_size) for s in inst.srcs]
+    stmt = _STMT.get(op)
+    if stmt is not None:
+        return head + stmt.format(*srcs, d=d) + "    return None\n"
+    expr = _EXPR.get(op)
+    if expr is None:
+        return None
+    return (head
+            + f"    np.copyto(ctx.regs[{d}], {expr.format(*srcs)},"
+              " where=mask)\n"
+            + "    return None\n")
+
+
+def generate_source(plan) -> tuple[str, dict, dict]:
+    """Generate the kernel's specialized source: returns
+    ``(source, namespace, {pc: function_name})``."""
+    from .plan import K_VALUE
+
+    builder = _SourceBuilder()
+    names: dict[int, str] = {}
+    warp_size = plan.config.warp_size
+    for pc, rec in enumerate(plan.records):
+        if rec.kind != K_VALUE or rec.is_rb:
+            continue
+        src = _gen_record(builder, pc, rec, warp_size)
+        if src is None:
+            continue
+        builder.parts.append(src)
+        names[pc] = f"run_{pc}"
+    return "\n".join(builder.parts), builder.namespace, names
+
+
+def specialize_plan(plan) -> None:
+    """Compile the plan's generated source and swap each function into
+    its record's ``run``; the source is kept on the plan (``gen_source``)
+    for inspection and tests."""
+    source, namespace, names = generate_source(plan)
+    plan.gen_source = source
+    if not names:
+        return
+    code = compile(source, f"<plan:{plan.kernel.name}>", "exec")
+    exec(code, namespace)
+    records = plan.records
+    for pc, name in names.items():
+        records[pc].run = namespace[name]
+
+
+__all__ = ["generate_source", "specialize_plan"]

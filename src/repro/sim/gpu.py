@@ -160,9 +160,30 @@ class Gpu:
         reconv = reconvergence_table_for(kernel)
         plan = get_plan(kernel, self.config) if self.fast else None
         params = np.asarray(launch.params, dtype=np.float64)
+        # Superblock batching policy (repro.sim.superblock): value
+        # prefetch needs per-issue value semantics only, so it stays on
+        # under the sanitizer (a read-only checker) but not under the
+        # tracer (per-issue events) or golden-run liveness recording;
+        # timing scripts additionally require GTO (the only policy whose
+        # re-pick of an issuable current warp is a structural guarantee)
+        # and no per-cycle sanitizer checks.
+        batching = plan is not None and self.tracer is None
+        scripts = (batching and self.sanitizer is None
+                   and self.scheduler == "GTO")
         for sm in self.sms:
             sm.configure(kernel, global_mem, reconv, self.scheduler,
                          plan=plan)
+            sm._batching = batching
+            sm._scripts = scripts
+            if plan is not None:
+                fb = sm.stats.superblock_fallbacks
+                if self.tracer is not None:
+                    fb["tracer"] = fb.get("tracer", 0) + 1
+                else:
+                    if self.sanitizer is not None:
+                        fb["sanitizer"] = fb.get("sanitizer", 0) + 1
+                    if self.scheduler != "GTO":
+                        fb["scheduler"] = fb.get("scheduler", 0) + 1
         all_blocks = list(self._make_blocks(kernel, launch, params))
         total_blocks = len(all_blocks)
         if recorder is not None:
@@ -178,6 +199,36 @@ class Gpu:
                     global_mem.size, num_warps=num_warps, num_regs=num_regs)
             for sm in self.sms:
                 sm.liveness = recorder.liveness
+                if plan is not None:
+                    fb = sm.stats.superblock_fallbacks
+                    fb["liveness"] = fb.get("liveness", 0) + 1
+
+        injector = self.fault_injector
+        if injector is not None or recorder is not None or monitor is not None:
+            # The next cycle at which an observer acts (strike/detection
+            # delivery, checkpoint capture, convergence check): timing
+            # scripts and loop jumps must end strictly before it so the
+            # observer sees the exact cycle-by-cycle machine state.
+            def script_cap(c):
+                horizon = (injector.next_event(c) if injector is not None
+                           else NEVER)
+                if recorder is not None and recorder.next_due < horizon:
+                    horizon = recorder.next_due
+                if monitor is not None and monitor.next_cycle < horizon:
+                    horizon = monitor.next_cycle
+                return horizon
+        else:
+            script_cap = None
+        for sm in self.sms:
+            sm._script_cap = script_cap
+        # The launch loop may jump over spans where every scheduler of
+        # every busy SM is mid-script (each such cycle provably issues
+        # and touches no observer): only sound when nothing per-cycle is
+        # attached and the resilience runtime is the stateless baseline
+        # (a stateful runtime's conveyors need their tick every cycle).
+        jump_ok = (scripts and self.sanitizer is None
+                   and all(type(sm.resilience) is ResilienceRuntime
+                           for sm in self.sms))
 
         cycle = 0
         age = 0
@@ -219,12 +270,30 @@ class Gpu:
                 # error detected exactly WCDL cycles after a region end
                 # invalidates that region's verification (the tie goes to
                 # the detector).
-                if self.fault_injector is not None:
-                    self.fault_injector.tick(self, cycle)
+                if injector is not None:
+                    if injector.tick(self, cycle):
+                        # The injector touched machine state (strike or
+                        # detection delivery): every precomputed
+                        # superblock value may describe a pre-corruption
+                        # future — orphan them all.
+                        for sm in self.sms:
+                            sm._value_epoch += 1
                 if self.tracer is not None:
                     self.tracer.now = cycle
                 issued = 0
                 for sm in self.sms:
+                    # Per-SM idle elision (fast path only, so the
+                    # ``fast=False`` oracle keeps ticking every SM every
+                    # cycle): an SM that classified a stall on its last
+                    # tick and whose next possible issue lies in the
+                    # future would re-derive the same stall cause —
+                    # account the idle cycle directly.  Same next_event
+                    # trust as ``_fast_forward``, applied per SM.
+                    if (plan is not None and self.tracer is None
+                            and sm._stall_cause is not None
+                            and sm.next_event(cycle) > cycle):
+                        sm.account_stall_skip(1)
+                        continue
                     issued += sm.tick(cycle)
                 # Retire finished blocks (live-warp counters hit zero).
                 for sm in self.sms:
@@ -237,6 +306,28 @@ class Gpu:
                     break
                 if issued:
                     cycle += 1
+                    if jump_ok and not pending:
+                        # If every scheduler of every busy SM is still
+                        # mid-script, each elided cycle provably issues
+                        # (scripted slots count as issues) and no
+                        # observer can act before the earliest script
+                        # ends (each script was capped at creation).
+                        ju = NEVER
+                        for sm in self.sms:
+                            if not sm.busy:
+                                continue
+                            for sched in sm.schedulers:
+                                su = sched.script_until
+                                if su < ju:
+                                    ju = su
+                        if cycle <= ju < NEVER:
+                            d = ju - cycle + 1
+                            for sm in self.sms:
+                                if sm.busy:
+                                    st = sm.stats
+                                    st.active_cycles += d
+                                    st.issue_cycles += d
+                            cycle += d
                 else:
                     nxt = self._fast_forward(cycle)
                     skipped = nxt - cycle - 1

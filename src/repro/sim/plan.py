@@ -355,6 +355,7 @@ class PlannedInst:
 
     __slots__ = (
         "inst", "op", "kind", "fu", "shadow", "ckpt", "dst",
+        "dst_index", "dst_is_pred",
         "guard_index", "guard_sense", "guard_recheck", "score_ops",
         "is_timed_mem", "timing", "latency", "run",
         "track_reg_write", "track_pred_write", "track_shared_store",
@@ -375,6 +376,8 @@ class PlannedInst:
         self.shadow = inst.shadow
         self.ckpt = inst.ckpt
         self.dst = inst.dst
+        self.dst_index = inst.dst.index if inst.dst is not None else -1
+        self.dst_is_pred = isinstance(inst.dst, Pred)
         guard = inst.guard
         self.guard_index = guard.index if guard is not None else None
         self.guard_sense = inst.guard_sense
@@ -460,7 +463,8 @@ class ExecPlan:
     """Per-(kernel, config) table of :class:`PlannedInst` records."""
 
     __slots__ = ("kernel", "config", "records", "rb_flags", "num_insts",
-                 "instructions", "inst_ids", "labels_key")
+                 "instructions", "inst_ids", "labels_key", "sb_len",
+                 "_sb_info", "gen_source")
 
     def __init__(self, kernel: Kernel, config: GpuConfig,
                  reconv: dict[int, int]) -> None:
@@ -474,32 +478,68 @@ class ExecPlan:
         self.records = [PlannedInst(i, inst, kernel, config, reconv)
                         for i, inst in enumerate(self.instructions)]
         self.rb_flags = [rec.is_rb for rec in self.records]
+        from .superblock import superblock_lengths
+
+        #: Per-PC superblock lengths for batched execution (repro.sim.
+        #: superblock); metadata for each block start is built lazily.
+        self.sb_len = superblock_lengths(self.records)
+        self._sb_info: dict = {}
+        # Exec-compiled per-record functions replace the closure-chain
+        # ``run``s (repro.sim.codegen); generated code shares the plan's
+        # cache entry, so instruction mutation or a config change
+        # rebuilds it along with the plan.
+        from .codegen import specialize_plan
+
+        specialize_plan(self)
+
+    def superblock_info(self, pc: int):
+        """Lazily-built :class:`~repro.sim.superblock.SuperblockInfo`
+        for the superblock starting at ``pc``."""
+        info = self._sb_info.get(pc)
+        if info is None:
+            from .superblock import SuperblockInfo
+
+            info = SuperblockInfo(self.records, pc, self.sb_len[pc])
+            self._sb_info[pc] = info
+        return info
 
     def matches(self, kernel: Kernel) -> bool:
         return (self.inst_ids == tuple(map(id, kernel.instructions))
                 and self.labels_key == tuple(sorted(kernel.labels.items())))
 
 
+#: Most plans a kernel retains at once: a kernel relaunched under many
+#: distinct GpuConfigs (latency sweeps, architecture comparisons) evicts
+#: its least-recently-used plan instead of accumulating them unboundedly.
+PLAN_CACHE_SIZE = 8
+
+
 def get_plan(kernel: Kernel, config: GpuConfig) -> ExecPlan:
     """The (cached) execution plan of ``kernel`` under ``config``.
 
-    The cache lives on the kernel object, keyed by ``GpuConfig`` (frozen,
-    hashable) and validated against the current instruction identities
+    The cache lives on the kernel object, keyed by the full ``GpuConfig``
+    (frozen, hashable — warp size, latencies, cache geometry all change
+    lowering) and validated against the current instruction identities
     and labels, so mutating a kernel in place transparently invalidates
     its plans while repeated launches — campaign trials — hit the cache.
+    The cache is LRU-bounded at :data:`PLAN_CACHE_SIZE` entries (dicts
+    preserve insertion order; hits reinsert their key at the end).
     """
     cache = kernel.__dict__.get("_exec_plans")
     if cache is None:
         cache = {}
         kernel.__dict__["_exec_plans"] = cache
-    plan = cache.get(config)
+    plan = cache.pop(config, None)
     if plan is not None and plan.matches(kernel):
+        cache[config] = plan  # reinsert: most recently used
         return plan
     plan = ExecPlan(kernel, config, reconvergence_table_for(kernel))
     cache[config] = plan
+    while len(cache) > PLAN_CACHE_SIZE:
+        cache.pop(next(iter(cache)))
     return plan
 
 
-__all__ = ["ExecPlan", "PlannedInst", "get_plan",
+__all__ = ["ExecPlan", "PlannedInst", "get_plan", "PLAN_CACHE_SIZE",
            "K_VALUE", "K_BRA", "K_BAR", "K_EXIT",
            "T_ATOMIC", "T_SHARED", "T_GLOBAL"]

@@ -22,14 +22,37 @@ class WarpScheduler:
 
     name = "base"
 
+    #: Timing-script horizon (repro.sim.superblock): while ``cycle <=
+    #: script_until`` this scheduler's current warp has already had its
+    #: issues bulk-applied, so ``Sm.tick`` counts an issue without
+    #: calling ``pick``.  Derived state — always in the past at any
+    #: checkpoint boundary (scripts cannot span observer events), so it
+    #: is deliberately absent from capture/restore.
+    script_until = -1
+
+    #: Failed-pick memo (fast path only): after a pick returns None,
+    #: ``Sm.tick`` records the earliest cycle any managed warp could
+    #: become issuable plus a validation stamp (sum of warp versions and
+    #: the SM's LSU horizon); until then a re-pick provably fails too,
+    #: so it is skipped.  Only valid for policies whose failed pick has
+    #: no side effects (``pick_pure_on_fail``) — Two-Level demotes
+    #: stalled warps on failure and must re-run every cycle.  Derived
+    #: state, absent from capture/restore like ``script_until``.
+    none_until = -1
+    none_vstamp = -1
+    none_lsu = -1
+    pick_pure_on_fail = True
+
     def __init__(self) -> None:
         self.warps: list[Warp] = []
 
     def attach(self, warp: Warp) -> None:
         self.warps.append(warp)
+        self.none_until = -1
 
     def detach(self, warp: Warp) -> None:
         self.warps.remove(warp)
+        self.none_until = -1
 
     def pick(self, issuable, cycle: int) -> Warp | None:
         """Choose a warp among this scheduler's warps.
@@ -50,6 +73,7 @@ class WarpScheduler:
                 "extra": self._extra_state()}
 
     def restore_state(self, state: dict, warp_map: dict[int, Warp]) -> None:
+        self.none_until = -1
         self.warps = [warp_map[wid] for wid in state["warps"]]
         for warp in self.warps:
             warp.scheduler = self
@@ -76,6 +100,7 @@ class AgeSortedScheduler(WarpScheduler):
 
     def attach(self, warp: Warp) -> None:
         insort(self.warps, warp, key=_BY_AGE)
+        self.none_until = -1
 
 
 class GtoScheduler(AgeSortedScheduler):
@@ -156,6 +181,7 @@ class TwoLevelScheduler(WarpScheduler):
     warp stalls long-term it swaps with a pending warp."""
 
     name = "2LV"
+    pick_pure_on_fail = False
 
     def __init__(self, active_size: int = 8) -> None:
         super().__init__()

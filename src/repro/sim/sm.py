@@ -10,6 +10,8 @@ protocol on these hooks.
 
 from __future__ import annotations
 
+from bisect import bisect_left
+
 import numpy as np
 
 from ..arch import GpuConfig
@@ -20,6 +22,7 @@ from .functional import MemAccess, execute, guard_mask
 from .plan import ExecPlan, K_BAR, K_BRA, K_EXIT, K_VALUE, T_ATOMIC, T_SHARED
 from .schedulers import WarpScheduler, make_scheduler
 from .stats import STALL_CAUSES, SimStats
+from .superblock import build_prefetch
 from .warp import Warp, WarpState
 
 #: Big sentinel for "no next event".
@@ -150,6 +153,17 @@ class Sm:
         #: Golden-run memory access tracker (set by Gpu.launch when a
         #: checkpoint recorder is attached; None on ordinary runs).
         self.liveness = None
+        # Superblock batching (repro.sim.superblock).  ``_value_epoch``
+        # bumps whenever the fault injector acts anywhere on the GPU,
+        # orphaning every outstanding value prefetch; ``_batching`` and
+        # ``_scripts`` are launch-level enables set by ``Gpu.launch``;
+        # ``_script_cap`` is a callable giving the next observer event
+        # (strike, checkpoint capture, convergence check) scripts must
+        # not span, or None when no observer is attached.
+        self._value_epoch = 0
+        self._batching = False
+        self._scripts = False
+        self._script_cap = None
         #: Event tracer (``repro.obs.Tracer``) or None.  The None case
         #: costs a single truthiness check per tick: the traced tick is
         #: a separate method, so the hot path stays branch-free.
@@ -394,9 +408,31 @@ class Sm:
         if self.tracer is not None:
             return self._tick_traced(cycle, issuable, issue, self.tracer)
         issued = 0
+        fast = self.plan is not None
         for scheduler in self.schedulers:
+            if scheduler.script_until >= cycle:
+                # This slot's current warp already had its issues for
+                # this cycle bulk-applied by a timing script; it counts
+                # as an issue without re-running pick (GTO provably
+                # re-picks the same warp throughout the script window).
+                issued += 1
+                continue
+            if fast and scheduler.none_until > cycle:
+                # A recent pick failed and nothing that could make a
+                # managed warp ready has happened since (warp versions
+                # and the LSU horizon are unchanged): re-picking would
+                # fail identically, so skip it.
+                vsum = 0
+                for w in scheduler.warps:
+                    vsum += w.version
+                if (vsum == scheduler.none_vstamp
+                        and self._lsu_free_at == scheduler.none_lsu):
+                    continue
+                scheduler.none_until = -1
             warp = scheduler.pick(issuable, cycle)
             if warp is None:
+                if fast and scheduler.pick_pure_on_fail:
+                    self._memo_failed_pick(scheduler, cycle)
                 continue
             issue(warp, cycle)
             issued += 1
@@ -618,6 +654,42 @@ class Sm:
             return False
         return True
 
+    def _memo_failed_pick(self, scheduler, cycle: int) -> None:
+        """Record why a pick failed: the earliest cycle any managed warp
+        could become issuable, plus a validation stamp.
+
+        Sound because every path that makes a warp issuable earlier than
+        this bound also bumps its ``version`` (issue prologs, ``wake``,
+        ``mark_pending``, state transitions back to ACTIVE, snapshot
+        restores) or raises ``_lsu_free_at`` — both covered by the
+        stamp, and versions only ever increase so the sum cannot alias.
+        Non-ACTIVE warps need no bound: their return to ACTIVE always
+        goes through ``wake``.  The failed pick just scanned every warp
+        with ``_issuable_fast``, so ready caches of awake unfinished
+        warps are fresh; warps still before their wakeup are bounded by
+        ``wakeup_cycle`` itself.
+        """
+        best = 1 << 60
+        vsum = 0
+        lsu = self._lsu_free_at
+        for w in scheduler.warps:
+            vsum += w.version
+            if w.state is not WarpState.ACTIVE:
+                continue
+            if w._finished:
+                ready = w.wakeup_cycle
+            elif w.ready_version == w.version:
+                ready = w.ready_cache
+                if w.ready_timed and lsu > ready:
+                    ready = lsu
+            else:
+                ready = w.wakeup_cycle
+            if ready < best:
+                best = ready
+        scheduler.none_until = best
+        scheduler.none_vstamp = vsum
+        scheduler.none_lsu = lsu
+
     def _issue_fast(self, warp: Warp, cycle: int) -> None:
         """Plan-driven ``_issue``: table dispatch over precomputed records."""
         if warp._finished:
@@ -631,6 +703,76 @@ class Sm:
         kind = rec.kind
 
         if kind == K_VALUE:
+            pc = warp.stack[-1].pc
+            pf = warp._pf
+            if pf is not None and (pf.epoch != self._value_epoch
+                                   or pc != pf.pc0 + warp._pf_j):
+                # Injector activity or an out-of-band PC change since
+                # the prefetch was built: recompute per-record.
+                warp._pf = pf = None
+                fb = self.stats.superblock_fallbacks
+                fb["invalidated"] = fb.get("invalidated", 0) + 1
+            if (pf is None and self._batching and self.liveness is None
+                    and plan.sb_len[pc] > 1):
+                group = [w for w in self.warps
+                         if not w._finished and w.stack[-1].pc == pc]
+                if len(group) > 1:
+                    build_prefetch(plan, plan.superblock_info(pc), group,
+                                   self._value_epoch)
+                    pf = warp._pf
+                    self.stats.superblocks_executed += 1
+                elif self._scripts:
+                    # A lone warp gains nothing from value batching
+                    # (same NumPy call count), but an event-free window
+                    # can still be *scripted directly*: execute the
+                    # records in order on the warp's own context within
+                    # this issue slot.  Values land early only inside
+                    # the window, which nothing can observe (same caps
+                    # as prefetched scripts), and every pending entry
+                    # carries its true issue cycle.
+                    info = plan.superblock_info(pc)
+                    s = self._script_len(warp, info, 0, cycle)
+                    if s > 1:
+                        self._run_script_direct(warp, info, s, cycle, pc)
+                        return
+                    fb = self.stats.superblock_fallbacks
+                    fb["no_peer"] = fb.get("no_peer", 0) + 1
+                else:
+                    fb = self.stats.superblock_fallbacks
+                    fb["no_peer"] = fb.get("no_peer", 0) + 1
+            if pf is not None:
+                j = warp._pf_j
+                if self._scripts and pf.n - j > 1:
+                    s = self._script_len(warp, pf.info, j, cycle)
+                    if s > 1:
+                        self._apply_script(warp, pf, j, s, cycle, pc)
+                        return
+                i = warp._pf_i
+                out = pf.outs[j]
+                ctx = warp.ctx
+                if out is not None:
+                    if rec.dst_is_pred:
+                        ctx.preds[rec.dst_index][...] = out[i]
+                    else:
+                        ctx.regs[rec.dst_index][...] = out[i]
+                if rec.track_reg_write:
+                    warp.last_write = rec.dst
+                    warp.last_write_pc = pc
+                    warp.last_write_mask = pf.masks[j][i]
+                elif rec.track_pred_write:
+                    warp.last_pred_write = rec.dst
+                    warp.last_pred_write_pc = pc
+                    warp.last_pred_write_mask = pf.masks[j][i]
+                if rec.dst is not None:
+                    warp.pending[rec.dst] = cycle + rec.latency
+                if j + 1 < pf.n:
+                    warp._pf_j = j + 1
+                else:
+                    warp._pf = None
+                self.stats.superblock_insts += 1
+                warp.advance()
+                self._after_pc_change(warp, cycle)
+                return
             ctx = warp.ctx
             active = warp.stack[-1].mask & warp._not_exited
             mask = rec.guard(ctx, active)
@@ -675,6 +817,142 @@ class Sm:
             self._retire(warp, cycle)
         else:
             self._after_pc_change(warp, cycle)
+
+    def _script_len(self, warp: Warp, info, j: int, cycle: int) -> int:
+        """Longest run of prefetched records, starting at offset ``j``,
+        that the warp provably issues on consecutive cycles under GTO
+        with no observer event in the window.
+
+        Inside such a window the warp is issuable every cycle (no
+        scoreboard or LSU stall — superblock records never use the LSU),
+        so greedy GTO re-picks it; and no strike, detection, conveyor
+        pop, checkpoint capture, or convergence check can observe the
+        intermediate cycles.  Bulk-applying the issues is therefore
+        indistinguishable from cycle-by-cycle issue.
+        """
+        s = info.hazard_free[j]
+        pending = warp.pending
+        if pending:
+            uses = info.uses
+            for op, ready in pending.items():
+                if ready <= cycle:
+                    continue
+                offs = uses.get(op)
+                if offs is None:
+                    continue
+                u = offs[bisect_left(offs, j)] if offs[-1] >= j else -1
+                if u >= j:
+                    t = u - j
+                    if t < s and cycle + t < ready:
+                        s = t
+        if s < 2:
+            return 1
+        cap = self._script_cap
+        if cap is not None:
+            horizon = cap(cycle)
+            if cycle + s > horizon:
+                s = horizon - cycle
+        horizon = self.resilience.next_event(self)
+        if cycle + s > horizon:
+            s = horizon - cycle
+        return s if s > 1 else 1
+
+    def _apply_script(self, warp: Warp, pf, j: int, s: int, cycle: int,
+                      pc: int) -> None:
+        """Bulk-apply ``s`` prefetched records as if issued on cycles
+        ``cycle .. cycle+s-1`` and mark the warp's scheduler scripted
+        through the window (the issue prolog already counted record
+        ``j`` and woke the warp)."""
+        records = self.plan.records
+        stats = self.stats
+        ctx = warp.ctx
+        i = warp._pf_i
+        outs = pf.outs
+        masks = pf.masks
+        pending = warp.pending
+        pc0 = pf.pc0
+        count = stats.count_issue
+        for u in range(s):
+            rec = records[pc0 + j + u]
+            if u:
+                count(rec.fu, rec.shadow, rec.ckpt)
+            out = outs[j + u]
+            if out is not None:
+                if rec.dst_is_pred:
+                    ctx.preds[rec.dst_index][...] = out[i]
+                else:
+                    ctx.regs[rec.dst_index][...] = out[i]
+            if rec.track_reg_write:
+                warp.last_write = rec.dst
+                warp.last_write_pc = pc + u
+                warp.last_write_mask = masks[j + u][i]
+            elif rec.track_pred_write:
+                warp.last_pred_write = rec.dst
+                warp.last_pred_write_pc = pc + u
+                warp.last_pred_write_mask = masks[j + u][i]
+            if rec.dst is not None:
+                pending[rec.dst] = cycle + u + rec.latency
+        warp.insts_since_boundary += s - 1
+        stats.superblock_insts += s
+        end = j + s
+        if end < pf.n:
+            warp._pf_j = end
+        else:
+            warp._pf = None
+        warp.scheduler.script_until = cycle + s - 1
+        # The issue prolog's wake() already bumped the version; the
+        # final scripted issue leaves the warp wakeable at cycle+s.
+        warp.wakeup_cycle = cycle + s
+        warp.stack[-1].pc = pc + s
+        warp._maybe_reconverge()
+        self._after_pc_change(warp, cycle + s - 1)
+
+    def _run_script_direct(self, warp: Warp, info, s: int, cycle: int,
+                           pc: int) -> None:
+        """Scripted window for a warp with no co-resident peers at its
+        PC: execute records ``pc .. pc+s-1`` in order on the warp's own
+        context as if issued on cycles ``cycle .. cycle+s-1``.
+
+        Identical to the reference per-record semantics — same guard
+        evaluation order, same in-place writes — except the values land
+        within one issue slot; the window is event-free by the same
+        ``_script_len`` caps as prefetched scripts, so nothing can
+        observe the intermediate cycles.  The block's active mask is
+        loop-invariant (no control flow, no exits inside a superblock).
+        """
+        records = self.plan.records
+        stats = self.stats
+        ctx = warp.ctx
+        active = warp.stack[-1].mask & warp._not_exited
+        pending = warp.pending
+        count = stats.count_issue
+        mem = self.global_mem
+        shared = warp.block.shared
+        for u in range(s):
+            rec = records[pc + u]
+            if u:
+                count(rec.fu, rec.shadow, rec.ckpt)
+            mask = rec.guard(ctx, active)
+            rec.run(ctx, mask, mem, shared)
+            if rec.track_reg_write:
+                warp.last_write = rec.dst
+                warp.last_write_pc = pc + u
+                warp.last_write_mask = mask
+            elif rec.track_pred_write:
+                warp.last_pred_write = rec.dst
+                warp.last_pred_write_pc = pc + u
+                warp.last_pred_write_mask = (rec.guard(ctx, active)
+                                             if rec.guard_recheck else mask)
+            if rec.dst is not None:
+                pending[rec.dst] = cycle + u + rec.latency
+        warp.insts_since_boundary += s - 1
+        stats.superblocks_executed += 1
+        stats.superblock_insts += s
+        warp.scheduler.script_until = cycle + s - 1
+        warp.wakeup_cycle = cycle + s
+        warp.stack[-1].pc = pc + s
+        warp._maybe_reconverge()
+        self._after_pc_change(warp, cycle + s - 1)
 
     def _issue(self, warp: Warp, cycle: int) -> None:
         if warp.finished:

@@ -30,7 +30,13 @@ STALL_CAUSES = (
 _MERGE_MAX = ("cycles", "occupancy_warps", "regs_per_thread")
 
 #: Dict-valued counters deep-merged key-wise.
-_MERGE_DICT = ("stall_cycles", "warp_stalls")
+_MERGE_DICT = ("stall_cycles", "warp_stalls", "superblock_fallbacks")
+
+#: Counters that exist only on the batched fast path (the reference
+#: interpreter has no superblocks, so A/B equivalence checks compare
+#: stats dictionaries with these keys removed).
+SUPERBLOCK_TELEMETRY = ("superblocks_executed", "superblock_insts",
+                        "superblock_fallbacks")
 
 
 @dataclass
@@ -76,6 +82,15 @@ class SimStats:
     partial_unprotected_regions: int = 0
     abft_checks: int = 0
     abft_corrections: int = 0
+    # Superblock batching (fast path only; the reference interpreter
+    # never batches, so A/B comparisons strip these — see
+    # ``SUPERBLOCK_TELEMETRY``).
+    superblocks_executed: int = 0
+    superblock_insts: int = 0
+    #: Reason -> count of batching opportunities that fell back to
+    #: per-warp dispatch (keys: "invalidated", "no_peer", "tracer",
+    #: "liveness", "sanitizer", "scheduler").
+    superblock_fallbacks: dict = field(default_factory=dict)
     # Launch shape.
     blocks_launched: int = 0
     warps_launched: int = 0
@@ -139,7 +154,7 @@ class SimStats:
             value = getattr(self, f.name)
             if f.name == "by_fu":
                 value = {fu.value: n for fu, n in value.items()}
-            elif f.name == "stall_cycles":
+            elif f.name in ("stall_cycles", "superblock_fallbacks"):
                 value = dict(value)
             elif f.name == "warp_stalls":
                 value = {wid: dict(ledger) for wid, ledger in value.items()}
@@ -155,7 +170,7 @@ class SimStats:
             value = getattr(self, f.name)
             if f.name == "by_fu":
                 value = Counter(value)
-            elif f.name == "stall_cycles":
+            elif f.name in ("stall_cycles", "superblock_fallbacks"):
                 value = dict(value)
             elif f.name == "warp_stalls":
                 value = {wid: dict(ledger) for wid, ledger in value.items()}

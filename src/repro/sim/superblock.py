@@ -1,0 +1,243 @@
+"""Superblock-vectorized execution: batched lane × warp NumPy dispatch.
+
+A *superblock* is a maximal run of consecutive ``K_VALUE`` plan records
+with no control transfer, barrier, timed memory operation, or region
+boundary inside it — straight-line warp-private code.  ``ExecPlan``
+precomputes, per PC, the length of the superblock starting there
+(:func:`superblock_lengths`); ``Sm._issue_fast`` uses it to execute the
+whole block once for *all* co-resident warps parked at the same PC,
+amortizing the NumPy per-call dispatch overhead across ``k`` warps by
+stacking their register/predicate rows into ``(k, warp_size)`` arrays
+and running each record's existing ``run`` closure a single time.
+
+Timing stays exact because batching only precomputes *values*: every
+architectural write is held in a side buffer (:class:`Prefetch`) and
+applied to the warp's register file at the cycle the scoreboard model
+actually issues that record — the machine state observed between issues
+is byte-identical to per-record dispatch.  Soundness rests on three
+invariants:
+
+* Superblock records are warp-private (no timed memory, no RB markers,
+  no control flow), so warp *i*'s outputs depend only on warp *i*'s
+  inputs at block entry — row ``i`` of every stacked result equals the
+  per-warp computation exactly (NumPy elementwise kernels are
+  lane-independent).
+* In this model writebacks land at issue time (latency only delays
+  dependent issues via the scoreboard), so values computed from block-
+  entry state are the values the reference interpreter would produce —
+  unless something mutates the warp mid-block, which is exactly the
+  invalidation condition below.
+* Any out-of-band mutation invalidates the side buffer before it can be
+  observed: fault-injector activity bumps a per-SM epoch
+  (``Sm._value_epoch``) and every rollback path funnels through
+  ``WarpSnapshot.restore``, which drops the warp's prefetch.  Blocks
+  additionally split at every static reconvergence PC so SIMT stack
+  pops can never widen an active mask mid-block.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa import Pred, Special
+from .plan import K_BRA, K_VALUE
+
+#: Positional index of each special register (LaneContext.special_rows).
+_SPECIAL_INDEX = {special: i for i, special in enumerate(Special)}
+
+
+def superblock_lengths(records) -> list[int]:
+    """``lengths[pc]`` = number of records in the superblock starting at
+    ``pc`` (0 when the record at ``pc`` cannot start one).
+
+    Eligible records are untimed ``K_VALUE`` non-boundary instructions;
+    a block also splits *before* any PC that is a potential
+    reconvergence point, because ``Warp.advance`` pops SIMT stack
+    entries on arrival there, which can widen the active mask mid-block.
+    """
+    n = len(records)
+    reconv_targets = {rec.reconv_pc for rec in records if rec.kind == K_BRA}
+    lengths = [0] * n
+    for i in range(n - 1, -1, -1):
+        rec = records[i]
+        if rec.kind != K_VALUE or rec.is_rb or rec.is_timed_mem:
+            continue
+        nxt = i + 1
+        if nxt < n and lengths[nxt] > 0 and nxt not in reconv_targets:
+            lengths[i] = lengths[nxt] + 1
+        else:
+            lengths[i] = 1
+    return lengths
+
+
+class SuperblockInfo:
+    """Static metadata for the superblock starting at ``pc0``: which
+    register/predicate/special rows the block touches, each record's
+    destination row, and the hazard structure used to bound timing
+    scripts."""
+
+    __slots__ = ("pc0", "n", "reg_rows", "pred_rows", "special_rows",
+                 "dst_row", "dst_pred", "dst_copy", "hazard_free",
+                 "uses")
+
+    def __init__(self, records, pc0: int, n: int) -> None:
+        self.pc0 = pc0
+        self.n = n
+        reg_rows: set[int] = set()
+        pred_rows: set[int] = set()
+        special_rows: set[int] = set()
+        dst_row = []
+        dst_pred = []
+        writes = []
+        for rec in records[pc0:pc0 + n]:
+            inst = rec.inst
+            for reg in inst.read_regs():
+                reg_rows.add(reg.index)
+            for pred in inst.read_preds():
+                pred_rows.add(pred.index)
+            for src in inst.srcs:
+                if isinstance(src, Special):
+                    special_rows.add(_SPECIAL_INDEX[src])
+            dst = inst.dst
+            if dst is None:
+                dst_row.append(-1)
+                dst_pred.append(False)
+                writes.append(None)
+            else:
+                is_pred = isinstance(dst, Pred)
+                (pred_rows if is_pred else reg_rows).add(dst.index)
+                dst_row.append(dst.index)
+                dst_pred.append(is_pred)
+                writes.append((is_pred, dst.index))
+        # A record's output row may alias the stacked working array only
+        # when no later record overwrites the same destination row.
+        self.dst_copy = [w is not None and w in writes[j + 1:]
+                         for j, w in enumerate(writes)]
+        self.reg_rows = tuple(sorted(reg_rows))
+        self.pred_rows = tuple(sorted(pred_rows))
+        self.special_rows = tuple(sorted(special_rows))
+        self.dst_row = dst_row
+        self.dst_pred = dst_pred
+        # Timing-script support: hazard_free[j] = the longest window of
+        # records starting at offset j that can issue back-to-back on
+        # consecutive cycles with no intra-window scoreboard stall (every
+        # def-use / WAW pair is at least the producer's latency apart).
+        pairs = []
+        for v in range(n):
+            rec = records[pc0 + v]
+            dst = rec.inst.dst
+            if dst is None:
+                continue
+            for u in range(v + 1, min(v + rec.latency, n)):
+                if dst in records[pc0 + u].score_ops:
+                    pairs.append((v, u))
+                    break
+        hazard_free = []
+        for j in range(n):
+            s = n - j
+            for v, u in pairs:
+                if v >= j and u - j < s:
+                    s = u - j
+            hazard_free.append(max(s, 1))
+        self.hazard_free = hazard_free
+        # Every block offset reading/redefining each scoreboard operand
+        # (ascending) — bounds scripts against pending entries that
+        # predate the window: the relevant use is the first one at or
+        # after the window start, not the first in the block.
+        uses: dict = {}
+        for j in range(n):
+            for op in records[pc0 + j].score_ops:
+                uses.setdefault(op, []).append(j)
+        self.uses = {op: tuple(offs) for op, offs in uses.items()}
+
+
+class _StackedCtx:
+    """Duck-typed :class:`LaneContext` whose register/predicate rows are
+    ``(k, warp_size)`` stacks of ``k`` warps' rows.  Only the fields the
+    plan's fetch/run closures touch exist; rows the block never reads or
+    writes stay ``None``."""
+
+    __slots__ = ("regs", "preds", "special_rows", "params", "warp_size")
+
+
+class Prefetch:
+    """Precomputed superblock outputs for a group of warps: per-record
+    output rows and write masks, applied at each warp's real issue
+    cycle.  ``epoch`` snapshots the SM's value epoch at creation; any
+    injector activity bumps the epoch, orphaning every prefetch."""
+
+    __slots__ = ("pc0", "n", "outs", "masks", "epoch", "info")
+
+    def __init__(self, info: SuperblockInfo, outs: list, masks: list,
+                 epoch: int) -> None:
+        self.pc0 = info.pc0
+        self.n = info.n
+        self.outs = outs
+        self.masks = masks
+        self.epoch = epoch
+        self.info = info
+
+
+def build_prefetch(plan, info: SuperblockInfo, group: list,
+                   epoch: int) -> Prefetch:
+    """Execute the superblock at ``info.pc0`` once for all warps in
+    ``group`` (each parked at exactly that PC) and park the results in a
+    :class:`Prefetch` attached to every group member."""
+    k = len(group)
+    ctx0 = group[0].ctx
+    sctx = _StackedCtx()
+    sctx.params = ctx0.params
+    sctx.warp_size = (k, ctx0.warp_size)
+    regs: list = [None] * len(ctx0.regs)
+    for row in info.reg_rows:
+        regs[row] = np.stack([w.ctx.regs[row] for w in group])
+    preds: list = [None] * len(ctx0.preds)
+    for row in info.pred_rows:
+        preds[row] = np.stack([w.ctx.preds[row] for w in group])
+    sctx.regs = regs
+    sctx.preds = preds
+    specials: list = [None] * len(ctx0.special_rows)
+    for row in info.special_rows:
+        base = ctx0.special_rows[row]
+        for w in group:
+            if w.ctx.special_rows[row] is not base:
+                # Rare: warps in different slots grouped — stack.
+                base = np.stack([x.ctx.special_rows[row] for x in group])
+                break
+        # Shared frozen (warp_size,) specials broadcast against the
+        # (k, warp_size) working rows without copying.
+        specials[row] = base
+    sctx.special_rows = specials
+    actives = (np.stack([w.stack[-1].mask for w in group])
+               & np.stack([w._not_exited for w in group]))
+    pc0 = info.pc0
+    n = info.n
+    records = plan.records
+    dst_row = info.dst_row
+    dst_pred = info.dst_pred
+    dst_copy = info.dst_copy
+    outs: list = [None] * n
+    masks: list = [None] * n
+    for j in range(n):
+        rec = records[pc0 + j]
+        mask = rec.guard(sctx, actives)
+        rec.run(sctx, mask, None, None)
+        if rec.guard_recheck:
+            # A predicate write aliasing its own guard: the reference
+            # path records the *post*-execution mask.
+            mask = rec.guard(sctx, actives)
+        masks[j] = mask
+        row = dst_row[j]
+        if row >= 0:
+            out = preds[row] if dst_pred[j] else regs[row]
+            outs[j] = out.copy() if dst_copy[j] else out
+    pf = Prefetch(info, outs, masks, epoch)
+    for i, warp in enumerate(group):
+        warp._pf = pf
+        warp._pf_i = i
+        warp._pf_j = 0
+    return pf
+
+
+__all__ = ["Prefetch", "SuperblockInfo", "build_prefetch",
+           "superblock_lengths"]

@@ -1,0 +1,173 @@
+"""Zero-copy golden sharing: export/attach/hydrate byte-equality,
+read-only enforcement, kill switch, and graceful degradation.
+
+The invariant under test is the one the campaign's statistics rest on:
+a golden adopted from shared memory is byte-identical to the golden the
+worker would have derived locally, so trial outcomes and journal rows
+cannot depend on whether sharing was active.
+"""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+import repro.core.campaign as campaign
+import repro.core.goldens as goldens
+from repro.core.campaign import (CampaignSpec, _golden, golden_key,
+                                 run_trial)
+from repro.core.goldens import (ENABLE_ENV, MANIFEST_ENV, export_goldens,
+                                release_goldens, shared_entry)
+from repro.sim import plain_equal
+
+
+def spec_for(scheme="baseline", trials=2, **kwargs):
+    return CampaignSpec(workloads=("Triad",), schemes=(scheme,),
+                        trials=trials, seed=0, scale="tiny", **kwargs)
+
+
+@pytest.fixture(autouse=True)
+def clean_sharing_state(tmp_path, monkeypatch):
+    """Each test starts detached with an empty golden cache and leaves
+    no segment, manifest, or environment residue behind."""
+    campaign._GOLDEN_CACHE.clear()
+    goldens._reset_attachment()
+    monkeypatch.delenv(MANIFEST_ENV, raising=False)
+    monkeypatch.delenv(ENABLE_ENV, raising=False)
+    yield
+    release_goldens()
+    goldens._reset_attachment()
+    campaign._GOLDEN_CACHE.clear()
+
+
+def export_and_detach(trials, tmp_path):
+    """Export goldens, then make this process look like a fresh worker:
+    empty local cache, no attachment yet (only the env handshake)."""
+    path = export_goldens(trials, manifest_dir=str(tmp_path))
+    assert path is not None and os.path.exists(path)
+    campaign._GOLDEN_CACHE.clear()
+    goldens._reset_attachment()
+    return path
+
+
+class TestExportHydrate:
+    def test_shared_entry_byte_equal_to_local(self, tmp_path):
+        trials = spec_for().trial_specs()
+        # Local derivation first (no sharing active).
+        local, _ = _golden(trials[0], with_checkpoints=True)
+        local_cycles, local_mem = local[1], local[2].copy()
+        local_recorder = local[3]
+        campaign._GOLDEN_CACHE.clear()
+
+        export_and_detach(trials, tmp_path)
+        entry = shared_entry(golden_key(trials[0]))
+        assert entry is not None
+        cycles, mem, recorder = entry
+        assert cycles == local_cycles
+        assert mem.tobytes() == local_mem.tobytes()
+        assert recorder is not None
+        assert len(recorder.checkpoints) == len(local_recorder.checkpoints)
+        for shared_cp, local_cp in zip(recorder.checkpoints,
+                                       local_recorder.checkpoints):
+            assert shared_cp.cycle == local_cp.cycle
+            assert shared_cp.global_mem.tobytes() == \
+                local_cp.global_mem.tobytes()
+            for a, b in zip(shared_cp.sms, local_cp.sms):
+                assert plain_equal(a, b)
+
+    def test_golden_adopts_shared_and_flags_it(self, tmp_path):
+        trials = spec_for().trial_specs()
+        export_and_detach(trials, tmp_path)
+        entry, hit = _golden(trials[0], with_checkpoints=True)
+        assert not hit           # first touch in this "worker"
+        assert entry[4] is True  # adopted from shared memory
+        # Second touch is a plain local-cache hit.
+        again, hit = _golden(trials[0], with_checkpoints=True)
+        assert hit and again is entry
+
+    def test_hydrated_views_are_read_only(self, tmp_path):
+        trials = spec_for().trial_specs()
+        export_and_detach(trials, tmp_path)
+        cycles, mem, recorder = shared_entry(golden_key(trials[0]))
+        assert not mem.flags.writeable
+        with pytest.raises(ValueError):
+            mem[0] = 1.0
+        with pytest.raises(ValueError):
+            recorder.checkpoints[0].global_mem[0] = 1.0
+
+    def test_run_trial_identical_shared_vs_local(self, tmp_path):
+        trials = spec_for().trial_specs()
+        local = [run_trial(t) for t in trials]
+        assert all(not r.golden_shared for r in local)
+        campaign._GOLDEN_CACHE.clear()
+
+        export_and_detach(trials, tmp_path)
+        shared = [run_trial(t) for t in trials]
+        # Only the first trial of the cell derives (adopts) the golden;
+        # the rest hit the worker-local cache.
+        assert shared[0].golden_shared
+        # Journal rows (as_dict strips telemetry) are byte-identical.
+        for a, b in zip(local, shared):
+            assert a.as_dict() == b.as_dict()
+
+
+class TestDegradation:
+    def test_kill_switch_disables_export(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENABLE_ENV, "0")
+        trials = spec_for().trial_specs()
+        assert export_goldens(trials, manifest_dir=str(tmp_path)) is None
+        assert MANIFEST_ENV not in os.environ
+
+    def test_kill_switch_disables_attach(self, tmp_path, monkeypatch):
+        trials = spec_for().trial_specs()
+        export_and_detach(trials, tmp_path)
+        monkeypatch.setenv(ENABLE_ENV, "0")
+        assert shared_entry(golden_key(trials[0])) is None
+
+    def test_missing_manifest_degrades_to_none(self, monkeypatch):
+        monkeypatch.setenv(MANIFEST_ENV, "/nonexistent/goldens.manifest")
+        trials = spec_for().trial_specs()
+        assert shared_entry(golden_key(trials[0])) is None
+        # The failed probe is memoized, not retried per call.
+        assert goldens._ATTACHED is False
+
+    def test_unknown_key_degrades_to_none(self, tmp_path):
+        trials = spec_for().trial_specs()
+        export_and_detach(trials, tmp_path)
+        other = spec_for(scheme="flame").trial_specs()[0]
+        assert shared_entry(golden_key(other)) is None
+
+    def test_empty_trial_list_exports_nothing(self, tmp_path):
+        assert export_goldens([], manifest_dir=str(tmp_path)) is None
+
+
+class TestRelease:
+    def test_release_removes_manifest_and_env(self, tmp_path):
+        trials = spec_for().trial_specs()
+        path = export_goldens(trials, manifest_dir=str(tmp_path))
+        assert os.environ.get(MANIFEST_ENV) == path
+        release_goldens()
+        assert MANIFEST_ENV not in os.environ
+        assert not os.path.exists(path)
+        release_goldens()  # idempotent
+
+    def test_release_restores_previous_manifest(self, tmp_path,
+                                                monkeypatch):
+        monkeypatch.setenv(MANIFEST_ENV, "earlier.manifest")
+        trials = spec_for().trial_specs()
+        export_goldens(trials, manifest_dir=str(tmp_path))
+        release_goldens()
+        assert os.environ[MANIFEST_ENV] == "earlier.manifest"
+
+    def test_manifest_is_a_plain_pickle(self, tmp_path):
+        trials = spec_for().trial_specs()
+        path = export_and_detach(trials, tmp_path)
+        with open(path, "rb") as handle:
+            manifest = pickle.load(handle)
+        assert manifest["version"] == 1
+        assert set(manifest["entries"]) == {golden_key(t) for t in trials}
+        for entry in manifest["entries"].values():
+            for offset, dtype_str, shape in entry["arrays"]:
+                assert offset % 64 == 0
+                np.dtype(dtype_str)  # descriptor round-trips

@@ -10,17 +10,19 @@ from repro.arch import GTX480
 from repro.compiler import compile_kernel, prepare_launch
 from repro.core import runtime_scheme_by_name
 from repro.sim import Gpu, LaunchConfig
+from repro.sim.stats import SUPERBLOCK_TELEMETRY
 from repro.workloads import WORKLOADS, workload_by_name
 
 
 def run_scheme(instance, scheme_name: str, scheduler: str, fast: bool,
-               wcdl: int = 20):
+               wcdl: int = 20, injector=None):
     """Compile + launch one instance; return (cycles, stats dict, bytes)."""
     rscheme = runtime_scheme_by_name(scheme_name)
     compiled = compile_kernel(instance.kernel, rscheme.compile_scheme,
                               wcdl=wcdl)
     runtime = rscheme.build(wcdl=wcdl)
     gpu = Gpu(GTX480, resilience=runtime, scheduler=scheduler, fast=fast)
+    gpu.fault_injector = injector
     mem = instance.fresh_memory()
     params, mem = prepare_launch(
         compiled, instance.launch.params, mem,
@@ -32,11 +34,21 @@ def run_scheme(instance, scheme_name: str, scheduler: str, fast: bool,
     return result.cycles, result.stats.as_dict(), mem.tobytes()
 
 
-def assert_paths_identical(instance, scheme: str, scheduler: str):
-    fast = run_scheme(instance, scheme, scheduler, fast=True)
-    ref = run_scheme(instance, scheme, scheduler, fast=False)
+def assert_paths_identical(instance, scheme: str, scheduler: str,
+                           injector=None):
+    make = injector or (lambda: None)
+    fast = run_scheme(instance, scheme, scheduler, fast=True,
+                      injector=make())
+    ref = run_scheme(instance, scheme, scheduler, fast=False,
+                     injector=make())
     assert fast[0] == ref[0], "cycle counts diverge"
-    assert fast[1] == ref[1], "stats diverge"
+    # Superblock telemetry is fast-path bookkeeping by construction (the
+    # reference interpreter never batches); strip it before comparing.
+    fast_stats = {k: v for k, v in fast[1].items()
+                  if k not in SUPERBLOCK_TELEMETRY}
+    ref_stats = {k: v for k, v in ref[1].items()
+                 if k not in SUPERBLOCK_TELEMETRY}
+    assert fast_stats == ref_stats, "stats diverge"
     assert fast[2] == ref[2], "final global memory diverges"
 
 
@@ -77,3 +89,85 @@ def test_barrier_workload_matrix():
     for scheduler in ("GTO", "OLD"):
         for scheme in ("flame", "dmr"):
             assert_paths_identical(instance, scheme, scheduler)
+
+
+def superblock_spans(instance, scheme: str, scheduler: str):
+    """The scripted-issue windows ``(first_cycle, last_cycle)`` of one
+    fault-free fast run, recorded by wrapping the SM's two superblock
+    applicators (prefetched and direct)."""
+    from repro.sim.sm import Sm
+
+    spans = []
+    orig_direct, orig_apply = Sm._run_script_direct, Sm._apply_script
+
+    def direct(self, warp, info, s, cycle, pc):
+        spans.append((cycle, cycle + s - 1))
+        return orig_direct(self, warp, info, s, cycle, pc)
+
+    def apply(self, warp, pf, j, s, cycle, pc):
+        spans.append((cycle, cycle + s - 1))
+        return orig_apply(self, warp, pf, j, s, cycle, pc)
+
+    Sm._run_script_direct, Sm._apply_script = direct, apply
+    try:
+        run_scheme(instance, scheme, scheduler, fast=True)
+    finally:
+        Sm._run_script_direct, Sm._apply_script = orig_direct, orig_apply
+    return spans
+
+
+def widest_span(spans):
+    """The widest scripted window — the superblock whose boundary
+    cycles are furthest apart, hence the sharpest boundary test."""
+    assert spans, "workload never executed a superblock"
+    return max(spans, key=lambda span: span[1] - span[0])
+
+
+class TestMidSuperblockStrikes:
+    """Strikes aimed at the exact cycles a fault-free fast run covers
+    with one scripted superblock: the injector's next-event horizon must
+    break the script so the strike lands on a cycle-accurate machine,
+    and the run must stay byte-identical to the reference interpreter.
+    """
+
+    WCDL = 20
+
+    def _injector(self, cycle, site="dest_reg"):
+        from repro.arch import SensorModel
+        from repro.core.injection import FaultInjector
+
+        return lambda: FaultInjector(
+            strike_cycles=[cycle], wcdl=self.WCDL, seed=13, site=site,
+            sensor=SensorModel(wcdl=self.WCDL))
+
+    def test_strike_on_superblock_boundary_cycles(self):
+        instance = workload_by_name("SGEMM").instance("tiny")
+        first, last = widest_span(
+            superblock_spans(instance, "baseline", "GTO"))
+        assert last > first, "need a multi-cycle superblock window"
+        for cycle in (first, (first + last) // 2, last):
+            assert_paths_identical(instance, "baseline", "GTO",
+                                   injector=self._injector(cycle))
+
+    def test_predicate_corruption_mid_superblock(self):
+        """A predicate-write strike mid-window: corrupting a guard can
+        change which lanes a later in-block instruction touches, so the
+        fast path must abandon batching at the strike."""
+        instance = workload_by_name("SGEMM").instance("tiny")
+        first, last = widest_span(
+            superblock_spans(instance, "baseline", "GTO"))
+        mid = (first + last) // 2
+        assert_paths_identical(
+            instance, "baseline", "GTO",
+            injector=self._injector(mid, site="predicate"))
+
+    def test_strike_mid_superblock_under_flame(self):
+        """Same boundary pressure with the full rollback runtime: the
+        strike triggers sensing + rollback whose replay re-enters the
+        superblock region."""
+        instance = workload_by_name("SGEMM").instance("tiny")
+        first, last = widest_span(
+            superblock_spans(instance, "flame", "GTO"))
+        assert_paths_identical(
+            instance, "flame", "GTO",
+            injector=self._injector((first + last) // 2))

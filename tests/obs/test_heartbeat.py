@@ -14,6 +14,12 @@ class FakeResult:
     fast_start: bool = False
     converged: bool = False
     golden_cache_hit: bool = False
+    superblocks_executed: int = 0
+    superblock_fallbacks: dict = None
+
+    def __post_init__(self):
+        if self.superblock_fallbacks is None:
+            self.superblock_fallbacks = {}
 
 
 def _records(path) -> list[dict]:
@@ -83,6 +89,42 @@ class TestHeartbeat:
         hb.start()
         hb.note_trial(FakeResult())
         hb.stop()  # OSError swallowed: telemetry must not kill campaigns
+
+
+class TestSuperblockTelemetry:
+    def test_batching_counters_aggregate(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        hb = CampaignHeartbeat(str(path), total_trials=3, interval=60.0)
+        hb.start()
+        hb.note_trial(FakeResult(superblocks_executed=10,
+                                 superblock_fallbacks={"divergence": 2}))
+        hb.note_trial(FakeResult(superblocks_executed=5,
+                                 superblock_fallbacks={"divergence": 1,
+                                                       "injector": 4}))
+        hb.stop()
+        last = _records(path)[-1]
+        assert last["superblocks_executed"] == 15
+        assert last["superblock_fallbacks"] == {"divergence": 3,
+                                                "injector": 4}
+
+    def test_schema_tolerates_results_without_counters(self, tmp_path):
+        @dataclass
+        class OldResult:
+            outcome: str = "masked"
+            cycles: int = 100
+            wall_time_s: float = 0.1
+            fast_start: bool = False
+            converged: bool = False
+            golden_cache_hit: bool = False
+
+        path = tmp_path / "metrics.jsonl"
+        hb = CampaignHeartbeat(str(path), total_trials=1, interval=60.0)
+        hb.start()
+        hb.note_trial(OldResult())
+        hb.stop()
+        last = _records(path)[-1]
+        assert last["superblocks_executed"] == 0
+        assert last["superblock_fallbacks"] == {}
 
 
 class TestShardTelemetry:

@@ -175,6 +175,27 @@ class TestSubprocessBackend:
         assert report.infra_failures == 0
         assert read_bytes(journal) == oracle["journal"]
 
+    def test_shared_goldens_reused_across_workers(self, tmp_path, oracle):
+        """Every shard worker is a fresh process; with the manifest
+        handshake active each adopts its cell's golden from shared
+        memory instead of re-simulating it — visible as
+        ``golden_shared_hits`` in the per-shard heartbeats — while the
+        merged journal stays byte-identical to the workers=1 oracle."""
+        report, journal = run_backend("subprocess", tmp_path,
+                                      shards=4, workers=2)
+        assert report.complete
+        assert read_bytes(journal) == oracle["journal"]
+        shard_dir = tmp_path / "shards"
+        heartbeats = sorted(shard_dir.glob("shard_*.heartbeat.jsonl"))
+        assert heartbeats  # subprocess workers emit per-shard metrics
+        hits = 0
+        for path in heartbeats:
+            final = json.loads(path.read_text().splitlines()[-1])
+            hits += final["golden_shared_hits"]
+        # Four shards, four fresh worker processes, one golden cell
+        # each: all of them must have adopted rather than re-derived.
+        assert hits >= len(heartbeats)
+
 
 class TestHttpBackend:
     def test_real_campaign_matches_single_process_run(self, tmp_path,

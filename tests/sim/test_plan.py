@@ -9,7 +9,8 @@ from repro.isa import (AtomOp, CmpOp, Imm, Instruction, KernelBuilder, Op,
                        reconvergence_table_for)
 from repro.sim import LaunchConfig, run_kernel
 from repro.sim.plan import (ExecPlan, K_BAR, K_BRA, K_EXIT, K_VALUE,
-                            _imm_vector, get_plan)
+                            PLAN_CACHE_SIZE, _imm_vector, get_plan)
+from repro.sim.stats import SUPERBLOCK_TELEMETRY
 
 
 def both_paths(kernel, launch, mem, **kwargs):
@@ -20,7 +21,13 @@ def both_paths(kernel, launch, mem, **kwargs):
     fast = run_kernel(kernel, launch, fast_mem, fast=True, **kwargs)
     ref = run_kernel(kernel, launch, ref_mem, fast=False, **kwargs)
     assert fast.cycles == ref.cycles
-    assert fast.stats.as_dict() == ref.stats.as_dict()
+    # Superblock counters are fast-path bookkeeping — the reference
+    # interpreter never batches, so they are excluded from the A/B check.
+    fast_stats = {k: v for k, v in fast.stats.as_dict().items()
+                  if k not in SUPERBLOCK_TELEMETRY}
+    ref_stats = {k: v for k, v in ref.stats.as_dict().items()
+                 if k not in SUPERBLOCK_TELEMETRY}
+    assert fast_stats == ref_stats
     assert fast_mem.tobytes() == ref_mem.tobytes()
     return fast
 
@@ -67,6 +74,72 @@ class TestPlanCaching:
             expected = inst.read_regs() + inst.read_preds() + (
                 (inst.dst,) if inst.dst is not None else ())
             assert rec.score_ops == expected
+
+
+class TestPlanCacheEviction:
+    @staticmethod
+    def _configs(count):
+        """``count`` distinct (frozen, hashable) GpuConfigs."""
+        return [GTX480.scaled(alu_latency=GTX480.alu_latency + i)
+                for i in range(count)]
+
+    def test_cache_bounded_lru(self, saxpy_kernel):
+        configs = self._configs(PLAN_CACHE_SIZE + 3)
+        for config in configs:
+            get_plan(saxpy_kernel, config)
+        cache = saxpy_kernel.__dict__["_exec_plans"]
+        assert len(cache) == PLAN_CACHE_SIZE
+        # Oldest entries fell out, newest survive in insertion order.
+        assert list(cache) == configs[3:]
+
+    def test_hit_refreshes_recency(self, saxpy_kernel):
+        configs = self._configs(PLAN_CACHE_SIZE)
+        plans = [get_plan(saxpy_kernel, c) for c in configs]
+        # Touch the oldest entry, then insert one more: the *second*
+        # oldest is evicted, the refreshed entry survives.
+        assert get_plan(saxpy_kernel, configs[0]) is plans[0]
+        extra = GTX480.scaled(mul_latency=GTX480.mul_latency + 1)
+        get_plan(saxpy_kernel, extra)
+        cache = saxpy_kernel.__dict__["_exec_plans"]
+        assert configs[0] in cache
+        assert configs[1] not in cache
+        assert extra in cache
+
+    def test_evicted_config_rebuilds(self, saxpy_kernel):
+        configs = self._configs(PLAN_CACHE_SIZE + 1)
+        first = get_plan(saxpy_kernel, configs[0])
+        for config in configs[1:]:
+            get_plan(saxpy_kernel, config)
+        assert configs[0] not in saxpy_kernel.__dict__["_exec_plans"]
+        rebuilt = get_plan(saxpy_kernel, configs[0])
+        assert rebuilt is not first  # fresh plan, not a resurrected one
+        assert rebuilt.matches(saxpy_kernel)
+
+
+class TestCodegen:
+    def test_plan_carries_generated_source(self, saxpy_kernel):
+        plan = get_plan(saxpy_kernel, GTX480)
+        assert isinstance(plan.gen_source, str)
+        assert "def run_" in plan.gen_source
+
+    def test_records_run_specialized_functions(self, saxpy_kernel):
+        plan = get_plan(saxpy_kernel, GTX480)
+        named = [rec for rec in plan.records
+                 if rec.kind == K_VALUE and rec.run is not None]
+        assert named, "value records should carry compiled run functions"
+        for pc, rec in enumerate(plan.records):
+            if rec in named:
+                assert rec.run.__name__ == f"run_{pc}"
+
+    def test_invalidation_regenerates_source(self, saxpy_kernel):
+        stale = get_plan(saxpy_kernel, GTX480)
+        old = saxpy_kernel.instructions[0]
+        saxpy_kernel.instructions[0] = Instruction(
+            op=old.op, dst=old.dst, srcs=old.srcs, space=old.space)
+        fresh = get_plan(saxpy_kernel, GTX480)
+        assert fresh is not stale
+        assert isinstance(fresh.gen_source, str)
+        assert fresh.gen_source is not stale.gen_source
 
 
 class TestReconvMemo:
