@@ -264,11 +264,15 @@ class TrialResult:
     #: bookkeeping — the trial's outcome is independent of batching).
     superblocks_executed: int = 0
     superblock_fallbacks: dict = field(default_factory=dict)
+    #: SM-level memory-window scripting counters (same caveat).
+    mem_windows_executed: int = 0
+    mem_window_insts: int = 0
 
     #: Attribute names carrying run-environment telemetry, not outcome.
     TELEMETRY_FIELDS = ("wall_time_s", "fast_start", "converged",
                         "golden_cache_hit", "golden_shared",
-                        "superblocks_executed", "superblock_fallbacks")
+                        "superblocks_executed", "superblock_fallbacks",
+                        "mem_windows_executed", "mem_window_insts")
 
     @property
     def key(self) -> tuple[str, str, str, int]:
@@ -522,6 +526,8 @@ def run_trial(trial: TrialSpec) -> TrialResult:
     result.converged = sim_result.converged
     result.superblocks_executed = sim_result.stats.superblocks_executed
     result.superblock_fallbacks = dict(sim_result.stats.superblock_fallbacks)
+    result.mem_windows_executed = sim_result.stats.mem_windows_executed
+    result.mem_window_insts = sim_result.stats.mem_window_insts
     result.cycles = sim_result.cycles
     result.landed = sum(1 for r in injector.records if r.landed)
     # Coalesced recoveries count: a strike landing during an in-progress

@@ -54,6 +54,9 @@ class CampaignHeartbeat:
         # total batched windows plus per-reason fallback counts.
         self.superblocks_executed = 0
         self.superblock_fallbacks: dict[str, int] = {}
+        # Memory-window scripting effectiveness (SM-level windows).
+        self.mem_windows_executed = 0
+        self.mem_window_insts = 0
         self.shards_done = 0
         # Last observed liveness signal per shard (monotonic seconds);
         # the coordinator-side heartbeat reports these as staleness.
@@ -90,6 +93,10 @@ class CampaignHeartbeat:
                                          {}).items():
                 self.superblock_fallbacks[reason] = \
                     self.superblock_fallbacks.get(reason, 0) + count
+            self.mem_windows_executed += getattr(
+                result, "mem_windows_executed", 0)
+            self.mem_window_insts += getattr(
+                result, "mem_window_insts", 0)
 
     def note_worker_restart(self) -> None:
         with self._lock:
@@ -169,6 +176,8 @@ class CampaignHeartbeat:
                 "superblocks_executed": self.superblocks_executed,
                 "superblock_fallbacks": dict(
                     sorted(self.superblock_fallbacks.items())),
+                "mem_windows_executed": self.mem_windows_executed,
+                "mem_window_insts": self.mem_window_insts,
             }
             if self.shard_id is not None:
                 record["shard_id"] = self.shard_id

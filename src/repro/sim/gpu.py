@@ -10,7 +10,7 @@ from ..arch import GpuConfig, GTX480
 from ..errors import LaunchError, SimError, SimTimeout
 from ..isa import Cfg, Kernel, Special
 from ..isa.cfg import reconvergence_table_for
-from .caches import Cache
+from .caches import make_cache
 from .plan import get_plan
 from .sm import NEVER, ResilienceRuntime, NULL_RESILIENCE, Sm, ThreadBlock
 from .stats import SimStats
@@ -101,7 +101,7 @@ class Gpu:
         #: ``fast=False`` selects the reference interpreter; both paths
         #: produce byte-identical cycles, stats, and memory.
         self.fast = fast
-        self.l2 = Cache(config.l2, name="l2")
+        self.l2 = make_cache(config.l2, name="l2")
         self.sms = [Sm(i, config, self.l2, resilience)
                     for i in range(config.sim_sms)]
         self.fault_injector = None  # set by repro.core.injection
@@ -226,9 +226,31 @@ class Gpu:
         # and touches no observer): only sound when nothing per-cycle is
         # attached and the resilience runtime is the stateless baseline
         # (a stateful runtime's conveyors need their tick every cycle).
-        jump_ok = (scripts and self.sanitizer is None
-                   and all(type(sm.resilience) is ResilienceRuntime
-                           for sm in self.sms))
+        null_resilience = all(type(sm.resilience) is ResilienceRuntime
+                              for sm in self.sms)
+        jump_ok = scripts and self.sanitizer is None and null_resilience
+        # Memory-aware scripted windows (Sm._open_window): whole-SM
+        # forward simulation with exact LSU/cache timing.  On top of the
+        # script conditions they need the stateless runtime (no per-cycle
+        # conveyor ticks inside a window), no golden-run liveness
+        # recording (per-issue read timestamps), and a single busy SM
+        # (concurrent SMs interleave on the shared L2 cycle by cycle).
+        single_sm = (self.config.sim_sms == 1
+                     or total_blocks <= blocks_per_sm)
+        mem_windows = (scripts and recorder is None and null_resilience
+                       and single_sm)
+        mem_sigs = (plan.mem_strides(launch.block[0])
+                    if plan is not None else None) or None
+        for sm in self.sms:
+            sm._windows = mem_windows
+            sm._win_budget = budget
+            sm._mem_sigs = mem_sigs
+        if scripts and not mem_windows and recorder is None:
+            # (The recorder case already booked "liveness" above.)
+            reason = "resilience" if not null_resilience else "multi_sm"
+            for sm in self.sms:
+                fb = sm.stats.superblock_fallbacks
+                fb[reason] = fb.get(reason, 0) + 1
 
         cycle = 0
         age = 0

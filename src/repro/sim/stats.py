@@ -36,7 +36,8 @@ _MERGE_DICT = ("stall_cycles", "warp_stalls", "superblock_fallbacks")
 #: interpreter has no superblocks, so A/B equivalence checks compare
 #: stats dictionaries with these keys removed).
 SUPERBLOCK_TELEMETRY = ("superblocks_executed", "superblock_insts",
-                        "superblock_fallbacks")
+                        "superblock_fallbacks", "mem_windows_executed",
+                        "mem_window_insts")
 
 
 @dataclass
@@ -89,8 +90,14 @@ class SimStats:
     superblock_insts: int = 0
     #: Reason -> count of batching opportunities that fell back to
     #: per-warp dispatch (keys: "invalidated", "no_peer", "tracer",
-    #: "liveness", "sanitizer", "scheduler").
+    #: "liveness", "sanitizer", "scheduler", and the memory-window
+    #: disable reasons "resilience" / "multi_sm" / "window_stopper").
     superblock_fallbacks: dict = field(default_factory=dict)
+    # Memory-aware scripted windows (fast path, GTO + null-resilience
+    # launches only; stripped by A/B comparisons like the superblock
+    # counters above).
+    mem_windows_executed: int = 0
+    mem_window_insts: int = 0
     # Launch shape.
     blocks_launched: int = 0
     warps_launched: int = 0

@@ -127,12 +127,18 @@ def test_restore_inside_superblock_window():
     attached recorder disables batching), but the *resumed* run batches
     again from the restored state — a warp whose PC sits mid-superblock
     must re-enter scripting and still finish byte-identically.
+
+    SM-level memory windows subsume superblock scripts on this launch
+    shape, so they are pinned off for the whole test to keep the
+    superblock path under test (the window variant is
+    ``test_restore_inside_memory_window``).
     """
     from repro.sim.sm import Sm
 
     launch_once = _launcher("baseline", "GTO", sanitize=False)
     spans = []
     orig_direct, orig_apply = Sm._run_script_direct, Sm._apply_script
+    orig_open = Sm._open_window
 
     def direct(self, warp, info, s, cycle, pc):
         spans.append((cycle, cycle + s - 1))
@@ -143,20 +149,65 @@ def test_restore_inside_superblock_window():
         return orig_apply(self, warp, pf, j, s, cycle, pc)
 
     Sm._run_script_direct, Sm._apply_script = direct, apply
+    Sm._open_window = lambda self, cycle: False
+    try:
+        reference = launch_once()
+
+        wide = [s for s in spans if s[1] > s[0]]
+        assert wide, "workload never executed a multi-cycle superblock"
+        first, last = max(wide, key=lambda span: span[1] - span[0])
+        inside = (first + last) // 2 or first + 1
+        recorder = CheckpointRecorder(interval=max(inside, 1))
+        _assert_identical(launch_once(recorder=recorder), reference)
+        candidates = [c for c in recorder.checkpoints
+                      if any(a < c.cycle <= b for a, b in wide)]
+        assert candidates, "no checkpoint landed inside a scripted window"
+        _assert_identical(launch_once(resume_from=candidates[0]),
+                          reference)
+    finally:
+        Sm._run_script_direct, Sm._apply_script = orig_direct, orig_apply
+        Sm._open_window = orig_open
+
+
+def test_restore_inside_memory_window():
+    """Capture and restore at a cycle the plain fast run covers with one
+    SM-level memory window (LBM under GTO + baseline runs almost
+    entirely inside them).
+
+    The recorded run's recorder horizon stops every window exactly at
+    the capture cycle, so the checkpoint sees a cycle-accurate machine;
+    the resumed run re-opens windows from the restored mid-stream state
+    (warps mid-superblock, cache arrays repopulated from the snapshot)
+    and must still finish byte-identically.
+    """
+    from repro.sim.sm import Sm
+
+    launch_once = _launcher("baseline", "GTO", workload="LBM",
+                            sanitize=False)
+    spans = []
+    orig_open = Sm._open_window
+
+    def open_window(self, cycle):
+        opened = orig_open(self, cycle)
+        if opened:
+            spans.append((self._win_segs[0][0], self._win_segs[-1][1]))
+        return opened
+
+    Sm._open_window = open_window
     try:
         reference = launch_once()
     finally:
-        Sm._run_script_direct, Sm._apply_script = orig_direct, orig_apply
+        Sm._open_window = orig_open
 
     wide = [s for s in spans if s[1] > s[0]]
-    assert wide, "workload never executed a multi-cycle superblock"
+    assert wide, "workload never executed a multi-cycle memory window"
     first, last = max(wide, key=lambda span: span[1] - span[0])
     inside = (first + last) // 2 or first + 1
     recorder = CheckpointRecorder(interval=max(inside, 1))
     _assert_identical(launch_once(recorder=recorder), reference)
     candidates = [c for c in recorder.checkpoints
                   if any(a < c.cycle <= b for a, b in wide)]
-    assert candidates, "no checkpoint landed inside a scripted window"
+    assert candidates, "no checkpoint landed inside a memory window"
     _assert_identical(launch_once(resume_from=candidates[0]), reference)
 
 

@@ -93,12 +93,15 @@ def test_barrier_workload_matrix():
 
 def superblock_spans(instance, scheme: str, scheduler: str):
     """The scripted-issue windows ``(first_cycle, last_cycle)`` of one
-    fault-free fast run, recorded by wrapping the SM's two superblock
-    applicators (prefetched and direct)."""
+    fault-free fast run, recorded by wrapping the SM's three scripted
+    applicators: prefetched and direct superblock scripts, plus the
+    SM-level memory windows (which subsume superblocks on GTO +
+    null-resilience launches)."""
     from repro.sim.sm import Sm
 
     spans = []
     orig_direct, orig_apply = Sm._run_script_direct, Sm._apply_script
+    orig_open = Sm._open_window
 
     def direct(self, warp, info, s, cycle, pc):
         spans.append((cycle, cycle + s - 1))
@@ -108,11 +111,19 @@ def superblock_spans(instance, scheme: str, scheduler: str):
         spans.append((cycle, cycle + s - 1))
         return orig_apply(self, warp, pf, j, s, cycle, pc)
 
+    def open_window(self, cycle):
+        opened = orig_open(self, cycle)
+        if opened:
+            spans.append((self._win_segs[0][0], self._win_segs[-1][1]))
+        return opened
+
     Sm._run_script_direct, Sm._apply_script = direct, apply
+    Sm._open_window = open_window
     try:
         run_scheme(instance, scheme, scheduler, fast=True)
     finally:
         Sm._run_script_direct, Sm._apply_script = orig_direct, orig_apply
+        Sm._open_window = orig_open
     return spans
 
 
@@ -121,6 +132,115 @@ def widest_span(spans):
     cycles are furthest apart, hence the sharpest boundary test."""
     assert spans, "workload never executed a superblock"
     return max(spans, key=lambda span: span[1] - span[0])
+
+
+def memory_window_spans(instance, scheme: str, scheduler: str):
+    """The ``(first_cycle, last_cycle)`` spans of SM-level memory
+    windows only (``Sm._open_window``) in one fault-free fast run."""
+    from repro.sim.sm import Sm
+
+    spans = []
+    orig_open = Sm._open_window
+
+    def open_window(self, cycle):
+        opened = orig_open(self, cycle)
+        if opened:
+            spans.append((self._win_segs[0][0], self._win_segs[-1][1]))
+        return opened
+
+    Sm._open_window = open_window
+    try:
+        run_scheme(instance, scheme, scheduler, fast=True)
+    finally:
+        Sm._open_window = orig_open
+    return spans
+
+
+class TestMemoryWindows:
+    """SM-level memory-window scripting (``Sm._open_window``): the
+    windows must actually open on the memory-bound workload, break
+    exactly at observer horizons, and never move a counter or byte."""
+
+    WCDL = 20
+
+    def _injector(self, cycle, site="dest_reg"):
+        from repro.arch import SensorModel
+        from repro.core.injection import FaultInjector
+
+        return lambda: FaultInjector(
+            strike_cycles=[cycle], wcdl=self.WCDL, seed=13, site=site,
+            sensor=SensorModel(wcdl=self.WCDL))
+
+    def test_windows_open_under_gto(self):
+        """Fault-free LBM under GTO + the stateless baseline runs
+        memory windows, byte-identically."""
+        instance = workload_by_name("LBM").instance("tiny")
+        spans = memory_window_spans(instance, "baseline", "GTO")
+        assert spans, "memory windows never opened"
+        assert_paths_identical(instance, "baseline", "GTO")
+
+    @pytest.mark.parametrize("scheduler", ["OLD", "LRR", "2LV"])
+    def test_non_gto_schedulers_fall_back(self, scheduler):
+        """The window engine encodes GTO pick semantics; other
+        schedulers must never open one (the "scheduler" fallback is
+        booked instead) and still match the reference exactly."""
+        instance = workload_by_name("LBM").instance("tiny")
+        spans = memory_window_spans(instance, "baseline", scheduler)
+        assert spans == []
+        assert_paths_identical(instance, "baseline", scheduler)
+
+    def test_window_telemetry_counts(self):
+        """The window counters surface through stats: every LBM warp
+        instruction stream is memory-laden enough that windows cover
+        most of the dynamic instructions."""
+        instance = workload_by_name("LBM").instance("tiny")
+        _, stats, _ = run_scheme(instance, "baseline", "GTO", fast=True)
+        windows = stats["mem_windows_executed"]
+        insts = stats["mem_window_insts"]
+        assert windows > 0
+        assert insts / windows > 15, "windows too short to pay off"
+
+    def test_strike_on_load_inside_window(self):
+        """Strikes at the first, middle, and last cycle of the widest
+        window (LBM windows are load/store-dominated, so the interior
+        cycles sit on timed memory ops): the injector's next-event
+        horizon must stop the window so each strike lands on the exact
+        cycle-accurate machine."""
+        instance = workload_by_name("LBM").instance("tiny")
+        first, last = widest_span(
+            memory_window_spans(instance, "baseline", "GTO"))
+        assert last > first, "need a multi-cycle memory window"
+        for cycle in (first, (first + last) // 2, last):
+            assert_paths_identical(instance, "baseline", "GTO",
+                                   injector=self._injector(cycle))
+
+    @pytest.mark.parametrize("scheduler", ["GTO", "OLD", "LRR", "2LV"])
+    @pytest.mark.parametrize("scheme", ["baseline", "flame"])
+    def test_mid_window_strike_matrix(self, scheduler, scheme):
+        """A strike aimed at a cycle the GTO + baseline run covers with
+        one memory window, replayed across the scheduler × scheme
+        matrix: under GTO + baseline the window must break at the
+        injector horizon; under flame the stateful runtime disables
+        windows ("resilience" fallback) and non-GTO schedulers never
+        open them ("scheduler") — every combination must stay
+        byte-identical on its own path."""
+        instance = workload_by_name("LBM").instance("tiny")
+        first, last = widest_span(
+            memory_window_spans(instance, "baseline", "GTO"))
+        assert_paths_identical(instance, scheme, scheduler,
+                               injector=self._injector((first + last) // 2))
+
+    def test_scalar_cache_oracle_identical(self, monkeypatch):
+        """Cache state driven by scripted windows vs the per-access
+        scalar oracle: REPRO_SCALAR_CACHE=1 swaps the NumPy-backed
+        batch cache for the dict-LRU reference, and the whole run —
+        hits, misses, cycles, memory — must not move."""
+        instance = workload_by_name("LBM").instance("tiny")
+        monkeypatch.delenv("REPRO_SCALAR_CACHE", raising=False)
+        batched = run_scheme(instance, "baseline", "GTO", fast=True)
+        monkeypatch.setenv("REPRO_SCALAR_CACHE", "1")
+        scalar = run_scheme(instance, "baseline", "GTO", fast=True)
+        assert batched == scalar
 
 
 class TestMidSuperblockStrikes:

@@ -1,13 +1,19 @@
-"""Set-associative LRU cache model."""
+"""Set-associative LRU cache models (scalar oracle + NumPy batch)."""
 
+import numpy as np
 from hypothesis import given, strategies as st
 
 from repro.arch import CacheConfig
-from repro.sim import Cache
+from repro.sim import BatchCache, Cache, make_cache
 
 
 def small_cache(sets=4, assoc=2):
     return Cache(CacheConfig(num_sets=sets, assoc=assoc, line_words=32))
+
+
+def small_batch(sets=4, assoc=2):
+    return BatchCache(CacheConfig(num_sets=sets, assoc=assoc,
+                                  line_words=32))
 
 
 class TestBasics:
@@ -93,3 +99,120 @@ class TestProperties:
             cache.access(a)
         assert cache.hits + cache.misses == len(addrs)
         assert cache.accesses == len(addrs)
+
+
+class TestReplacementOrderPinned:
+    """Pin the dict-based LRU bookkeeping to the documented list
+    semantics (oldest-first capture order, hit = move-to-back, load
+    miss = evict slot 0) so the O(assoc) ``list.remove`` fix cannot
+    silently change replacement decisions."""
+
+    def test_capture_order_is_lru_first(self):
+        cache = small_cache(sets=1, assoc=3)
+        for line in (0, 1, 2):
+            cache.access(line * 32)
+        assert cache.capture_state()[0] == ((0, 1, 2),)
+        cache.access(0)                       # refresh line 0 -> MRU
+        assert cache.capture_state()[0] == ((1, 2, 0),)
+        cache.access(3 * 32)                  # evicts line 1 (slot 0)
+        assert cache.capture_state()[0] == ((2, 0, 3),)
+        cache.access(64, is_store=True)       # store hit refreshes too
+        assert cache.capture_state()[0] == ((0, 3, 2),)
+        cache.access(4 * 32, is_store=True)   # store miss: no allocate
+        assert cache.capture_state()[0] == ((0, 3, 2),)
+
+    @given(st.lists(st.tuples(st.integers(0, 1024), st.booleans()),
+                    min_size=1, max_size=200))
+    def test_reference_replacement_semantics(self, ops):
+        """Replay against a straight-line list model of the original
+        implementation: identical hit results and identical final
+        replacement order."""
+        cache = small_cache(sets=2, assoc=4)
+        model = [[] for _ in range(2)]
+        for addr, is_store in ops:
+            line = addr // 32
+            ways = model[line % 2]
+            if line in ways:
+                expect = True
+                ways.remove(line)
+                ways.append(line)
+            else:
+                expect = False
+                if not is_store:
+                    if len(ways) >= 4:
+                        ways.pop(0)
+                    ways.append(line)
+            assert cache.access(addr, is_store=is_store) == expect
+        assert cache.capture_state()[0] == tuple(tuple(w) for w in model)
+
+
+class TestBatchCache:
+    """The NumPy batch model must be bit-exact vs the scalar oracle —
+    same hit/miss answers, same replacement order, interchangeable
+    capture-state tuples."""
+
+    CFG = dict(sets=4, assoc=3)
+
+    @given(st.lists(st.tuples(st.integers(0, 2048), st.booleans()),
+                    min_size=1, max_size=200))
+    def test_scalar_access_equivalence(self, ops):
+        batch = small_batch(**self.CFG)
+        oracle = small_cache(**self.CFG)
+        for addr, is_store in ops:
+            assert (batch.access(addr, is_store=is_store)
+                    == oracle.access(addr, is_store=is_store))
+        assert batch.capture_state() == oracle.capture_state()
+
+    @given(st.lists(st.tuples(
+        st.lists(st.integers(0, 63), min_size=1, max_size=12, unique=True),
+        st.booleans()), min_size=1, max_size=40))
+    def test_vector_access_equivalence(self, calls):
+        """Whole segment vectors (mixing distinct-set fast paths and
+        same-set collision replays) answer identically to a sequential
+        scalar replay."""
+        batch = small_batch(**self.CFG)
+        oracle = small_cache(**self.CFG)
+        for lines, is_store in calls:
+            vec = np.asarray(lines, dtype=np.int64)
+            got = batch.access_lines(vec, is_store=is_store)
+            want = oracle.access_lines(vec, is_store=is_store)
+            assert got.tolist() == want.tolist()
+        assert batch.capture_state() == oracle.capture_state()
+        assert batch.state_equals(oracle.capture_state())
+
+    @given(st.lists(st.lists(st.integers(-1, 63), min_size=1, max_size=6),
+                    min_size=1, max_size=8))
+    def test_matrix_access_equivalence(self, rows):
+        """Stacked warp×segment matrices with -1 padding, row-major."""
+        width = max(len(r) for r in rows)
+        mat = np.full((len(rows), width), -1, dtype=np.int64)
+        for i, r in enumerate(rows):
+            seen = []
+            for v in r:                 # de-dup within a row (segments
+                if v >= 0 and v not in seen:   # are distinct lines)
+                    seen.append(v)
+            mat[i, :len(seen)] = seen
+        batch = small_batch(**self.CFG)
+        oracle = small_cache(**self.CFG)
+        got = batch.access_matrix(mat)
+        want = oracle.access_matrix(mat)
+        assert got.tolist() == want.tolist()
+        assert batch.capture_state() == oracle.capture_state()
+
+    def test_state_interchangeable_across_models(self):
+        batch = small_batch(**self.CFG)
+        for a in (0, 32, 64, 128, 0, 256):
+            batch.access(a)
+        restored = small_cache(**self.CFG)
+        restored.restore_state(batch.capture_state())
+        assert restored.capture_state() == batch.capture_state()
+        back = small_batch(**self.CFG)
+        back.restore_state(restored.capture_state())
+        assert back.state_equals(restored.capture_state())
+
+    def test_make_cache_flag(self, monkeypatch):
+        cfg = CacheConfig(num_sets=4, assoc=2, line_words=32)
+        monkeypatch.delenv("REPRO_SCALAR_CACHE", raising=False)
+        assert isinstance(make_cache(cfg), BatchCache)
+        monkeypatch.setenv("REPRO_SCALAR_CACHE", "1")
+        assert isinstance(make_cache(cfg), Cache)
