@@ -169,6 +169,16 @@ class CampaignSpec:
         return [(w, s, f) for w in self.workloads for s in self.schemes
                 for f in self.sites]
 
+    @staticmethod
+    def from_dict(data: dict) -> "CampaignSpec":
+        """Rebuild a spec from ``asdict`` output (journal headers, shard
+        assignment files) — JSON round-trips lists; the spec wants
+        tuples."""
+        data = dict(data)
+        for name in ("workloads", "schemes", "sites"):
+            data[name] = tuple(data[name])
+        return CampaignSpec(**data)
+
     def trial_specs(self) -> list["TrialSpec"]:
         return [
             TrialSpec(workload=w, scheme=s, site=f, index=i,
@@ -267,12 +277,22 @@ class TrialResult:
     #: SM-level memory-window scripting counters (same caveat).
     mem_windows_executed: int = 0
     mem_window_insts: int = 0
+    #: Post-run simulator aggregates feeding the metrics plane: stall
+    #: cycles by cause (the PR-5 ledger), instruction count, and L1
+    #: traffic of the faulty run.  Convergence early-exit makes these
+    #: execution-strategy-dependent, hence telemetry, not outcome.
+    stall_cycles: dict = field(default_factory=dict)
+    instructions: int = 0
+    l1_hits: int = 0
+    l1_misses: int = 0
 
     #: Attribute names carrying run-environment telemetry, not outcome.
     TELEMETRY_FIELDS = ("wall_time_s", "fast_start", "converged",
                         "golden_cache_hit", "golden_shared",
                         "superblocks_executed", "superblock_fallbacks",
-                        "mem_windows_executed", "mem_window_insts")
+                        "mem_windows_executed", "mem_window_insts",
+                        "stall_cycles", "instructions", "l1_hits",
+                        "l1_misses")
 
     @property
     def key(self) -> tuple[str, str, str, int]:
@@ -528,6 +548,12 @@ def run_trial(trial: TrialSpec) -> TrialResult:
     result.superblock_fallbacks = dict(sim_result.stats.superblock_fallbacks)
     result.mem_windows_executed = sim_result.stats.mem_windows_executed
     result.mem_window_insts = sim_result.stats.mem_window_insts
+    result.stall_cycles = {cause: cycles for cause, cycles
+                           in sim_result.stats.stall_cycles.items()
+                           if cycles}
+    result.instructions = sim_result.stats.instructions
+    result.l1_hits = sim_result.stats.l1_hits
+    result.l1_misses = sim_result.stats.l1_misses
     result.cycles = sim_result.cycles
     result.landed = sum(1 for r in injector.records if r.landed)
     # Coalesced recoveries count: a strike landing during an in-progress
@@ -793,6 +819,27 @@ class CampaignJournal:
 
     def has_header(self) -> bool:
         return os.path.exists(self.path) and os.path.getsize(self.path) > 0
+
+    def load_spec(self) -> CampaignSpec:
+        """Reconstruct the campaign spec pinned in the header line —
+        lets post-hoc tools (the ``report`` command) work from a journal
+        alone, with no need to re-state the original CLI flags."""
+        if not os.path.exists(self.path):
+            raise ConfigError(f"journal {self.path} does not exist")
+        with open(self.path, encoding="utf-8") as handle:
+            for line in handle:
+                if not line.endswith("\n"):
+                    break
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if record.get("type") == "header" and "spec" in record:
+                    return CampaignSpec.from_dict(record["spec"])
+        raise ConfigError(
+            f"journal {self.path} has no spec header (written by "
+            f"pre-header tooling?); re-run the campaign or pass the "
+            f"spec explicitly")
 
 
 __all__ = [

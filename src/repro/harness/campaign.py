@@ -96,7 +96,8 @@ class CampaignRunner:
     # ------------------------------------------------------------------
     def run(self, spec: CampaignSpec, journal_path: str | None = None,
             progress: bool = False, fresh: bool = False,
-            metrics_path: str | None = None) -> CampaignReport:
+            metrics_path: str | None = None, registry=None,
+            on_snapshot=None) -> CampaignReport:
         path = journal_path or default_journal_path(spec)
         journal = CampaignJournal(path)
         if fresh and os.path.exists(path):
@@ -113,9 +114,12 @@ class CampaignRunner:
         completed = len(done)
         infra = 0
         heartbeat = None
-        if metrics_path is not None:
+        if (metrics_path is not None or registry is not None
+                or on_snapshot is not None):
             from ..obs import CampaignHeartbeat
-            heartbeat = CampaignHeartbeat(metrics_path, total).start()
+            heartbeat = CampaignHeartbeat(
+                metrics_path, total, registry=registry,
+                on_snapshot=on_snapshot).start()
             if done:
                 heartbeat.note_resumed(len(done))
         self._heartbeat = heartbeat
@@ -334,12 +338,13 @@ def write_aggregates(report: CampaignReport, path: str) -> None:
 
 def run_campaign(spec: CampaignSpec, workers: int | None = None,
                  journal_path: str | None = None, progress: bool = False,
-                 fresh: bool = False,
-                 metrics_path: str | None = None) -> CampaignReport:
+                 fresh: bool = False, metrics_path: str | None = None,
+                 registry=None, on_snapshot=None) -> CampaignReport:
     """Convenience one-shot used by the CLI and the experiments module."""
     return CampaignRunner(workers=workers).run(
         spec, journal_path=journal_path, progress=progress, fresh=fresh,
-        metrics_path=metrics_path)
+        metrics_path=metrics_path, registry=registry,
+        on_snapshot=on_snapshot)
 
 
 __all__ = ["CampaignReport", "CampaignRunner", "default_journal_path",

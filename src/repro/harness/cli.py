@@ -23,8 +23,8 @@ from .runner import Runner
 
 EXPERIMENTS = ("table1", "figure12", "table2", "figure13", "figure15",
                "figure16", "figure17", "figure18", "figure19", "section4",
-               "hwcost", "ablation", "campaign", "worker", "trace",
-               "schemes", "all")
+               "hwcost", "ablation", "campaign", "report", "worker",
+               "trace", "schemes", "all")
 
 
 def _benchmarks(args) -> tuple[str, ...]:
@@ -103,6 +103,10 @@ def main(argv: list[str] | None = None) -> int:
                        help="print the stall-cause breakdown table")
     trace.add_argument("--no-inject", action="store_true",
                        help="trace a clean run (no mid-kernel strike)")
+    trace.add_argument("--trace-capacity", type=int, default=1 << 20,
+                       help="tracer ring-buffer capacity in events; "
+                            "oldest events drop beyond it (the drop "
+                            "count is reported)")
     campaign = parser.add_argument_group(
         "campaign", "Monte Carlo fault-injection campaign options")
     campaign.add_argument("--trials", type=int, default=200,
@@ -159,6 +163,21 @@ def main(argv: list[str] | None = None) -> int:
     campaign.add_argument("--metrics-json", default="",
                           help="append periodic campaign telemetry "
                                "heartbeats (JSONL) to this path")
+    campaign.add_argument("--live", action="store_true",
+                          help="render a live terminal dashboard "
+                               "(progress, trials/sec sparkline, "
+                               "per-cell Wilson CIs, stall bars, shard "
+                               "lease board) on every heartbeat tick")
+    campaign.add_argument("--metrics-prom", default="",
+                          help="write the final metrics snapshot in "
+                               "Prometheus text exposition format to "
+                               "this path (validated before writing); "
+                               "for 'report': read a snapshot from "
+                               "this path instead")
+    campaign.add_argument("--report", dest="report_html", default="",
+                          help="write a self-contained HTML campaign "
+                               "report here (a markdown twin lands "
+                               "next to it with the .md suffix)")
     service = parser.add_argument_group(
         "service", "distributed campaign service (sharded coordinator "
                    "+ worker backends)")
@@ -193,6 +212,10 @@ def main(argv: list[str] | None = None) -> int:
     service.add_argument("--max-worker-restarts", type=int, default=16,
                          help="http backend: respawn budget for dead "
                               "workers before abandoning pending shards")
+    service.add_argument("--http-port", type=int, default=0,
+                         help="http backend: bind the coordinator API "
+                              "(and its /v1/metrics exposition) to this "
+                              "port (0 = ephemeral)")
     worker = parser.add_argument_group(
         "worker", "shard worker options (experiment 'worker')")
     worker.add_argument("--shard-json", default="",
@@ -296,7 +319,7 @@ def _run(args: argparse.Namespace) -> int:
         traced = run_traced(
             workload, scheme=args.scheme, scheduler=args.scheduler,
             scale=args.scale, wcdl=args.wcdl, seed=args.seed,
-            inject=not args.no_inject)
+            inject=not args.no_inject, capacity=args.trace_capacity)
         line = (f"traced {traced.workload}/{traced.scheme}/"
                 f"{traced.scheduler} scale={traced.scale}: "
                 f"{traced.cycles} cycles, "
@@ -306,6 +329,11 @@ def _run(args: argparse.Namespace) -> int:
         if traced.strike_cycle is not None:
             line += f", strike@{traced.strike_cycle}"
         print(line)
+        if traced.tracer.dropped:
+            print(f"warning: trace ring buffer dropped "
+                  f"{traced.tracer.dropped} events — the exported trace "
+                  f"is partial; raise the tracer capacity to keep them "
+                  f"all", file=sys.stderr)
         if args.trace_out:
             write_chrome_trace(traced.tracer, args.trace_out,
                                workload=traced.workload)
@@ -320,7 +348,32 @@ def _run(args: argparse.Namespace) -> int:
                 traced.stats,
                 title=(f"Stall-cause breakdown: {traced.workload}/"
                        f"{traced.scheme}/{traced.scheduler} "
-                       f"(scale={traced.scale})")))
+                       f"(scale={traced.scale})"),
+                dropped_events=traced.tracer.dropped))
+        return 0
+
+    if args.experiment == "report":
+        from .report import (load_prom_snapshot, report_from_journal,
+                             write_campaign_report)
+
+        if not args.journal:
+            print("report needs --journal (a merged campaign journal; "
+                  "its header carries the spec)", file=sys.stderr)
+            return 2
+        report = report_from_journal(args.journal)
+        families = (load_prom_snapshot(args.metrics_prom)
+                    if args.metrics_prom else None)
+        html_path = args.report_html or args.journal + ".report.html"
+        md_path = html_path.rsplit(".html", 1)[0] + ".md" \
+            if html_path.endswith(".html") else html_path + ".md"
+        for path in write_campaign_report(report, html_path,
+                                          md_path=md_path,
+                                          families=families):
+            print(f"report written to {path}")
+        if not args.metrics_prom:
+            print("note: no --metrics-prom snapshot given; "
+                  "metric-derived sections are marked unavailable",
+                  file=sys.stderr)
         return 0
 
     if args.experiment == "campaign":
@@ -337,6 +390,16 @@ def _run(args: argparse.Namespace) -> int:
         backend = args.backend
         if backend == "pool" and args.shards:
             backend = "subprocess"
+        registry = None
+        on_snapshot = None
+        if args.live or args.metrics_prom or args.report_html:
+            from ..obs import MetricsRegistry
+
+            registry = MetricsRegistry()
+        if args.live:
+            from .dashboard import LiveDashboard
+
+            on_snapshot = LiveDashboard(registry=registry).on_snapshot
         report = exp.fault_coverage(
             scale=args.scale, benchmarks=benches,
             schemes=tuple(args.schemes), trials=args.trials,
@@ -352,17 +415,40 @@ def _run(args: argparse.Namespace) -> int:
             checkpoint=not args.no_checkpoint,
             checkpoint_interval=args.checkpoint_interval,
             metrics_path=args.metrics_json or None,
+            registry=registry, on_snapshot=on_snapshot,
             backend=backend, shards=args.shards,
             shard_dir=args.shard_dir or None,
             fsync_interval=args.fsync_interval,
             lease_ttl_s=args.lease_ttl,
             heartbeat_timeout_s=args.heartbeat_timeout,
             fail_limit=args.shard_fail_limit,
-            max_worker_restarts=args.max_worker_restarts)
+            max_worker_restarts=args.max_worker_restarts,
+            http_port=args.http_port)
         if args.aggregate_json:
             from .campaign import write_aggregates
 
             write_aggregates(report, args.aggregate_json)
+        if args.metrics_prom:
+            from ..obs import render_prom, validate_prom_text
+
+            text = render_prom(registry)
+            problems = validate_prom_text(text)
+            with open(args.metrics_prom, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            print(f"metrics snapshot written to {args.metrics_prom}")
+            if problems:  # never expected; loud beats silent corruption
+                print("warning: metrics snapshot failed validation: "
+                      + "; ".join(problems), file=sys.stderr)
+        if args.report_html:
+            from .report import write_campaign_report
+
+            md_path = (args.report_html.rsplit(".html", 1)[0] + ".md"
+                       if args.report_html.endswith(".html")
+                       else args.report_html + ".md")
+            for path in write_campaign_report(report, args.report_html,
+                                              md_path=md_path,
+                                              registry=registry):
+                print(f"report written to {path}")
         print(rep.render_campaign(report))
         return 0
 

@@ -1,0 +1,213 @@
+"""ANSI terminal dashboard for live campaign monitoring.
+
+``campaign --live`` attaches a :class:`LiveDashboard` to the campaign
+heartbeat's ``on_snapshot`` hook: every heartbeat tick re-renders a
+full-screen view — progress bar and ETA, a trials/sec sparkline, the
+per-cell verdict table with Wilson 95% CIs (from the shared metrics
+registry), stall-cause bars, and (for sharded campaigns) the shard
+lease board.
+
+Rendering is a pure function of ``(snapshot, registry, status)`` so the
+whole view is unit-testable without a terminal; the ANSI screen-clear
+escape is only emitted when stdout is a TTY (piped output degrades to
+appended frames, which is what CI logs want anyway).
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+
+from ..core.campaign import wilson_interval
+from ..obs.metrics import MetricsRegistry, trial_counts
+from .reporting import render_table
+
+#: Eight-level block characters for the trials/sec sparkline.
+_SPARK = " ▁▂▃▄▅▆▇█"
+
+#: Stall causes in severity order come from the simulator; the bar
+#: width budget for the breakdown section.
+_BAR_WIDTH = 30
+
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def sparkline(values: list[float], width: int = 32) -> str:
+    """Render the last ``width`` samples as unicode block bars."""
+    tail = [max(v, 0.0) for v in values[-width:]]
+    if not tail:
+        return ""
+    top = max(tail)
+    if top <= 0:
+        return _SPARK[0] * len(tail)
+    out = []
+    for value in tail:
+        idx = round(value / top * (len(_SPARK) - 1))
+        out.append(_SPARK[max(0, min(idx, len(_SPARK) - 1))])
+    return "".join(out)
+
+
+def _bar(fraction: float, width: int = _BAR_WIDTH) -> str:
+    filled = int(round(max(0.0, min(fraction, 1.0)) * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def _fmt_eta(eta_s) -> str:
+    if eta_s is None:
+        return "--"
+    eta_s = int(eta_s)
+    if eta_s >= 3600:
+        return f"{eta_s // 3600}h{(eta_s % 3600) // 60:02d}m"
+    if eta_s >= 60:
+        return f"{eta_s // 60}m{eta_s % 60:02d}s"
+    return f"{eta_s}s"
+
+
+def render_dashboard(snapshot: dict,
+                     registry: MetricsRegistry | None = None,
+                     shard_status: dict | None = None) -> str:
+    """Pure renderer: one full dashboard frame as a string."""
+    lines: list[str] = []
+    total = snapshot.get("total_trials", 0)
+    completed = snapshot.get("completed", 0)
+    resumed = snapshot.get("resumed_from_journal", 0)
+    done = completed + resumed
+    frac = done / total if total else 0.0
+    lines.append(f"campaign  {done}/{total} trials  "
+                 f"[{_bar(frac)}] {100.0 * frac:5.1f}%")
+    rate = snapshot.get("trials_per_sec", 0.0)
+    lines.append(f"rate      {rate:8.2f} trials/s   "
+                 f"eta {_fmt_eta(snapshot.get('eta_s'))}   "
+                 f"elapsed {snapshot.get('elapsed_s', 0.0):.0f}s")
+    history = snapshot.get("rate_history") or []
+    if history:
+        lines.append(f"history   {sparkline(history)}")
+    accel = []
+    for key, label in (("fast_start_hit_rate", "fast-start"),
+                       ("convergence_early_exit_rate", "converged")):
+        value = snapshot.get(key)
+        if value:
+            accel.append(f"{label} {100.0 * value:.0f}%")
+    for key, label in (("golden_cache_hits", "golden-cache"),
+                       ("golden_shared_hits", "golden-shared"),
+                       ("retries", "retries"),
+                       ("worker_restarts", "restarts"),
+                       ("infra_failures", "infra")):
+        value = snapshot.get(key)
+        if value:
+            accel.append(f"{label} {value}")
+    if accel:
+        lines.append("accel     " + "  ".join(accel))
+
+    if registry is not None:
+        cell_table = _render_cells(registry)
+        if cell_table:
+            lines.append("")
+            lines.append(cell_table)
+
+    stalls = snapshot.get("stall_cycles") or {}
+    if stalls:
+        lines.append("")
+        lines.append("stall-cause breakdown (campaign aggregate)")
+        total_stalls = sum(stalls.values()) or 1
+        for cause, cycles in sorted(stalls.items(),
+                                    key=lambda kv: -kv[1]):
+            share = cycles / total_stalls
+            lines.append(f"  {cause:<16} {_bar(share)} "
+                         f"{100.0 * share:5.1f}%")
+
+    if shard_status:
+        lines.append("")
+        lines.append(_render_shards(shard_status))
+    elif snapshot.get("shard_staleness_s"):
+        lines.append("")
+        stale = snapshot["shard_staleness_s"]
+        done_shards = snapshot.get("shards_done", 0)
+        lines.append(f"shards    {done_shards} done; last heartbeat: "
+                     + "  ".join(f"#{sid} {age:.0f}s ago"
+                                 for sid, age in sorted(stale.items())))
+    return "\n".join(lines)
+
+
+def _render_cells(registry: MetricsRegistry) -> str:
+    counts = trial_counts(registry)
+    if not counts:
+        return ""
+    rows = []
+    for (workload, scheme, site), verdicts in sorted(counts.items()):
+        n = sum(verdicts.values())
+        sdc = verdicts.get("sdc", 0)
+        if n:
+            lo, hi = wilson_interval(sdc, n)
+            ci = f"{sdc / n:.3f} [{lo:.3f}, {hi:.3f}]"
+        else:
+            ci = "n/a"
+        rows.append([workload, scheme, site, n,
+                     verdicts.get("masked", 0),
+                     verdicts.get("recovered", 0), sdc,
+                     verdicts.get("due_hang", 0)
+                     + verdicts.get("due_crash", 0),
+                     verdicts.get("infra_error", 0), ci])
+    return render_table(
+        ["Workload", "Scheme", "Site", "N", "Masked", "Recov", "SDC",
+         "DUE", "Infra", "SDC rate [95% CI]"],
+        rows, title="per-cell verdicts (live)")
+
+
+def _render_shards(status: dict) -> str:
+    rows = []
+    for sid, entry in sorted(status.get("shards", {}).items(),
+                             key=lambda kv: int(kv[0])):
+        age = entry.get("heartbeat_age_s")
+        rows.append([sid, entry.get("state", "?"),
+                     entry.get("worker", ""),
+                     f"{age:.1f}s" if age is not None else "",
+                     entry.get("failures", 0),
+                     entry.get("reason", "")[:40]])
+    return render_table(
+        ["Shard", "State", "Worker", "HB age", "Fails", "Reason"],
+        rows, title="shard lease board")
+
+
+class LiveDashboard:
+    """Stateful wrapper: keeps the rate history ring, clears the screen
+    on TTYs, and is safe to call from the heartbeat's writer thread."""
+
+    def __init__(self, registry: MetricsRegistry | None = None,
+                 status_fn=None, stream=None, history: int = 64) -> None:
+        self.registry = registry
+        #: Optional callable returning the coordinator status dict
+        #: (sharded campaigns); ``None`` for single-process runs.
+        self.status_fn = status_fn
+        self.stream = stream if stream is not None else sys.stdout
+        self.history = history
+        self._rates: list[float] = []
+        self._lock = threading.Lock()
+
+    def on_snapshot(self, snapshot: dict) -> None:
+        """Heartbeat hook: render one frame (never raises)."""
+        try:
+            self.stream.write(self.render(snapshot) + "\n")
+            self.stream.flush()
+        except Exception:
+            pass  # a wedged terminal must never kill the campaign
+
+    def render(self, snapshot: dict) -> str:
+        with self._lock:
+            self._rates.append(float(snapshot.get("trials_per_sec", 0.0)))
+            del self._rates[:-self.history]
+            snapshot = dict(snapshot, rate_history=list(self._rates))
+        status = None
+        if self.status_fn is not None:
+            try:
+                status = self.status_fn()
+            except Exception:
+                status = None
+        frame = render_dashboard(snapshot, registry=self.registry,
+                                 shard_status=status)
+        if getattr(self.stream, "isatty", lambda: False)():
+            frame = _CLEAR + frame
+        return frame
+
+
+__all__ = ["LiveDashboard", "render_dashboard", "sparkline"]

@@ -286,11 +286,13 @@ def fault_coverage(scale: str = "tiny",
                    progress: bool = False, checkpoint: bool = True,
                    checkpoint_interval: int = 0,
                    metrics_path: str | None = None,
+                   registry=None, on_snapshot=None,
                    backend: str = "pool", shards: int = 0,
                    shard_dir: str | None = None, fsync_interval: int = 1,
                    lease_ttl_s: float = 600.0,
                    heartbeat_timeout_s: float = 30.0, fail_limit: int = 3,
-                   max_worker_restarts: int = 16):
+                   max_worker_restarts: int = 16,
+                   http_host: str = "127.0.0.1", http_port: int = 0):
     """Run (or resume) an injection campaign and return its report.
 
     ``backend="pool"`` (default) keeps the classic single-host worker
@@ -335,13 +337,16 @@ def fault_coverage(scale: str = "tiny",
             spec, shards=num_shards, backend=backend, workers=workers,
             journal_path=journal_path, shard_dir=shard_dir, fresh=fresh,
             progress=progress, metrics_path=metrics_path,
+            registry=registry, on_snapshot=on_snapshot,
+            http_host=http_host, http_port=http_port,
             fsync_interval=fsync_interval, lease_ttl_s=lease_ttl_s,
             heartbeat_timeout_s=heartbeat_timeout_s,
             fail_limit=fail_limit,
             max_worker_restarts=max_worker_restarts)
     return run_campaign(spec, workers=workers, journal_path=journal_path,
                         progress=progress, fresh=fresh,
-                        metrics_path=metrics_path)
+                        metrics_path=metrics_path, registry=registry,
+                        on_snapshot=on_snapshot)
 
 
 # ----------------------------------------------------------------------

@@ -160,15 +160,16 @@ def render_campaign(report: "CampaignReport") -> str:
     return rendered
 
 
-def render_campaign_head_to_head(report: "CampaignReport") -> str:
-    """Coverage-vs-overhead comparison per (workload, fault site).
+def campaign_overhead_rows(report: "CampaignReport") -> list[dict]:
+    """Coverage-vs-overhead data per (workload, fault site, scheme).
 
     *Coverage* is the fraction of measured trials whose output stayed
     bit-exact (masked + recovered); *overhead* is the scheme's fault-free
     golden cycle count relative to the campaign's ``baseline`` scheme on
-    the same workload ("n/a" when baseline is not in the campaign).
+    the same workload (``None`` when baseline is not in the campaign).
     This is the paper's comparative axis — Flame's sub-percent overhead
-    against the 15-45% duplication band — per fault site.
+    against the 15-45% duplication band — per fault site.  Shared by the
+    plain-text head-to-head table and the HTML/markdown report artifact.
     """
     from ..core.campaign import INFRA_ERROR, MASKED, RECOVERED, SDC
 
@@ -178,30 +179,56 @@ def render_campaign_head_to_head(report: "CampaignReport") -> str:
             golden.setdefault((result.workload, result.scheme),
                               result.golden_cycles)
     if not golden:
-        return ""
+        return []
     rows = []
     for cell in sorted(report.cells,
                        key=lambda c: (c.workload, c.site, c.scheme)):
         measured = cell.trials - cell.counts[INFRA_ERROR]
         covered = cell.counts[MASKED] + cell.counts[RECOVERED]
-        coverage = f"{covered / measured:.3f}" if measured else "n/a"
         base = golden.get((cell.workload, "baseline"))
         mine = golden.get((cell.workload, cell.scheme))
-        overhead = (f"{100.0 * (mine / base - 1.0):+.2f}%"
-                    if base and mine else "n/a")
-        rows.append([cell.workload, cell.site, cell.scheme, coverage,
-                     overhead, cell.counts[SDC], cell.unrecovered])
+        rows.append({
+            "workload": cell.workload, "site": cell.site,
+            "scheme": cell.scheme,
+            "coverage": covered / measured if measured else None,
+            "overhead": (mine / base - 1.0) if base and mine else None,
+            "sdc": cell.counts[SDC],
+            "unrecovered": cell.unrecovered,
+        })
+    return rows
+
+
+def render_campaign_head_to_head(report: "CampaignReport") -> str:
+    """Plain-text rendering of :func:`campaign_overhead_rows`."""
+    data = campaign_overhead_rows(report)
+    if not data:
+        return ""
+    rows = []
+    for row in data:
+        coverage = (f"{row['coverage']:.3f}"
+                    if row["coverage"] is not None else "n/a")
+        overhead = (f"{100.0 * row['overhead']:+.2f}%"
+                    if row["overhead"] is not None else "n/a")
+        rows.append([row["workload"], row["site"], row["scheme"],
+                     coverage, overhead, row["sdc"], row["unrecovered"]])
     return render_table(
         ["Workload", "Site", "Scheme", "Coverage", "Overhead", "SDC",
          "Unrecovered"],
         rows, title="Head-to-head: coverage vs overhead per fault site")
 
 
-def render_stall_breakdown(stats, title: str = "") -> str:
+def render_stall_breakdown(stats, title: str = "",
+                           dropped_events: int = 0) -> str:
     """Normalized where-the-cycles-went table for one run's merged
     :class:`~repro.sim.stats.SimStats` (Fig. 13-style breakdown: each
     active cycle is either an issue or exactly one attributed stall
-    cause, so the percentages sum to 100)."""
+    cause, so the percentages sum to 100).
+
+    ``dropped_events`` (the tracer's ring-buffer drop count) appends a
+    caveat line when nonzero — the stall *ledger* is always complete
+    (it is counted, not traced), but a reader correlating the table
+    against an exported trace should know the trace itself is partial.
+    """
     from ..sim.stats import STALL_CAUSES
 
     active = max(stats.active_cycles, 1)
@@ -213,9 +240,15 @@ def render_stall_breakdown(stats, title: str = "") -> str:
             rows.append([cause, cycles,
                          f"{100.0 * cycles / active:.2f}%"])
     rows.append(["TOTAL (active)", stats.active_cycles, "100.00%"])
-    return render_table(
+    rendered = render_table(
         ["Cause", "Cycles", "Share"], rows,
         title=title or "Stall-cause breakdown (per-SM active cycles)")
+    if dropped_events:
+        rendered += (f"\nnote: trace ring buffer dropped "
+                     f"{dropped_events} events (ledger above is still "
+                     f"complete; raise --trace-capacity for a full "
+                     f"trace)")
+    return rendered
 
 
 def render_hwcost(rows: list[dict]) -> str:

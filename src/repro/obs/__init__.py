@@ -1,4 +1,4 @@
-"""Observability: event tracing, trace export, and campaign telemetry.
+"""Observability: event tracing, trace export, metrics, and telemetry.
 
 Always compiled, zero-overhead when off: the simulator's hot paths pay a
 single truthiness check against a ``None`` tracer; attach a
@@ -7,14 +7,26 @@ events from every layer — warp issue/stall/wake, region
 begin/verify/rollback, RBQ traffic, cache misses, barriers, block
 dispatch/retire, and fault strike/detection/recovery — then export them
 as Chrome-trace/Perfetto JSON or compact JSONL.
+
+The metrics plane (:mod:`repro.obs.metrics`) mirrors the same
+philosophy: a dependency-free Counter/Gauge/Histogram registry that is
+populated post-run from ``SimStats``/``TrialResult`` telemetry (never
+from cycle loops) and rendered as Prometheus text for the service's
+``/v1/metrics`` endpoint, the live dashboard, and campaign reports.
 """
 
 from .export import (chrome_trace, validate_chrome_trace,
                      write_chrome_trace, write_jsonl)
 from .heartbeat import CampaignHeartbeat
+from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                      observe_sim_stats, observe_trial, parse_prom_text,
+                      render_prom, trial_counts, validate_prom_text)
 from .tracer import TraceEvent, Tracer
 
 __all__ = [
-    "CampaignHeartbeat", "TraceEvent", "Tracer", "chrome_trace",
-    "validate_chrome_trace", "write_chrome_trace", "write_jsonl",
+    "CampaignHeartbeat", "Counter", "Gauge", "Histogram",
+    "MetricsRegistry", "TraceEvent", "Tracer", "chrome_trace",
+    "observe_sim_stats", "observe_trial", "parse_prom_text",
+    "render_prom", "trial_counts", "validate_chrome_trace",
+    "validate_prom_text", "write_chrome_trace", "write_jsonl",
 ]

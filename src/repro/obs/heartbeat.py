@@ -6,6 +6,13 @@ file — progress, throughput, acceleration hit rates, worker restarts,
 and an ETA extrapolated from the observed trial rate.  ``stop()`` always
 writes one final record, so even sub-interval campaigns emit at least
 one heartbeat.
+
+The heartbeat doubles as the bridge into the metrics plane: give it a
+:class:`~repro.obs.metrics.MetricsRegistry` and every ``note_trial``
+also folds the trial into Prometheus-exposable counters
+(``observe_trial``); give it an ``on_snapshot`` callback and each
+periodic/final record is additionally delivered in-process — that is
+how the ``--live`` dashboard ticks without a second timer thread.
 """
 
 from __future__ import annotations
@@ -14,6 +21,14 @@ import json
 import threading
 import time
 
+from .metrics import MetricsRegistry, observe_trial
+
+#: Below this many elapsed seconds, rate/ETA extrapolation is noise:
+#: the first sample can land microseconds after start (or before it,
+#: when a caller snapshots an un-started heartbeat), and dividing a
+#: handful of trials by ~0 produces absurd trillions-of-trials/sec.
+_MIN_RATE_WINDOW_S = 1e-3
+
 
 class CampaignHeartbeat:
     """Thread-safe counter block plus the writer thread.
@@ -21,11 +36,18 @@ class CampaignHeartbeat:
     Counters are bumped from the result-recording path (one process;
     worker processes report through the pool's result queue, so no
     cross-process locking is needed beyond this object's lock).
+
+    ``path=None`` runs the heartbeat as a pure in-memory sampler — no
+    JSONL file, but ``snapshot``/``on_snapshot``/``registry`` all still
+    work (the service runner uses this when the operator asked for a
+    dashboard but no metrics file).
     """
 
-    def __init__(self, path: str, total_trials: int,
+    def __init__(self, path: str | None, total_trials: int,
                  interval: float = 5.0, shard_id: int | None = None,
-                 worker_id: str | None = None) -> None:
+                 worker_id: str | None = None,
+                 registry: MetricsRegistry | None = None,
+                 on_snapshot=None) -> None:
         self.path = path
         self.total_trials = total_trials
         self.interval = interval
@@ -34,10 +56,19 @@ class CampaignHeartbeat:
         #: heartbeat leaves them ``None`` and omits the fields).
         self.shard_id = shard_id
         self.worker_id = worker_id
+        #: Optional metrics registry: every noted trial is also folded
+        #: into Prometheus counters/histograms via ``observe_trial``.
+        self.registry = registry
+        #: Optional callback fired with each record written (periodic
+        #: and final) — drives the live dashboard.
+        self.on_snapshot = on_snapshot
         self._lock = threading.Lock()
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
-        self._started_at = 0.0
+        #: ``None`` until ``start()``: a snapshot taken before the
+        #: writer starts must report zero elapsed time, not the seconds
+        #: since the process booted its monotonic clock.
+        self._started_at: float | None = None
         # Counters (guarded by _lock).
         self.completed = 0
         self.resumed = 0          # trials satisfied from the journal
@@ -57,6 +88,8 @@ class CampaignHeartbeat:
         # Memory-window scripting effectiveness (SM-level windows).
         self.mem_windows_executed = 0
         self.mem_window_insts = 0
+        # Stall-cycle ledger summed across faulty runs, by cause.
+        self.stall_cycles: dict[str, int] = {}
         self.shards_done = 0
         # Last observed liveness signal per shard (monotonic seconds);
         # the coordinator-side heartbeat reports these as staleness.
@@ -97,6 +130,12 @@ class CampaignHeartbeat:
                 result, "mem_windows_executed", 0)
             self.mem_window_insts += getattr(
                 result, "mem_window_insts", 0)
+            for cause, cycles in (getattr(result, "stall_cycles", None)
+                                  or {}).items():
+                self.stall_cycles[cause] = \
+                    self.stall_cycles.get(cause, 0) + cycles
+        if self.registry is not None:
+            observe_trial(self.registry, result, shard_id=self.shard_id)
 
     def note_worker_restart(self) -> None:
         with self._lock:
@@ -146,11 +185,24 @@ class CampaignHeartbeat:
             self._write(final=False)
 
     def snapshot(self, final: bool = False) -> dict:
-        """One metrics record (the JSONL schema)."""
-        elapsed = max(time.monotonic() - self._started_at, 1e-9)
+        """One metrics record (the JSONL schema).
+
+        Rate and ETA are guarded against the zero-elapsed edge: before
+        ``start()`` or within the first millisecond, ``trials_per_sec``
+        is 0.0 and ``eta_s`` is ``None`` rather than an extrapolation
+        from a division by (nearly) zero.  ``elapsed_s`` is present in
+        every record.
+        """
+        if self._started_at is None:
+            elapsed = 0.0
+        else:
+            elapsed = max(time.monotonic() - self._started_at, 0.0)
         with self._lock:
             completed = self.completed
-            rate = completed / elapsed
+            if elapsed >= _MIN_RATE_WINDOW_S:
+                rate = completed / elapsed
+            else:
+                rate = 0.0
             remaining = max(self.total_trials - self.resumed - completed, 0)
             denominator = completed or 1
             record = {
@@ -179,6 +231,9 @@ class CampaignHeartbeat:
                 "mem_windows_executed": self.mem_windows_executed,
                 "mem_window_insts": self.mem_window_insts,
             }
+            if self.stall_cycles:
+                record["stall_cycles"] = dict(
+                    sorted(self.stall_cycles.items()))
             if self.shard_id is not None:
                 record["shard_id"] = self.shard_id
             if self.worker_id is not None:
@@ -195,9 +250,15 @@ class CampaignHeartbeat:
     def _write(self, final: bool) -> None:
         record = self.snapshot(final=final)
         record["time"] = time.time()
-        try:
-            with open(self.path, "a", encoding="utf-8") as fh:
-                fh.write(json.dumps(record, separators=(",", ":")))
-                fh.write("\n")
-        except OSError:
-            pass  # telemetry must never kill a campaign
+        if self.path is not None:
+            try:
+                with open(self.path, "a", encoding="utf-8") as fh:
+                    fh.write(json.dumps(record, separators=(",", ":")))
+                    fh.write("\n")
+            except OSError:
+                pass  # telemetry must never kill a campaign
+        if self.on_snapshot is not None:
+            try:
+                self.on_snapshot(record)
+            except Exception:
+                pass  # dashboard hiccups must never kill a campaign

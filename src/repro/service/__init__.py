@@ -27,9 +27,12 @@ _EXPORTS = {
     "CoordinatorJournal": "coordinator",
     "ShardAssignment": "worker",
     "run_shard": "worker",
+    "CoordinatorApiError": "api",
     "CoordinatorClient": "api",
     "CoordinatorServer": "api",
+    "CoordinatorUnreachable": "api",
     "run_polling_worker": "api",
+    "ServiceMetrics": "metrics",
     "BACKENDS": "backends",
     "BackendOptions": "backends",
     "backend_by_name": "backends",

@@ -7,16 +7,27 @@ journals, separate hosts) and poll for shard leases::
     POST /v1/lease      {"worker_id": ...} -> {"lease": {...}|null,
                                                "finished": bool,
                                                "retry_after_s": float}
-    POST /v1/heartbeat  {"lease_id": ...}  -> {"ok": bool}
+    POST /v1/heartbeat  {"lease_id": ...,
+                         "metrics": {...}?}  -> {"ok": bool}
     POST /v1/complete   {"lease_id": ...}  -> {"ok": bool}
     POST /v1/fail       {"lease_id": ..., "reason": ...} -> {"ok": true}
     GET  /v1/status                        -> coordinator status dict
+    GET  /v1/metrics                       -> Prometheus text exposition
 
 ``heartbeat -> {"ok": false}`` is the revocation signal: the lease was
 expired (missed heartbeats, TTL) or the coordinator restarted; the
-worker must stop executing the shard and lease again.  Every mutating
-coordinator call runs under one lock, so the threaded server imposes
-the same single-writer discipline the in-process backends get for free.
+worker must stop executing the shard and lease again.  A worker may
+attach its campaign-heartbeat snapshot to the heartbeat body; the
+coordinator mirrors it into per-shard gauges on ``/v1/metrics``.  Every
+mutating coordinator call runs under one lock, so the threaded server
+imposes the same single-writer discipline the in-process backends get
+for free.
+
+Unknown paths and methods answer with a structured JSON 404 body
+(``{"error": "not_found", "path": ..., "method": ..., "endpoints":
+[...]}``) — a worker pointed at the wrong URL fails fast with a
+diagnosable :class:`CoordinatorApiError` instead of burning its retry
+budget against an empty reply.
 """
 
 from __future__ import annotations
@@ -33,9 +44,25 @@ from .coordinator import Coordinator
 from .shard import ShardSpec
 from .worker import ShardAssignment, run_shard
 
+#: Every route the server answers, by method (also the 404 body's
+#: ``endpoints`` hint and the metrics plane's path-label vocabulary).
+GET_ENDPOINTS = ("/v1/status", "/v1/metrics")
+POST_ENDPOINTS = ("/v1/lease", "/v1/heartbeat", "/v1/complete", "/v1/fail")
+
 
 class CoordinatorUnreachable(ReproError):
     """The coordinator did not answer within the client's retry budget."""
+
+
+class CoordinatorApiError(ReproError):
+    """The coordinator answered with a definitive client error (4xx) —
+    retrying identically cannot succeed, so the client fails fast."""
+
+    def __init__(self, message: str, status: int = 0,
+                 body: dict | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.body = body or {}
 
 
 class CoordinatorServer:
@@ -43,14 +70,22 @@ class CoordinatorServer:
 
     ``port=0`` binds an ephemeral port (tests, single-host campaigns);
     ``on_heartbeat(shard_id)`` lets the service runner mirror worker
-    liveness into its metrics heartbeat.
+    liveness into its metrics heartbeat.  ``metrics`` is the
+    :class:`~repro.service.metrics.ServiceMetrics` hub behind
+    ``GET /v1/metrics``; when not given, the server builds its own over
+    the coordinator so the endpoint always exists.
     """
 
     def __init__(self, coordinator: Coordinator, host: str = "127.0.0.1",
-                 port: int = 0, on_heartbeat=None) -> None:
+                 port: int = 0, on_heartbeat=None, metrics=None) -> None:
         self.coordinator = coordinator
         self.lock = threading.Lock()
         self.on_heartbeat = on_heartbeat
+        if metrics is None:
+            from .metrics import ServiceMetrics
+
+            metrics = ServiceMetrics(coordinator)
+        self.metrics = metrics
         server = self
 
         class Handler(BaseHTTPRequestHandler):
@@ -59,25 +94,67 @@ class CoordinatorServer:
 
             def _reply(self, payload: dict, status: int = 200) -> None:
                 body = json.dumps(payload).encode()
+                self._send(body, status, "application/json")
+
+            def _send(self, body: bytes, status: int,
+                      content_type: str) -> None:
                 self.send_response(status)
-                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Type", content_type)
                 self.send_header("Content-Length", str(len(body)))
                 self.end_headers()
                 self.wfile.write(body)
+                self._status = status
+
+            def _not_found(self, method: str) -> None:
+                endpoints = (GET_ENDPOINTS if method == "GET"
+                             else POST_ENDPOINTS)
+                self._reply({"error": "not_found", "path": self.path,
+                             "method": method,
+                             "endpoints": list(endpoints)}, 404)
+
+            def _observed(self, method: str, handler) -> None:
+                known = (GET_ENDPOINTS if method == "GET"
+                         else POST_ENDPOINTS)
+                label = self.path if self.path in known else "other"
+                self._status = 500
+                started = time.perf_counter()
+                try:
+                    handler()
+                finally:
+                    server.metrics.observe_http(
+                        label, self._status,
+                        time.perf_counter() - started)
 
             def do_GET(self) -> None:
-                if self.path != "/v1/status":
-                    self._reply({"error": "not found"}, 404)
-                    return
-                with server.lock:
-                    self._reply(server.coordinator.status())
+                self._observed("GET", self._get)
 
             def do_POST(self) -> None:
+                self._observed("POST", self._post)
+
+            def _get(self) -> None:
+                if self.path == "/v1/status":
+                    with server.lock:
+                        status = server.coordinator.status()
+                    self._reply(status)
+                    return
+                if self.path == "/v1/metrics":
+                    with server.lock:
+                        server.metrics.refresh()
+                    self._send(server.metrics.render().encode(), 200,
+                               "text/plain; version=0.0.4; charset=utf-8")
+                    return
+                self._not_found("GET")
+
+            def _post(self) -> None:
+                if self.path not in POST_ENDPOINTS:
+                    self._not_found("POST")
+                    return
                 length = int(self.headers.get("Content-Length") or 0)
                 try:
                     body = json.loads(self.rfile.read(length) or b"{}")
                 except json.JSONDecodeError:
-                    self._reply({"error": "bad json"}, 400)
+                    self._reply({"error": "bad_json", "path": self.path},
+                                400)
                     return
                 with server.lock:
                     self._reply(server._handle(self.path, body))
@@ -95,20 +172,25 @@ class CoordinatorServer:
             return {"lease": lease, "finished": coordinator.finished,
                     "retry_after_s": delay if delay is not None else 0.5}
         if path == "/v1/heartbeat":
-            ok = coordinator.heartbeat(str(body.get("lease_id", "")))
-            if ok and self.on_heartbeat is not None:
-                lease = coordinator.leases.get(str(body.get("lease_id")))
+            lease_id = str(body.get("lease_id", ""))
+            ok = coordinator.heartbeat(lease_id)
+            if ok:
+                lease = coordinator.leases.get(lease_id)
                 if lease is not None:
-                    self.on_heartbeat(lease.shard_id)
+                    if self.on_heartbeat is not None:
+                        self.on_heartbeat(lease.shard_id)
+                    snapshot = body.get("metrics")
+                    if snapshot:
+                        self.metrics.ingest_worker_snapshot(
+                            lease.shard_id, snapshot)
             return {"ok": ok}
         if path == "/v1/complete":
             return {"ok": coordinator.complete(
                 str(body.get("lease_id", "")))}
-        if path == "/v1/fail":
-            coordinator.fail(str(body.get("lease_id", "")),
-                             str(body.get("reason", "")))
-            return {"ok": True}
-        return {"error": "not found"}
+        # POST_ENDPOINTS routing guarantees this is /v1/fail.
+        coordinator.fail(str(body.get("lease_id", "")),
+                         str(body.get("reason", "")))
+        return {"ok": True}
 
     # -- lifecycle -------------------------------------------------------
     @property
@@ -133,7 +215,13 @@ class CoordinatorServer:
 
 class CoordinatorClient:
     """Minimal JSON client with a bounded connect-retry budget (the
-    coordinator may be restarting between a worker's polls)."""
+    coordinator may be restarting between a worker's polls).
+
+    Transport faults and 5xx answers retry; a definitive 4xx answer
+    raises :class:`CoordinatorApiError` immediately with the parsed
+    body attached — wrong URLs and malformed requests are programming
+    errors, not outages.
+    """
 
     def __init__(self, url: str, timeout_s: float = 10.0,
                  retries: int = 5, retry_delay_s: float = 0.2) -> None:
@@ -142,22 +230,36 @@ class CoordinatorClient:
         self.retries = retries
         self.retry_delay_s = retry_delay_s
 
+    def _request(self, path: str, data: bytes | None):
+        return urllib.request.Request(
+            self.url + path, data=data,
+            headers={"Content-Type": "application/json"},
+            method="POST" if data is not None else "GET")
+
     def _call(self, path: str, payload: dict | None = None) -> dict:
         data = None if payload is None else json.dumps(payload).encode()
         last: Exception | None = None
         for attempt in range(self.retries + 1):
-            request = urllib.request.Request(
-                self.url + path, data=data,
-                headers={"Content-Type": "application/json"},
-                method="POST" if data is not None else "GET")
             try:
                 with urllib.request.urlopen(
-                        request, timeout=self.timeout_s) as response:
+                        self._request(path, data),
+                        timeout=self.timeout_s) as response:
                     return json.loads(response.read())
+            except urllib.error.HTTPError as exc:
+                if 400 <= exc.code < 500:
+                    try:
+                        detail = json.loads(exc.read())
+                    except (json.JSONDecodeError, OSError):
+                        detail = {}
+                    raise CoordinatorApiError(
+                        f"coordinator rejected {path}: HTTP {exc.code} "
+                        f"({detail.get('error', 'no body')})",
+                        status=exc.code, body=detail) from None
+                last = exc
             except (urllib.error.URLError, OSError,
                     json.JSONDecodeError) as exc:
                 last = exc
-                time.sleep(self.retry_delay_s * (attempt + 1))
+            time.sleep(self.retry_delay_s * (attempt + 1))
         raise CoordinatorUnreachable(
             f"coordinator at {self.url} unreachable after "
             f"{self.retries + 1} attempts: {last}")
@@ -165,9 +267,11 @@ class CoordinatorClient:
     def lease(self, worker_id: str) -> dict:
         return self._call("/v1/lease", {"worker_id": worker_id})
 
-    def heartbeat(self, lease_id: str) -> bool:
-        return bool(self._call("/v1/heartbeat",
-                               {"lease_id": lease_id}).get("ok"))
+    def heartbeat(self, lease_id: str, metrics: dict | None = None) -> bool:
+        payload: dict = {"lease_id": lease_id}
+        if metrics is not None:
+            payload["metrics"] = metrics
+        return bool(self._call("/v1/heartbeat", payload).get("ok"))
 
     def complete(self, lease_id: str) -> bool:
         return bool(self._call("/v1/complete",
@@ -178,6 +282,26 @@ class CoordinatorClient:
 
     def status(self) -> dict:
         return self._call("/v1/status")
+
+    def metrics_text(self) -> str:
+        """Scrape ``/v1/metrics`` (raw Prometheus text, not JSON)."""
+        last: Exception | None = None
+        for attempt in range(self.retries + 1):
+            try:
+                with urllib.request.urlopen(
+                        self._request("/v1/metrics", None),
+                        timeout=self.timeout_s) as response:
+                    return response.read().decode("utf-8")
+            except urllib.error.HTTPError as exc:
+                raise CoordinatorApiError(
+                    f"coordinator rejected /v1/metrics: HTTP {exc.code}",
+                    status=exc.code) from None
+            except (urllib.error.URLError, OSError) as exc:
+                last = exc
+            time.sleep(self.retry_delay_s * (attempt + 1))
+        raise CoordinatorUnreachable(
+            f"coordinator at {self.url} unreachable after "
+            f"{self.retries + 1} attempts: {last}")
 
 
 def run_polling_worker(url: str, worker_id: str, *,
@@ -192,7 +316,9 @@ def run_polling_worker(url: str, worker_id: str, *,
 
     A revoked lease (heartbeat answered ``ok: false``) aborts the shard
     mid-flight — the journal keeps what was measured and whichever
-    worker reclaims the shard resumes from it.
+    worker reclaims the shard resumes from it.  Each liveness heartbeat
+    carries the worker's current telemetry snapshot, which the
+    coordinator republishes as per-shard gauges on ``/v1/metrics``.
     """
     client = CoordinatorClient(url)
     idle = 0
@@ -222,34 +348,37 @@ def run_polling_worker(url: str, worker_id: str, *,
                   f"({assignment.shard.trials} trials)", flush=True)
         revoked = threading.Event()
         stop = threading.Event()
+        # The telemetry heartbeat exists before the beater thread so
+        # every liveness beat can attach a snapshot (path=None when the
+        # coordinator did not ask for a heartbeat file — the snapshots
+        # still flow over HTTP).
+        from ..obs import CampaignHeartbeat
 
-        def beat(lease_id=assignment.lease_id) -> None:
+        heartbeat = CampaignHeartbeat(
+            assignment.heartbeat_path or None, assignment.shard.trials,
+            interval=heartbeat_interval_s,
+            shard_id=assignment.shard.shard_id,
+            worker_id=worker_id).start()
+
+        def beat(lease_id=assignment.lease_id,
+                 heartbeat=heartbeat) -> None:
             while not stop.wait(heartbeat_interval_s):
                 try:
-                    if not client.heartbeat(lease_id):
+                    if not client.heartbeat(lease_id,
+                                            metrics=heartbeat.snapshot()):
                         revoked.set()
                         return
-                except CoordinatorUnreachable:
+                except (CoordinatorUnreachable, CoordinatorApiError):
                     revoked.set()
                     return
 
         beater = threading.Thread(target=beat, daemon=True,
                                   name=f"heartbeat-{assignment.lease_id}")
         beater.start()
-        heartbeat = None
-        if assignment.heartbeat_path:
-            from ..obs import CampaignHeartbeat
-
-            heartbeat = CampaignHeartbeat(
-                assignment.heartbeat_path, assignment.shard.trials,
-                interval=heartbeat_interval_s,
-                shard_id=assignment.shard.shard_id,
-                worker_id=worker_id).start()
         try:
-            run_shard(assignment, should_abort=revoked.is_set)
+            run_shard(assignment, should_abort=revoked.is_set,
+                      heartbeat=heartbeat)
         except Exception as exc:  # infra fault: report and keep polling
-            stop.set()
-            beater.join(timeout=heartbeat_interval_s + 1.0)
             try:
                 client.fail(assignment.lease_id,
                             f"{type(exc).__name__}: {exc}")
@@ -259,11 +388,11 @@ def run_polling_worker(url: str, worker_id: str, *,
         finally:
             stop.set()
             beater.join(timeout=heartbeat_interval_s + 1.0)
-            if heartbeat is not None:
-                heartbeat.stop()
+            heartbeat.stop()
         if not revoked.is_set():
             client.complete(assignment.lease_id)
 
 
-__all__ = ["CoordinatorClient", "CoordinatorServer",
-           "CoordinatorUnreachable", "run_polling_worker"]
+__all__ = ["CoordinatorApiError", "CoordinatorClient", "CoordinatorServer",
+           "CoordinatorUnreachable", "GET_ENDPOINTS", "POST_ENDPOINTS",
+           "run_polling_worker"]

@@ -43,6 +43,9 @@ class BackendOptions:
     on_heartbeat: object = None     # callable(shard_id) | None
     on_shard_done: object = None    # callable(shard_id, trials) | None
     on_worker_restart: object = None  # callable() | None
+    #: Service metrics hub (repro.service.metrics.ServiceMetrics); the
+    #: HTTP backend serves it at GET /v1/metrics.
+    metrics: object = None
     #: Test seam: trial executor for the inline backend.
     execute: object = None
 
@@ -269,8 +272,12 @@ class HttpBackend:
 
         server = CoordinatorServer(coordinator, host=self.host,
                                    port=self.port,
-                                   on_heartbeat=opts.on_heartbeat)
+                                   on_heartbeat=opts.on_heartbeat,
+                                   metrics=opts.metrics)
         server.start()
+        if opts.progress:
+            print(f"  coordinator API at {server.url} "
+                  f"(metrics: {server.url}/v1/metrics)", flush=True)
         env = worker_env()
         stdout = None if opts.progress else subprocess.DEVNULL
         restarts = 0

@@ -124,6 +124,13 @@ class Coordinator:
         self.journal = CoordinatorJournal(
             journal_path or os.path.join(shard_dir, "coordinator.jsonl"))
 
+        #: Optional transition observer: ``on_event(event, shard_id)``
+        #: fired after each journaled state change ("lease", "done",
+        #: "failed", "quarantined") plus "expired" for lease expiries.
+        #: Set post-construction (the service runner wires it to the
+        #: metrics hub); exceptions are swallowed — metrics must never
+        #: wedge the scheduler.
+        self.on_event = None
         self.state: dict[int, str] = {s.shard_id: PENDING
                                       for s in self.shards}
         self.failures: dict[int, int] = {s.shard_id: 0 for s in self.shards}
@@ -215,6 +222,7 @@ class Coordinator:
             self.state[sid] = LEASED
             self.journal.append({"type": "lease", "shard": sid,
                                  "lease": lease_id, "worker": worker_id})
+            self._emit("lease", sid)
             return {"lease_id": lease_id,
                     "shard": shard.as_dict(),
                     "journal_path": shard.journal_path(self.shard_dir),
@@ -248,6 +256,7 @@ class Coordinator:
         self.state[lease.shard_id] = DONE
         self.journal.append({"type": "done", "shard": lease.shard_id,
                              "lease": lease_id})
+        self._emit("done", lease.shard_id)
         return True
 
     def fail(self, lease_id: str, reason: str = "") -> None:
@@ -276,9 +285,17 @@ class Coordinator:
             else:
                 continue
             del self.leases[lease_id]
+            self._emit("expired", lease.shard_id)
             self._record_failure(lease.shard_id, lease_id, reason)
             expired.append(lease_id)
         return expired
+
+    def _emit(self, event: str, shard_id: int) -> None:
+        if self.on_event is not None:
+            try:
+                self.on_event(event, shard_id)
+            except Exception:
+                pass  # metrics must never wedge the scheduler
 
     def _record_failure(self, shard_id: int, lease_id: str,
                         reason: str) -> None:
@@ -286,6 +303,7 @@ class Coordinator:
         self.journal.append({"type": "failed", "shard": shard_id,
                              "lease": lease_id, "reason": reason,
                              "failures": self.failures[shard_id]})
+        self._emit("failed", shard_id)
         if self.failures[shard_id] >= self.fail_limit:
             self._quarantine(shard_id,
                              f"{self.failures[shard_id]} failed leases; "
@@ -302,6 +320,7 @@ class Coordinator:
         self.quarantine_reason[shard_id] = reason
         self.journal.append({"type": "quarantined", "shard": shard_id,
                              "reason": reason})
+        self._emit("quarantined", shard_id)
 
     def abandon_pending(self, reason: str) -> list[int]:
         """Quarantine every shard that is not done — the backend ran out

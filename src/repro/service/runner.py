@@ -18,8 +18,9 @@ import shutil
 from ..core.campaign import (CampaignJournal, CampaignSpec, INFRA_ERROR,
                              aggregate)
 from ..harness.campaign import CampaignReport, default_journal_path
-from .backends import BackendOptions, backend_by_name
+from .backends import BackendOptions, HttpBackend, backend_by_name
 from .coordinator import Coordinator
+from .metrics import ServiceMetrics
 from .shard import (infra_placeholder, load_shard_results,
                     merge_shard_results, missing_keys, split_campaign,
                     write_merged_journal)
@@ -36,6 +37,8 @@ def run_sharded_campaign(spec: CampaignSpec, *, shards: int,
                          shard_dir: str | None = None,
                          fresh: bool = False, progress: bool = False,
                          metrics_path: str | None = None,
+                         registry=None, on_snapshot=None,
+                         http_host: str = "127.0.0.1", http_port: int = 0,
                          fsync_interval: int = 1,
                          lease_ttl_s: float = 600.0,
                          heartbeat_timeout_s: float = 30.0,
@@ -72,6 +75,10 @@ def run_sharded_campaign(spec: CampaignSpec, *, shards: int,
     if {r.key for r in prior} >= expected:
         if progress:
             print(f"  campaign already complete in {path}", flush=True)
+        if registry is not None:
+            from ..obs.metrics import observe_trial
+            for row in prior:
+                observe_trial(registry, row)
         return CampaignReport(
             spec=spec, results=prior, cells=aggregate(prior),
             journal_path=path, complete=True,
@@ -81,12 +88,35 @@ def run_sharded_campaign(spec: CampaignSpec, *, shards: int,
         spec, sdir, shards, lease_ttl_s=lease_ttl_s,
         heartbeat_timeout_s=heartbeat_timeout_s, fail_limit=fail_limit,
         backoff_base_s=backoff_base_s, backoff_cap_s=backoff_cap_s)
+    # The metrics hub observes everything: coordinator transitions (via
+    # the on_event hook), trial rows (tailed from shard journals — the
+    # only path that counts trials, so nothing double-counts), worker
+    # snapshots, and HTTP traffic.  Trial rows resumed from a prior
+    # merged journal count too — the scrape must always agree with the
+    # journal, not just with this process's work.
+    hub = ServiceMetrics(coordinator, registry=registry)
+    coordinator.on_event = hub.on_transition
+    hub.ingest_results(prior)
     heartbeat = None
-    if metrics_path is not None:
+    if metrics_path is not None or on_snapshot is not None:
         from ..obs import CampaignHeartbeat
 
+        def snapshot_hook(record):
+            # Tail shard journals on every heartbeat tick so a live
+            # dashboard's registry view (per-cell Wilson table) stays
+            # current even when nobody is scraping /v1/metrics.
+            try:
+                hub.refresh()
+            except Exception:
+                pass
+            if on_snapshot is not None:
+                on_snapshot(record)
+
         heartbeat = CampaignHeartbeat(metrics_path,
-                                      len(spec.trial_specs())).start()
+                                      len(spec.trial_specs()),
+                                      on_snapshot=snapshot_hook).start()
+        if prior:
+            heartbeat.note_resumed(len(prior))
     options = _backend_options or BackendOptions()
     options.workers = workers if workers is not None else \
         max(1, min(len(coordinator.shards), os.cpu_count() or 1))
@@ -95,13 +125,23 @@ def run_sharded_campaign(spec: CampaignSpec, *, shards: int,
     options.heartbeat_interval_s = heartbeat_interval_s
     options.max_worker_restarts = max_worker_restarts
     options.progress = progress
+    options.metrics = hub
+
+    def on_restart() -> None:
+        hub.note_worker_restart()
+        if heartbeat is not None:
+            heartbeat.note_worker_restart()
+
+    options.on_worker_restart = on_restart
     if heartbeat is not None:
         options.on_heartbeat = heartbeat.note_shard_heartbeat
         options.on_shard_done = \
             lambda sid, trials: heartbeat.note_shard_done(sid, trials)
-        options.on_worker_restart = heartbeat.note_worker_restart
 
     launcher = backend_by_name(backend)
+    if isinstance(launcher, HttpBackend):
+        launcher.host = http_host
+        launcher.port = http_port
     try:
         if progress:
             print(f"  dispatching {len(coordinator.shards)} shards to "
@@ -145,6 +185,11 @@ def run_sharded_campaign(spec: CampaignSpec, *, shards: int,
                 attempts=coordinator.failures[sid]))
     results = merge_shard_results(spec, rows + placeholders)
     write_merged_journal(spec, results, path)
+    # Final metrics truth-up: whatever the live tail missed (unscraped
+    # rows, quarantine placeholders minted just above) lands now, so
+    # the registry's verdict counters equal the merged journal exactly.
+    hub.refresh()
+    hub.ingest_results(results)
     return CampaignReport(
         spec=spec, results=results, cells=aggregate(results),
         journal_path=path,

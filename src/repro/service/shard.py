@@ -62,10 +62,7 @@ class ShardSpec:
     def from_dict(data: dict) -> "ShardSpec":
         spec = data["spec"]
         if isinstance(spec, dict):
-            spec = dict(spec)
-            for name in ("workloads", "schemes", "sites"):
-                spec[name] = tuple(spec[name])
-            spec = CampaignSpec(**spec)
+            spec = CampaignSpec.from_dict(spec)
         return ShardSpec(shard_id=data["shard_id"],
                          num_shards=data["num_shards"],
                          start=data["start"], stop=data["stop"], spec=spec)

@@ -1,0 +1,117 @@
+"""Live dashboard: pure rendering, TTY detection, rate history."""
+
+import io
+
+from repro.core.campaign import TrialResult
+from repro.harness.dashboard import (LiveDashboard, render_dashboard,
+                                     sparkline)
+from repro.obs.metrics import MetricsRegistry, observe_trial
+
+
+def snapshot(**extra):
+    base = {"total_trials": 10, "completed": 4, "trials_per_sec": 2.0,
+            "eta_s": 3.0, "elapsed_s": 2.0}
+    base.update(extra)
+    return base
+
+
+def populated_registry():
+    registry = MetricsRegistry()
+    for outcome in ("masked", "masked", "sdc"):
+        observe_trial(registry, TrialResult(
+            workload="Triad", scheme="flame", site="dest_reg", index=0,
+            outcome=outcome, cycles=100))
+    return registry
+
+
+class TestRenderDashboard:
+    def test_progress_rate_and_eta(self):
+        frame = render_dashboard(snapshot())
+        assert "4/10 trials" in frame
+        assert "2.00 trials/s" in frame
+        assert "eta 3s" in frame
+
+    def test_eta_formats_minutes_and_hours(self):
+        assert "eta 2m05s" in render_dashboard(snapshot(eta_s=125))
+        assert "eta 1h01m" in render_dashboard(snapshot(eta_s=3700))
+        assert "eta --" in render_dashboard(snapshot(eta_s=None))
+
+    def test_registry_cells_render_wilson_table(self):
+        frame = render_dashboard(snapshot(),
+                                 registry=populated_registry())
+        assert "per-cell verdicts (live)" in frame
+        assert "Triad" in frame
+        assert "0.333" in frame  # 1 SDC / 3 trials
+
+    def test_stall_bars_sorted_by_share(self):
+        frame = render_dashboard(snapshot(
+            stall_cycles={"rollback": 25, "barrier": 75}))
+        assert frame.index("barrier") < frame.index("rollback")
+        assert "75.0%" in frame and "25.0%" in frame
+
+    def test_shard_staleness_line(self):
+        frame = render_dashboard(snapshot(
+            shard_staleness_s={"0": 1.0, "2": 7.0}, shards_done=1))
+        assert "1 done" in frame
+        assert "#2 7s ago" in frame
+
+    def test_empty_snapshot_never_divides_by_zero(self):
+        frame = render_dashboard({})
+        assert "0/0 trials" in frame
+
+
+class TestSparkline:
+    def test_scales_to_max(self):
+        line = sparkline([0.0, 1.0, 2.0])
+        assert len(line) == 3
+        assert line[-1] == "█"
+
+    def test_all_zero_and_empty(self):
+        assert sparkline([]) == ""
+        assert sparkline([0.0, 0.0]) == "  "
+
+    def test_window_clips_to_width(self):
+        assert len(sparkline(list(range(100)), width=8)) == 8
+
+
+class TestLiveDashboard:
+    def test_non_tty_stream_gets_no_ansi(self):
+        buf = io.StringIO()
+        dash = LiveDashboard(stream=buf)
+        dash.on_snapshot(snapshot())
+        assert "\x1b" not in buf.getvalue()
+        assert "4/10 trials" in buf.getvalue()
+
+    def test_tty_stream_gets_clear_escape(self):
+        class Tty(io.StringIO):
+            def isatty(self):
+                return True
+
+        buf = Tty()
+        LiveDashboard(stream=buf).on_snapshot(snapshot())
+        assert buf.getvalue().startswith("\x1b[2J\x1b[H")
+
+    def test_rate_history_accumulates_into_sparkline(self):
+        buf = io.StringIO()
+        dash = LiveDashboard(stream=buf, history=4)
+        for rate in (1.0, 2.0, 3.0, 4.0, 5.0):
+            dash.on_snapshot(snapshot(trials_per_sec=rate))
+        assert len(dash._rates) == 4  # ring clipped to history
+        assert "history" in buf.getvalue()
+
+    def test_broken_stream_never_raises(self):
+        class Broken:
+            def write(self, _):
+                raise OSError("wedged terminal")
+
+            def flush(self):
+                raise OSError
+
+        LiveDashboard(stream=Broken()).on_snapshot(snapshot())
+
+    def test_status_fn_failure_degrades_to_no_shard_board(self):
+        def boom():
+            raise RuntimeError("coordinator gone")
+
+        frame = LiveDashboard(status_fn=boom).render(snapshot())
+        assert "shard lease board" not in frame

@@ -1,0 +1,108 @@
+"""Campaign report artifacts: HTML/markdown, spec round-trip, and the
+journals-stay-byte-identical invariant with metrics enabled."""
+
+import re
+
+import pytest
+
+from repro.core.campaign import CampaignSpec
+from repro.harness.campaign import run_campaign
+from repro.harness.report import (families_from_registry,
+                                  load_prom_snapshot,
+                                  render_campaign_html,
+                                  render_campaign_markdown,
+                                  report_from_journal,
+                                  write_campaign_report)
+from repro.obs.metrics import MetricsRegistry, render_prom
+
+
+def small_spec(seed=5):
+    return CampaignSpec(workloads=("Triad",),
+                        schemes=("baseline", "flame"), trials=2,
+                        seed=seed, scale="tiny")
+
+
+@pytest.fixture(scope="module")
+def campaign(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("report")
+    path = str(tmp / "journal.jsonl")
+    registry = MetricsRegistry()
+    report = run_campaign(small_spec(), journal_path=path, workers=1,
+                          registry=registry)
+    return report, registry, path
+
+
+class TestHtmlReport:
+    def test_report_is_self_contained(self, campaign, tmp_path):
+        report, registry, _ = campaign
+        html_path = str(tmp_path / "r.html")
+        md_path = str(tmp_path / "r.md")
+        written = write_campaign_report(report, html_path,
+                                        md_path=md_path,
+                                        registry=registry)
+        assert written == [html_path, md_path]
+        html = open(html_path).read()
+        # Self-contained: no external fetches of any kind.
+        assert not re.search(
+            r'(src|href)\s*=\s*["\'](https?:)?//', html)
+        assert "<style>" in html and "<script>" in html
+        assert html.startswith("<!DOCTYPE html>")
+
+    def test_report_tables_reflect_journal(self, campaign):
+        report, registry, _ = campaign
+        html = render_campaign_html(
+            report, families=families_from_registry(registry))
+        assert "Triad" in html and "flame" in html
+        assert "Per-cell verdicts" in html
+        assert "Coverage vs overhead" in html
+        # The metrics snapshot supplies the Fig. 13 stall breakdown.
+        assert "Stall-cause breakdown" in html
+        assert "Unavailable: no metrics snapshot" not in html
+
+    def test_report_without_metrics_degrades_gracefully(self, campaign):
+        report, _, _ = campaign
+        html = render_campaign_html(report, families=None)
+        assert "Unavailable: no metrics snapshot" in html
+        md = render_campaign_markdown(report, families=None)
+        assert "Unavailable: no metrics snapshot" in md
+
+    def test_markdown_twin_has_the_same_tables(self, campaign):
+        report, registry, _ = campaign
+        md = render_campaign_markdown(
+            report, families=families_from_registry(registry))
+        assert md.startswith("# Fault-injection campaign report")
+        assert "| Workload |" in md
+        assert "Stall-cause breakdown" in md
+
+    def test_prom_snapshot_file_round_trip(self, campaign, tmp_path):
+        _, registry, _ = campaign
+        snap = tmp_path / "snap.prom"
+        snap.write_text(render_prom(registry))
+        families = load_prom_snapshot(str(snap))
+        assert families == families_from_registry(registry)
+
+
+class TestReportFromJournal:
+    def test_spec_rides_in_the_journal_header(self, campaign):
+        report, _, path = campaign
+        rebuilt = report_from_journal(path)
+        assert rebuilt.spec == report.spec
+        assert rebuilt.complete
+        assert len(rebuilt.results) == len(report.results)
+        assert [c.counts for c in rebuilt.cells] == \
+            [c.counts for c in report.cells]
+
+
+class TestByteDeterminism:
+    def test_journal_identical_with_and_without_metrics(self, tmp_path):
+        """The tentpole invariant: instrumentation must never leak into
+        the journal.  Same spec, metrics on vs off -> same bytes."""
+        plain = str(tmp_path / "plain.jsonl")
+        observed = str(tmp_path / "observed.jsonl")
+        run_campaign(small_spec(seed=9), journal_path=plain, workers=1)
+        seen = []
+        run_campaign(small_spec(seed=9), journal_path=observed,
+                     workers=1, registry=MetricsRegistry(),
+                     on_snapshot=seen.append)
+        assert open(plain, "rb").read() == open(observed, "rb").read()
+        assert seen  # the dashboard hook really fired

@@ -41,8 +41,11 @@ class TestHeartbeat:
         assert last["kind"] == "campaign_heartbeat"
         assert last["completed"] == 2
         assert last["remaining"] == 2
-        assert last["trials_per_sec"] > 0
-        assert last["eta_s"] is not None
+        # A heartbeat stopped within the minimum rate window reports a
+        # guarded 0.0 rate (and no ETA) rather than an absurd
+        # extrapolation from microseconds of elapsed time.
+        assert last["trials_per_sec"] >= 0
+        assert "elapsed_s" in last
         assert last["fast_start_hit_rate"] == 0.5
         assert last["convergence_early_exit_rate"] == 0.5
         assert last["golden_cache_hits"] == 1
@@ -89,6 +92,105 @@ class TestHeartbeat:
         hb.start()
         hb.note_trial(FakeResult())
         hb.stop()  # OSError swallowed: telemetry must not kill campaigns
+
+
+class TestRateGuards:
+    def test_snapshot_before_start_reports_zero_elapsed(self, tmp_path):
+        hb = CampaignHeartbeat(str(tmp_path / "m.jsonl"), total_trials=4)
+        hb.note_trial(FakeResult())
+        snap = hb.snapshot()
+        assert snap["elapsed_s"] == 0.0
+        assert snap["trials_per_sec"] == 0.0
+        assert snap["eta_s"] is None
+
+    def test_first_tick_rate_never_explodes(self, tmp_path):
+        hb = CampaignHeartbeat(str(tmp_path / "m.jsonl"), total_trials=100,
+                               interval=60.0)
+        hb.start()
+        hb.note_trial(FakeResult())
+        snap = hb.snapshot()
+        # Microseconds after start: either the guard kicked in (0.0) or
+        # real elapsed time was used — never a divide-by-~0 artifact.
+        assert snap["trials_per_sec"] < 1e6
+        hb.stop()
+
+    def test_rate_and_eta_after_real_elapsed_time(self, tmp_path):
+        import time
+
+        hb = CampaignHeartbeat(str(tmp_path / "m.jsonl"), total_trials=4,
+                               interval=60.0)
+        hb.start()
+        time.sleep(0.01)
+        hb.note_trial(FakeResult())
+        snap = hb.snapshot()
+        assert snap["trials_per_sec"] > 0
+        assert snap["eta_s"] is not None
+        hb.stop()
+
+    def test_every_record_carries_elapsed_s(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        hb = CampaignHeartbeat(str(path), total_trials=1, interval=0.05)
+        hb.start()
+        import time
+
+        time.sleep(0.12)
+        hb.stop()
+        for record in _records(path):
+            assert "elapsed_s" in record
+            assert record["elapsed_s"] >= 0
+
+
+@dataclass
+class FakeCellResult(FakeResult):
+    workload: str = "Triad"
+    scheme: str = "flame"
+    site: str = "dest_reg"
+    golden_shared: bool = False
+    stall_cycles: dict = None
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.stall_cycles is None:
+            self.stall_cycles = {}
+
+
+class TestRegistryBridge:
+    def test_note_trial_feeds_registry(self, tmp_path):
+        from repro.obs import MetricsRegistry, trial_counts
+
+        registry = MetricsRegistry()
+        hb = CampaignHeartbeat(str(tmp_path / "m.jsonl"), total_trials=2,
+                               registry=registry)
+        hb.start()
+        hb.note_trial(FakeCellResult())
+        hb.note_trial(FakeCellResult(outcome="sdc"))
+        hb.stop()
+        counts = trial_counts(registry)
+        assert counts[("Triad", "flame", "dest_reg")] == {"masked": 1,
+                                                          "sdc": 1}
+
+    def test_on_snapshot_fires_on_stop(self, tmp_path):
+        seen = []
+        hb = CampaignHeartbeat(None, total_trials=1,
+                               on_snapshot=seen.append)
+        hb.start()
+        hb.stop()
+        assert seen and seen[-1]["final"] is True
+
+    def test_pathless_heartbeat_writes_no_file(self, tmp_path):
+        hb = CampaignHeartbeat(None, total_trials=1)
+        hb.start()
+        hb.note_trial(FakeResult())
+        hb.stop()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_stall_cycles_aggregate_into_snapshot(self, tmp_path):
+        hb = CampaignHeartbeat(None, total_trials=2)
+        hb.note_trial(FakeCellResult(
+            stall_cycles={"rollback": 10, "barrier": 5}))
+        hb.note_trial(FakeCellResult(stall_cycles={"rollback": 2}))
+        snap = hb.snapshot()
+        assert snap["stall_cycles"] == {"barrier": 5, "rollback": 12}
 
 
 class TestSuperblockTelemetry:

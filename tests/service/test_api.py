@@ -1,11 +1,17 @@
 """HTTP coordinator API: JSON round-trips and the polling worker loop."""
 
+import json
+import urllib.error
+import urllib.request
+
 import pytest
 
 from repro.core.campaign import CampaignJournal, CampaignSpec, MASKED, \
     TrialResult
-from repro.service.api import (CoordinatorClient, CoordinatorServer,
-                               CoordinatorUnreachable, run_polling_worker)
+from repro.service.api import (CoordinatorApiError, CoordinatorClient,
+                               CoordinatorServer, CoordinatorUnreachable,
+                               GET_ENDPOINTS, POST_ENDPOINTS,
+                               run_polling_worker)
 from repro.service.coordinator import Coordinator, DONE
 from repro.service.shard import ShardSpec
 
@@ -73,6 +79,80 @@ class TestHttpRoundTrips:
                                    retries=1, retry_delay_s=0.01)
         with pytest.raises(CoordinatorUnreachable):
             client.status()
+
+
+class TestErrorBodies:
+    def _get(self, url):
+        try:
+            with urllib.request.urlopen(url, timeout=5) as resp:
+                return resp.status, resp.read().decode()
+        except urllib.error.HTTPError as err:
+            return err.code, err.read().decode()
+
+    def test_unknown_path_gets_structured_404(self, served):
+        _, server, _ = served
+        code, body = self._get(f"{server.url}/v1/nonsense")
+        assert code == 404
+        payload = json.loads(body)
+        assert payload["error"] == "not_found"
+        assert payload["path"] == "/v1/nonsense"
+        assert payload["method"] == "GET"
+        # The hint lists the endpoints valid for the request's method.
+        assert set(payload["endpoints"]) == set(GET_ENDPOINTS)
+        assert not set(payload["endpoints"]) & set(POST_ENDPOINTS)
+
+    def test_post_to_unknown_path_gets_404_before_body_parse(self,
+                                                             served):
+        _, server, _ = served
+        req = urllib.request.Request(f"{server.url}/v1/nope",
+                                     data=b"this is not json",
+                                     method="POST")
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req, timeout=5)
+        assert err.value.code == 404
+        assert json.loads(err.value.read())["error"] == "not_found"
+
+    def test_malformed_json_gets_structured_400(self, served):
+        _, server, _ = served
+        req = urllib.request.Request(f"{server.url}/v1/lease",
+                                     data=b"{not json", method="POST")
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req, timeout=5)
+        assert err.value.code == 400
+        payload = json.loads(err.value.read())
+        assert payload["error"] == "bad_json"
+        assert payload["path"] == "/v1/lease"
+
+    def test_client_raises_api_error_without_burning_retries(self,
+                                                             served):
+        _, server, _ = served
+        client = CoordinatorClient(server.url, retries=50,
+                                   retry_delay_s=10.0)  # would take ages
+        with pytest.raises(CoordinatorApiError) as err:
+            client._call("/v1/bogus")
+        assert err.value.status == 404
+        assert err.value.body["error"] == "not_found"
+
+    def test_metrics_endpoint_serves_valid_exposition(self, served):
+        _, server, client = served
+        client.lease("w0")
+        code, body = self._get(f"{server.url}/v1/metrics")
+        assert code == 200
+        from repro.obs.metrics import validate_prom_text
+
+        assert validate_prom_text(body) == []
+        assert "repro_shard_transitions_total" in body
+        # the scrape itself is instrumented on the next scrape
+        _, body2 = self._get(f"{server.url}/v1/metrics")
+        assert 'repro_http_requests_total{code="200"' in body2 \
+            or "repro_http_requests_total" in body2
+
+    def test_client_metrics_text_helper(self, served):
+        _, server, client = served
+        text = client.metrics_text()
+        from repro.obs.metrics import validate_prom_text
+
+        assert validate_prom_text(text) == []
 
 
 class TestPollingWorker:
